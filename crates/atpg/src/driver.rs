@@ -1,0 +1,300 @@
+//! The sequential test generation driver: random phase, then PODEM over
+//! deepening time-frame windows, with concurrent fault simulation for
+//! collateral dropping (the shape of the authors' own test generator,
+//! reference [14] of the paper).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cfs_core::{ConcurrentSim, CsimVariant};
+use cfs_faults::{FaultSimReport, FaultStatus, StuckAt};
+use cfs_logic::Logic;
+use cfs_netlist::Circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{random_fill, random_patterns, Podem, PodemResult, Unrolled};
+
+/// Configuration of the sequential test generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtpgOptions {
+    /// Deepest time-frame window tried per fault.
+    pub max_frames: usize,
+    /// PODEM backtrack limit per attempt.
+    pub backtrack_limit: usize,
+    /// Random-phase pattern budget (0 disables the random phase).
+    pub random_patterns: usize,
+    /// RNG seed (random phase and X-fill).
+    pub seed: u64,
+}
+
+impl Default for AtpgOptions {
+    fn default() -> Self {
+        AtpgOptions {
+            max_frames: 8,
+            backtrack_limit: 1_000,
+            random_patterns: 128,
+            seed: 0xCF5,
+        }
+    }
+}
+
+/// Result of a test generation run.
+#[derive(Debug)]
+pub struct AtpgOutcome {
+    /// The generated test sequence (one pattern per clock cycle).
+    pub patterns: Vec<Vec<Logic>>,
+    /// Fault simulation report of the final sequence (csim-MV).
+    pub report: FaultSimReport,
+    /// Faults abandoned on the backtrack limit.
+    pub aborted: usize,
+    /// Faults with no test within `max_frames` frames under three-valued
+    /// pessimism (not a redundancy proof).
+    pub untestable_within_depth: usize,
+}
+
+impl fmt::Display for AtpgOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} patterns, {:.2}% coverage ({} aborted, {} no-test-in-window)",
+            self.patterns.len(),
+            self.report.coverage_percent(),
+            self.aborted,
+            self.untestable_within_depth
+        )
+    }
+}
+
+/// Generates a test sequence for the fault universe of a synchronous
+/// sequential circuit.
+///
+/// Phase 1 simulates a random sequence with fault dropping; phase 2 targets
+/// each remaining fault with PODEM over 1, 2, 3, 5, then `max_frames`
+/// time frames, appending each found window to the sequence (windows are
+/// derived under an all-`X` initial state, so they detect their target from
+/// any state the preceding sequence leaves behind).
+///
+/// # Examples
+///
+/// ```no_run
+/// use cfs_atpg::{generate_tests, AtpgOptions};
+/// use cfs_faults::collapse_stuck_at;
+/// use cfs_netlist::data::s27;
+///
+/// let c = s27();
+/// let faults = collapse_stuck_at(&c).representatives;
+/// let outcome = generate_tests(&c, &faults, AtpgOptions::default());
+/// println!("{outcome}");
+/// ```
+pub fn generate_tests(circuit: &Circuit, faults: &[StuckAt], options: AtpgOptions) -> AtpgOutcome {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut sim = ConcurrentSim::new(circuit, faults, CsimVariant::Mv.options());
+    let mut patterns: Vec<Vec<Logic>> = Vec::new();
+
+    // Phase 1: random patterns with fault dropping.
+    for p in random_patterns(circuit, options.random_patterns, options.seed ^ 0x5eed) {
+        sim.step(&p);
+        patterns.push(p);
+    }
+
+    // Phase 2: deterministic targeting.
+    let schedule: Vec<usize> = [1usize, 2, 3, 5, options.max_frames]
+        .iter()
+        .copied()
+        .filter(|&k| k <= options.max_frames)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let mut unrolled: HashMap<usize, Unrolled> = HashMap::new();
+    let mut aborted = 0usize;
+    let mut untestable = 0usize;
+
+    for (target, &target_fault) in faults.iter().enumerate() {
+        if sim.statuses()[target].is_detected()
+            || matches!(sim.statuses()[target], FaultStatus::Untestable)
+        {
+            continue;
+        }
+        let mut resolved = false;
+        let mut hit_abort = false;
+        for &frames in &schedule {
+            let u = unrolled
+                .entry(frames)
+                .or_insert_with(|| Unrolled::new(circuit, frames));
+            let injections = u.map_fault(circuit, target_fault);
+            if injections.is_empty() {
+                continue; // e.g. a D-pin fault in a 1-frame window
+            }
+            let mut assignable = vec![false; u.circuit.num_inputs()];
+            for pis in &u.pi_copies {
+                for &pi in pis {
+                    let k = u
+                        .circuit
+                        .inputs()
+                        .iter()
+                        .position(|&x| x == pi)
+                        .expect("copy is a PI");
+                    assignable[k] = true;
+                }
+            }
+            let podem = Podem::with_assignable(
+                &u.circuit,
+                injections,
+                assignable,
+                options.backtrack_limit,
+            );
+            match podem.run() {
+                PodemResult::Test(mut assignment) => {
+                    random_fill(&mut assignment, &mut rng);
+                    for p in u.to_sequence(&assignment) {
+                        sim.step(&p);
+                        patterns.push(p);
+                    }
+                    resolved = true;
+                    break;
+                }
+                PodemResult::Untestable => continue, // try a deeper window
+                PodemResult::Aborted => {
+                    hit_abort = true;
+                    break; // deeper windows are even more expensive
+                }
+            }
+        }
+        if !resolved {
+            if hit_abort {
+                aborted += 1;
+            } else {
+                untestable += 1;
+            }
+        }
+    }
+
+    // Trim the useless tail: everything after the final first-detection.
+    let statuses = sim.statuses();
+    let last_useful = statuses
+        .iter()
+        .filter_map(|s| match s {
+            FaultStatus::Detected { pattern } => Some(*pattern),
+            _ => None,
+        })
+        .max();
+    if let Some(last) = last_useful {
+        patterns.truncate(last + 1);
+    } else {
+        patterns.clear();
+    }
+
+    // Final clean run for the report (fresh simulator, trimmed sequence).
+    let mut final_sim = ConcurrentSim::new(circuit, faults, CsimVariant::Mv.options());
+    let report = final_sim.run(&patterns);
+    AtpgOutcome {
+        patterns,
+        report,
+        aborted,
+        untestable_within_depth: untestable,
+    }
+}
+
+/// Drops the tail of a sequence that detects nothing new (re-simulating
+/// with csim-MV). Returns the trimmed sequence.
+pub fn trim_tail(
+    circuit: &Circuit,
+    faults: &[StuckAt],
+    patterns: Vec<Vec<Logic>>,
+) -> Vec<Vec<Logic>> {
+    let mut sim = ConcurrentSim::new(circuit, faults, CsimVariant::Mv.options());
+    let report = sim.run(&patterns);
+    let last = report
+        .statuses
+        .iter()
+        .filter_map(|s| match s {
+            FaultStatus::Detected { pattern } => Some(*pattern),
+            _ => None,
+        })
+        .max();
+    let mut patterns = patterns;
+    match last {
+        Some(l) => patterns.truncate(l + 1),
+        None => patterns.clear(),
+    }
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_baselines::SerialSim;
+    use cfs_faults::collapse_stuck_at;
+    use cfs_netlist::data::s27;
+
+    #[test]
+    fn s27_reaches_high_coverage() {
+        let c = s27();
+        let faults = collapse_stuck_at(&c).representatives;
+        let outcome = generate_tests(
+            &c,
+            &faults,
+            AtpgOptions {
+                random_patterns: 32,
+                ..Default::default()
+            },
+        );
+        assert!(
+            outcome.report.coverage_percent() > 90.0,
+            "{}",
+            outcome
+        );
+        // The reported coverage is confirmed by the serial oracle.
+        let serial = SerialSim::new(&c, &faults).run(&outcome.patterns);
+        assert_eq!(serial.detected(), outcome.report.detected());
+    }
+
+    #[test]
+    fn deterministic_phase_beats_random_alone() {
+        let c = cfs_netlist::generate::benchmark("s386g").unwrap();
+        let faults = collapse_stuck_at(&c).representatives;
+        let n_random = 48;
+        let mut random_only = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+        let rr = random_only.run(&random_patterns(&c, n_random, AtpgOptions::default().seed ^ 0x5eed));
+        let outcome = generate_tests(
+            &c,
+            &faults,
+            AtpgOptions {
+                random_patterns: n_random,
+                max_frames: 5,
+                backtrack_limit: 300,
+                ..Default::default()
+            },
+        );
+        assert!(
+            outcome.report.detected() > rr.detected(),
+            "ATPG {} vs random {}",
+            outcome.report.detected(),
+            rr.detected()
+        );
+    }
+
+    #[test]
+    fn trim_tail_drops_only_useless_patterns() {
+        let c = s27();
+        let faults = collapse_stuck_at(&c).representatives;
+        let mut patterns = random_patterns(&c, 20, 3);
+        // Append patterns identical to the last: no new detections.
+        let last = patterns.last().unwrap().clone();
+        for _ in 0..10 {
+            patterns.push(last.clone());
+        }
+        let before = {
+            let mut sim = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+            sim.run(&patterns).detected()
+        };
+        let trimmed = trim_tail(&c, &faults, patterns);
+        assert!(trimmed.len() <= 20);
+        let after = {
+            let mut sim = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+            sim.run(&trimmed).detected()
+        };
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,43 @@
+//! Test pattern generation for synchronous sequential circuits.
+//!
+//! Part of the workspace reproducing *Lee & Reddy, DAC 1992*. Tables 2–4 of
+//! the paper feed deterministic test sets into the simulators; this crate
+//! regenerates such sets:
+//!
+//! * [`random_patterns`] / [`weighted_random_patterns`] — the random phase
+//!   (and the Table 5 workload),
+//! * [`Unrolled`] — time-frame expansion of a sequential circuit,
+//! * [`Podem`] — PODEM test generation with multi-site fault injection,
+//! * [`generate_tests`] — the sequential ATPG driver (random phase +
+//!   deepening frame windows + concurrent-fault-simulation dropping), the
+//!   shape of the authors' own generator (paper reference \[14\]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cfs_atpg::{generate_tests, AtpgOptions};
+//! use cfs_faults::collapse_stuck_at;
+//! use cfs_netlist::data::s27;
+//!
+//! let c = s27();
+//! let faults = collapse_stuck_at(&c).representatives;
+//! let outcome = generate_tests(&c, &faults, AtpgOptions {
+//!     random_patterns: 16,
+//!     max_frames: 3,
+//!     ..Default::default()
+//! });
+//! assert!(outcome.report.coverage_percent() > 50.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod driver;
+mod podem;
+mod random;
+mod unroll;
+
+pub use driver::{generate_tests, trim_tail, AtpgOptions, AtpgOutcome};
+pub use podem::{Podem, PodemResult};
+pub use random::{random_fill, random_patterns, weighted_random_patterns};
+pub use unroll::Unrolled;

@@ -1,0 +1,383 @@
+//! PODEM (path-oriented decision making) test generation over a
+//! combinational circuit, with multi-site fault injection so a permanent
+//! fault unrolled across time frames is handled naturally.
+//!
+//! The implementation keeps an explicit good/faulty value pair per net
+//! (equivalent to the classical five-valued D-calculus: `D = 1/0`,
+//! `D̄ = 0/1`) and re-implies by forward simulation after every decision.
+
+use cfs_faults::{FaultSite, StuckAt};
+use cfs_logic::{GateFn, Logic};
+use cfs_netlist::{Circuit, GateId};
+
+/// Outcome of a PODEM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemResult {
+    /// A detecting primary-input assignment (aligned with
+    /// `circuit.inputs()`; unassigned positions are `X`).
+    Test(Vec<Logic>),
+    /// The decision tree was exhausted: no test exists (within this
+    /// circuit — for an unrolled frame window, "no test of this depth").
+    Untestable,
+    /// The backtrack limit was hit before a conclusion.
+    Aborted,
+}
+
+/// PODEM test generator for a combinational circuit.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_atpg::{Podem, PodemResult};
+/// use cfs_faults::StuckAt;
+/// use cfs_netlist::parse_bench;
+///
+/// let c = parse_bench("and2", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// let y = c.find("y").unwrap();
+/// let podem = Podem::new(&c, vec![StuckAt::output(y, false)], 1000);
+/// match podem.run() {
+///     PodemResult::Test(t) => assert!(t.iter().all(|&v| v == cfs_logic::Logic::One)),
+///     other => panic!("{other:?}"),
+/// }
+/// # Ok::<(), cfs_netlist::ParseBenchError>(())
+/// ```
+#[derive(Debug)]
+pub struct Podem<'c> {
+    circuit: &'c Circuit,
+    injections: Vec<StuckAt>,
+    /// Per-PI-ordinal: may PODEM assign this input? (Pseudo-PIs of an
+    /// unrolled circuit are pinned to `X`.)
+    assignable: Vec<bool>,
+    backtrack_limit: usize,
+    /// Per-node: does the node's input cone contain an assignable PI?
+    reaches_assignable: Vec<bool>,
+}
+
+impl<'c> Podem<'c> {
+    /// Creates a generator with every primary input assignable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is sequential (PODEM is combinational; unroll
+    /// first).
+    pub fn new(circuit: &'c Circuit, injections: Vec<StuckAt>, backtrack_limit: usize) -> Self {
+        let assignable = vec![true; circuit.num_inputs()];
+        Podem::with_assignable(circuit, injections, assignable, backtrack_limit)
+    }
+
+    /// Creates a generator with explicit input assignability (unrolled
+    /// pseudo-PIs pass `false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is sequential or `assignable.len()` differs
+    /// from the primary-input count.
+    pub fn with_assignable(
+        circuit: &'c Circuit,
+        injections: Vec<StuckAt>,
+        assignable: Vec<bool>,
+        backtrack_limit: usize,
+    ) -> Self {
+        assert_eq!(circuit.num_dffs(), 0, "PODEM is combinational: unroll first");
+        assert_eq!(assignable.len(), circuit.num_inputs());
+        // Static reachability: which nodes can be influenced by an
+        // assignable PI (backtrace must not descend into dead cones).
+        let mut reaches = vec![false; circuit.num_nodes()];
+        for (k, &pi) in circuit.inputs().iter().enumerate() {
+            reaches[pi.index()] = assignable[k];
+        }
+        for &g in circuit.topo_order() {
+            reaches[g.index()] = circuit
+                .gate(g)
+                .fanin()
+                .iter()
+                .any(|&s| reaches[s.index()]);
+        }
+        Podem {
+            circuit,
+            injections,
+            assignable,
+            backtrack_limit,
+            reaches_assignable: reaches,
+        }
+    }
+
+    /// Runs the search.
+    pub fn run(&self) -> PodemResult {
+        let n = self.circuit.num_nodes();
+        let num_pis = self.circuit.num_inputs();
+        let mut pi_values = vec![Logic::X; num_pis];
+        let mut good = vec![Logic::X; n];
+        let mut faulty = vec![Logic::X; n];
+        // Decision stack: (pi ordinal, value, alternative already tried).
+        let mut decisions: Vec<(usize, Logic, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            self.imply(&pi_values, &mut good, &mut faulty);
+            if self.detected(&good, &faulty) {
+                return PodemResult::Test(pi_values);
+            }
+            let next = self
+                .objective(&good, &faulty)
+                .and_then(|(net, v)| self.backtrace(net, v, &good));
+            if let Some((pi, v)) = next {
+                decisions.push((pi, v, false));
+                pi_values[pi] = v;
+                continue;
+            }
+            // Dead end: undo decisions until an untried alternative.
+            loop {
+                match decisions.pop() {
+                    None => return PodemResult::Untestable,
+                    Some((pi, _, true)) => {
+                        pi_values[pi] = Logic::X;
+                    }
+                    Some((pi, v, false)) => {
+                        backtracks += 1;
+                        if backtracks > self.backtrack_limit {
+                            // Give up the whole search (the abort is a
+                            // global resource-limit condition).
+                            return PodemResult::Aborted;
+                        }
+                        let alt = !v;
+                        pi_values[pi] = alt;
+                        decisions.push((pi, alt, true));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full forward implication: pair simulation with injections.
+    fn imply(&self, pi_values: &[Logic], good: &mut [Logic], faulty: &mut [Logic]) {
+        for (k, &pi) in self.circuit.inputs().iter().enumerate() {
+            good[pi.index()] = pi_values[k];
+            faulty[pi.index()] = pi_values[k];
+        }
+        // PI output injections.
+        for inj in &self.injections {
+            if let FaultSite::Output { gate } = inj.site {
+                if !self.circuit.gate(gate).kind().is_comb() {
+                    faulty[gate.index()] = inj.value();
+                }
+            }
+        }
+        let mut gbuf = Vec::new();
+        let mut fbuf = Vec::new();
+        for &g in self.circuit.topo_order() {
+            let gate = self.circuit.gate(g);
+            gbuf.clear();
+            fbuf.clear();
+            for &s in gate.fanin() {
+                gbuf.push(good[s.index()]);
+                fbuf.push(faulty[s.index()]);
+            }
+            let mut forced_out = None;
+            for inj in &self.injections {
+                match inj.site {
+                    FaultSite::Pin { gate: ig, pin } if ig == g => {
+                        fbuf[pin as usize] = inj.value();
+                    }
+                    FaultSite::Output { gate: ig } if ig == g => {
+                        forced_out = Some(inj.value());
+                    }
+                    _ => {}
+                }
+            }
+            let f = gate.kind().gate_fn().expect("combinational");
+            good[g.index()] = f.eval(&gbuf);
+            faulty[g.index()] = forced_out.unwrap_or_else(|| f.eval(&fbuf));
+        }
+    }
+
+    fn detected(&self, good: &[Logic], faulty: &[Logic]) -> bool {
+        self.circuit
+            .outputs()
+            .iter()
+            .any(|&po| good[po.index()].detectably_differs(faulty[po.index()]))
+    }
+
+    /// Chooses the next objective `(net, desired good value)`.
+    fn objective(&self, good: &[Logic], faulty: &[Logic]) -> Option<(GateId, Logic)> {
+        // Is there any fault effect (binary difference) in the circuit?
+        let effect_exists = (0..self.circuit.num_nodes())
+            .any(|i| good[i].detectably_differs(faulty[i]));
+        if !effect_exists {
+            // Activation: drive some injection site's good side opposite to
+            // the stuck value.
+            for inj in &self.injections {
+                let (net, want) = match inj.site {
+                    FaultSite::Output { gate } => (gate, !inj.value()),
+                    FaultSite::Pin { gate, pin } => {
+                        (self.circuit.gate(gate).fanin()[pin as usize], !inj.value())
+                    }
+                };
+                match good[net.index()] {
+                    Logic::X if self.reaches_assignable[net.index()] => {
+                        return Some((net, want))
+                    }
+                    _ => continue,
+                }
+            }
+            // Activated pin faults may be blocked inside their own site
+            // gate: unblock by setting another input non-controlling.
+            for inj in &self.injections {
+                let FaultSite::Pin { gate, pin } = inj.site else {
+                    continue;
+                };
+                let driver = self.circuit.gate(gate).fanin()[pin as usize];
+                if good[driver.index()] != !inj.value() {
+                    continue; // not activated
+                }
+                let f = self.circuit.gate(gate).kind().gate_fn().expect("comb");
+                let want = f.controlling_value().map(|c| !c).unwrap_or(Logic::Zero);
+                for (k, &s) in self.circuit.gate(gate).fanin().iter().enumerate() {
+                    if k != pin as usize
+                        && good[s.index()] == Logic::X
+                        && self.reaches_assignable[s.index()]
+                    {
+                        return Some((s, want));
+                    }
+                }
+            }
+            return None;
+        }
+        // Propagation: pick a D-frontier gate (binary difference on an
+        // input, output not yet detectably different) and set one of its X
+        // inputs to the non-controlling value.
+        for &g in self.circuit.topo_order() {
+            let gate = self.circuit.gate(g);
+            if good[g.index()].detectably_differs(faulty[g.index()]) {
+                continue; // effect already through this gate
+            }
+            if !good[g.index()].is_binary() || !faulty[g.index()].is_binary() {
+                let has_diff_input = gate.fanin().iter().any(|&s| {
+                    good[s.index()].detectably_differs(faulty[s.index()])
+                });
+                if !has_diff_input {
+                    continue;
+                }
+                let f = gate.kind().gate_fn().expect("combinational");
+                let want = f
+                    .controlling_value()
+                    .map(|c| !c)
+                    .unwrap_or(Logic::Zero);
+                for &s in gate.fanin() {
+                    if good[s.index()] == Logic::X && self.reaches_assignable[s.index()] {
+                        return Some((s, want));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Walks an objective back to an unassigned, assignable primary input.
+    fn backtrace(&self, mut net: GateId, mut value: Logic, good: &[Logic]) -> Option<(usize, Logic)> {
+        loop {
+            if let Some(k) = self.circuit.inputs().iter().position(|&p| p == net) {
+                if self.assignable[k] && good[net.index()] == Logic::X {
+                    return Some((k, value));
+                }
+                return None;
+            }
+            let gate = self.circuit.gate(net);
+            let f = gate.kind().gate_fn().expect("combinational");
+            // Choose an X input whose cone reaches an assignable PI.
+            let pick = gate.fanin().iter().copied().find(|&s| {
+                good[s.index()] == Logic::X && self.reaches_assignable[s.index()]
+            })?;
+            value = input_target(f, value);
+            net = pick;
+        }
+    }
+}
+
+/// The value an input should take to steer a gate's output toward `out`.
+fn input_target(f: GateFn, out: Logic) -> Logic {
+    match f {
+        GateFn::Buf => out,
+        GateFn::Not => !out,
+        GateFn::And => out,        // want 1 ⇒ inputs 1; want 0 ⇒ some input 0
+        GateFn::Nand => !out,      // want 0 ⇒ inputs 1
+        GateFn::Or => out,         // want 1 ⇒ some input 1; want 0 ⇒ inputs 0
+        GateFn::Nor => !out,
+        GateFn::Xor | GateFn::Xnor => out, // parity: any choice, search fixes it
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_netlist::parse_bench;
+
+    #[test]
+    fn trivial_and_gate_tests() {
+        let c = parse_bench("a", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let y = c.find("y").unwrap();
+        // y/sa0 needs a=b=1.
+        match Podem::new(&c, vec![StuckAt::output(y, false)], 100).run() {
+            PodemResult::Test(t) => assert_eq!(t, vec![Logic::One, Logic::One]),
+            other => panic!("{other:?}"),
+        }
+        // Pin 0 sa1 needs a=0, b=1 (propagate through b).
+        match Podem::new(&c, vec![StuckAt::pin(y, 0, true)], 100).run() {
+            PodemResult::Test(t) => {
+                assert_eq!(t[0], Logic::Zero);
+                assert_eq!(t[1], Logic::One);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_fault_is_untestable() {
+        // y = AND(a, OR(a, b)): OR(a,b)/sa1 is undetectable (a dominates).
+        let c = parse_bench(
+            "r",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\no = OR(a, b)\ny = AND(a, o)\n",
+        )
+        .unwrap();
+        let o = c.find("o").unwrap();
+        let r = Podem::new(&c, vec![StuckAt::output(o, true)], 10_000).run();
+        assert_eq!(r, PodemResult::Untestable);
+    }
+
+    #[test]
+    fn generated_combinational_tests_verify_by_simulation() {
+        // Every PODEM test must actually detect its fault in a serial
+        // simulation of the same circuit.
+        let spec = cfs_netlist::CircuitSpec::new("pd", 6, 4, 0, 60, 4242);
+        let c = cfs_netlist::generate::generate(&spec);
+        let faults = cfs_faults::enumerate_stuck_at(&c);
+        let mut found = 0;
+        for &f in faults.iter().take(120) {
+            match Podem::new(&c, vec![f], 2_000).run() {
+                PodemResult::Test(t) => {
+                    found += 1;
+                    let report =
+                        cfs_baselines::SerialSim::new(&c, &[f]).run(std::slice::from_ref(&t));
+                    assert_eq!(report.detected(), 1, "{} with {t:?}", f.describe(&c));
+                }
+                PodemResult::Untestable | PodemResult::Aborted => {}
+            }
+        }
+        assert!(found > 60, "PODEM finds tests for most faults: {found}");
+    }
+
+    #[test]
+    fn unassignable_inputs_are_never_assigned() {
+        let c = parse_bench("u", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let y = c.find("y").unwrap();
+        let podem = Podem::with_assignable(
+            &c,
+            vec![StuckAt::output(y, false)],
+            vec![true, false],
+            100,
+        );
+        // b cannot be set to 1, so no test exists.
+        assert_eq!(podem.run(), PodemResult::Untestable);
+    }
+}

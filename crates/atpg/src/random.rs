@@ -1,0 +1,94 @@
+//! Random and weighted-random test pattern sources.
+
+use cfs_logic::Logic;
+use cfs_netlist::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `count` uniform random binary patterns for a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_atpg::random_patterns;
+/// use cfs_netlist::data::s27;
+///
+/// let c = s27();
+/// let p = random_patterns(&c, 10, 42);
+/// assert_eq!(p.len(), 10);
+/// assert_eq!(p[0].len(), 4);
+/// ```
+pub fn random_patterns(circuit: &Circuit, count: usize, seed: u64) -> Vec<Vec<Logic>> {
+    weighted_random_patterns(circuit, count, seed, 0.5)
+}
+
+/// Generates patterns where each input is `1` with probability `p_one`
+/// (weighted random testing raises coverage on control-dominated logic).
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p_one <= 1.0`.
+pub fn weighted_random_patterns(
+    circuit: &Circuit,
+    count: usize,
+    seed: u64,
+    p_one: f64,
+) -> Vec<Vec<Logic>> {
+    assert!((0.0..=1.0).contains(&p_one), "probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (0..circuit.num_inputs())
+                .map(|_| Logic::from_bool(rng.gen_bool(p_one)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Fills the `X` positions of a pattern with random binary values, leaving
+/// assigned positions untouched (random fill after deterministic test
+/// generation improves collateral detection).
+pub fn random_fill(pattern: &mut [Logic], rng: &mut StdRng) {
+    for v in pattern.iter_mut() {
+        if *v == Logic::X {
+            *v = Logic::from_bool(rng.gen_bool(0.5));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_netlist::data::s27;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = s27();
+        assert_eq!(random_patterns(&c, 5, 7), random_patterns(&c, 5, 7));
+        assert_ne!(random_patterns(&c, 5, 7), random_patterns(&c, 5, 8));
+    }
+
+    #[test]
+    fn weights_shift_the_distribution() {
+        let c = s27();
+        let ones = |ps: &[Vec<Logic>]| {
+            ps.iter()
+                .flatten()
+                .filter(|&&v| v == Logic::One)
+                .count()
+        };
+        let lo = weighted_random_patterns(&c, 200, 1, 0.1);
+        let hi = weighted_random_patterns(&c, 200, 1, 0.9);
+        assert!(ones(&lo) < ones(&hi) / 3);
+    }
+
+    #[test]
+    fn fill_touches_only_x() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = vec![Logic::One, Logic::X, Logic::Zero, Logic::X];
+        random_fill(&mut p, &mut rng);
+        assert_eq!(p[0], Logic::One);
+        assert_eq!(p[2], Logic::Zero);
+        assert!(p[1].is_binary() && p[3].is_binary());
+    }
+}

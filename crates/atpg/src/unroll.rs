@@ -1,0 +1,233 @@
+//! Time-frame expansion: unrolling a synchronous sequential circuit into a
+//! combinational circuit of `k` frames for test generation.
+//!
+//! Frame-0 flip-flop outputs become *pseudo primary inputs* pinned to `X`
+//! (no reset is assumed, as in the paper's sequential setting); each frame
+//! boundary is an explicit `BUF` so flip-flop Q-output and D-pin faults
+//! have distinct unrolled sites. A test derived under the all-`X` initial
+//! state is valid from **any** starting state, so generated sequences can
+//! be concatenated.
+
+use cfs_faults::{FaultSite, StuckAt};
+use cfs_logic::GateFn;
+use cfs_netlist::{Circuit, CircuitBuilder, GateId, GateKind};
+
+/// A `k`-frame unrolled view of a sequential circuit.
+#[derive(Debug)]
+pub struct Unrolled {
+    /// The combinational unrolled circuit.
+    pub circuit: Circuit,
+    /// Number of frames.
+    pub frames: usize,
+    /// Primary inputs of the original circuit, per frame:
+    /// `pi_copies[t][k]` is frame `t`'s copy of original PI `k`.
+    pub pi_copies: Vec<Vec<GateId>>,
+    /// Pseudo primary inputs: frame-0 flip-flop outputs (held at `X`).
+    pub state_inputs: Vec<GateId>,
+    /// Per-frame copy of every original node:
+    /// `copy[t][original.index()]`.
+    copy: Vec<Vec<GateId>>,
+}
+
+impl Unrolled {
+    /// Unrolls `circuit` into `frames ≥ 1` combinational frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames == 0`.
+    pub fn new(circuit: &Circuit, frames: usize) -> Self {
+        assert!(frames >= 1, "need at least one frame");
+        let mut b = CircuitBuilder::new(format!("{}#x{}", circuit.name(), frames));
+        let n = circuit.num_nodes();
+        let mut copy: Vec<Vec<GateId>> = vec![vec![GateId::from_index(0); n]; frames];
+        let mut pi_copies: Vec<Vec<GateId>> = vec![Vec::new(); frames];
+        let mut state_inputs = Vec::new();
+
+        // Frame-0 pseudo-PIs for the state.
+        for &q in circuit.dffs() {
+            let id = b.input(format!("{}@s0", circuit.gate(q).name()));
+            copy[0][q.index()] = id;
+            state_inputs.push(id);
+        }
+        for t in 0..frames {
+            // PIs of this frame.
+            for &pi in circuit.inputs() {
+                let id = b.input(format!("{}@{t}", circuit.gate(pi).name()));
+                copy[t][pi.index()] = id;
+                pi_copies[t].push(id);
+            }
+            // Frame boundary: flip-flop outputs of frame t>0 are buffers of
+            // the previous frame's D drivers.
+            if t > 0 {
+                for &q in circuit.dffs() {
+                    let d = circuit.gate(q).fanin()[0];
+                    let id = b
+                        .gate(
+                            format!("{}@s{t}", circuit.gate(q).name()),
+                            GateFn::Buf,
+                            vec![copy[t - 1][d.index()]],
+                        )
+                        .expect("buffer arity");
+                    copy[t][q.index()] = id;
+                }
+            }
+            // Combinational gates, in level order so fanins resolve.
+            for &g in circuit.topo_order() {
+                let gate = circuit.gate(g);
+                let f = gate.kind().gate_fn().expect("combinational");
+                let fanin: Vec<GateId> =
+                    gate.fanin().iter().map(|&s| copy[t][s.index()]).collect();
+                let id = b
+                    .gate(format!("{}@{t}", gate.name()), f, fanin)
+                    .expect("copied arity is valid");
+                copy[t][g.index()] = id;
+            }
+            // POs of this frame.
+            for &po in circuit.outputs() {
+                b.output(copy[t][po.index()]);
+            }
+        }
+        let unrolled = b.finish().expect("unrolled circuit is valid");
+        Unrolled {
+            circuit: unrolled,
+            frames,
+            pi_copies,
+            state_inputs,
+            copy,
+        }
+    }
+
+    /// The frame-`t` copy of an original node.
+    ///
+    /// For flip-flops, frame 0 returns the pseudo-PI and later frames the
+    /// boundary buffer.
+    pub fn copy_of(&self, original: GateId, frame: usize) -> GateId {
+        self.copy[frame][original.index()]
+    }
+
+    /// Maps a stuck-at fault of the original circuit onto its unrolled
+    /// injection sites (the fault is permanent, so one site per frame).
+    pub fn map_fault(&self, original: &Circuit, fault: StuckAt) -> Vec<StuckAt> {
+        let mut sites = Vec::with_capacity(self.frames);
+        let g = fault.site.gate();
+        match (fault.site, original.gate(g).kind()) {
+            (FaultSite::Output { .. }, _) => {
+                // Output faults (gate, PI, or flip-flop Q) force every
+                // frame's copy of the node.
+                for t in 0..self.frames {
+                    sites.push(StuckAt::output(self.copy_of(g, t), fault.stuck_at_one));
+                }
+            }
+            (FaultSite::Pin { pin, .. }, GateKind::Dff) => {
+                debug_assert_eq!(pin, 0);
+                // The D pin is the input of each boundary buffer; frame 0
+                // has no boundary (the pseudo-PI absorbs the unknown
+                // state), and the final frame's D is unobserved.
+                for t in 1..self.frames {
+                    sites.push(StuckAt::pin(self.copy_of(g, t), 0, fault.stuck_at_one));
+                }
+            }
+            (FaultSite::Pin { pin, .. }, _) => {
+                for t in 0..self.frames {
+                    sites.push(StuckAt::pin(self.copy_of(g, t), pin, fault.stuck_at_one));
+                }
+            }
+        }
+        sites
+    }
+
+    /// Splits an unrolled PI assignment into the per-cycle pattern
+    /// sequence for the original circuit (pseudo-PIs are ignored).
+    pub fn to_sequence(&self, assignment: &[cfs_logic::Logic]) -> Vec<Vec<cfs_logic::Logic>> {
+        let mut seq = Vec::with_capacity(self.frames);
+        for t in 0..self.frames {
+            seq.push(
+                self.pi_copies[t]
+                    .iter()
+                    .map(|&pi| {
+                        let idx = self
+                            .circuit
+                            .inputs()
+                            .iter()
+                            .position(|&x| x == pi)
+                            .expect("copy is a PI");
+                        assignment[idx]
+                    })
+                    .collect(),
+            );
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_logic::Logic;
+    use cfs_netlist::data::s27;
+
+    #[test]
+    fn sizes_scale_with_frames() {
+        let c = s27();
+        for k in 1..4 {
+            let u = Unrolled::new(&c, k);
+            assert_eq!(u.circuit.num_inputs(), c.num_dffs() + k * c.num_inputs());
+            assert_eq!(u.circuit.num_outputs(), k * c.num_outputs());
+            // Gates: k frames of logic plus (k-1) boundary buffers per DFF.
+            assert_eq!(
+                u.circuit.num_comb_gates(),
+                k * c.num_comb_gates() + (k - 1) * c.num_dffs()
+            );
+            assert_eq!(u.circuit.num_dffs(), 0, "fully combinational");
+        }
+    }
+
+    #[test]
+    fn unrolled_behaviour_matches_sequential_run() {
+        let c = s27();
+        let k = 3;
+        let u = Unrolled::new(&c, k);
+        // Sequential run.
+        let seq: Vec<Vec<Logic>> = vec![
+            cfs_logic::parse_pattern("0110").unwrap(),
+            cfs_logic::parse_pattern("1011").unwrap(),
+            cfs_logic::parse_pattern("0001").unwrap(),
+        ];
+        let mut gsim = cfs_goodsim::FullSim::new(&c);
+        let seq_outputs: Vec<Vec<Logic>> = seq.iter().map(|p| gsim.step(p)).collect();
+        // Unrolled run: pseudo-PIs X, frame PIs from the sequence.
+        let mut usim = cfs_goodsim::FullSim::new(&u.circuit);
+        let mut pattern = Vec::new();
+        for &pi in u.circuit.inputs() {
+            let name = u.circuit.gate(pi).name().to_owned();
+            if name.contains("@s0") {
+                pattern.push(Logic::X);
+            } else {
+                let (orig, frame) = name.rsplit_once('@').unwrap();
+                let t: usize = frame.parse().unwrap();
+                let kth = c
+                    .inputs()
+                    .iter()
+                    .position(|&p| c.gate(p).name() == orig)
+                    .unwrap();
+                pattern.push(seq[t][kth]);
+            }
+        }
+        let flat = usim.step(&pattern);
+        for (t, out) in seq_outputs.iter().enumerate() {
+            let got = &flat[t * c.num_outputs()..(t + 1) * c.num_outputs()];
+            assert_eq!(got, out.as_slice(), "frame {t}");
+        }
+    }
+
+    #[test]
+    fn fault_mapping_counts() {
+        let c = s27();
+        let u = Unrolled::new(&c, 3);
+        let q = c.dffs()[0];
+        let g11 = c.find("G11").unwrap();
+        assert_eq!(u.map_fault(&c, cfs_faults::StuckAt::output(g11, true)).len(), 3);
+        assert_eq!(u.map_fault(&c, cfs_faults::StuckAt::output(q, false)).len(), 3);
+        assert_eq!(u.map_fault(&c, cfs_faults::StuckAt::pin(q, 0, true)).len(), 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! Critical path tracing (CPT) with exact stem analysis — the
+//! simulation-free fault "simulation" method whose sequential extensions
+//! are the paper's references [4] (Menon/Levendel/Abramovici) and [7]
+//! (Wang). This is the classic combinational form: after one good-machine
+//! simulation per pattern, the faults that pattern detects are *deduced*
+//! by tracing criticality backward from the primary outputs.
+//!
+//! A line is **critical** under a pattern when complementing its value
+//! changes some primary output. Within a fanout-free region criticality
+//! traces exactly (a tree has no reconvergence); at a fanout stem the
+//! classic trap is that critical branches do not imply a critical stem
+//! (multiple paths can cancel), so stems are resolved by explicit
+//! single-flip forward propagation — "stem analysis".
+
+use std::time::Instant;
+
+use cfs_faults::{FaultSimReport, FaultSite, FaultStatus, StuckAt};
+use cfs_logic::{GateFn, Logic};
+use cfs_netlist::{Circuit, GateId};
+
+/// Error returned when CPT's binary-domain requirement is violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonBinaryPatternError {
+    /// Offending pattern index.
+    pub pattern: usize,
+}
+
+impl std::fmt::Display for NonBinaryPatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pattern {} contains X; critical path tracing is binary-only",
+            self.pattern
+        )
+    }
+}
+
+impl std::error::Error for NonBinaryPatternError {}
+
+/// Critical-path-tracing fault simulator for combinational circuits.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_baselines::CptSim;
+/// use cfs_faults::enumerate_stuck_at;
+/// use cfs_logic::parse_pattern;
+/// use cfs_netlist::parse_bench;
+///
+/// let c = parse_bench("and", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// let faults = enumerate_stuck_at(&c);
+/// let report = CptSim::new(&c, &faults).run(&[parse_pattern("11")?])?;
+/// assert!(report.detected() > 0, "y/sa0 and both input sa0s are critical");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CptSim<'c> {
+    circuit: &'c Circuit,
+    faults: Vec<StuckAt>,
+    /// Consumer count per node (fanout connections + PO taps).
+    consumers: Vec<usize>,
+}
+
+impl<'c> CptSim<'c> {
+    /// Creates the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is sequential (trace through time is exactly
+    /// what the paper's sequential extensions address; use the scan view).
+    pub fn new(circuit: &'c Circuit, faults: &[StuckAt]) -> Self {
+        assert_eq!(
+            circuit.num_dffs(),
+            0,
+            "critical path tracing here is combinational: use the full-scan view"
+        );
+        let mut consumers = vec![0usize; circuit.num_nodes()];
+        for (i, g) in circuit.gates().iter().enumerate() {
+            consumers[i] = g.fanout().len();
+        }
+        for &po in circuit.outputs() {
+            consumers[po.index()] += 1;
+        }
+        CptSim {
+            circuit,
+            faults: faults.to_vec(),
+            consumers,
+        }
+    }
+
+    /// Runs the pattern set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonBinaryPatternError`] if any pattern contains `X`.
+    pub fn run(&self, patterns: &[Vec<Logic>]) -> Result<FaultSimReport, NonBinaryPatternError> {
+        for (t, p) in patterns.iter().enumerate() {
+            if p.iter().any(|v| !v.is_binary()) {
+                return Err(NonBinaryPatternError { pattern: t });
+            }
+        }
+        let start = Instant::now();
+        let n = self.circuit.num_nodes();
+        let mut detected_at: Vec<Option<usize>> = vec![None; self.faults.len()];
+        let mut values = vec![Logic::X; n];
+        let mut out_critical = vec![false; n];
+        // Pin criticality, indexed by (gate, pin) through a per-gate offset.
+        let mut pin_offset = vec![0usize; n + 1];
+        for (i, g) in self.circuit.gates().iter().enumerate() {
+            pin_offset[i + 1] = pin_offset[i] + g.fanin().len();
+        }
+        let mut pin_critical = vec![false; pin_offset[n]];
+        let mut scratch = Vec::new();
+
+        for (t, pattern) in patterns.iter().enumerate() {
+            // Good simulation.
+            for (&pi, &v) in self.circuit.inputs().iter().zip(pattern) {
+                values[pi.index()] = v;
+            }
+            for &g in self.circuit.topo_order() {
+                let gate = self.circuit.gate(g);
+                scratch.clear();
+                for &s in gate.fanin() {
+                    scratch.push(values[s.index()]);
+                }
+                let f = gate.kind().gate_fn().expect("combinational");
+                values[g.index()] = f.eval(&scratch);
+            }
+            out_critical.fill(false);
+            pin_critical.fill(false);
+
+            // A node observed directly at a primary output is critical.
+            for &po in self.circuit.outputs() {
+                out_critical[po.index()] = true;
+            }
+            // Stem analysis first, for *every* multi-consumer node: a stem
+            // can be critical even when no single branch is (the flip
+            // travels down several branches at once — e.g. a stem feeding
+            // both pins of an AND of value 0), so stems cannot be resolved
+            // lazily from branch criticality.
+            for (i, &cnt) in self.consumers.iter().enumerate() {
+                if cnt >= 2 {
+                    let id = GateId::from_index(i);
+                    if self.stem_flip_changes_po(id, &values) {
+                        out_critical[i] = true;
+                    }
+                }
+            }
+            // Trace backward in reverse topological order: when a gate's
+            // output is critical, deduce which input pins are critical; a
+            // pin's driver becomes output-critical directly when the
+            // connection is fanout-free (stems were already resolved).
+            for &g in self.circuit.topo_order().iter().rev() {
+                if !out_critical[g.index()] {
+                    continue;
+                }
+                let gate = self.circuit.gate(g);
+                let f = gate.kind().gate_fn().expect("combinational");
+                for pin in critical_inputs(f, gate.fanin(), &values) {
+                    pin_critical[pin_offset[g.index()] + pin] = true;
+                    let src = gate.fanin()[pin];
+                    if self.consumers[src.index()] == 1 {
+                        out_critical[src.index()] = true;
+                    }
+                }
+            }
+
+            // Criticality → detections: stuck-at-v̄ on a critical line
+            // carrying v is detected by this pattern.
+            for (fi, fault) in self.faults.iter().enumerate() {
+                if detected_at[fi].is_some() {
+                    continue;
+                }
+                let hit = match fault.site {
+                    FaultSite::Output { gate } => {
+                        out_critical[gate.index()]
+                            && values[gate.index()] == !fault.value()
+                    }
+                    FaultSite::Pin { gate, pin } => {
+                        let src = self.circuit.gate(gate).fanin()[pin as usize];
+                        pin_critical[pin_offset[gate.index()] + pin as usize]
+                            && values[src.index()] == !fault.value()
+                    }
+                };
+                if hit {
+                    detected_at[fi] = Some(t);
+                }
+            }
+        }
+
+        Ok(FaultSimReport {
+            simulator: "cpt".to_owned(),
+            circuit: self.circuit.name().to_owned(),
+            patterns: patterns.len(),
+            statuses: detected_at
+                .iter()
+                .map(|d| match d {
+                    Some(p) => FaultStatus::Detected { pattern: *p },
+                    None => FaultStatus::Undetected,
+                })
+                .collect(),
+            cpu: start.elapsed(),
+            memory_bytes: n * 4,
+            events: 0,
+            evaluations: 0,
+        })
+    }
+
+    /// Stem analysis: does complementing `stem`'s value change any primary
+    /// output? Scalar single-flip forward propagation through the cone.
+    fn stem_flip_changes_po(&self, stem: GateId, values: &[Logic]) -> bool {
+        let mut flipped: Vec<Option<Logic>> = vec![None; self.circuit.num_nodes()];
+        flipped[stem.index()] = Some(!values[stem.index()]);
+        let mut scratch = Vec::new();
+        for &g in self.circuit.topo_order() {
+            if self.circuit.level(g) <= self.circuit.level(stem) {
+                continue;
+            }
+            let gate = self.circuit.gate(g);
+            if gate
+                .fanin()
+                .iter()
+                .all(|&s| flipped[s.index()].is_none())
+            {
+                continue;
+            }
+            scratch.clear();
+            for &s in gate.fanin() {
+                scratch.push(flipped[s.index()].unwrap_or(values[s.index()]));
+            }
+            let f = gate.kind().gate_fn().expect("combinational");
+            let out = f.eval(&scratch);
+            if out != values[g.index()] {
+                flipped[g.index()] = Some(out);
+            }
+        }
+        self.circuit
+            .outputs()
+            .iter()
+            .any(|&po| flipped[po.index()].is_some())
+    }
+}
+
+/// The input pins whose single complement would change the gate's output,
+/// given the (binary) input values.
+fn critical_inputs(f: GateFn, fanin: &[GateId], values: &[Logic]) -> Vec<usize> {
+    match f {
+        GateFn::Buf | GateFn::Not => vec![0],
+        GateFn::Xor | GateFn::Xnor => (0..fanin.len()).collect(),
+        GateFn::And | GateFn::Nand | GateFn::Or | GateFn::Nor => {
+            let c = f.controlling_value().expect("controlling gate");
+            let at_c: Vec<usize> = fanin
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| values[s.index()] == c)
+                .map(|(k, _)| k)
+                .collect();
+            match at_c.len() {
+                // No controlling input: every input is sensitized.
+                0 => (0..fanin.len()).collect(),
+                // Exactly one controlling input: only it is critical.
+                1 => at_c,
+                // Two or more controlling inputs mask each other.
+                _ => Vec::new(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PpsfpSim, SerialSim};
+    use cfs_faults::enumerate_stuck_at;
+    use cfs_netlist::generate::{generate, CircuitSpec};
+    use cfs_netlist::parse_bench;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_serial_on_generated_circuits() {
+        for seed in 0..4u64 {
+            let spec = CircuitSpec::new(format!("cpt{seed}"), 6, 4, 0, 70, 4400 + seed);
+            let c = generate(&spec);
+            let faults = enumerate_stuck_at(&c);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let patterns: Vec<Vec<Logic>> = (0..120)
+                .map(|_| {
+                    (0..c.num_inputs())
+                        .map(|_| Logic::from_bool(rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            let reference = SerialSim::new(&c, &faults).run(&patterns);
+            let report = CptSim::new(&c, &faults).run(&patterns).unwrap();
+            for (i, (a, b)) in reference.statuses.iter().zip(&report.statuses).enumerate() {
+                assert_eq!(a, b, "seed {seed} fault {i}: {}", faults[i].describe(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_ppsfp_including_detection_indices() {
+        let spec = CircuitSpec::new("cptp", 7, 5, 0, 90, 12321);
+        let c = generate(&spec);
+        let faults = enumerate_stuck_at(&c);
+        let mut rng = StdRng::seed_from_u64(5);
+        let patterns: Vec<Vec<Logic>> = (0..130)
+            .map(|_| {
+                (0..c.num_inputs())
+                    .map(|_| Logic::from_bool(rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect();
+        let cpt = CptSim::new(&c, &faults).run(&patterns).unwrap();
+        let mut ppsfp = PpsfpSim::new(&c, &faults);
+        let pp = ppsfp.run(&patterns);
+        assert_eq!(cpt.statuses, pp.statuses);
+    }
+
+    #[test]
+    fn stem_cancellation_is_handled() {
+        // s fans out into two inverting paths into an XNOR: flipping s
+        // flips both XNOR inputs, so the output is unchanged — the stem is
+        // NOT critical even though both branches are.
+        let c = parse_bench(
+            "cancel",
+            "INPUT(a)\nOUTPUT(y)\ns = BUF(a)\np = NOT(s)\nq = BUF(s)\ny = XNOR(p, q)\n",
+        )
+        .unwrap();
+        let s = c.find("s").unwrap();
+        let a = c.find("a").unwrap();
+        let faults = [
+            StuckAt::output(s, true),
+            StuckAt::output(s, false),
+            StuckAt::output(a, true),
+            StuckAt::output(a, false),
+        ];
+        let patterns = vec![vec![Logic::Zero], vec![Logic::One]];
+        let report = CptSim::new(&c, &faults).run(&patterns).unwrap();
+        assert_eq!(report.detected(), 0, "all four stem faults cancel");
+        // Confirm against the oracle.
+        let serial = SerialSim::new(&c, &faults).run(&patterns);
+        assert_eq!(serial.detected(), 0);
+    }
+
+    #[test]
+    fn rejects_x_patterns() {
+        let c = parse_bench("b", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n").unwrap();
+        let faults = enumerate_stuck_at(&c);
+        let err = CptSim::new(&c, &faults)
+            .run(&[vec![Logic::X]])
+            .unwrap_err();
+        assert_eq!(err.pattern, 0);
+    }
+}

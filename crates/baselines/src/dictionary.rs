@@ -1,0 +1,319 @@
+//! Fault dictionaries and cause-of-failure diagnosis.
+//!
+//! A fault dictionary records, for every modeled fault, *where and when*
+//! the tester would see it fail — the classic downstream consumer of a
+//! fault simulator. Two granularities are provided:
+//!
+//! * **full-response**: the set of `(pattern, output)` failures per fault,
+//! * **pass/fail**: just the failing pattern set.
+//!
+//! [`FaultDictionary::diagnose`] ranks candidate faults against an observed
+//! failure signature by intersection-over-union.
+
+use std::collections::BTreeSet;
+
+use cfs_faults::StuckAt;
+use cfs_logic::Logic;
+use cfs_netlist::Circuit;
+
+use crate::FaultySim;
+
+/// One observed (or predicted) failure: pattern index and primary-output
+/// ordinal.
+pub type Failure = (u32, u16);
+
+/// A full-response fault dictionary.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_baselines::FaultDictionary;
+/// use cfs_faults::enumerate_stuck_at;
+/// use cfs_logic::parse_pattern;
+/// use cfs_netlist::data::s27;
+///
+/// let c = s27();
+/// let faults = enumerate_stuck_at(&c);
+/// let patterns: Vec<_> = ["0000", "1111", "0101", "1010"]
+///     .iter()
+///     .map(|p| parse_pattern(p))
+///     .collect::<Result<_, _>>()?;
+/// let dict = FaultDictionary::build(&c, &faults, &patterns);
+/// // A machine failing exactly like fault 0 diagnoses to fault 0 (or an
+/// // equivalent with an identical signature).
+/// if let Some(sig) = dict.signature(0).filter(|s| !s.is_empty()) {
+///     let ranked = dict.diagnose(sig);
+///     assert!((dict.signature(ranked[0].0) == Some(sig)));
+/// }
+/// # Ok::<(), cfs_logic::ParseLogicError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultDictionary {
+    /// Per fault: sorted failure signature.
+    signatures: Vec<Vec<Failure>>,
+    num_patterns: usize,
+    num_outputs: usize,
+}
+
+impl FaultDictionary {
+    /// Builds the dictionary by simulating every fault over the pattern
+    /// sequence (no fault dropping: the complete signature is recorded).
+    pub fn build(circuit: &Circuit, faults: &[StuckAt], patterns: &[Vec<Logic>]) -> Self {
+        // Good machine responses.
+        let mut good = FaultySim::new(circuit, None);
+        let good_out: Vec<Vec<Logic>> = patterns.iter().map(|p| good.step(p)).collect();
+        let signatures = faults
+            .iter()
+            .map(|&f| {
+                let mut sim = FaultySim::new(circuit, Some(f));
+                let mut sig = Vec::new();
+                for (t, p) in patterns.iter().enumerate() {
+                    let out = sim.step(p);
+                    for (k, (&fv, &gv)) in out.iter().zip(&good_out[t]).enumerate() {
+                        if fv.detectably_differs(gv) {
+                            sig.push((t as u32, k as u16));
+                        }
+                    }
+                }
+                sig
+            })
+            .collect();
+        FaultDictionary {
+            signatures,
+            num_patterns: patterns.len(),
+            num_outputs: circuit.num_outputs(),
+        }
+    }
+
+    /// The failure signature of a fault (`None` if the index is out of
+    /// range).
+    pub fn signature(&self, fault: usize) -> Option<&[Failure]> {
+        self.signatures.get(fault).map(Vec::as_slice)
+    }
+
+    /// Number of faults in the dictionary.
+    pub fn num_faults(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Number of detected (non-empty-signature) faults.
+    pub fn num_detected(&self) -> usize {
+        self.signatures.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Collapses to a pass/fail dictionary (failing pattern sets only).
+    pub fn to_pass_fail(&self) -> PassFailDictionary {
+        PassFailDictionary {
+            failing: self
+                .signatures
+                .iter()
+                .map(|sig| sig.iter().map(|&(p, _)| p).collect())
+                .collect(),
+            num_patterns: self.num_patterns,
+        }
+    }
+
+    /// Ranks candidate faults against an observed failure signature by
+    /// intersection-over-union (1.0 = exact match), best first. Faults
+    /// with no overlap are omitted.
+    pub fn diagnose(&self, observed: &[Failure]) -> Vec<(usize, f64)> {
+        let obs: BTreeSet<Failure> = observed.iter().copied().collect();
+        let mut ranked: Vec<(usize, f64)> = self
+            .signatures
+            .iter()
+            .enumerate()
+            .filter_map(|(i, sig)| {
+                if sig.is_empty() {
+                    return None;
+                }
+                let set: BTreeSet<Failure> = sig.iter().copied().collect();
+                let inter = set.intersection(&obs).count();
+                if inter == 0 {
+                    return None;
+                }
+                let union = set.union(&obs).count();
+                Some((i, inter as f64 / union as f64))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+
+    /// Groups faults into equivalence classes by identical signatures
+    /// (faults a tester cannot distinguish with this pattern set).
+    /// Undetected faults form one class. Returns classes of fault indices.
+    pub fn indistinguishable_classes(&self) -> Vec<Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.signatures.len()).collect();
+        order.sort_by(|&a, &b| self.signatures[a].cmp(&self.signatures[b]));
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for i in order {
+            match classes.last_mut() {
+                Some(last) if self.signatures[last[0]] == self.signatures[i] => last.push(i),
+                _ => classes.push(vec![i]),
+            }
+        }
+        classes
+    }
+
+    /// Diagnostic resolution: the fraction of detected faults uniquely
+    /// distinguished by the pattern set.
+    pub fn resolution(&self) -> f64 {
+        let detected = self.num_detected();
+        if detected == 0 {
+            return 0.0;
+        }
+        let unique = self
+            .indistinguishable_classes()
+            .iter()
+            .filter(|c| c.len() == 1 && !self.signatures[c[0]].is_empty())
+            .count();
+        unique as f64 / detected as f64
+    }
+
+    /// Dictionary size in entries (the storage cost testers care about).
+    pub fn num_entries(&self) -> usize {
+        self.signatures.iter().map(Vec::len).sum()
+    }
+
+    /// Pattern/output dimensions.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.num_patterns, self.num_outputs)
+    }
+}
+
+/// A pass/fail dictionary: failing pattern sets only (the compact form
+/// testers store when full-response data is too large).
+#[derive(Debug, Clone)]
+pub struct PassFailDictionary {
+    failing: Vec<BTreeSet<u32>>,
+    num_patterns: usize,
+}
+
+impl PassFailDictionary {
+    /// The failing-pattern set of a fault.
+    pub fn failing_patterns(&self, fault: usize) -> Option<&BTreeSet<u32>> {
+        self.failing.get(fault)
+    }
+
+    /// Pattern count the dictionary was built for.
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Diagnoses from failing pattern indices alone (coarser than
+    /// [`FaultDictionary::diagnose`]).
+    pub fn diagnose(&self, observed_failing: &[u32]) -> Vec<(usize, f64)> {
+        let obs: BTreeSet<u32> = observed_failing.iter().copied().collect();
+        let mut ranked: Vec<(usize, f64)> = self
+            .failing
+            .iter()
+            .enumerate()
+            .filter_map(|(i, set)| {
+                if set.is_empty() {
+                    return None;
+                }
+                let inter = set.intersection(&obs).count();
+                if inter == 0 {
+                    return None;
+                }
+                let union = set.union(&obs).count();
+                Some((i, inter as f64 / union as f64))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_faults::enumerate_stuck_at;
+    use cfs_netlist::data::s27;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn patterns(c: &Circuit, n: usize, seed: u64) -> Vec<Vec<Logic>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (0..c.num_inputs())
+                    .map(|_| Logic::from_bool(rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_signature_diagnoses_to_its_class() {
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        let pats = patterns(&c, 40, 5);
+        let dict = FaultDictionary::build(&c, &faults, &pats);
+        assert!(dict.num_detected() > faults.len() / 2);
+        for fi in 0..faults.len() {
+            let sig = dict.signature(fi).unwrap();
+            if sig.is_empty() {
+                continue;
+            }
+            let ranked = dict.diagnose(sig);
+            let (best, score) = ranked[0];
+            assert!((score - 1.0).abs() < 1e-12, "exact match score");
+            assert_eq!(
+                dict.signature(best).unwrap(),
+                sig,
+                "top candidate has an identical signature"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_signature_still_ranks_the_culprit_highly() {
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        let pats = patterns(&c, 60, 9);
+        let dict = FaultDictionary::build(&c, &faults, &pats);
+        let fi = (0..faults.len())
+            .find(|&i| dict.signature(i).unwrap().len() >= 6)
+            .expect("some well-detected fault");
+        let mut sig = dict.signature(fi).unwrap().to_vec();
+        sig.pop(); // one missed observation
+        let ranked = dict.diagnose(&sig);
+        let rank = ranked.iter().position(|&(i, _)| i == fi).unwrap();
+        assert!(rank < 4, "culprit in the top candidates (rank {rank})");
+    }
+
+    #[test]
+    fn classes_partition_the_universe() {
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        let pats = patterns(&c, 30, 1);
+        let dict = FaultDictionary::build(&c, &faults, &pats);
+        let classes = dict.indistinguishable_classes();
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, faults.len());
+        let res = dict.resolution();
+        assert!((0.0..=1.0).contains(&res));
+        // s27 has a single primary output, so signatures collide heavily;
+        // at least one fault must still be uniquely identified.
+        assert!(res > 0.0, "some fault is uniquely identified: {res}");
+    }
+
+    #[test]
+    fn pass_fail_is_a_projection() {
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        let pats = patterns(&c, 25, 2);
+        let dict = FaultDictionary::build(&c, &faults, &pats);
+        let pf = dict.to_pass_fail();
+        for fi in 0..faults.len() {
+            let full: BTreeSet<u32> = dict
+                .signature(fi)
+                .unwrap()
+                .iter()
+                .map(|&(p, _)| p)
+                .collect();
+            assert_eq!(&full, pf.failing_patterns(fi).unwrap());
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! PPSFP — parallel-pattern single fault propagation (Waicukauski et al.;
+//! the paper's reference [12] uses it for transition fault simulation of
+//! combinational circuits).
+//!
+//! Sixty-four patterns are simulated at once through the good machine;
+//! then each undetected fault is propagated *individually* from its site,
+//! event-driven through its output cone, over all 64 patterns in parallel.
+//! The method is the combinational/full-scan dual of PROOFS (which packs
+//! faults, not patterns, into the machine word).
+
+use std::time::Instant;
+
+use cfs_faults::{FaultSimReport, FaultSite, FaultStatus, StuckAt};
+use cfs_logic::{Logic, PackedLogic, LANES};
+use cfs_netlist::{Circuit, GateId};
+
+/// Parallel-pattern single-fault-propagation simulator for combinational
+/// circuits (treat flip-flop outputs as pseudo primary inputs to use it on
+/// a full-scan design, or unroll with `cfs-atpg`'s time-frame expansion).
+///
+/// # Examples
+///
+/// ```
+/// use cfs_baselines::PpsfpSim;
+/// use cfs_faults::enumerate_stuck_at;
+/// use cfs_logic::parse_pattern;
+/// use cfs_netlist::parse_bench;
+///
+/// let c = parse_bench("and", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// let faults = enumerate_stuck_at(&c);
+/// let mut sim = PpsfpSim::new(&c, &faults);
+/// let report = sim.run(&[parse_pattern("11")?, parse_pattern("01")?]);
+/// assert!(report.detected() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PpsfpSim<'c> {
+    circuit: &'c Circuit,
+    faults: Vec<StuckAt>,
+    detected_at: Vec<Option<usize>>,
+    /// Pattern-parallel good values.
+    good: Vec<PackedLogic>,
+    /// Faulty-cone scratch.
+    fvals: Vec<PackedLogic>,
+    fdirty: Vec<bool>,
+    touched: Vec<GateId>,
+    fqueued: Vec<bool>,
+    fbuckets: Vec<Vec<GateId>>,
+    /// Word evaluations performed.
+    pub evaluations: u64,
+}
+
+impl<'c> PpsfpSim<'c> {
+    /// Creates the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is sequential (PPSFP is pattern-parallel:
+    /// patterns must be independent).
+    pub fn new(circuit: &'c Circuit, faults: &[StuckAt]) -> Self {
+        assert_eq!(
+            circuit.num_dffs(),
+            0,
+            "PPSFP needs independent patterns: use a combinational or full-scan view"
+        );
+        let n = circuit.num_nodes();
+        PpsfpSim {
+            circuit,
+            faults: faults.to_vec(),
+            detected_at: vec![None; faults.len()],
+            good: vec![PackedLogic::ALL_X; n],
+            fvals: vec![PackedLogic::ALL_X; n],
+            fdirty: vec![false; n],
+            touched: Vec::new(),
+            fqueued: vec![false; n],
+            fbuckets: vec![Vec::new(); circuit.max_level() as usize + 1],
+            evaluations: 0,
+        }
+    }
+
+    fn fval(&self, id: GateId) -> PackedLogic {
+        if self.fdirty[id.index()] {
+            self.fvals[id.index()]
+        } else {
+            self.good[id.index()]
+        }
+    }
+
+    fn set_fval(&mut self, id: GateId, w: PackedLogic) {
+        if !self.fdirty[id.index()] {
+            self.fdirty[id.index()] = true;
+            self.touched.push(id);
+        }
+        self.fvals[id.index()] = w;
+    }
+
+    fn schedule(&mut self, id: GateId) {
+        if !self.fqueued[id.index()] {
+            self.fqueued[id.index()] = true;
+            self.fbuckets[self.circuit.level(id) as usize].push(id);
+        }
+    }
+
+    /// Simulates one block of up to [`LANES`] patterns (lane `i` = pattern
+    /// `base + i`). Returns newly detected fault indices.
+    fn run_block(&mut self, patterns: &[Vec<Logic>], base: usize) -> Vec<usize> {
+        let block = &patterns[base..(base + LANES).min(patterns.len())];
+        // Good machine, pattern-parallel, full levelized pass.
+        for (k, &pi) in self.circuit.inputs().iter().enumerate() {
+            let mut w = PackedLogic::ALL_X;
+            for (lane, p) in block.iter().enumerate() {
+                w.set(lane, p[k]);
+            }
+            self.good[pi.index()] = w;
+        }
+        let mut scratch = Vec::new();
+        for &g in self.circuit.topo_order() {
+            let gate = self.circuit.gate(g);
+            scratch.clear();
+            for &s in gate.fanin() {
+                scratch.push(self.good[s.index()]);
+            }
+            let f = gate.kind().gate_fn().expect("combinational");
+            self.good[g.index()] = PackedLogic::eval_gate(f, &scratch);
+        }
+        // Single fault propagation, one fault at a time.
+        let mut newly = Vec::new();
+        for fi in 0..self.faults.len() {
+            if self.detected_at[fi].is_some() {
+                continue;
+            }
+            if let Some(lane) = self.propagate_one(self.faults[fi]) {
+                self.detected_at[fi] = Some(base + lane);
+                newly.push(fi);
+            }
+        }
+        newly
+    }
+
+    /// Propagates one fault through its cone; returns the first detecting
+    /// lane, if any.
+    fn propagate_one(&mut self, fault: StuckAt) -> Option<usize> {
+        // Seed at the site.
+        match fault.site {
+            FaultSite::Output { gate } => {
+                let faulty = PackedLogic::splat(fault.value());
+                if faulty.diff_mask(self.good[gate.index()]) != 0 {
+                    self.set_fval(gate, faulty);
+                    for &f in self.circuit.gate(gate).fanout() {
+                        self.schedule(f);
+                    }
+                }
+            }
+            FaultSite::Pin { gate, pin } => {
+                let g = self.circuit.gate(gate);
+                let f = g.kind().gate_fn().expect("pin faults sit on gates");
+                let mut scratch: Vec<PackedLogic> =
+                    g.fanin().iter().map(|&s| self.good[s.index()]).collect();
+                scratch[pin as usize] = PackedLogic::splat(fault.value());
+                self.evaluations += 1;
+                let out = PackedLogic::eval_gate(f, &scratch);
+                if out.diff_mask(self.good[gate.index()]) != 0 {
+                    self.set_fval(gate, out);
+                    for &f2 in self.circuit.gate(gate).fanout() {
+                        self.schedule(f2);
+                    }
+                }
+            }
+        }
+        // Event-driven propagation through the cone.
+        let mut scratch = Vec::new();
+        for level in 0..self.fbuckets.len() {
+            let mut i = 0;
+            while i < self.fbuckets[level].len() {
+                let id = self.fbuckets[level][i];
+                i += 1;
+                self.fqueued[id.index()] = false;
+                let gate = self.circuit.gate(id);
+                scratch.clear();
+                for &s in gate.fanin() {
+                    scratch.push(self.fval(s));
+                }
+                let f = gate.kind().gate_fn().expect("combinational");
+                self.evaluations += 1;
+                let out = PackedLogic::eval_gate(f, &scratch);
+                if out != self.fval(id) {
+                    self.set_fval(id, out);
+                    for &f2 in self.circuit.gate(id).fanout() {
+                        self.schedule(f2);
+                    }
+                }
+            }
+            self.fbuckets[level].clear();
+        }
+        // Detection: first lane with an opposite-binary PO pair.
+        let mut first: Option<usize> = None;
+        for &po in self.circuit.outputs() {
+            let mask = self.good[po.index()].detect_mask(self.fval(po));
+            if mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                first = Some(first.map_or(lane, |f| f.min(lane)));
+            }
+        }
+        // Reset scratch for the next fault.
+        for id in std::mem::take(&mut self.touched) {
+            self.fdirty[id.index()] = false;
+        }
+        first
+    }
+
+    /// Runs the whole pattern set (blocks of 64) and assembles the report.
+    pub fn run(&mut self, patterns: &[Vec<Logic>]) -> FaultSimReport {
+        let start = Instant::now();
+        let mut base = 0;
+        while base < patterns.len() {
+            self.run_block(patterns, base);
+            base += LANES;
+        }
+        FaultSimReport {
+            simulator: "ppsfp".to_owned(),
+            circuit: self.circuit.name().to_owned(),
+            patterns: patterns.len(),
+            statuses: self
+                .detected_at
+                .iter()
+                .map(|d| match d {
+                    Some(p) => FaultStatus::Detected { pattern: *p },
+                    None => FaultStatus::Undetected,
+                })
+                .collect(),
+            cpu: start.elapsed(),
+            memory_bytes: self.circuit.num_nodes()
+                * std::mem::size_of::<PackedLogic>()
+                * 2
+                + self.faults.len() * 16,
+            events: 0,
+            evaluations: self.evaluations,
+        }
+    }
+}
+
+impl std::fmt::Debug for PpsfpSim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PpsfpSim")
+            .field("circuit", &self.circuit.name())
+            .field("faults", &self.faults.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SerialSim;
+    use cfs_faults::enumerate_stuck_at;
+    use cfs_netlist::generate::{generate, CircuitSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_serial_on_generated_combinational_circuits() {
+        for seed in 0..3u64 {
+            let spec = CircuitSpec::new(format!("pp{seed}"), 6, 4, 0, 70, 700 + seed);
+            let c = generate(&spec);
+            let faults = enumerate_stuck_at(&c);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let patterns: Vec<Vec<Logic>> = (0..150)
+                .map(|_| {
+                    (0..c.num_inputs())
+                        .map(|_| Logic::from_bool(rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            let reference = SerialSim::new(&c, &faults).run(&patterns);
+            let mut sim = PpsfpSim::new(&c, &faults);
+            let report = sim.run(&patterns);
+            for (i, (a, b)) in reference.statuses.iter().zip(&report.statuses).enumerate() {
+                // Patterns are independent in a combinational circuit, so
+                // the first-detection indices must match exactly.
+                assert_eq!(a, b, "seed {seed} fault {i}: {}", faults[i].describe(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn detection_lane_maps_to_global_pattern_index() {
+        // Only the 70th pattern (block 2, lane 5) detects y/sa0.
+        let c = cfs_netlist::parse_bench("b", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n").unwrap();
+        let y = c.find("y").unwrap();
+        let faults = [StuckAt::output(y, false)];
+        let mut patterns = vec![vec![Logic::Zero]; 100];
+        patterns[69] = vec![Logic::One];
+        let mut sim = PpsfpSim::new(&c, &faults);
+        let report = sim.run(&patterns);
+        assert_eq!(report.statuses[0], FaultStatus::Detected { pattern: 69 });
+    }
+
+    #[test]
+    #[should_panic(expected = "full-scan")]
+    fn sequential_circuits_are_rejected() {
+        let c = cfs_netlist::data::s27();
+        let faults = enumerate_stuck_at(&c);
+        let _ = PpsfpSim::new(&c, &faults);
+    }
+}

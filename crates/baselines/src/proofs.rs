@@ -1,0 +1,516 @@
+//! A PROOFS-style fault simulator (Niermann, Cheng, Patel, DAC 1990) — the
+//! comparator of the paper's Tables 3–5.
+//!
+//! PROOFS simulates faulty machines in parallel, one fault per bit of a
+//! machine word, with single-fault propagation: each cycle the undetected
+//! faults are grouped into words, each group's faulty machines are seeded
+//! from their fault sites and their stored flip-flop state *differences*
+//! (memory-efficient differential state storage), propagated event-driven
+//! through the settled good machine, detected at the primary outputs, and
+//! their new state differences recorded. Detected faults are dropped from
+//! all later groups.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cfs_faults::{FaultSimReport, FaultSite, FaultStatus, StuckAt};
+use cfs_logic::{Logic, PackedLogic, LANES};
+use cfs_netlist::{Circuit, GateId, GateKind};
+
+/// The PROOFS-style bit-parallel single-fault-propagation simulator.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_baselines::ProofsSim;
+/// use cfs_faults::enumerate_stuck_at;
+/// use cfs_logic::parse_pattern;
+/// use cfs_netlist::data::s27;
+///
+/// let circuit = s27();
+/// let faults = enumerate_stuck_at(&circuit);
+/// let mut sim = ProofsSim::new(&circuit, &faults);
+/// let report = sim.run(&[parse_pattern("0101")?, parse_pattern("1010")?]);
+/// assert_eq!(report.total_faults(), faults.len());
+/// # Ok::<(), cfs_logic::ParseLogicError>(())
+/// ```
+pub struct ProofsSim<'c> {
+    circuit: &'c Circuit,
+    faults: Vec<StuckAt>,
+    detected_at: Vec<Option<usize>>,
+    /// Per-fault flip-flop state differences `(dff ordinal, faulty value)`.
+    state_diffs: Vec<Vec<(u32, Logic)>>,
+    /// Good machine (event-driven).
+    good: Vec<Logic>,
+    buckets: Vec<Vec<GateId>>,
+    queued: Vec<bool>,
+
+    // Faulty-word propagation scratch.
+    fvals: Vec<PackedLogic>,
+    fdirty: Vec<bool>,
+    touched: Vec<GateId>,
+    fqueued: Vec<bool>,
+    fbuckets: Vec<Vec<GateId>>,
+
+    pattern_index: usize,
+    /// Peak total state-difference entries (memory model).
+    peak_diffs: usize,
+    /// Word evaluations performed.
+    pub evaluations: u64,
+    /// Node activations (good + faulty propagation).
+    pub events: u64,
+}
+
+impl<'c> ProofsSim<'c> {
+    /// Creates a simulator over the given fault universe.
+    pub fn new(circuit: &'c Circuit, faults: &[StuckAt]) -> Self {
+        let n = circuit.num_nodes();
+        ProofsSim {
+            circuit,
+            faults: faults.to_vec(),
+            detected_at: vec![None; faults.len()],
+            state_diffs: vec![Vec::new(); faults.len()],
+            good: vec![Logic::X; n],
+            buckets: vec![Vec::new(); circuit.max_level() as usize + 1],
+            queued: vec![false; n],
+            fvals: vec![PackedLogic::ALL_X; n],
+            fdirty: vec![false; n],
+            touched: Vec::new(),
+            fqueued: vec![false; n],
+            fbuckets: vec![Vec::new(); circuit.max_level() as usize + 1],
+            pattern_index: 0,
+            peak_diffs: 0,
+            evaluations: 0,
+            events: 0,
+        }
+    }
+
+    /// Forces the good-machine flip-flop state; all faulty state diffs are
+    /// cleared (a reset overrides every machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the flip-flop count.
+    pub fn set_state(&mut self, state: &[Logic]) {
+        assert_eq!(state.len(), self.circuit.num_dffs());
+        for (&q, &v) in self.circuit.dffs().iter().zip(state) {
+            if self.good[q.index()] != v {
+                self.good[q.index()] = v;
+                self.schedule_good_fanouts(q);
+            }
+        }
+        for d in &mut self.state_diffs {
+            d.clear();
+        }
+    }
+
+    fn schedule_good(&mut self, id: GateId) {
+        if !self.queued[id.index()] {
+            self.queued[id.index()] = true;
+            self.buckets[self.circuit.level(id) as usize].push(id);
+        }
+    }
+
+    fn schedule_good_fanouts(&mut self, id: GateId) {
+        let fanouts: Vec<GateId> = self
+            .circuit
+            .gate(id)
+            .fanout()
+            .iter()
+            .copied()
+            .filter(|&f| self.circuit.gate(f).kind().is_comb())
+            .collect();
+        for f in fanouts {
+            self.schedule_good(f);
+        }
+    }
+
+    fn settle_good(&mut self) {
+        let mut scratch = Vec::new();
+        for level in 0..self.buckets.len() {
+            let mut i = 0;
+            while i < self.buckets[level].len() {
+                let id = self.buckets[level][i];
+                i += 1;
+                self.queued[id.index()] = false;
+                self.events += 1;
+                let gate = self.circuit.gate(id);
+                scratch.clear();
+                for &src in gate.fanin() {
+                    scratch.push(self.good[src.index()]);
+                }
+                let f = gate.kind().gate_fn().expect("combinational");
+                let new = f.eval(&scratch);
+                if new != self.good[id.index()] {
+                    self.good[id.index()] = new;
+                    self.schedule_good_fanouts(id);
+                }
+            }
+            self.buckets[level].clear();
+        }
+    }
+
+    fn fval(&self, id: GateId) -> PackedLogic {
+        if self.fdirty[id.index()] {
+            self.fvals[id.index()]
+        } else {
+            PackedLogic::splat(self.good[id.index()])
+        }
+    }
+
+    fn set_fval(&mut self, id: GateId, w: PackedLogic) {
+        if !self.fdirty[id.index()] {
+            self.fdirty[id.index()] = true;
+            self.touched.push(id);
+        }
+        self.fvals[id.index()] = w;
+    }
+
+    fn schedule_faulty(&mut self, id: GateId) {
+        if !self.fqueued[id.index()] {
+            self.fqueued[id.index()] = true;
+            self.fbuckets[self.circuit.level(id) as usize].push(id);
+        }
+    }
+
+    fn schedule_faulty_fanouts(&mut self, id: GateId) {
+        let fanouts: Vec<GateId> = self
+            .circuit
+            .gate(id)
+            .fanout()
+            .iter()
+            .copied()
+            .filter(|&f| self.circuit.gate(f).kind().is_comb())
+            .collect();
+        for f in fanouts {
+            self.schedule_faulty(f);
+        }
+    }
+
+    /// Simulates one clock cycle for all undetected faults. Returns the
+    /// indices of faults first detected this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn step(&mut self, inputs: &[Logic]) -> Vec<usize> {
+        assert_eq!(inputs.len(), self.circuit.num_inputs(), "input width");
+        // Good machine: apply and settle.
+        for (&pi, &v) in self.circuit.inputs().iter().zip(inputs) {
+            if self.good[pi.index()] != v {
+                self.good[pi.index()] = v;
+                self.schedule_good_fanouts(pi);
+            }
+        }
+        self.settle_good();
+
+        // Group undetected faults into words (regrouped every pattern, so
+        // dropped faults cost nothing).
+        let live: Vec<usize> = (0..self.faults.len())
+            .filter(|&i| self.detected_at[i].is_none())
+            .collect();
+        let mut newly_detected = Vec::new();
+        for group in live.chunks(LANES) {
+            self.simulate_group(group, &mut newly_detected);
+        }
+
+        // Good machine latch.
+        let updates: Vec<(GateId, Logic)> = self
+            .circuit
+            .dffs()
+            .iter()
+            .map(|&q| (q, self.good[self.circuit.gate(q).fanin()[0].index()]))
+            .collect();
+        for (q, v) in updates {
+            if self.good[q.index()] != v {
+                self.good[q.index()] = v;
+                self.schedule_good_fanouts(q);
+            }
+        }
+        let total_diffs: usize = self.state_diffs.iter().map(Vec::len).sum();
+        self.peak_diffs = self.peak_diffs.max(total_diffs);
+        self.pattern_index += 1;
+        newly_detected
+    }
+
+    fn simulate_group(&mut self, group: &[usize], newly_detected: &mut Vec<usize>) {
+        // Injection tables for this group.
+        let mut pin_inj: HashMap<usize, Vec<(usize, u8, Logic)>> = HashMap::new(); // comb gate pins
+        let mut out_inj: HashMap<usize, Vec<(usize, Logic)>> = HashMap::new(); // any node output
+        let mut latch_inj: Vec<(usize, usize, Logic)> = Vec::new(); // (lane, dff ordinal, value)
+        let dff_ordinal: HashMap<usize, usize> = self
+            .circuit
+            .dffs()
+            .iter()
+            .enumerate()
+            .map(|(k, &q)| (q.index(), k))
+            .collect();
+        for (lane, &fi) in group.iter().enumerate() {
+            let f = self.faults[fi];
+            let g = f.site.gate();
+            match (f.site, self.circuit.gate(g).kind()) {
+                (FaultSite::Output { .. }, GateKind::Comb(_)) => {
+                    out_inj.entry(g.index()).or_default().push((lane, f.value()));
+                }
+                (FaultSite::Output { .. }, _) => {
+                    // PI or DFF output: forced before propagation, and (for
+                    // a DFF) at latch time as well.
+                    out_inj.entry(g.index()).or_default().push((lane, f.value()));
+                    if let Some(&ord) = dff_ordinal.get(&g.index()) {
+                        latch_inj.push((lane, ord, f.value()));
+                    }
+                }
+                (FaultSite::Pin { pin, .. }, GateKind::Comb(_)) => {
+                    pin_inj.entry(g.index()).or_default().push((lane, pin, f.value()));
+                }
+                (FaultSite::Pin { .. }, GateKind::Dff) => {
+                    let ord = dff_ordinal[&g.index()];
+                    latch_inj.push((lane, ord, f.value()));
+                }
+                (FaultSite::Pin { .. }, GateKind::Input) => {
+                    unreachable!("primary inputs have no pins")
+                }
+            }
+        }
+
+        // Seed: stored state differences.
+        for (lane, &fi) in group.iter().enumerate() {
+            let diffs = std::mem::take(&mut self.state_diffs[fi]);
+            for &(ord, v) in &diffs {
+                let q = self.circuit.dffs()[ord as usize];
+                let mut w = self.fval(q);
+                w.set(lane, v);
+                self.set_fval(q, w);
+                self.schedule_faulty_fanouts(q);
+            }
+            self.state_diffs[fi] = diffs;
+        }
+        // Seed: forced outputs at source nodes and scheduled site gates.
+        for (&gi, lanes) in &out_inj {
+            let id = GateId::from_index(gi);
+            match self.circuit.gate(id).kind() {
+                GateKind::Comb(_) => { /* applied during evaluation */ }
+                _ => {
+                    let mut w = self.fval(id);
+                    let mut changed = false;
+                    for &(lane, v) in lanes {
+                        if w.lane(lane) != v {
+                            w.set(lane, v);
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        self.set_fval(id, w);
+                        self.schedule_faulty_fanouts(id);
+                    }
+                }
+            }
+        }
+        let site_gates: Vec<GateId> = pin_inj
+            .keys()
+            .chain(out_inj.keys())
+            .map(|&gi| GateId::from_index(gi))
+            .filter(|&id| self.circuit.gate(id).kind().is_comb())
+            .collect();
+        for id in site_gates {
+            self.schedule_faulty(id);
+        }
+
+        // Propagate event-driven, level by level.
+        let mut scratch: Vec<PackedLogic> = Vec::new();
+        for level in 0..self.fbuckets.len() {
+            let mut i = 0;
+            while i < self.fbuckets[level].len() {
+                let id = self.fbuckets[level][i];
+                i += 1;
+                self.fqueued[id.index()] = false;
+                self.events += 1;
+                let gate = self.circuit.gate(id);
+                scratch.clear();
+                for &src in gate.fanin() {
+                    scratch.push(self.fval(src));
+                }
+                if let Some(pins) = pin_inj.get(&id.index()) {
+                    for &(lane, pin, v) in pins {
+                        scratch[pin as usize].set(lane, v);
+                    }
+                }
+                let f = gate.kind().gate_fn().expect("combinational");
+                self.evaluations += 1;
+                let mut out = PackedLogic::eval_gate(f, &scratch);
+                if let Some(outs) = out_inj.get(&id.index()) {
+                    for &(lane, v) in outs {
+                        out.set(lane, v);
+                    }
+                }
+                if out != self.fval(id) {
+                    self.set_fval(id, out);
+                    self.schedule_faulty_fanouts(id);
+                }
+            }
+            self.fbuckets[level].clear();
+        }
+
+        // Detect at the primary outputs.
+        for &po in self.circuit.outputs() {
+            let goodw = PackedLogic::splat(self.good[po.index()]);
+            let mask = goodw.detect_mask(self.fval(po));
+            if mask != 0 {
+                for (lane, &fi) in group.iter().enumerate() {
+                    if mask >> lane & 1 != 0 && self.detected_at[fi].is_none() {
+                        self.detected_at[fi] = Some(self.pattern_index);
+                        newly_detected.push(fi);
+                    }
+                }
+            }
+        }
+
+        // Latch faulty state differences. Candidates: flip-flops with a
+        // dirty driver, an old difference, or a latch injection.
+        let mut candidates: Vec<usize> = Vec::new(); // dff ordinals
+        for (k, &q) in self.circuit.dffs().iter().enumerate() {
+            let d = self.circuit.gate(q).fanin()[0];
+            if self.fdirty[d.index()] {
+                candidates.push(k);
+            }
+        }
+        for &fi in group {
+            for &(ord, _) in &self.state_diffs[fi] {
+                candidates.push(ord as usize);
+            }
+        }
+        for &(_, ord, _) in &latch_inj {
+            candidates.push(ord);
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut new_diffs: Vec<Vec<(u32, Logic)>> = vec![Vec::new(); group.len()];
+        for &ord in &candidates {
+            let q = self.circuit.dffs()[ord];
+            let d = self.circuit.gate(q).fanin()[0];
+            let new_good_q = self.good[d.index()]; // pre-latch driver value
+            let mut w = self.fval(d);
+            for &(lane, o, v) in &latch_inj {
+                if o == ord {
+                    w.set(lane, v);
+                }
+            }
+            let mask = w.diff_mask(PackedLogic::splat(new_good_q));
+            if mask == 0 {
+                continue;
+            }
+            for (lane, _) in group.iter().enumerate() {
+                if mask >> lane & 1 != 0 {
+                    new_diffs[lane].push((ord as u32, w.lane(lane)));
+                }
+            }
+        }
+        for (lane, &fi) in group.iter().enumerate() {
+            if self.detected_at[fi].is_some() {
+                self.state_diffs[fi].clear(); // dropped
+            } else {
+                self.state_diffs[fi] = std::mem::take(&mut new_diffs[lane]);
+            }
+        }
+
+        // Reset the faulty value scratch for the next group.
+        for id in std::mem::take(&mut self.touched) {
+            self.fdirty[id.index()] = false;
+        }
+    }
+
+    /// Runs a pattern sequence and assembles the report.
+    pub fn run(&mut self, patterns: &[Vec<Logic>]) -> FaultSimReport {
+        let start = Instant::now();
+        for p in patterns {
+            self.step(p);
+        }
+        FaultSimReport {
+            simulator: "proofs".to_owned(),
+            circuit: self.circuit.name().to_owned(),
+            patterns: patterns.len(),
+            statuses: self.statuses(),
+            cpu: start.elapsed(),
+            memory_bytes: self.memory_bytes(),
+            events: self.events,
+            evaluations: self.evaluations,
+        }
+    }
+
+    /// Per-fault statuses, aligned with the fault list.
+    pub fn statuses(&self) -> Vec<FaultStatus> {
+        self.detected_at
+            .iter()
+            .map(|d| match d {
+                Some(p) => FaultStatus::Detected { pattern: *p },
+                None => FaultStatus::Undetected,
+            })
+            .collect()
+    }
+
+    /// PROOFS memory model: two word-planes per node, the fault list, and
+    /// the peak differential state storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.circuit.num_nodes() * std::mem::size_of::<PackedLogic>() * 2
+            + self.faults.len() * 16
+            + self.peak_diffs * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SerialSim;
+    use cfs_faults::enumerate_stuck_at;
+    use cfs_logic::parse_pattern;
+    use cfs_netlist::data::s27;
+
+    fn patterns(specs: &[&str]) -> Vec<Vec<Logic>> {
+        specs.iter().map(|p| parse_pattern(p).unwrap()).collect()
+    }
+
+    #[test]
+    fn matches_serial_on_s27() {
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        let pats = patterns(&[
+            "0000", "1111", "0101", "1010", "0011", "1100", "0110", "1001", "0111", "1000",
+        ]);
+        let serial = SerialSim::new(&c, &faults).run(&pats);
+        let mut proofs = ProofsSim::new(&c, &faults);
+        let pr = proofs.run(&pats);
+        for (i, (a, b)) in serial.statuses.iter().zip(&pr.statuses).enumerate() {
+            assert_eq!(a, b, "fault {i}: {}", faults[i].describe(&c));
+        }
+    }
+
+    #[test]
+    fn group_boundaries_do_not_matter() {
+        // More faults than one word: s27's universe is 98 > 64, so this
+        // exercises multi-group handling.
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        assert!(faults.len() > LANES);
+        let pats = patterns(&["0101", "1010", "0000", "1111"]);
+        let mut sim = ProofsSim::new(&c, &faults);
+        let report = sim.run(&pats);
+        assert!(report.detected() > 0);
+    }
+
+    #[test]
+    fn reset_state_is_respected() {
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        let pats = patterns(&["0000", "0110"]);
+        let serial = SerialSim::new(&c, &faults)
+            .with_reset_state(vec![Logic::Zero; 3])
+            .run(&pats);
+        let mut proofs = ProofsSim::new(&c, &faults);
+        proofs.set_state(&[Logic::Zero; 3]);
+        let pr = proofs.run(&pats);
+        for (i, (a, b)) in serial.statuses.iter().zip(&pr.statuses).enumerate() {
+            assert_eq!(a.is_detected(), b.is_detected(), "fault {i}");
+        }
+    }
+}

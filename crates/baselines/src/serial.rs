@@ -1,0 +1,284 @@
+//! Serial fault simulation: one complete re-simulation per fault.
+//!
+//! The slowest possible method — and therefore the correctness oracle every
+//! other simulator in the workspace is validated against. A faulty machine
+//! is an ordinary full simulation with the stuck value forced at the fault
+//! site on every evaluation.
+
+use std::time::Instant;
+
+use cfs_faults::{FaultSimReport, FaultSite, FaultStatus, StuckAt};
+use cfs_logic::Logic;
+use cfs_netlist::{Circuit, GateKind};
+
+/// A full (non-event-driven) simulator with an optional stuck-at fault
+/// injected.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_baselines::FaultySim;
+/// use cfs_faults::StuckAt;
+/// use cfs_logic::parse_pattern;
+/// use cfs_netlist::data::s27;
+///
+/// let c = s27();
+/// let g11 = c.find("G11").expect("s27 signal");
+/// let mut faulty = FaultySim::new(&c, Some(StuckAt::output(g11, true)));
+/// let out = faulty.step(&parse_pattern("0000")?);
+/// assert_eq!(out.len(), 1);
+/// # Ok::<(), cfs_logic::ParseLogicError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultySim<'c> {
+    circuit: &'c Circuit,
+    fault: Option<StuckAt>,
+    values: Vec<Logic>,
+}
+
+impl<'c> FaultySim<'c> {
+    /// Creates a simulator; `fault: None` gives the good machine.
+    pub fn new(circuit: &'c Circuit, fault: Option<StuckAt>) -> Self {
+        FaultySim {
+            circuit,
+            fault,
+            values: vec![Logic::X; circuit.num_nodes()],
+        }
+    }
+
+    /// Forces the flip-flop state (stuck Q outputs stay stuck).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the flip-flop count.
+    pub fn set_state(&mut self, state: &[Logic]) {
+        assert_eq!(state.len(), self.circuit.num_dffs());
+        for (&q, &v) in self.circuit.dffs().iter().zip(state) {
+            self.values[q.index()] = v;
+        }
+        // A stuck Q overrides the forced state.
+        if let Some(f) = self.fault {
+            if let FaultSite::Output { gate } = f.site {
+                if self.circuit.gate(gate).kind() == GateKind::Dff {
+                    self.values[gate.index()] = f.value();
+                }
+            }
+        }
+    }
+
+    /// Node values after the last step.
+    pub fn values(&self) -> &[Logic] {
+        &self.values
+    }
+
+    /// Simulates one clock cycle and returns the primary outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn step(&mut self, inputs: &[Logic]) -> Vec<Logic> {
+        assert_eq!(inputs.len(), self.circuit.num_inputs(), "input width");
+        for (&pi, &v) in self.circuit.inputs().iter().zip(inputs) {
+            self.values[pi.index()] = v;
+        }
+        // Fault on a PI output (or a stuck DFF Q): force before settling.
+        if let Some(f) = self.fault {
+            if let FaultSite::Output { gate } = f.site {
+                if !self.circuit.gate(gate).kind().is_comb() {
+                    self.values[gate.index()] = f.value();
+                }
+            }
+        }
+        let mut scratch = Vec::new();
+        for &id in self.circuit.topo_order() {
+            let gate = self.circuit.gate(id);
+            scratch.clear();
+            for &src in gate.fanin() {
+                scratch.push(self.values[src.index()]);
+            }
+            // Inject pin/output faults sited at this gate.
+            let mut out = None;
+            if let Some(f) = self.fault {
+                match f.site {
+                    FaultSite::Pin { gate: g, pin } if g == id => {
+                        scratch[pin as usize] = f.value();
+                    }
+                    FaultSite::Output { gate: g } if g == id => {
+                        out = Some(f.value());
+                    }
+                    _ => {}
+                }
+            }
+            let func = gate.kind().gate_fn().expect("topo order holds gates");
+            self.values[id.index()] = out.unwrap_or_else(|| func.eval(&scratch));
+        }
+        let outputs: Vec<Logic> = self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|&po| self.values[po.index()])
+            .collect();
+        // Latch: stuck D pins latch the stuck value; stuck Qs stay stuck.
+        let mut updates = Vec::with_capacity(self.circuit.num_dffs());
+        for &q in self.circuit.dffs() {
+            let mut v = self.values[self.circuit.gate(q).fanin()[0].index()];
+            if let Some(f) = self.fault {
+                match f.site {
+                    FaultSite::Pin { gate: g, pin: 0 } if g == q => v = f.value(),
+                    FaultSite::Output { gate: g } if g == q => v = f.value(),
+                    _ => {}
+                }
+            }
+            updates.push((q, v));
+        }
+        for (q, v) in updates {
+            self.values[q.index()] = v;
+        }
+        outputs
+    }
+}
+
+/// The serial fault simulator: simulates every fault independently over the
+/// whole pattern sequence. Exponential in nothing, linear in everything —
+/// and trivially correct.
+#[derive(Debug)]
+pub struct SerialSim<'c> {
+    circuit: &'c Circuit,
+    faults: Vec<StuckAt>,
+    reset_state: Option<Vec<Logic>>,
+}
+
+impl<'c> SerialSim<'c> {
+    /// Creates a serial simulator over the given fault universe.
+    pub fn new(circuit: &'c Circuit, faults: &[StuckAt]) -> Self {
+        SerialSim {
+            circuit,
+            faults: faults.to_vec(),
+            reset_state: None,
+        }
+    }
+
+    /// Start every machine from this flip-flop state instead of all-`X`.
+    pub fn with_reset_state(mut self, state: Vec<Logic>) -> Self {
+        assert_eq!(state.len(), self.circuit.num_dffs());
+        self.reset_state = Some(state);
+        self
+    }
+
+    /// Runs the whole fault universe over the patterns.
+    pub fn run(&self, patterns: &[Vec<Logic>]) -> FaultSimReport {
+        let start = Instant::now();
+        // Good machine reference outputs.
+        let mut good = FaultySim::new(self.circuit, None);
+        if let Some(s) = &self.reset_state {
+            good.set_state(s);
+        }
+        let good_out: Vec<Vec<Logic>> = patterns.iter().map(|p| good.step(p)).collect();
+
+        let statuses: Vec<FaultStatus> = self
+            .faults
+            .iter()
+            .map(|&f| {
+                let mut sim = FaultySim::new(self.circuit, Some(f));
+                if let Some(s) = &self.reset_state {
+                    sim.set_state(s);
+                }
+                for (t, p) in patterns.iter().enumerate() {
+                    let out = sim.step(p);
+                    let detected = out
+                        .iter()
+                        .zip(&good_out[t])
+                        .any(|(&fv, &gv)| fv.detectably_differs(gv));
+                    if detected {
+                        return FaultStatus::Detected { pattern: t };
+                    }
+                }
+                FaultStatus::Undetected
+            })
+            .collect();
+        FaultSimReport {
+            simulator: "serial".to_owned(),
+            circuit: self.circuit.name().to_owned(),
+            patterns: patterns.len(),
+            statuses,
+            cpu: start.elapsed(),
+            // One value array per machine at a time plus the good outputs.
+            memory_bytes: self.circuit.num_nodes() * 2 + patterns.len(),
+            events: 0,
+            evaluations: (self.faults.len() * patterns.len() * self.circuit.num_comb_gates())
+                as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_faults::enumerate_stuck_at;
+    use cfs_logic::parse_pattern;
+    use cfs_netlist::data::s27;
+
+    #[test]
+    fn good_machine_matches_fullsim() {
+        let c = s27();
+        let mut a = FaultySim::new(&c, None);
+        let mut b = cfs_goodsim::FullSim::new(&c);
+        for p in ["0000", "1111", "0101", "0011"] {
+            let p = parse_pattern(p).unwrap();
+            assert_eq!(a.step(&p), b.step(&p));
+        }
+    }
+
+    #[test]
+    fn s27_serial_detects_reasonable_fraction() {
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        let patterns: Vec<_> = ["0000", "1111", "0101", "1010", "0011", "1100", "0110", "1001"]
+            .iter()
+            .map(|p| parse_pattern(p).unwrap())
+            .collect();
+        let report = SerialSim::new(&c, &faults).run(&patterns);
+        let cvg = report.coverage_percent();
+        assert!(cvg > 40.0 && cvg <= 100.0, "{cvg}");
+    }
+
+    #[test]
+    fn stuck_pi_is_detected_immediately() {
+        // y = BUF(a); a/sa1 is caught by a=0.
+        let c = cfs_netlist::parse_bench("b", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n").unwrap();
+        let a = c.find("a").unwrap();
+        let faults = [StuckAt::output(a, true)];
+        let report = SerialSim::new(&c, &faults).run(&[parse_pattern("0").unwrap()]);
+        assert_eq!(report.detected(), 1);
+    }
+
+    #[test]
+    fn stuck_dff_q_persists_through_reset() {
+        let c = cfs_netlist::parse_bench(
+            "ff",
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(a)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        let q = c.find("q").unwrap();
+        let faults = [StuckAt::output(q, true)];
+        let sim = SerialSim::new(&c, &faults).with_reset_state(vec![Logic::Zero]);
+        // Cycle 0: good q=0 (reset), faulty q=1 → detected at y immediately.
+        let report = sim.run(&[parse_pattern("0").unwrap()]);
+        assert_eq!(report.detected(), 1);
+    }
+
+    #[test]
+    fn undetectable_with_x_outputs() {
+        // Without reset, a fault visible only against X state is not
+        // "detected" by the binary-difference criterion.
+        let c = cfs_netlist::parse_bench(
+            "ff",
+            "INPUT(a)\nOUTPUT(y)\nq = DFF(a)\ny = BUF(q)\n",
+        )
+        .unwrap();
+        let q = c.find("q").unwrap();
+        let faults = [StuckAt::output(q, true)];
+        let report = SerialSim::new(&c, &faults).run(&[parse_pattern("x").unwrap()]);
+        assert_eq!(report.detected(), 0);
+    }
+}

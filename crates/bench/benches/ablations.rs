@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices §2.2 calls out: macro input
+//! cap, visible/invisible list splitting, and event-driven fault dropping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfs_bench::workloads::{circuit, deterministic_tests, fault_universe, WorkloadConfig};
+use cfs_core::{ConcurrentSim, CsimOptions, CsimVariant};
+
+/// Macro support cap sweep: larger macros collapse more gates (fewer
+/// events, fewer elements) but cost exponentially bigger LUTs.
+fn bench_macro_cap(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick();
+    let ckt = circuit("s1196g", &cfg);
+    let faults = fault_universe(&ckt);
+    let tests = deterministic_tests(&ckt, &faults, &cfg);
+    let mut group = c.benchmark_group("ablation-macro-cap");
+    group.sample_size(10);
+    for cap in [2usize, 4, 7, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut sim = ConcurrentSim::new(
+                    &ckt,
+                    &faults,
+                    CsimOptions {
+                        macro_max_inputs: cap,
+                        ..CsimVariant::Mv.options()
+                    },
+                );
+                sim.run(&tests).detected()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// List splitting on/off at gate level (csim vs csim-V).
+fn bench_split(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick();
+    let ckt = circuit("s1196g", &cfg);
+    let faults = fault_universe(&ckt);
+    let tests = deterministic_tests(&ckt, &faults, &cfg);
+    let mut group = c.benchmark_group("ablation-split");
+    group.sample_size(10);
+    for (label, split) in [("combined", false), ("split", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sim = ConcurrentSim::new(
+                    &ckt,
+                    &faults,
+                    CsimOptions {
+                        split_invisible: split,
+                        ..CsimVariant::Base.options()
+                    },
+                );
+                sim.run(&tests).detected()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Event-driven fault dropping on/off.
+fn bench_dropping(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick();
+    let ckt = circuit("s526g", &cfg);
+    let faults = fault_universe(&ckt);
+    let tests = deterministic_tests(&ckt, &faults, &cfg);
+    let mut group = c.benchmark_group("ablation-dropping");
+    group.sample_size(10);
+    for (label, drop) in [("drop", true), ("keep", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sim = ConcurrentSim::new(
+                    &ckt,
+                    &faults,
+                    CsimOptions {
+                        drop_detected: drop,
+                        ..CsimVariant::Mv.options()
+                    },
+                );
+                sim.run(&tests).detected()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_macro_cap, bench_split, bench_dropping);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benches: one group per paper table, timing the simulator
+//! kernels on fixed workloads (Tables 3–6 measure exactly these calls; the
+//! `repro-tables` binary prints the full rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfs_baselines::ProofsSim;
+use cfs_bench::workloads::{circuit, deterministic_tests, fault_universe, WorkloadConfig};
+use cfs_core::{ConcurrentSim, CsimVariant, TransitionOptions, TransitionSim};
+use cfs_faults::enumerate_transition;
+
+const CIRCUITS: &[&str] = &["s298g", "s526g", "s1196g"];
+
+/// Table 3 kernel: each csim variant and PROOFS on the deterministic sets.
+fn bench_table3(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for &name in CIRCUITS {
+        let ckt = circuit(name, &cfg);
+        let faults = fault_universe(&ckt);
+        let tests = deterministic_tests(&ckt, &faults, &cfg);
+        for variant in CsimVariant::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), name),
+                &(&ckt, &faults, &tests),
+                |b, (ckt, faults, tests)| {
+                    b.iter(|| {
+                        let mut sim = ConcurrentSim::new(ckt, faults, variant.options());
+                        sim.run(tests).detected()
+                    })
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("proofs", name),
+            &(&ckt, &faults, &tests),
+            |b, (ckt, faults, tests)| {
+                b.iter(|| {
+                    let mut sim = ProofsSim::new(ckt, faults);
+                    sim.run(tests).detected()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Table 5 kernel: random-pattern simulation of the (scaled) largest
+/// circuit, csim-MV vs. PROOFS.
+fn bench_table5(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick();
+    let ckt = circuit("s35932g", &cfg);
+    let faults = fault_universe(&ckt);
+    let tests = cfs_atpg::random_patterns(&ckt, 64, 7);
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("csim-MV/s35932g-scaled", |b| {
+        b.iter(|| {
+            let mut sim = ConcurrentSim::new(&ckt, &faults, CsimVariant::Mv.options());
+            sim.run(&tests).detected()
+        })
+    });
+    group.bench_function("proofs/s35932g-scaled", |b| {
+        b.iter(|| {
+            let mut sim = ProofsSim::new(&ckt, &faults);
+            sim.run(&tests).detected()
+        })
+    });
+    group.finish();
+}
+
+/// Table 6 kernel: transition fault simulation over the same test sets.
+fn bench_table6(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick();
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    for &name in &["s298g", "s526g"] {
+        let ckt = circuit(name, &cfg);
+        let sa = fault_universe(&ckt);
+        let tests = deterministic_tests(&ckt, &sa, &cfg);
+        let tfaults = enumerate_transition(&ckt);
+        group.bench_with_input(
+            BenchmarkId::new("csim-T", name),
+            &(&ckt, &tfaults, &tests),
+            |b, (ckt, tfaults, tests)| {
+                b.iter(|| {
+                    let mut sim = TransitionSim::new(ckt, tfaults, TransitionOptions::default());
+                    sim.run(tests).detected()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3, bench_table5, bench_table6);
+criterion_main!(benches);

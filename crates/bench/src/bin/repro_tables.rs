@@ -1,0 +1,70 @@
+//! Regenerates every table of Lee & Reddy (DAC 1992) and prints them in
+//! the paper's layout.
+//!
+//! ```text
+//! repro-tables            # default: full circuit list, large ones scaled
+//! repro-tables --quick    # smoke run (small budgets, heavy scaling)
+//! repro-tables --full     # paper-scale circuits (slow)
+//! repro-tables --table 3  # a single table
+//! ```
+
+use cfs_bench::tables::{
+    format_table2, format_table3, format_table4, format_table5, format_table6, headline, table2,
+    table3, table4, table5, table6,
+};
+use cfs_bench::workloads::{WorkloadConfig, TABLE3_CIRCUITS, TABLE4_CIRCUITS, TABLE6_CIRCUITS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = WorkloadConfig::default();
+    let mut only: Option<u32> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => config = WorkloadConfig::quick(),
+            "--full" => config = WorkloadConfig::full_scale(),
+            "--table" => {
+                only = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| panic!("--table needs a number 2..=6"));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: repro-tables [--quick|--full] [--table N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "# workload: large-circuit scale {:.2}, deterministic budget {}, random {}",
+        config.large_circuit_scale, config.deterministic_budget, config.random_patterns
+    );
+    match only {
+        None => {
+            print!("{}", format_table2(&table2(TABLE3_CIRCUITS, &config)));
+            println!();
+            let rows3 = table3(TABLE3_CIRCUITS, &config);
+            print!("{}", format_table3(&rows3));
+            println!("  {}", headline(&rows3));
+            println!();
+            print!("{}", format_table4(&table4(TABLE4_CIRCUITS, &config)));
+            println!();
+            print!("{}", format_table5(&table5(&config)));
+            println!();
+            print!("{}", format_table6(&table6(TABLE6_CIRCUITS, &config)));
+        }
+        Some(2) => print!("{}", format_table2(&table2(TABLE3_CIRCUITS, &config))),
+        Some(3) => print!("{}", format_table3(&table3(TABLE3_CIRCUITS, &config))),
+        Some(4) => print!("{}", format_table4(&table4(TABLE4_CIRCUITS, &config))),
+        Some(5) => print!("{}", format_table5(&table5(&config))),
+        Some(6) => print!("{}", format_table6(&table6(TABLE6_CIRCUITS, &config))),
+        Some(n) => {
+            eprintln!("no table {n}; the paper has tables 2..=6");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Benchmark harness regenerating every table of *Lee & Reddy, DAC 1992*.
+//!
+//! [`tables`] holds one regeneration function per table (2–6), printing the
+//! same rows the paper reports; [`workloads`] defines the circuits and test
+//! sets. The `repro-tables` binary drives a full run:
+//!
+//! ```text
+//! cargo run --release -p cfs-bench --bin repro-tables            # default
+//! cargo run --release -p cfs-bench --bin repro-tables -- --quick # smoke
+//! cargo run --release -p cfs-bench --bin repro-tables -- --full  # paper scale
+//! ```
+//!
+//! Criterion micro-benchmarks (`cargo bench -p cfs-bench`) time the
+//! individual simulators and the ablations (macro cap, list splitting,
+//! fault dropping) on fixed workloads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod tables;
+pub mod workloads;

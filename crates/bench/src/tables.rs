@@ -1,0 +1,415 @@
+//! Reproduction of the paper's Tables 2–6.
+//!
+//! Every function regenerates one table: same rows, same quantities (CPU
+//! seconds, memory megabytes, pattern counts, fault coverages). Absolute
+//! numbers differ from a 1992 SPARC 2; the claims under test are the
+//! *relative* ones (macro extraction and list splitting help, csim-MV is
+//! competitive with or beats PROOFS on the larger circuits, stuck-at test
+//! sets are poor transition tests).
+
+use std::fmt::Write as _;
+
+use cfs_baselines::ProofsSim;
+use cfs_core::{ConcurrentSim, CsimVariant, TransitionOptions, TransitionSim};
+use cfs_faults::{enumerate_transition, FaultSimReport};
+
+use crate::workloads::{
+    atpg_tests, circuit, deterministic_tests, fault_universe, WorkloadConfig, TABLE3_CIRCUITS,
+    TABLE4_CIRCUITS, TABLE6_CIRCUITS,
+};
+
+/// One simulator measurement: CPU seconds and modeled memory in MB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Wall-clock simulation seconds.
+    pub cpu_s: f64,
+    /// Paper-comparable memory model, megabytes.
+    pub mem_mb: f64,
+    /// Faults detected.
+    pub detected: usize,
+}
+
+impl Measurement {
+    fn from_report(r: &FaultSimReport) -> Self {
+        Measurement {
+            cpu_s: r.cpu.as_secs_f64(),
+            mem_mb: r.memory_megabytes(),
+            detected: r.detected(),
+        }
+    }
+}
+
+/// Table 2: circuit statistics and the deterministic test sets.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Circuit name.
+    pub name: String,
+    /// Primary inputs / outputs / flip-flops / gates.
+    pub stats: (usize, usize, usize, usize),
+    /// Collapsed fault count.
+    pub faults: usize,
+    /// Test set length.
+    pub patterns: usize,
+    /// Stuck-at coverage of the test set (csim-MV), percent.
+    pub coverage: f64,
+}
+
+/// Regenerates Table 2 over the given circuits.
+pub fn table2(names: &[&str], config: &WorkloadConfig) -> Vec<Table2Row> {
+    names
+        .iter()
+        .map(|&name| {
+            let c = circuit(name, config);
+            let faults = fault_universe(&c);
+            let tests = deterministic_tests(&c, &faults, config);
+            let mut sim = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+            let report = sim.run(&tests);
+            Table2Row {
+                name: name.to_owned(),
+                stats: (c.num_inputs(), c.num_outputs(), c.num_dffs(), c.num_comb_gates()),
+                faults: faults.len(),
+                patterns: tests.len(),
+                coverage: report.coverage_percent(),
+            }
+        })
+        .collect()
+}
+
+/// Formats Table 2 in the paper's layout.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2. Benchmark circuits and deterministic test sets");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>4} {:>4} {:>5} {:>6} {:>7} {:>6} {:>7}",
+        "ckt", "PI", "PO", "DFF", "gates", "faults", "#ptns", "cvg%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>4} {:>4} {:>5} {:>6} {:>7} {:>6} {:>7.2}",
+            r.name, r.stats.0, r.stats.1, r.stats.2, r.stats.3, r.faults, r.patterns, r.coverage
+        );
+    }
+    out
+}
+
+/// Table 3: deterministic patterns (I) — CPU and memory of the four csim
+/// variants and PROOFS on the same test sets.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Circuit name.
+    pub name: String,
+    /// Measurements in Table 3 column order: csim, csim-V, csim-M,
+    /// csim-MV.
+    pub csim: [Measurement; 4],
+    /// PROOFS measurement.
+    pub proofs: Measurement,
+    /// Pattern count.
+    pub patterns: usize,
+}
+
+/// Regenerates Table 3 over the given circuits.
+pub fn table3(names: &[&str], config: &WorkloadConfig) -> Vec<Table3Row> {
+    names
+        .iter()
+        .map(|&name| {
+            let c = circuit(name, config);
+            let faults = fault_universe(&c);
+            let tests = deterministic_tests(&c, &faults, config);
+            let csim = CsimVariant::ALL.map(|variant| {
+                let mut sim = ConcurrentSim::new(&c, &faults, variant.options());
+                Measurement::from_report(&sim.run(&tests))
+            });
+            let mut psim = ProofsSim::new(&c, &faults);
+            let proofs = Measurement::from_report(&psim.run(&tests));
+            Table3Row {
+                name: name.to_owned(),
+                csim,
+                proofs,
+                patterns: tests.len(),
+            }
+        })
+        .collect()
+}
+
+/// Formats Table 3 in the paper's layout.
+pub fn format_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3. Deterministic Patterns (I)");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} | {:>8} | {:>8} | {:>8} | {:>8} {:>7} | {:>8} {:>7}",
+        "ckt", "#ptns", "csim", "csim-V", "csim-M", "csim-MV", "mem", "PROOFS", "mem"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} | {:>8} | {:>8} | {:>8} | {:>8} {:>7} | {:>8} {:>7}",
+        "", "", "cpu s", "cpu s", "cpu s", "cpu s", "MB", "cpu s", "MB"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3} {:>7.2} | {:>8.3} {:>7.2}",
+            r.name,
+            r.patterns,
+            r.csim[0].cpu_s,
+            r.csim[1].cpu_s,
+            r.csim[2].cpu_s,
+            r.csim[3].cpu_s,
+            r.csim[3].mem_mb,
+            r.proofs.cpu_s,
+            r.proofs.mem_mb
+        );
+    }
+    out
+}
+
+/// Table 4: deterministic patterns (II) — higher-coverage ATPG tests,
+/// csim-MV vs. PROOFS.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Circuit name.
+    pub name: String,
+    /// Pattern count.
+    pub patterns: usize,
+    /// Coverage of the ATPG test set, percent.
+    pub coverage: f64,
+    /// csim-MV measurement.
+    pub csim_mv: Measurement,
+    /// PROOFS measurement.
+    pub proofs: Measurement,
+}
+
+/// Regenerates Table 4 over the given circuits.
+pub fn table4(names: &[&str], config: &WorkloadConfig) -> Vec<Table4Row> {
+    names
+        .iter()
+        .map(|&name| {
+            let c = circuit(name, config);
+            let faults = fault_universe(&c);
+            let tests = atpg_tests(&c, &faults, config);
+            let mut mv = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+            let mv_report = mv.run(&tests);
+            let mut psim = ProofsSim::new(&c, &faults);
+            let proofs = Measurement::from_report(&psim.run(&tests));
+            Table4Row {
+                name: name.to_owned(),
+                patterns: tests.len(),
+                coverage: mv_report.coverage_percent(),
+                csim_mv: Measurement::from_report(&mv_report),
+                proofs,
+            }
+        })
+        .collect()
+}
+
+/// Formats Table 4 in the paper's layout.
+pub fn format_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4. Deterministic Patterns (II) — ATPG test sets");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>7} | {:>8} {:>7} | {:>8} {:>7}",
+        "ckt", "#ptns", "cvg%", "csim-MV", "MEM", "PROOFS", "MEM"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>7.2} | {:>8.3} {:>7.2} | {:>8.3} {:>7.2}",
+            r.name,
+            r.patterns,
+            r.coverage,
+            r.csim_mv.cpu_s,
+            r.csim_mv.mem_mb,
+            r.proofs.cpu_s,
+            r.proofs.mem_mb
+        );
+    }
+    out
+}
+
+/// Table 5: random pattern simulation of the largest circuit.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Pattern count of this run.
+    pub patterns: usize,
+    /// Fault coverage, percent.
+    pub coverage: f64,
+    /// csim-MV measurement.
+    pub csim_mv: Measurement,
+    /// PROOFS measurement.
+    pub proofs: Measurement,
+}
+
+/// Regenerates Table 5: increasing random-pattern budgets on `s35932g`.
+pub fn table5(config: &WorkloadConfig) -> Vec<Table5Row> {
+    let c = circuit("s35932g", config);
+    let faults = fault_universe(&c);
+    let budgets = [
+        config.random_patterns / 4,
+        config.random_patterns / 2,
+        config.random_patterns,
+    ];
+    budgets
+        .iter()
+        .map(|&n| {
+            let tests = cfs_atpg::random_patterns(&c, n, config.seed ^ n as u64);
+            let mut mv = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+            let mv_report = mv.run(&tests);
+            let mut psim = ProofsSim::new(&c, &faults);
+            let proofs = Measurement::from_report(&psim.run(&tests));
+            Table5Row {
+                patterns: n,
+                coverage: mv_report.coverage_percent(),
+                csim_mv: Measurement::from_report(&mv_report),
+                proofs,
+            }
+        })
+        .collect()
+}
+
+/// Formats Table 5 in the paper's layout.
+pub fn format_table5(rows: &[Table5Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 5. Random Pattern Simulation (s35932g)");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>8} | {:>8} {:>7} | {:>8} {:>7}",
+        "#ptns", "fltcvg%", "csim-MV", "MEM", "PROOFS", "MEM"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8.2} | {:>8.3} {:>7.2} | {:>8.3} {:>7.2}",
+            r.patterns, r.coverage, r.csim_mv.cpu_s, r.csim_mv.mem_mb, r.proofs.cpu_s, r.proofs.mem_mb
+        );
+    }
+    out
+}
+
+/// Table 6: transition fault coverage of the stuck-at test sets.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Circuit name.
+    pub name: String,
+    /// Transition fault count.
+    pub faults: usize,
+    /// Memory, MB.
+    pub mem_mb: f64,
+    /// CPU seconds.
+    pub cpu_s: f64,
+    /// Transition fault coverage, percent.
+    pub coverage: f64,
+    /// Stuck-at coverage of the same test set (for the paper's point that
+    /// stuck-at tests are poor transition tests).
+    pub stuck_at_coverage: f64,
+}
+
+/// Regenerates Table 6 over the given circuits.
+pub fn table6(names: &[&str], config: &WorkloadConfig) -> Vec<Table6Row> {
+    names
+        .iter()
+        .map(|&name| {
+            let c = circuit(name, config);
+            let sa_faults = fault_universe(&c);
+            let tests = deterministic_tests(&c, &sa_faults, config);
+            let mut sa = ConcurrentSim::new(&c, &sa_faults, CsimVariant::Mv.options());
+            let sa_report = sa.run(&tests);
+            let tfaults = enumerate_transition(&c);
+            let mut tsim = TransitionSim::new(&c, &tfaults, TransitionOptions::default());
+            let report = tsim.run(&tests);
+            Table6Row {
+                name: name.to_owned(),
+                faults: tfaults.len(),
+                mem_mb: report.memory_megabytes(),
+                cpu_s: report.cpu.as_secs_f64(),
+                coverage: report.coverage_percent(),
+                stuck_at_coverage: sa_report.coverage_percent(),
+            }
+        })
+        .collect()
+}
+
+/// Formats Table 6 in the paper's layout.
+pub fn format_table6(rows: &[Table6Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 6. Transition Fault Simulation (stuck-at test sets)");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>7} {:>8} {:>9} {:>9}",
+        "ckt", "#flts", "MEM", "CPU s", "flt cvg%", "(sa cvg%)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>7.2} {:>8.3} {:>9.2} {:>9.2}",
+            r.name, r.faults, r.mem_mb, r.cpu_s, r.coverage, r.stuck_at_coverage
+        );
+    }
+    out
+}
+
+/// Convenience: regenerates and formats every table with the same circuit
+/// selections as the paper.
+pub fn all_tables(config: &WorkloadConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format_table2(&table2(TABLE3_CIRCUITS, config)));
+    out.push('\n');
+    out.push_str(&format_table3(&table3(TABLE3_CIRCUITS, config)));
+    out.push('\n');
+    out.push_str(&format_table4(&table4(TABLE4_CIRCUITS, config)));
+    out.push('\n');
+    out.push_str(&format_table5(&table5(config)));
+    out.push('\n');
+    out.push_str(&format_table6(&table6(TABLE6_CIRCUITS, config)));
+    out
+}
+
+/// One-line summary of who wins, for smoke tests and the README.
+pub fn headline(rows3: &[Table3Row]) -> String {
+    let mut faster = 0usize;
+    for r in rows3 {
+        if r.csim[3].cpu_s <= r.proofs.cpu_s {
+            faster += 1;
+        }
+    }
+    format!("csim-MV beats or ties PROOFS on {}/{} circuits", faster, rows3.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table3_has_consistent_detections() {
+        let cfg = WorkloadConfig::quick();
+        let rows = table3(&["s298g", "s386g"], &cfg);
+        for r in &rows {
+            // All four variants and PROOFS agree on detection counts.
+            let d = r.csim[0].detected;
+            assert!(r.csim.iter().all(|m| m.detected == d), "{}", r.name);
+            assert_eq!(r.proofs.detected, d, "{}", r.name);
+        }
+        let s = format_table3(&rows);
+        assert!(s.contains("s298g"));
+    }
+
+    #[test]
+    fn quick_table6_runs() {
+        let cfg = WorkloadConfig::quick();
+        let rows = table6(&["s298g"], &cfg);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].faults > 0);
+        assert!(format_table6(&rows).contains("s298g"));
+    }
+
+    #[test]
+    fn table5_coverage_is_monotone_in_patterns() {
+        let mut cfg = WorkloadConfig::quick();
+        cfg.random_patterns = 64;
+        let rows = table5(&cfg);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].coverage <= rows[2].coverage + 1e-9);
+    }
+}

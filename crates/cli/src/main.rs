@@ -1,0 +1,274 @@
+//! `fsim` — command-line concurrent fault simulation for synchronous
+//! sequential circuits (Lee & Reddy, DAC 1992).
+//!
+//! ```text
+//! fsim stats <circuit>
+//! fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv]
+//!                    [--simulator csim|proofs|serial|deductive] [--uncollapsed]
+//! fsim transition <circuit> [--random N | --patterns FILE]
+//! fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]
+//! fsim generate <name> [--out FILE]
+//! ```
+//!
+//! `<circuit>` is a `.bench` file path, or `@name` for a built-in circuit
+//! (`@s27` or a generated benchmark such as `@s298g`).
+
+use std::fmt;
+use std::fs;
+use std::process::ExitCode;
+
+use cfs_atpg::{generate_tests, random_patterns, AtpgOptions};
+use cfs_baselines::{DeductiveSim, ProofsSim, SerialSim};
+use cfs_core::{ConcurrentSim, CsimVariant, TransitionOptions, TransitionSim};
+use cfs_faults::{collapse_stuck_at, enumerate_stuck_at, enumerate_transition, FaultSimReport};
+use cfs_logic::{format_pattern, parse_pattern, Logic};
+use cfs_netlist::{extract_macros, parse_bench, write_bench, Circuit};
+
+#[derive(Debug)]
+struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(CliError(msg.into()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fsim: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "stats" => cmd_stats(rest),
+        "sim" => cmd_sim(rest),
+        "transition" => cmd_transition(rest),
+        "atpg" => cmd_atpg(rest),
+        "generate" => cmd_generate(rest),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(err(format!("unknown command {other:?} (try --help)"))),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "fsim — concurrent fault simulation for synchronous sequential circuits\n\
+         \n\
+         usage:\n\
+         \u{20}  fsim stats <circuit>\n\
+         \u{20}  fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv]\n\
+         \u{20}                     [--simulator csim|proofs|serial|deductive] [--uncollapsed]\n\
+         \u{20}  fsim transition <circuit> [--random N | --patterns FILE]\n\
+         \u{20}  fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]\n\
+         \u{20}  fsim generate <name> [--out FILE]\n\
+         \n\
+         <circuit>: a .bench file, or @name for a built-in (@s27, @s298g, …)"
+    );
+}
+
+/// Simple flag scanner: returns the value following `flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn load_circuit(spec: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
+    if let Some(name) = spec.strip_prefix('@') {
+        if name == "s27" {
+            return Ok(cfs_netlist::data::s27());
+        }
+        return cfs_netlist::generate::benchmark(name)
+            .ok_or_else(|| err(format!("unknown built-in circuit {name:?}")));
+    }
+    let text = fs::read_to_string(spec).map_err(|e| err(format!("cannot read {spec}: {e}")))?;
+    let name = std::path::Path::new(spec)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    Ok(parse_bench(name, &text)?)
+}
+
+fn load_patterns(
+    circuit: &Circuit,
+    args: &[String],
+    default_random: usize,
+) -> Result<Vec<Vec<Logic>>, Box<dyn std::error::Error>> {
+    if let Some(file) = flag_value(args, "--patterns") {
+        let text = fs::read_to_string(file).map_err(|e| err(format!("cannot read {file}: {e}")))?;
+        let mut patterns = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let p = parse_pattern(line).map_err(|e| err(format!("{file}:{}: {e}", lineno + 1)))?;
+            if p.len() != circuit.num_inputs() {
+                return Err(err(format!(
+                    "{file}:{}: pattern has {} bits, circuit has {} inputs",
+                    lineno + 1,
+                    p.len(),
+                    circuit.num_inputs()
+                )));
+            }
+            patterns.push(p);
+        }
+        return Ok(patterns);
+    }
+    let n = match flag_value(args, "--random") {
+        Some(v) => v.parse().map_err(|_| err("--random needs a number"))?,
+        None => default_random,
+    };
+    let seed = match flag_value(args, "--seed") {
+        Some(v) => v.parse().map_err(|_| err("--seed needs a number"))?,
+        None => 1,
+    };
+    Ok(random_patterns(circuit, n, seed))
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = args.first().ok_or_else(|| err("stats: missing circuit"))?;
+    let c = load_circuit(spec)?;
+    println!("{c}");
+    let all = enumerate_stuck_at(&c);
+    let collapsed = collapse_stuck_at(&c);
+    println!(
+        "stuck-at faults: {} ({} collapsed, ratio {:.2})",
+        all.len(),
+        collapsed.num_classes(),
+        collapsed.ratio()
+    );
+    println!("transition faults: {}", enumerate_transition(&c).len());
+    let macros = extract_macros(&c, cfs_netlist::DEFAULT_MACRO_MAX_INPUTS);
+    println!(
+        "macro cells: {} ({:.2} gates/cell, {} KiB of LUTs)",
+        macros.num_cells(),
+        c.num_comb_gates() as f64 / macros.num_cells() as f64,
+        macros.lut_memory_bytes() / 1024
+    );
+    Ok(())
+}
+
+fn print_report(report: &FaultSimReport) {
+    println!("{report}");
+    println!(
+        "  events: {}, faulty-machine evaluations: {}",
+        report.events, report.evaluations
+    );
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = args.first().ok_or_else(|| err("sim: missing circuit"))?;
+    let c = load_circuit(spec)?;
+    let faults = if has_flag(args, "--uncollapsed") {
+        enumerate_stuck_at(&c)
+    } else {
+        collapse_stuck_at(&c).representatives
+    };
+    let patterns = load_patterns(&c, args, 256)?;
+    let simulator = flag_value(args, "--simulator").unwrap_or("csim");
+    let report = match simulator {
+        "csim" => {
+            let variant = match flag_value(args, "--variant").unwrap_or("mv") {
+                "base" => CsimVariant::Base,
+                "v" => CsimVariant::V,
+                "m" => CsimVariant::M,
+                "mv" => CsimVariant::Mv,
+                other => return Err(err(format!("unknown variant {other:?}"))),
+            };
+            let mut sim = ConcurrentSim::new(&c, &faults, variant.options());
+            sim.run(&patterns)
+        }
+        "proofs" => ProofsSim::new(&c, &faults).run(&patterns),
+        "serial" => SerialSim::new(&c, &faults).run(&patterns),
+        "deductive" => {
+            let reset = vec![Logic::Zero; c.num_dffs()];
+            DeductiveSim::new(&c, &faults, reset).run(&patterns)?
+        }
+        other => return Err(err(format!("unknown simulator {other:?}"))),
+    };
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = args
+        .first()
+        .ok_or_else(|| err("transition: missing circuit"))?;
+    let c = load_circuit(spec)?;
+    let faults = enumerate_transition(&c);
+    let patterns = load_patterns(&c, args, 256)?;
+    let mut sim = TransitionSim::new(&c, &faults, TransitionOptions::default());
+    let report = sim.run(&patterns);
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_atpg(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = args.first().ok_or_else(|| err("atpg: missing circuit"))?;
+    let c = load_circuit(spec)?;
+    let faults = collapse_stuck_at(&c).representatives;
+    let options = AtpgOptions {
+        max_frames: match flag_value(args, "--max-frames") {
+            Some(v) => v.parse().map_err(|_| err("--max-frames needs a number"))?,
+            None => 8,
+        },
+        random_patterns: match flag_value(args, "--random") {
+            Some(v) => v.parse().map_err(|_| err("--random needs a number"))?,
+            None => 128,
+        },
+        ..Default::default()
+    };
+    let outcome = generate_tests(&c, &faults, options);
+    println!("{outcome}");
+    if let Some(path) = flag_value(args, "--out") {
+        let mut text = String::new();
+        for p in &outcome.patterns {
+            text.push_str(&format_pattern(p));
+            text.push('\n');
+        }
+        fs::write(path, text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        println!("wrote {} patterns to {path}", outcome.patterns.len());
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let name = args.first().ok_or_else(|| err("generate: missing name"))?;
+    let c = cfs_netlist::generate::benchmark(name)
+        .ok_or_else(|| err(format!("unknown benchmark {name:?}")))?;
+    let text = write_bench(&c);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            fs::write(path, text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            println!("wrote {c} to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! End-to-end tests of the `fsim` binary.
+
+use std::process::Command;
+
+fn fsim(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fsim"))
+        .args(args)
+        .output()
+        .expect("fsim binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, _, err) = fsim(&["--help"]);
+    assert!(ok);
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn no_args_prints_usage_and_succeeds() {
+    let (ok, _, err) = fsim(&[]);
+    assert!(ok);
+    assert!(err.contains("fsim"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, err) = fsim(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn stats_builtin_s27() {
+    let (ok, out, _) = fsim(&["stats", "@s27"]);
+    assert!(ok);
+    assert!(out.contains("s27"));
+    assert!(out.contains("stuck-at faults"));
+    assert!(out.contains("macro cells"));
+}
+
+#[test]
+fn stats_unknown_builtin_fails() {
+    let (ok, _, err) = fsim(&["stats", "@sNope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown built-in"));
+}
+
+#[test]
+fn sim_with_random_patterns() {
+    let (ok, out, _) = fsim(&["sim", "@s27", "--random", "64", "--seed", "3"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("csim-MV"));
+    assert!(out.contains("faults"));
+}
+
+#[test]
+fn sim_each_simulator_agrees_on_detections() {
+    let detected = |sim: &str| -> String {
+        let (ok, out, err) = fsim(&["sim", "@s27", "--random", "64", "--simulator", sim]);
+        assert!(ok, "{sim}: {err}");
+        // "x/y faults" fragment
+        out.split_whitespace()
+            .find(|w| w.contains('/'))
+            .unwrap_or("")
+            .to_owned()
+    };
+    let csim = detected("csim");
+    let proofs = detected("proofs");
+    let serial = detected("serial");
+    assert_eq!(csim, proofs);
+    assert_eq!(csim, serial);
+}
+
+#[test]
+fn sim_from_bench_file_and_pattern_file() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("inv.bench");
+    std::fs::write(&bench, "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+    let pats = dir.join("p.pat");
+    std::fs::write(&pats, "# comment\n0\n1\n").unwrap();
+    let (ok, out, err) = fsim(&[
+        "sim",
+        bench.to_str().unwrap(),
+        "--patterns",
+        pats.to_str().unwrap(),
+        "--uncollapsed",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("(100.00%)"), "all inverter faults found: {out}");
+}
+
+#[test]
+fn pattern_width_mismatch_is_reported() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let pats = dir.join("bad.pat");
+    std::fs::write(&pats, "0101010101\n").unwrap();
+    let (ok, _, err) = fsim(&["sim", "@s27", "--patterns", pats.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("bits"), "{err}");
+}
+
+#[test]
+fn transition_simulation_runs() {
+    let (ok, out, _) = fsim(&["transition", "@s27", "--random", "64"]);
+    assert!(ok);
+    assert!(out.contains("csim-T"));
+}
+
+#[test]
+fn generate_round_trips_through_sim() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("gen.bench");
+    let (ok, _, err) = fsim(&["generate", "s298g", "--out", bench.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = fsim(&["sim", bench.to_str().unwrap(), "--random", "32"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("gen"), "{out}");
+}
+
+#[test]
+fn atpg_writes_patterns() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_file = dir.join("s27.pat");
+    let (ok, out, err) = fsim(&[
+        "atpg",
+        "@s27",
+        "--random",
+        "16",
+        "--max-frames",
+        "3",
+        "--out",
+        out_file.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("coverage"));
+    let text = std::fs::read_to_string(&out_file).unwrap();
+    assert!(!text.trim().is_empty());
+    // Patterns feed back into sim.
+    let (ok, _, err) = fsim(&["sim", "@s27", "--patterns", out_file.to_str().unwrap()]);
+    assert!(ok, "{err}");
+}

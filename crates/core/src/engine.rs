@@ -1,0 +1,737 @@
+//! The concurrent simulation engine.
+//!
+//! One good machine and many faulty machines advance together. Faulty
+//! machines are explicit only where they differ from the good machine
+//! (divergence) and disappear where they re-agree (convergence); per-node
+//! fault lists are kept in ascending fault-id order so that the multi-list
+//! traversal of [3] (Gai, Somenzi, Ulrich) merges the fanin lists in one
+//! linear pass. Zero-delay levelized scheduling, event-driven fault
+//! dropping, and the visible/invisible list split are implemented exactly as
+//! §2 of the paper describes.
+
+use cfs_faults::transition_value;
+use cfs_logic::Logic;
+
+use crate::list::{Arena, ListBuilder, NIL, TERMINAL_FAULT};
+use crate::network::{LocalEffect, Network, NodeEval, NodeId, NodeKind};
+
+/// A newly detected fault: `(fault id, pattern index)`.
+pub(crate) type Detection = (u32, u32);
+
+/// Stashed flip-flop update produced by [`Engine::latch_collect`].
+pub(crate) struct LatchStash {
+    updates: Vec<DffUpdate>,
+}
+
+struct DffUpdate {
+    node: NodeId,
+    new_good: Logic,
+    /// `(fault, value, visible)` in ascending fault order.
+    elements: Vec<(u32, Logic, bool)>,
+    changed: bool,
+}
+
+/// The concurrent fault-simulation engine shared by the stuck-at and
+/// transition simulators.
+pub(crate) struct Engine {
+    pub net: Network,
+    pub arena: Arena,
+    /// Good-machine value per node.
+    pub good: Vec<Logic>,
+    /// Visible fault list heads (in combined mode, the only list).
+    vis_head: Vec<u32>,
+    /// Invisible fault list heads (split mode only).
+    inv_head: Vec<u32>,
+    /// Keep invisible elements on their own list (the paper's `-V`).
+    pub split: bool,
+    /// Purge elements of detected faults during traversal.
+    pub drop_detected: bool,
+    /// Transition faults present their held (PV) value during evaluation.
+    pub transition_hold: bool,
+    /// Previous settled faulty pin value per fault (transition model).
+    pub prev_pin: Vec<Logic>,
+
+    buckets: Vec<Vec<NodeId>>,
+    queued: Vec<bool>,
+
+    /// Node activations processed.
+    pub events: u64,
+    /// Good-machine evaluations.
+    pub good_evals: u64,
+    /// Faulty-machine evaluations.
+    pub fault_evals: u64,
+    /// Current pattern (clock cycle) index.
+    pub pattern_index: u32,
+
+    // Reusable scratch buffers for the merge loop.
+    src_scratch: Vec<NodeId>,
+    cursors: Vec<u32>,
+    good_in: Vec<Logic>,
+    faulty_in: Vec<Logic>,
+}
+
+impl Engine {
+    /// Builds an engine over a compiled network; all values start at `X`,
+    /// every fault gets its permanent local element at its site, and every
+    /// evaluation node is scheduled for the first step.
+    pub fn new(net: Network, split: bool, drop_detected: bool) -> Self {
+        let n = net.num_nodes();
+        let num_faults = net.descriptors.len();
+        let mut eng = Engine {
+            arena: Arena::new(),
+            good: vec![Logic::X; n],
+            vis_head: vec![NIL; n],
+            inv_head: vec![NIL; n],
+            split,
+            drop_detected,
+            transition_hold: false,
+            prev_pin: vec![Logic::X; num_faults],
+            buckets: vec![Vec::new(); net.max_level as usize + 1],
+            queued: vec![false; n],
+            events: 0,
+            good_evals: 0,
+            fault_evals: 0,
+            pattern_index: 0,
+            src_scratch: Vec::new(),
+            cursors: Vec::new(),
+            good_in: Vec::new(),
+            faulty_in: Vec::new(),
+            net,
+        };
+        // Permanent local elements: every fault starts invisible (value X ==
+        // good X) at its site.
+        for ni in 0..n as NodeId {
+            let locals: Vec<u32> = eng.net.locals_of(ni).to_vec();
+            if locals.is_empty() {
+                continue;
+            }
+            let mut b = ListBuilder::new();
+            for fid in locals {
+                b.push(&mut eng.arena, fid, Logic::X);
+            }
+            let head = b.finish();
+            if eng.split {
+                eng.inv_head[ni as usize] = head;
+            } else {
+                eng.vis_head[ni as usize] = head;
+            }
+        }
+        // First step evaluates everything (initial values are all X; local
+        // stuck values may already diverge).
+        for ni in 0..n as NodeId {
+            if matches!(eng.net.nodes[ni as usize].kind, NodeKind::Eval) {
+                eng.schedule(ni);
+            }
+        }
+        eng
+    }
+
+    #[inline]
+    fn schedule(&mut self, n: NodeId) {
+        if !self.queued[n as usize] {
+            self.queued[n as usize] = true;
+            let level = self.net.nodes[n as usize].level as usize;
+            self.buckets[level].push(n);
+        }
+    }
+
+    fn schedule_fanouts(&mut self, n: NodeId) {
+        let fanouts: Vec<NodeId> = self.net.nodes[n as usize].fanout.clone();
+        for f in fanouts {
+            self.schedule(f);
+        }
+    }
+
+    /// Forces the good-machine flip-flop state (e.g., a reset state) and
+    /// schedules the affected logic. Faulty-machine state diffs are cleared:
+    /// a forced reset overrides every machine's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the flip-flop count.
+    pub fn set_dff_state(&mut self, state: &[Logic]) {
+        assert_eq!(state.len(), self.net.dff_nodes.len(), "state width");
+        for (k, &v) in state.iter().enumerate() {
+            let q = self.net.dff_nodes[k];
+            if self.good[q as usize] != v {
+                self.good[q as usize] = v;
+                self.schedule_fanouts(q);
+            }
+            // Drop non-local state-diff elements; rebuild local elements
+            // against the new good value.
+            let old_vis = std::mem::replace(&mut self.vis_head[q as usize], NIL);
+            let old_inv = std::mem::replace(&mut self.inv_head[q as usize], NIL);
+            self.arena.free_list(old_vis);
+            self.arena.free_list(old_inv);
+            let locals: Vec<u32> = self.net.locals_of(q).to_vec();
+            let good = self.good[q as usize];
+            let mut vis = ListBuilder::new();
+            let mut inv = ListBuilder::new();
+            for fid in locals {
+                let d = &self.net.descriptors[fid as usize];
+                if self.drop_detected && d.is_detected() {
+                    continue;
+                }
+                let v = match d.effect {
+                    // A stuck Q persists through reset.
+                    LocalEffect::OutputStuck(v) => v,
+                    // A stuck D pin re-latches its value only at the next
+                    // clock; the forced reset overrides it for now. Same
+                    // for transition faults at the D pin.
+                    LocalEffect::PinStuck { .. } | LocalEffect::TransitionPin { .. } => good,
+                    LocalEffect::FaultyLut(_) => {
+                        unreachable!("flip-flops host no functional faults")
+                    }
+                };
+                if v != good {
+                    vis.push(&mut self.arena, fid, v);
+                } else if self.split {
+                    inv.push(&mut self.arena, fid, v);
+                } else {
+                    vis.push(&mut self.arena, fid, v);
+                }
+            }
+            self.vis_head[q as usize] = vis.finish();
+            self.inv_head[q as usize] = inv.finish();
+        }
+    }
+
+    /// Applies a primary-input pattern: updates good values, refreshes the
+    /// permanent local elements of PI nodes, and schedules affected logic.
+    pub fn apply_inputs(&mut self, pattern: &[Logic]) {
+        assert_eq!(pattern.len(), self.net.pi_nodes.len(), "input width");
+        for (k, &v) in pattern.iter().enumerate() {
+            let n = self.net.pi_nodes[k];
+            let changed = self.good[n as usize] != v;
+            self.good[n as usize] = v;
+            self.refresh_source_locals(n);
+            if changed {
+                self.schedule_fanouts(n);
+            }
+        }
+    }
+
+    /// Rebuilds a source node's fault list from its local faults (all
+    /// output-stuck): visible iff the stuck value differs from the good
+    /// value. Detected faults are purged.
+    fn refresh_source_locals(&mut self, n: NodeId) {
+        let old_vis = std::mem::replace(&mut self.vis_head[n as usize], NIL);
+        let old_inv = std::mem::replace(&mut self.inv_head[n as usize], NIL);
+        self.arena.free_list(old_vis);
+        self.arena.free_list(old_inv);
+        let good = self.good[n as usize];
+        let locals: Vec<u32> = self.net.locals_of(n).to_vec();
+        let mut vis = ListBuilder::new();
+        let mut inv = ListBuilder::new();
+        for fid in locals {
+            let d = &self.net.descriptors[fid as usize];
+            if self.drop_detected && d.is_detected() {
+                continue;
+            }
+            let v = match d.effect {
+                LocalEffect::OutputStuck(v) => v,
+                _ => unreachable!("primary inputs host only output-stuck faults"),
+            };
+            if v != good {
+                vis.push(&mut self.arena, fid, v);
+            } else if self.split {
+                inv.push(&mut self.arena, fid, v);
+            } else {
+                vis.push(&mut self.arena, fid, v);
+            }
+        }
+        self.vis_head[n as usize] = vis.finish();
+        self.inv_head[n as usize] = inv.finish();
+    }
+
+    /// Settles the network: processes scheduled nodes level by level.
+    pub fn propagate(&mut self) {
+        for level in 0..self.buckets.len() {
+            let mut i = 0;
+            while i < self.buckets[level].len() {
+                let n = self.buckets[level][i];
+                i += 1;
+                self.queued[n as usize] = false;
+                self.eval_node(n);
+            }
+            self.buckets[level].clear();
+        }
+    }
+
+    /// Evaluates one node: good machine plus every faulty machine explicit
+    /// on its inputs or local to it, with divergence/convergence.
+    fn eval_node(&mut self, n: NodeId) {
+        self.events += 1;
+        let eval = self.net.nodes[n as usize].eval;
+        let nsrc = self.net.nodes[n as usize].sources.len();
+        self.src_scratch.clear();
+        self.src_scratch
+            .extend_from_slice(&self.net.nodes[n as usize].sources);
+        self.good_in.clear();
+        for k in 0..nsrc {
+            self.good_in.push(self.good[self.src_scratch[k] as usize]);
+        }
+        let old_good = self.good[n as usize];
+        let new_good = eval_fn(&self.net, eval, &self.good_in);
+        self.good_evals += 1;
+
+        // Cursors over the fanin lists (visible only in split mode; the
+        // combined list otherwise) plus this node's own lists.
+        self.cursors.clear();
+        for k in 0..nsrc {
+            self.cursors.push(self.vis_head[self.src_scratch[k] as usize]);
+        }
+        let mut own_vis = std::mem::replace(&mut self.vis_head[n as usize], NIL);
+        let mut own_inv = std::mem::replace(&mut self.inv_head[n as usize], NIL);
+        let mut new_vis = ListBuilder::new();
+        let mut new_inv = ListBuilder::new();
+        let mut fault_event = false;
+
+        self.faulty_in.resize(nsrc, Logic::X);
+        loop {
+            // The terminal element makes the minimum computation safe with
+            // no end-of-list checks.
+            let mut m = self
+                .arena
+                .fault(own_vis)
+                .min(self.arena.fault(own_inv));
+            for k in 0..nsrc {
+                m = m.min(self.arena.fault(self.cursors[k]));
+            }
+            if m == TERMINAL_FAULT {
+                break;
+            }
+            // Gather machine m's input values: explicit fanin elements where
+            // present, good values elsewhere (Figure 1's rule).
+            for k in 0..nsrc {
+                let c = self.cursors[k];
+                if self.arena.fault(c) == m {
+                    self.faulty_in[k] = self.arena.value(c);
+                    self.cursors[k] = self.arena.next(c);
+                } else {
+                    self.faulty_in[k] = self.good_in[k];
+                }
+            }
+            // Consume (and free) this node's own element for m, if any.
+            let mut old_faulty = old_good;
+            if self.arena.fault(own_vis) == m {
+                old_faulty = self.arena.value(own_vis);
+                let nx = self.arena.next(own_vis);
+                self.arena.free(own_vis);
+                own_vis = nx;
+            } else if self.arena.fault(own_inv) == m {
+                old_faulty = self.arena.value(own_inv);
+                let nx = self.arena.next(own_inv);
+                self.arena.free(own_inv);
+                own_inv = nx;
+            }
+            let desc = &self.net.descriptors[m as usize];
+            // Event-driven fault dropping: elements of detected faults are
+            // removed while the list they belong to is traversed.
+            if self.drop_detected && desc.is_detected() {
+                continue;
+            }
+            let is_local = desc.site == n;
+            let new_val = if is_local {
+                let effect = desc.effect;
+                self.eval_local(eval, effect, m)
+            } else {
+                self.fault_evals += 1;
+                eval_fn(&self.net, eval, &self.faulty_in)
+            };
+            // Divergence / convergence.
+            if new_val != new_good {
+                new_vis.push(&mut self.arena, m, new_val);
+            } else if is_local {
+                // Local faults keep a permanent (invisible) element.
+                if self.split {
+                    new_inv.push(&mut self.arena, m, new_val);
+                } else {
+                    new_vis.push(&mut self.arena, m, new_val);
+                }
+            }
+            if old_faulty != new_val {
+                fault_event = true;
+            }
+        }
+        self.vis_head[n as usize] = new_vis.finish();
+        self.inv_head[n as usize] = new_inv.finish();
+        self.good[n as usize] = new_good;
+        if new_good != old_good || fault_event {
+            self.schedule_fanouts(n);
+        }
+    }
+
+    /// Evaluates machine `m` at its own fault site, applying the local
+    /// effect from the descriptor.
+    fn eval_local(&mut self, eval: NodeEval, effect: LocalEffect, m: u32) -> Logic {
+        self.fault_evals += 1;
+        match effect {
+            LocalEffect::OutputStuck(v) => v,
+            LocalEffect::PinStuck { pin, value } => {
+                self.faulty_in[pin as usize] = value;
+                eval_fn(&self.net, eval, &self.faulty_in)
+            }
+            LocalEffect::FaultyLut(idx) => {
+                eval_fn(&self.net, NodeEval::Lut(idx), &self.faulty_in)
+            }
+            LocalEffect::TransitionPin { pin, edge } => {
+                if self.transition_hold {
+                    let cv = self.faulty_in[pin as usize];
+                    let pv = self.prev_pin[m as usize];
+                    self.faulty_in[pin as usize] = transition_value(edge, pv, cv);
+                }
+                eval_fn(&self.net, eval, &self.faulty_in)
+            }
+        }
+    }
+
+    /// Scans the primary outputs for detections: a visible element whose
+    /// value and the good value are opposite binary values. Newly detected
+    /// faults are marked in their descriptors (elements are purged lazily).
+    pub fn detect(&mut self) -> Vec<Detection> {
+        let mut found = Vec::new();
+        for t in 0..self.net.po_taps.len() {
+            let p = self.net.po_taps[t];
+            let good = self.good[p as usize];
+            let mut cur = self.vis_head[p as usize];
+            while cur != NIL {
+                let fid = self.arena.fault(cur);
+                let val = self.arena.value(cur);
+                cur = self.arena.next(cur);
+                let desc = &mut self.net.descriptors[fid as usize];
+                if desc.detected_at.is_none() && val.detectably_differs(good) {
+                    desc.detected_at = Some(self.pattern_index);
+                    found.push((fid, self.pattern_index));
+                }
+            }
+        }
+        found
+    }
+
+    /// Computes all flip-flop updates from the settled values without
+    /// committing them (flip-flops latch simultaneously, and the transition
+    /// model's second pass needs the old state).
+    pub fn latch_collect(&mut self) -> LatchStash {
+        let mut updates = Vec::with_capacity(self.net.dff_nodes.len());
+        for di in 0..self.net.dff_nodes.len() {
+            let q = self.net.dff_nodes[di];
+            let d = self.net.nodes[q as usize].sources[0];
+            let old_good_q = self.good[q as usize];
+            let good_d = self.good[d as usize];
+            let new_good = good_d;
+            let mut elements: Vec<(u32, Logic, bool)> = Vec::new();
+            let mut changed = new_good != old_good_q;
+
+            let mut c_drv = self.vis_head[d as usize];
+            let mut c_vis = self.vis_head[q as usize];
+            let mut c_inv = self.inv_head[q as usize];
+            loop {
+                let m = self
+                    .arena
+                    .fault(c_drv)
+                    .min(self.arena.fault(c_vis))
+                    .min(self.arena.fault(c_inv));
+                if m == TERMINAL_FAULT {
+                    break;
+                }
+                let mut faulty_d = good_d;
+                if self.arena.fault(c_drv) == m {
+                    faulty_d = self.arena.value(c_drv);
+                    c_drv = self.arena.next(c_drv);
+                }
+                let mut old_faulty_q = old_good_q;
+                if self.arena.fault(c_vis) == m {
+                    old_faulty_q = self.arena.value(c_vis);
+                    c_vis = self.arena.next(c_vis);
+                } else if self.arena.fault(c_inv) == m {
+                    old_faulty_q = self.arena.value(c_inv);
+                    c_inv = self.arena.next(c_inv);
+                }
+                let desc = &self.net.descriptors[m as usize];
+                if self.drop_detected && desc.is_detected() {
+                    continue;
+                }
+                let is_local = desc.site == q;
+                let faulty_q = if is_local {
+                    match desc.effect {
+                        LocalEffect::OutputStuck(v) => v,
+                        // A stuck D pin latches the stuck value.
+                        LocalEffect::PinStuck { value, .. } => value,
+                        LocalEffect::TransitionPin { edge, .. } => {
+                            if self.transition_hold {
+                                transition_value(edge, self.prev_pin[m as usize], faulty_d)
+                            } else {
+                                faulty_d
+                            }
+                        }
+                        LocalEffect::FaultyLut(_) => {
+                            unreachable!("flip-flops host no functional faults")
+                        }
+                    }
+                } else {
+                    faulty_d
+                };
+                if faulty_q != new_good {
+                    elements.push((m, faulty_q, true));
+                } else if is_local {
+                    elements.push((m, faulty_q, false));
+                }
+                if old_faulty_q != faulty_q {
+                    changed = true;
+                }
+            }
+            updates.push(DffUpdate {
+                node: q,
+                new_good,
+                elements,
+                changed,
+            });
+        }
+        LatchStash { updates }
+    }
+
+    /// Commits a latch stash: writes new flip-flop values and fault lists,
+    /// scheduling the fanouts of every changed flip-flop.
+    pub fn latch_commit(&mut self, stash: LatchStash) {
+        for up in stash.updates {
+            let q = up.node;
+            let old_vis = std::mem::replace(&mut self.vis_head[q as usize], NIL);
+            let old_inv = std::mem::replace(&mut self.inv_head[q as usize], NIL);
+            self.arena.free_list(old_vis);
+            self.arena.free_list(old_inv);
+            let mut vis = ListBuilder::new();
+            let mut inv = ListBuilder::new();
+            for (fid, val, visible) in up.elements {
+                if visible || !self.split {
+                    vis.push(&mut self.arena, fid, val);
+                } else {
+                    inv.push(&mut self.arena, fid, val);
+                }
+            }
+            self.vis_head[q as usize] = vis.finish();
+            self.inv_head[q as usize] = inv.finish();
+            self.good[q as usize] = up.new_good;
+            if up.changed {
+                self.schedule_fanouts(q);
+            }
+        }
+    }
+
+    /// One stuck-at clock cycle: apply, settle, detect, latch.
+    pub fn step_stuck(&mut self, pattern: &[Logic]) -> Vec<Detection> {
+        self.apply_inputs(pattern);
+        self.propagate();
+        let detections = self.detect();
+        let stash = self.latch_collect();
+        self.latch_commit(stash);
+        self.pattern_index += 1;
+        detections
+    }
+
+    /// Schedules the site nodes of all live transition faults (used by the
+    /// transition engine's release pass).
+    pub fn schedule_transition_sites(&mut self) {
+        for fid in 0..self.net.descriptors.len() {
+            let d = &self.net.descriptors[fid];
+            if d.is_detected() && self.drop_detected {
+                continue;
+            }
+            if matches!(d.effect, LocalEffect::TransitionPin { .. }) {
+                let site = d.site;
+                if matches!(self.net.nodes[site as usize].kind, NodeKind::Eval) {
+                    self.schedule(site);
+                }
+            }
+        }
+    }
+
+    /// Updates every transition fault's previous-pin value from the settled
+    /// state (machine-specific: the fault's own element on the driver, or
+    /// the good value).
+    pub fn record_prev_pins(&mut self) {
+        for fid in 0..self.net.descriptors.len() as u32 {
+            let d = &self.net.descriptors[fid as usize];
+            let LocalEffect::TransitionPin { pin, .. } = d.effect else {
+                continue;
+            };
+            if d.is_detected() {
+                continue;
+            }
+            let site = d.site as usize;
+            let driver = self.net.nodes[site].sources[pin as usize];
+            let mut v = self.good[driver as usize];
+            let mut cur = self.vis_head[driver as usize];
+            while cur != NIL {
+                if self.arena.fault(cur) == fid {
+                    v = self.arena.value(cur);
+                    break;
+                }
+                cur = self.arena.next(cur);
+            }
+            self.prev_pin[fid as usize] = v;
+        }
+    }
+
+    /// The fault ids visible at a node with their values (diagnostics).
+    #[allow(dead_code)]
+    pub fn visible_list(&self, n: NodeId) -> Vec<(u32, Logic)> {
+        self.arena.to_vec(self.vis_head[n as usize])
+    }
+
+    /// Checks the structural invariants of every fault list: ascending
+    /// unique fault ids, termination at the sentinel, live-element
+    /// accounting, and the permanent presence of each undropped local
+    /// fault at its site. Panics with a description on violation.
+    pub fn assert_invariants(&self) {
+        let mut counted = 0usize;
+        for ni in 0..self.net.num_nodes() {
+            for head in [self.vis_head[ni], self.inv_head[ni]] {
+                let mut last: Option<u32> = None;
+                let mut cur = head;
+                let mut hops = 0usize;
+                while cur != NIL {
+                    let fid = self.arena.fault(cur);
+                    assert_ne!(fid, TERMINAL_FAULT, "sentinel only terminates");
+                    if let Some(prev) = last {
+                        assert!(fid > prev, "node {ni}: list not strictly ascending");
+                    }
+                    last = Some(fid);
+                    counted += 1;
+                    hops += 1;
+                    assert!(hops <= self.net.descriptors.len(), "node {ni}: list cycle");
+                    cur = self.arena.next(cur);
+                }
+            }
+        }
+        assert_eq!(counted, self.arena.live(), "live-element accounting");
+        for (fid, d) in self.net.descriptors.iter().enumerate() {
+            if d.untestable || (self.drop_detected && d.is_detected()) {
+                continue;
+            }
+            let site = d.site as usize;
+            let present = self
+                .arena
+                .iter_list(self.vis_head[site])
+                .chain(self.arena.iter_list(self.inv_head[site]))
+                .any(|(f, _)| f == fid as u32);
+            assert!(present, "fault {fid} lost its permanent local element");
+        }
+    }
+
+    /// Paper-comparable memory model: peak live elements plus descriptor
+    /// and look-up-table overhead.
+    pub fn memory_bytes(&self) -> usize {
+        self.arena.peak() * Arena::ELEMENT_BYTES
+            + self.net.descriptors.len() * 24
+            + self.net.lut_bytes
+            + self.net.num_nodes() * 48
+    }
+}
+
+/// Evaluates a node function over explicit input values.
+#[inline]
+fn eval_fn(net: &Network, eval: NodeEval, inputs: &[Logic]) -> Logic {
+    match eval {
+        NodeEval::Direct(f) => f.eval(inputs),
+        NodeEval::Lut(idx) => net.lut(idx).eval(inputs),
+        NodeEval::None => unreachable!("source nodes are not evaluated"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{build_gate_network, FaultSpec};
+    use cfs_faults::StuckAt;
+    use cfs_logic::parse_pattern;
+    use cfs_netlist::parse_bench;
+
+    fn two_gate_engine(split: bool) -> (cfs_netlist::Circuit, Engine) {
+        let c = parse_bench(
+            "eng",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ng = AND(a, b)\ny = NOT(g)\n",
+        )
+        .unwrap();
+        let g = c.find("g").unwrap();
+        let specs = vec![
+            FaultSpec::Stuck(StuckAt::output(g, true)), // fault 0: g/sa1
+            FaultSpec::Stuck(StuckAt::pin(g, 0, false)), // fault 1: g.0/sa0
+        ];
+        let net = build_gate_network(&c, &specs);
+        (c.clone(), Engine::new(net, split, true))
+    }
+
+    #[test]
+    fn local_elements_exist_before_any_step() {
+        let (c, eng) = two_gate_engine(true);
+        let g = c.find("g").unwrap().index() as NodeId;
+        // Both local faults sit invisible at the site in split mode.
+        assert_eq!(eng.arena.to_vec(eng.inv_head[g as usize]).len(), 2);
+        assert_eq!(eng.vis_head[g as usize], NIL);
+        eng.assert_invariants();
+    }
+
+    #[test]
+    fn split_mode_moves_quiet_locals_off_the_visible_list() {
+        let (c, mut eng) = two_gate_engine(true);
+        let g = c.find("g").unwrap().index() as NodeId;
+        // a=1, b=1: good g = 1. Fault 0 (g/sa1) agrees → invisible; fault 1
+        // (pin-0 sa0) gives AND(0,1)=0 → visible (and detected at y, so it
+        // is dropped right away — the invisible local for fault 0 stays).
+        eng.step_stuck(&parse_pattern("11").unwrap());
+        assert_eq!(eng.arena.list_len(eng.inv_head[g as usize]), 1);
+        eng.assert_invariants();
+        // a=0, b=1: good g = 0, fault 0 (g/sa1) diverges → moves to the
+        // visible list.
+        eng.step_stuck(&parse_pattern("01").unwrap());
+        let vis: Vec<u32> = eng
+            .arena
+            .iter_list(eng.vis_head[g as usize])
+            .map(|(f, _)| f)
+            .collect();
+        assert!(vis.contains(&0), "activated local fault is visible: {vis:?}");
+        eng.assert_invariants();
+    }
+
+    #[test]
+    fn combined_mode_keeps_one_list() {
+        let (c, mut eng) = two_gate_engine(false);
+        let g = c.find("g").unwrap().index() as NodeId;
+        eng.step_stuck(&parse_pattern("00").unwrap());
+        // Combined mode: invisible locals share the single list (good g = 0,
+        // fault 1 agrees and stays as an invisible entry; fault 0 diverges).
+        assert_eq!(eng.arena.list_len(eng.vis_head[g as usize]), 2);
+        assert_eq!(eng.inv_head[g as usize], NIL);
+        eng.assert_invariants();
+    }
+
+    #[test]
+    fn detection_drops_elements_lazily() {
+        let (c, mut eng) = two_gate_engine(true);
+        let y = c.find("y").unwrap().index() as NodeId;
+        // a=1, b=0: good g=0/y=1; g/sa1: g=1, y=0 → detected at the PO.
+        let det = eng.step_stuck(&parse_pattern("10").unwrap());
+        assert_eq!(det, vec![(0, 0)], "fault 0 detected at pattern 0");
+        // The detected fault's elements disappear as lists are traversed.
+        eng.step_stuck(&parse_pattern("11").unwrap());
+        let at_y: Vec<u32> = eng
+            .arena
+            .iter_list(eng.vis_head[y as usize])
+            .map(|(f, _)| f)
+            .collect();
+        assert!(!at_y.contains(&0), "dropped fault purged from y's list");
+        eng.assert_invariants();
+    }
+
+    #[test]
+    fn counters_reflect_work() {
+        let (_, mut eng) = two_gate_engine(true);
+        eng.step_stuck(&parse_pattern("11").unwrap());
+        let (e1, f1) = (eng.events, eng.fault_evals);
+        assert!(e1 > 0 && f1 > 0);
+        // Identical pattern: almost no new work.
+        eng.step_stuck(&parse_pattern("11").unwrap());
+        assert!(eng.events - e1 <= 2, "quiescent step stays quiet");
+    }
+}

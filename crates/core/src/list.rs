@@ -1,0 +1,323 @@
+//! The paper's Figure 2 data structure: per-gate fault lists with the
+//! simplicity of deductive simulation.
+//!
+//! Each list element is just *(fault identifier, local state, next)*; all
+//! information central to a fault lives in its descriptor, and every list is
+//! terminated by a shared **terminal element** whose fault identifier "lies
+//! in high end memory location to avoid checking end of list during fault
+//! list processing". Elements live in a vector-backed arena with explicit
+//! `u32` links and a free list — the idiomatic Rust rendering of the
+//! paper's pointer-linked lists.
+
+use cfs_logic::Logic;
+
+/// The terminal fault identifier: larger than every real fault id, so the
+/// ascending-id merge loops terminate without an end-of-list check. Its
+/// "imaginary fault descriptor" is never dropped.
+pub const TERMINAL_FAULT: u32 = u32::MAX;
+
+/// Arena index of the shared terminal element.
+pub const NIL: u32 = 0;
+
+/// One fault element: the local state of one faulty machine at one gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultElement {
+    /// Fault identifier (index into the descriptor table), or
+    /// [`TERMINAL_FAULT`] for the sentinel.
+    pub fault: u32,
+    /// The faulty machine's output value at this gate.
+    pub value: Logic,
+    /// Arena index of the next element ([`NIL`] terminates).
+    pub next: u32,
+}
+
+/// Vector-backed arena of fault elements with a free list.
+///
+/// Index 0 is permanently the shared terminal element; every list head of an
+/// empty list is [`NIL`].
+#[derive(Debug, Clone)]
+pub struct Arena {
+    elems: Vec<FaultElement>,
+    free: Vec<u32>,
+    live: usize,
+    peak: usize,
+}
+
+impl Arena {
+    /// Creates an arena containing only the terminal element.
+    pub fn new() -> Self {
+        Arena {
+            elems: vec![FaultElement {
+                fault: TERMINAL_FAULT,
+                value: Logic::X,
+                next: NIL,
+            }],
+            free: Vec::new(),
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    /// Allocates an element, reusing freed slots when possible.
+    #[inline]
+    pub fn alloc(&mut self, fault: u32, value: Logic, next: u32) -> u32 {
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        let e = FaultElement { fault, value, next };
+        if let Some(idx) = self.free.pop() {
+            self.elems[idx as usize] = e;
+            idx
+        } else {
+            let idx = self.elems.len() as u32;
+            self.elems.push(e);
+            idx
+        }
+    }
+
+    /// Returns an element to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when freeing the terminal element.
+    #[inline]
+    pub fn free(&mut self, idx: u32) {
+        debug_assert_ne!(idx, NIL, "the terminal element is never freed");
+        self.live -= 1;
+        self.free.push(idx);
+    }
+
+    /// The fault id of an element (terminal ⇒ [`TERMINAL_FAULT`]).
+    #[inline]
+    pub fn fault(&self, idx: u32) -> u32 {
+        self.elems[idx as usize].fault
+    }
+
+    /// The stored value of an element.
+    #[inline]
+    pub fn value(&self, idx: u32) -> Logic {
+        self.elems[idx as usize].value
+    }
+
+    /// The next link of an element.
+    #[inline]
+    pub fn next(&self, idx: u32) -> u32 {
+        self.elems[idx as usize].next
+    }
+
+    /// Rewrites the next link of an element.
+    #[inline]
+    pub fn set_next(&mut self, idx: u32, next: u32) {
+        self.elems[idx as usize].next = next;
+    }
+
+    /// Number of live (allocated, unfreed) elements.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of live elements — the basis of the paper-comparable
+    /// memory figures.
+    #[inline]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Bytes modeled per element (fault id + value + link, padded).
+    pub const ELEMENT_BYTES: usize = std::mem::size_of::<FaultElement>();
+
+    /// Iterates a list's `(fault, value)` pairs (excluding the terminal).
+    pub fn iter_list(&self, head: u32) -> ListIter<'_> {
+        ListIter { arena: self, cur: head }
+    }
+
+    /// Collects a list into a vector (test/debug helper).
+    pub fn to_vec(&self, head: u32) -> Vec<(u32, Logic)> {
+        self.iter_list(head).collect()
+    }
+
+    /// Length of a list (excluding the terminal).
+    pub fn list_len(&self, head: u32) -> usize {
+        self.iter_list(head).count()
+    }
+
+    /// Frees an entire list, returning its length.
+    pub fn free_list(&mut self, head: u32) -> usize {
+        let mut cur = head;
+        let mut n = 0;
+        while cur != NIL {
+            let next = self.next(cur);
+            self.free(cur);
+            cur = next;
+            n += 1;
+        }
+        n
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+/// Iterator over a fault list's `(fault, value)` pairs.
+#[derive(Debug)]
+pub struct ListIter<'a> {
+    arena: &'a Arena,
+    cur: u32,
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = (u32, Logic);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let item = (self.arena.fault(self.cur), self.arena.value(self.cur));
+        self.cur = self.arena.next(self.cur);
+        Some(item)
+    }
+}
+
+/// An append-only builder producing a sorted list during the merge pass.
+///
+/// Elements must be appended in strictly ascending fault-id order; the
+/// resulting list is terminated by the shared sentinel.
+#[derive(Debug)]
+pub struct ListBuilder {
+    head: u32,
+    tail: u32,
+    #[cfg(debug_assertions)]
+    last_fault: Option<u32>,
+}
+
+impl ListBuilder {
+    /// Starts an empty list.
+    pub fn new() -> Self {
+        ListBuilder {
+            head: NIL,
+            tail: NIL,
+            #[cfg(debug_assertions)]
+            last_fault: None,
+        }
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, arena: &mut Arena, fault: u32, value: Logic) {
+        #[cfg(debug_assertions)]
+        {
+            if let Some(last) = self.last_fault {
+                debug_assert!(fault > last, "list must stay sorted: {fault} after {last}");
+            }
+            self.last_fault = Some(fault);
+        }
+        let idx = arena.alloc(fault, value, NIL);
+        if self.tail == NIL {
+            self.head = idx;
+        } else {
+            arena.set_next(self.tail, idx);
+        }
+        self.tail = idx;
+    }
+
+    /// Finishes the list, returning its head.
+    pub fn finish(self) -> u32 {
+        self.head
+    }
+
+    /// Returns `true` if nothing was appended.
+    pub fn is_empty(&self) -> bool {
+        self.head == NIL
+    }
+}
+
+impl Default for ListBuilder {
+    fn default() -> Self {
+        ListBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_element_is_pre_allocated() {
+        let a = Arena::new();
+        assert_eq!(a.fault(NIL), TERMINAL_FAULT);
+        assert_eq!(a.next(NIL), NIL);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn figure2_shape_round_trip() {
+        // Build the Figure 2 list: elements for faults E and G with local
+        // values, terminated by the sentinel.
+        let mut a = Arena::new();
+        let mut b = ListBuilder::new();
+        b.push(&mut a, 4, Logic::One); // fault E
+        b.push(&mut a, 6, Logic::Zero); // fault G
+        let head = b.finish();
+        assert_eq!(a.to_vec(head), vec![(4, Logic::One), (6, Logic::Zero)]);
+        assert_eq!(a.list_len(head), 2);
+        // The merge loop's termination condition needs no length check:
+        // following links always reaches TERMINAL_FAULT.
+        let mut cur = head;
+        let mut hops = 0;
+        while a.fault(cur) != TERMINAL_FAULT {
+            cur = a.next(cur);
+            hops += 1;
+            assert!(hops < 10);
+        }
+    }
+
+    #[test]
+    fn free_list_recycles_slots() {
+        let mut a = Arena::new();
+        let i1 = a.alloc(1, Logic::Zero, NIL);
+        let i2 = a.alloc(2, Logic::One, NIL);
+        assert_eq!(a.live(), 2);
+        a.free(i1);
+        let i3 = a.alloc(3, Logic::X, NIL);
+        assert_eq!(i3, i1, "slot recycled");
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.peak(), 2);
+        a.free(i2);
+        a.free(i3);
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.peak(), 2, "peak persists");
+    }
+
+    #[test]
+    fn free_list_frees_whole_chain() {
+        let mut a = Arena::new();
+        let mut b = ListBuilder::new();
+        for f in 0..5 {
+            b.push(&mut a, f, Logic::One);
+        }
+        let head = b.finish();
+        assert_eq!(a.free_list(head), 5);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sorted")]
+    fn builder_rejects_out_of_order() {
+        let mut a = Arena::new();
+        let mut b = ListBuilder::new();
+        b.push(&mut a, 5, Logic::One);
+        b.push(&mut a, 3, Logic::One);
+    }
+
+    #[test]
+    fn empty_list_iterates_nothing() {
+        let a = Arena::new();
+        assert_eq!(a.to_vec(NIL), vec![]);
+        let b = ListBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.finish(), NIL);
+    }
+}

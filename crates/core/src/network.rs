@@ -1,0 +1,460 @@
+//! The simulation network: the circuit (optionally macro-collapsed) plus the
+//! fault descriptors, compiled into a flat node array for the engine.
+
+use std::collections::HashMap;
+
+use cfs_faults::{Edge, FaultSite, StuckAt, TransitionFault};
+use cfs_logic::{GateFn, Logic, Lut3, TruthTable, MAX_LUT_INPUTS};
+use cfs_netlist::{extract_macros, Circuit, GateId, GateKind, MacroFaultSite};
+
+/// Dense node identifier within the compiled network.
+pub(crate) type NodeId = u32;
+
+/// Structural role of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeKind {
+    /// Primary input `pi_index`.
+    Input(u32),
+    /// Flip-flop; its driver node computes the D value.
+    Dff,
+    /// Combinational gate or macro cell.
+    Eval,
+}
+
+/// How a node's good machine evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeEval {
+    /// Direct gate-function fold.
+    Direct(GateFn),
+    /// Table look-up (macro cells; index into the LUT pool).
+    Lut(u32),
+    /// Sources (inputs and flip-flops) are not evaluated.
+    None,
+}
+
+/// The local effect of a fault at its site node — the information the
+/// paper stores in the *fault descriptor* ("how to evaluate the faulty
+/// machine").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LocalEffect {
+    /// The node's output is stuck.
+    OutputStuck(Logic),
+    /// One input pin is stuck (branch fault).
+    PinStuck {
+        /// Pin index.
+        pin: u8,
+        /// Stuck value.
+        value: Logic,
+    },
+    /// Macro functional fault: evaluate through this faulty LUT.
+    FaultyLut(u32),
+    /// Transition fault on an input pin (used by the transition engine).
+    TransitionPin {
+        /// Pin index.
+        pin: u8,
+        /// Delayed edge.
+        edge: Edge,
+    },
+}
+
+/// Central per-fault record (the paper's fault descriptor).
+#[derive(Debug, Clone)]
+pub(crate) struct Descriptor {
+    /// The node hosting the fault.
+    pub site: NodeId,
+    /// How to evaluate the faulty machine at the site.
+    pub effect: LocalEffect,
+    /// Pattern index of first detection.
+    pub detected_at: Option<u32>,
+    /// Proven undetectable (e.g. functionally redundant within its macro).
+    pub untestable: bool,
+}
+
+impl Descriptor {
+    #[inline]
+    pub fn is_detected(&self) -> bool {
+        self.detected_at.is_some()
+    }
+}
+
+/// One compiled node.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub kind: NodeKind,
+    pub eval: NodeEval,
+    /// Fanin nodes, in pin order (for a DFF: the single D driver).
+    pub sources: Vec<NodeId>,
+    /// Combinational consumers (evaluation nodes only).
+    pub fanout: Vec<NodeId>,
+    /// Evaluation level (0 for sources).
+    pub level: u32,
+    /// Faults sited at this node (ascending fault ids) — slice into
+    /// [`Network::locals`].
+    pub locals: std::ops::Range<u32>,
+}
+
+/// The compiled simulation network.
+#[derive(Debug, Clone)]
+pub(crate) struct Network {
+    pub nodes: Vec<Node>,
+    pub pi_nodes: Vec<NodeId>,
+    pub dff_nodes: Vec<NodeId>,
+    /// Primary-output taps (node ids, tap order preserved).
+    pub po_taps: Vec<NodeId>,
+    pub lut_pool: Vec<Lut3>,
+    pub descriptors: Vec<Descriptor>,
+    /// Fault ids grouped by site node (see [`Node::locals`]).
+    pub locals: Vec<u32>,
+    pub max_level: u32,
+    /// Bytes of LUT storage (memory model).
+    pub lut_bytes: usize,
+}
+
+impl Network {
+    /// Fault ids local to `node`.
+    #[inline]
+    pub fn locals_of(&self, node: NodeId) -> &[u32] {
+        let r = &self.nodes[node as usize].locals;
+        &self.locals[r.start as usize..r.end as usize]
+    }
+
+    #[inline]
+    pub fn lut(&self, idx: u32) -> &Lut3 {
+        &self.lut_pool[idx as usize]
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Compiles a gate-level network (no macros): one node per circuit node.
+pub(crate) fn build_gate_network(circuit: &Circuit, faults: &[FaultSpec]) -> Network {
+    let n = circuit.num_nodes();
+    let mut nodes: Vec<Node> = Vec::with_capacity(n);
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let _ = i;
+        let (kind, eval, sources) = match gate.kind() {
+            GateKind::Input => (NodeKind::Input(0), NodeEval::None, Vec::new()),
+            GateKind::Dff => (
+                NodeKind::Dff,
+                NodeEval::None,
+                vec![gate.fanin()[0].index() as NodeId],
+            ),
+            GateKind::Comb(f) => (
+                NodeKind::Eval,
+                NodeEval::Direct(f),
+                gate.fanin().iter().map(|&g| g.index() as NodeId).collect(),
+            ),
+        };
+        let fanout = gate
+            .fanout()
+            .iter()
+            .filter(|&&g| circuit.gate(g).kind().is_comb())
+            .map(|&g| g.index() as NodeId)
+            .collect();
+        nodes.push(Node {
+            kind,
+            eval,
+            sources,
+            fanout,
+            level: circuit.level(GateId::from_index(i)),
+            locals: 0..0,
+        });
+    }
+    for (k, &pi) in circuit.inputs().iter().enumerate() {
+        nodes[pi.index()].kind = NodeKind::Input(k as u32);
+    }
+    let pi_nodes = circuit.inputs().iter().map(|&g| g.index() as NodeId).collect();
+    let dff_nodes = circuit.dffs().iter().map(|&g| g.index() as NodeId).collect();
+    let po_taps = circuit.outputs().iter().map(|&g| g.index() as NodeId).collect();
+
+    let mut net = Network {
+        max_level: circuit.max_level(),
+        nodes,
+        pi_nodes,
+        dff_nodes,
+        po_taps,
+        lut_pool: Vec::new(),
+        descriptors: Vec::new(),
+        locals: Vec::new(),
+        lut_bytes: 0,
+    };
+    attach_faults(&mut net, faults, |site_gate| site_gate.index() as NodeId);
+    net
+}
+
+/// Compiles a macro-collapsed network: nodes are PIs, flip-flops, and macro
+/// cells; internal stuck-at faults become functional (faulty-LUT) faults.
+pub(crate) fn build_macro_network(
+    circuit: &Circuit,
+    faults: &[FaultSpec],
+    max_inputs: usize,
+) -> Network {
+    let macros = extract_macros(circuit, max_inputs);
+    // Node layout: sources keep position by original id compaction:
+    // first all PIs and DFFs (in circuit order), then one node per cell.
+    let mut node_of_gate: Vec<Option<NodeId>> = vec![None; circuit.num_nodes()];
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut pi_nodes = Vec::new();
+    let mut dff_nodes = Vec::new();
+    for (k, &pi) in circuit.inputs().iter().enumerate() {
+        node_of_gate[pi.index()] = Some(nodes.len() as NodeId);
+        pi_nodes.push(nodes.len() as NodeId);
+        nodes.push(Node {
+            kind: NodeKind::Input(k as u32),
+            eval: NodeEval::None,
+            sources: Vec::new(),
+            fanout: Vec::new(),
+            level: 0,
+            locals: 0..0,
+        });
+    }
+    for &q in circuit.dffs() {
+        node_of_gate[q.index()] = Some(nodes.len() as NodeId);
+        dff_nodes.push(nodes.len() as NodeId);
+        nodes.push(Node {
+            kind: NodeKind::Dff,
+            eval: NodeEval::None,
+            sources: Vec::new(), // driver patched below
+            fanout: Vec::new(),
+            level: 0,
+            locals: 0..0,
+        });
+    }
+    // Cells in topological order; the LUT pool starts with the good LUTs.
+    // The pool is content-deduplicated: identical functions (frequent for
+    // the per-fault functional-fault LUTs, e.g. constants) share storage,
+    // which is what keeps the paper's "look up table overhead not too
+    // high" so macro extraction pays off in memory on large circuits.
+    let mut lut_pool: Vec<Lut3> = Vec::new();
+    let mut lut_interner: HashMap<Lut3, u32> = HashMap::new();
+    let mut cell_node: Vec<NodeId> = vec![0; macros.num_cells()];
+    for ci in macros.topo_order() {
+        let cell = &macros.cells()[ci];
+        let id = nodes.len() as NodeId;
+        cell_node[ci] = id;
+        node_of_gate[cell.root().index()] = Some(id);
+        let lut_idx = intern_lut(&mut lut_pool, &mut lut_interner, cell.lut().clone());
+        nodes.push(Node {
+            kind: NodeKind::Eval,
+            eval: NodeEval::Lut(lut_idx),
+            sources: Vec::new(), // patched below (needs all cell nodes placed)
+            fanout: Vec::new(),
+            level: 0,
+            locals: 0..0,
+        });
+    }
+    // Patch sources, fanouts, levels.
+    let mut max_level = 0;
+    for ci in macros.topo_order() {
+        let cell = &macros.cells()[ci];
+        let me = cell_node[ci];
+        let sources: Vec<NodeId> = cell
+            .support()
+            .iter()
+            .map(|&s| node_of_gate[s.index()].expect("support node exists"))
+            .collect();
+        let level = 1 + sources
+            .iter()
+            .map(|&s| nodes[s as usize].level)
+            .max()
+            .unwrap_or(0);
+        nodes[me as usize].level = level;
+        max_level = max_level.max(level);
+        for &s in &sources {
+            nodes[s as usize].fanout.push(me);
+        }
+        nodes[me as usize].sources = sources;
+    }
+    for (k, &q) in circuit.dffs().iter().enumerate() {
+        let d = circuit.gate(q).fanin()[0];
+        let driver = node_of_gate[d.index()].expect("D driver is a source or a cell root");
+        let me = dff_nodes[k];
+        nodes[me as usize].sources = vec![driver];
+    }
+    let po_taps = circuit
+        .outputs()
+        .iter()
+        .map(|&g| node_of_gate[g.index()].expect("PO taps are sources or roots"))
+        .collect();
+
+    let mut net = Network {
+        nodes,
+        pi_nodes,
+        dff_nodes,
+        po_taps,
+        lut_pool,
+        descriptors: Vec::new(),
+        locals: Vec::new(),
+        max_level,
+        lut_bytes: 0,
+    };
+    // Fault mapping: sources map directly; combinational sites become
+    // functional faults of their cell.
+    let mut faulty_lut_cache: HashMap<(usize, MacroFaultSite), Option<u32>> = HashMap::new();
+    let specs: Vec<ResolvedFault> = faults
+        .iter()
+        .map(|spec| match spec {
+            FaultSpec::Stuck(f) => {
+                let g = f.site.gate();
+                match circuit.gate(g).kind() {
+                    GateKind::Input | GateKind::Dff => ResolvedFault::Plain {
+                        site: node_of_gate[g.index()].expect("source node"),
+                        effect: plain_effect(f),
+                    },
+                    GateKind::Comb(_) => {
+                        let ci = macros.cell_index_of(g).expect("every gate has a cell");
+                        let cell = &macros.cells()[ci];
+                        let msite = match f.site {
+                            FaultSite::Output { gate } => MacroFaultSite::Output {
+                                gate,
+                                value: f.stuck_at_one,
+                            },
+                            FaultSite::Pin { gate, pin } => MacroFaultSite::Pin {
+                                gate,
+                                pin: pin as usize,
+                                value: f.stuck_at_one,
+                            },
+                        };
+                        let entry =
+                            faulty_lut_cache.entry((ci, msite)).or_insert_with(|| {
+                                let ft = cell
+                                    .faulty_table(msite)
+                                    .expect("site belongs to its cell");
+                                if ft.equivalent(cell.table()) {
+                                    None // redundant within the macro
+                                } else {
+                                    let lut = cell
+                                        .faulty_lut(msite)
+                                        .expect("site belongs to its cell");
+                                    Some(intern_lut(
+                                        &mut net.lut_pool,
+                                        &mut lut_interner,
+                                        lut,
+                                    ))
+                                }
+                            });
+                        match entry {
+                            Some(idx) => ResolvedFault::Plain {
+                                site: cell_node[ci],
+                                effect: LocalEffect::FaultyLut(*idx),
+                            },
+                            None => ResolvedFault::Untestable {
+                                site: cell_node[ci],
+                            },
+                        }
+                    }
+                }
+            }
+            FaultSpec::Transition(t) => ResolvedFault::Plain {
+                site: node_of_gate[t.gate.index()]
+                    .expect("transition sites are gate-level; macros unsupported"),
+                effect: LocalEffect::TransitionPin {
+                    pin: t.pin,
+                    edge: t.edge,
+                },
+            },
+        })
+        .collect();
+    attach_resolved(&mut net, &specs);
+    net
+}
+
+/// Interns a LUT by content, returning its pool index.
+fn intern_lut(pool: &mut Vec<Lut3>, interner: &mut HashMap<Lut3, u32>, lut: Lut3) -> u32 {
+    if let Some(&idx) = interner.get(&lut) {
+        return idx;
+    }
+    let idx = pool.len() as u32;
+    interner.insert(lut.clone(), idx);
+    pool.push(lut);
+    idx
+}
+
+/// A fault handed to the network compiler.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FaultSpec {
+    Stuck(StuckAt),
+    Transition(TransitionFault),
+}
+
+enum ResolvedFault {
+    Plain { site: NodeId, effect: LocalEffect },
+    Untestable { site: NodeId },
+}
+
+fn plain_effect(f: &StuckAt) -> LocalEffect {
+    match f.site {
+        FaultSite::Output { .. } => LocalEffect::OutputStuck(f.value()),
+        FaultSite::Pin { pin, .. } => LocalEffect::PinStuck {
+            pin,
+            value: f.value(),
+        },
+    }
+}
+
+fn attach_faults(net: &mut Network, faults: &[FaultSpec], node_of: impl Fn(GateId) -> NodeId) {
+    let specs: Vec<ResolvedFault> = faults
+        .iter()
+        .map(|spec| match spec {
+            FaultSpec::Stuck(f) => ResolvedFault::Plain {
+                site: node_of(f.site.gate()),
+                effect: plain_effect(f),
+            },
+            FaultSpec::Transition(t) => ResolvedFault::Plain {
+                site: node_of(t.gate),
+                effect: LocalEffect::TransitionPin {
+                    pin: t.pin,
+                    edge: t.edge,
+                },
+            },
+        })
+        .collect();
+    attach_resolved(net, &specs);
+}
+
+fn attach_resolved(net: &mut Network, specs: &[ResolvedFault]) {
+    net.descriptors = specs
+        .iter()
+        .map(|r| match *r {
+            ResolvedFault::Plain { site, effect } => Descriptor {
+                site,
+                effect,
+                detected_at: None,
+                untestable: false,
+            },
+            ResolvedFault::Untestable { site } => Descriptor {
+                site,
+                effect: LocalEffect::OutputStuck(Logic::X), // never used
+                detected_at: None,
+                untestable: true,
+            },
+        })
+        .collect();
+    // Group local fault ids by site, ascending.
+    let mut by_site: Vec<Vec<u32>> = vec![Vec::new(); net.nodes.len()];
+    for (fid, d) in net.descriptors.iter().enumerate() {
+        if !d.untestable {
+            by_site[d.site as usize].push(fid as u32);
+        }
+    }
+    net.locals.clear();
+    for (ni, list) in by_site.into_iter().enumerate() {
+        let start = net.locals.len() as u32;
+        net.locals.extend(list); // already ascending (fid order)
+        net.nodes[ni].locals = start..net.locals.len() as u32;
+    }
+    net.lut_bytes = net.lut_pool.iter().map(Lut3::memory_bytes).sum();
+}
+
+/// Builds a LUT for a plain gate function (used when gate-mode nodes opt
+/// into table evaluation).
+#[allow(dead_code)]
+pub(crate) fn gate_lut(f: GateFn, arity: usize) -> Option<Lut3> {
+    if arity <= MAX_LUT_INPUTS {
+        Some(Lut3::from_table(&TruthTable::from_gate_fn(f, arity)))
+    } else {
+        None
+    }
+}

@@ -1,0 +1,176 @@
+//! The transition fault simulator of §3: the concurrent method "is ideal to
+//! simulate the transition faults because all previous input values of all
+//! the gates are available."
+//!
+//! Each clock cycle runs two passes over the combinational logic:
+//!
+//! 1. **Sampling pass** — faulty transitions are *held* (each activated pin
+//!    presents its previous value per Table 1); primary outputs are sampled
+//!    for detection and flip-flop masters latch the faulty next state.
+//! 2. **Settling pass** — transitions are released (the delay defect is
+//!    smaller than a clock cycle, so the logic settles correctly) with the
+//!    *old* flip-flop state still visible; the settled pin values become the
+//!    previous values for the next cycle. Only then do the flip-flop slaves
+//!    take the stashed state.
+
+use std::fmt;
+use std::time::Instant;
+
+use cfs_faults::{FaultSimReport, FaultStatus, TransitionFault};
+use cfs_logic::Logic;
+use cfs_netlist::Circuit;
+
+use crate::engine::Engine;
+use crate::network::{build_gate_network, FaultSpec};
+
+/// Configuration of the transition fault simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionOptions {
+    /// Keep invisible fault elements on a separate list.
+    pub split_invisible: bool,
+    /// Purge elements of detected faults during traversal.
+    pub drop_detected: bool,
+}
+
+impl Default for TransitionOptions {
+    fn default() -> Self {
+        TransitionOptions {
+            split_invisible: true,
+            drop_detected: true,
+        }
+    }
+}
+
+/// Concurrent transition fault simulator (gate-level; the transition model
+/// addresses individual gate pins, so macro collapsing does not apply).
+///
+/// # Examples
+///
+/// ```
+/// use cfs_core::TransitionSim;
+/// use cfs_faults::enumerate_transition;
+/// use cfs_logic::parse_pattern;
+/// use cfs_netlist::data::s27;
+///
+/// let circuit = s27();
+/// let faults = enumerate_transition(&circuit);
+/// let mut sim = TransitionSim::new(&circuit, &faults, Default::default());
+/// let patterns: Vec<_> = ["0000", "1111", "0000", "1111"]
+///     .iter()
+///     .map(|p| parse_pattern(p))
+///     .collect::<Result<_, _>>()?;
+/// let report = sim.run(&patterns);
+/// assert_eq!(report.total_faults(), faults.len());
+/// # Ok::<(), cfs_logic::ParseLogicError>(())
+/// ```
+pub struct TransitionSim {
+    engine: Engine,
+    circuit_name: String,
+    num_faults: usize,
+}
+
+impl fmt::Debug for TransitionSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransitionSim")
+            .field("circuit", &self.circuit_name)
+            .field("faults", &self.num_faults)
+            .finish()
+    }
+}
+
+impl TransitionSim {
+    /// Compiles the gate-level network with the transition fault universe.
+    pub fn new(
+        circuit: &Circuit,
+        faults: &[TransitionFault],
+        options: TransitionOptions,
+    ) -> Self {
+        let specs: Vec<FaultSpec> = faults.iter().map(|&f| FaultSpec::Transition(f)).collect();
+        let net = build_gate_network(circuit, &specs);
+        let engine = Engine::new(net, options.split_invisible, options.drop_detected);
+        TransitionSim {
+            engine,
+            circuit_name: circuit.name().to_owned(),
+            num_faults: faults.len(),
+        }
+    }
+
+    /// Simulates one clock cycle (both passes). Returns the indices of
+    /// faults first detected this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count.
+    pub fn step(&mut self, inputs: &[Logic]) -> Vec<usize> {
+        // Pass 1: transitions held; sample and latch masters.
+        self.engine.transition_hold = true;
+        self.engine.apply_inputs(inputs);
+        self.engine.propagate();
+        let detections = self.engine.detect();
+        let stash = self.engine.latch_collect();
+        // Pass 2: transitions released, old flip-flop state still visible.
+        self.engine.transition_hold = false;
+        self.engine.schedule_transition_sites();
+        self.engine.propagate();
+        self.engine.record_prev_pins();
+        // Slaves take the stashed state only now.
+        self.engine.latch_commit(stash);
+        self.engine.pattern_index += 1;
+        detections.into_iter().map(|(f, _)| f as usize).collect()
+    }
+
+    /// Simulates a pattern sequence and assembles the report.
+    pub fn run(&mut self, patterns: &[Vec<Logic>]) -> FaultSimReport {
+        let start = Instant::now();
+        for p in patterns {
+            self.step(p);
+        }
+        let cpu = start.elapsed();
+        FaultSimReport {
+            simulator: "csim-T".to_owned(),
+            circuit: self.circuit_name.clone(),
+            patterns: patterns.len(),
+            statuses: self.statuses(),
+            cpu,
+            memory_bytes: self.engine.memory_bytes(),
+            events: self.engine.events,
+            evaluations: self.engine.fault_evals,
+        }
+    }
+
+    /// Per-fault statuses, aligned with the fault list given to
+    /// [`TransitionSim::new`].
+    pub fn statuses(&self) -> Vec<FaultStatus> {
+        self.engine
+            .net
+            .descriptors
+            .iter()
+            .map(|d| match d.detected_at {
+                Some(p) => FaultStatus::Detected {
+                    pattern: p as usize,
+                },
+                None => FaultStatus::Undetected,
+            })
+            .collect()
+    }
+
+    /// Number of faults detected so far.
+    pub fn detected(&self) -> usize {
+        self.engine
+            .net
+            .descriptors
+            .iter()
+            .filter(|d| d.is_detected())
+            .count()
+    }
+
+    /// Peak live fault elements so far.
+    pub fn peak_elements(&self) -> usize {
+        self.engine.arena.peak()
+    }
+
+    /// Paper-comparable memory model in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
+    }
+}

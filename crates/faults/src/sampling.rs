@@ -1,0 +1,174 @@
+//! Fault sampling: estimating coverage from a random subset of the fault
+//! universe.
+//!
+//! For the multi-million-fault designs the paper's introduction motivates,
+//! simulating a uniform sample and reporting a confidence interval was (and
+//! is) standard practice when only the coverage *number* is needed.
+
+use cfs_logic::Logic;
+
+use crate::{FaultStatus, StuckAt};
+
+/// Draws a uniform random sample of `count` faults (deterministic in
+/// `seed`). Returns the sampled faults together with their indices into
+/// the original universe.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_faults::{enumerate_stuck_at, sample_faults};
+/// use cfs_netlist::data::s27;
+///
+/// let c = s27();
+/// let all = enumerate_stuck_at(&c);
+/// let (sample, indices) = sample_faults(&all, 20, 7);
+/// assert_eq!(sample.len(), 20);
+/// assert_eq!(indices.len(), 20);
+/// ```
+pub fn sample_faults(faults: &[StuckAt], count: usize, seed: u64) -> (Vec<StuckAt>, Vec<usize>) {
+    let count = count.min(faults.len());
+    // Fisher–Yates over indices with a small deterministic PRNG
+    // (splitmix64), so the faults crate needs no RNG dependency.
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut indices: Vec<usize> = (0..faults.len()).collect();
+    for i in 0..count {
+        let j = i + (next() as usize) % (indices.len() - i);
+        indices.swap(i, j);
+    }
+    indices.truncate(count);
+    indices.sort_unstable();
+    let sample = indices.iter().map(|&i| faults[i]).collect();
+    (sample, indices)
+}
+
+/// A coverage estimate from a fault sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageEstimate {
+    /// Point estimate of the coverage, in percent.
+    pub coverage_percent: f64,
+    /// Half-width of the ~95% confidence interval, in percentage points
+    /// (normal approximation with finite-population correction).
+    pub margin_percent: f64,
+    /// Sample size used.
+    pub sample_size: usize,
+    /// Universe size the sample was drawn from.
+    pub universe_size: usize,
+}
+
+impl CoverageEstimate {
+    /// Returns `true` if `true_coverage_percent` lies inside the interval.
+    pub fn contains(&self, true_coverage_percent: f64) -> bool {
+        (self.coverage_percent - true_coverage_percent).abs() <= self.margin_percent
+    }
+}
+
+impl std::fmt::Display for CoverageEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.2}% ± {:.2}% (n={} of {})",
+            self.coverage_percent, self.margin_percent, self.sample_size, self.universe_size
+        )
+    }
+}
+
+/// Turns sampled statuses into a coverage estimate for the full universe.
+///
+/// # Panics
+///
+/// Panics if `sample_statuses` is empty or larger than `universe_size`.
+pub fn estimate_coverage(
+    sample_statuses: &[FaultStatus],
+    universe_size: usize,
+) -> CoverageEstimate {
+    let n = sample_statuses.len();
+    assert!(n > 0, "cannot estimate from an empty sample");
+    assert!(n <= universe_size, "sample exceeds the universe");
+    let detected = sample_statuses.iter().filter(|s| s.is_detected()).count();
+    let p = detected as f64 / n as f64;
+    // Normal approximation, 95% (z = 1.96), with finite-population
+    // correction for samples that are a large share of the universe.
+    let fpc = if universe_size > 1 {
+        ((universe_size - n) as f64 / (universe_size - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
+    let se = (p * (1.0 - p) / n as f64).sqrt() * fpc;
+    CoverageEstimate {
+        coverage_percent: 100.0 * p,
+        margin_percent: 100.0 * 1.96 * se,
+        sample_size: n,
+        universe_size,
+    }
+}
+
+/// Convenience wrapper: `X`-free patterns predicate used by samplers that
+/// refuse unknown stimulus.
+pub fn all_binary(patterns: &[Vec<Logic>]) -> bool {
+    patterns.iter().flatten().all(|v| v.is_binary())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate_stuck_at;
+    use cfs_netlist::data::s27;
+
+    #[test]
+    fn sampling_is_deterministic_and_unique() {
+        let c = s27();
+        let all = enumerate_stuck_at(&c);
+        let (s1, i1) = sample_faults(&all, 30, 42);
+        let (s2, i2) = sample_faults(&all, 30, 42);
+        assert_eq!(s1, s2);
+        assert_eq!(i1, i2);
+        let mut dedup = i1.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 30, "indices are unique");
+        let (s3, _) = sample_faults(&all, 30, 43);
+        assert_ne!(s1, s3, "different seed, different sample");
+    }
+
+    #[test]
+    fn oversampling_clamps_to_the_universe() {
+        let c = s27();
+        let all = enumerate_stuck_at(&c);
+        let (sample, indices) = sample_faults(&all, 10_000, 1);
+        assert_eq!(sample.len(), all.len());
+        assert_eq!(indices, (0..all.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn estimate_has_sane_interval() {
+        let statuses: Vec<FaultStatus> = (0..100)
+            .map(|i| {
+                if i < 80 {
+                    FaultStatus::Detected { pattern: 0 }
+                } else {
+                    FaultStatus::Undetected
+                }
+            })
+            .collect();
+        let est = estimate_coverage(&statuses, 10_000);
+        assert!((est.coverage_percent - 80.0).abs() < 1e-9);
+        assert!(est.margin_percent > 5.0 && est.margin_percent < 12.0);
+        assert!(est.contains(80.0));
+        assert!(!est.contains(50.0));
+        assert!(est.to_string().contains("80.00%"));
+    }
+
+    #[test]
+    fn full_sample_has_zero_margin() {
+        let statuses = vec![FaultStatus::Detected { pattern: 0 }; 50];
+        let est = estimate_coverage(&statuses, 50);
+        assert_eq!(est.margin_percent, 0.0);
+        assert_eq!(est.coverage_percent, 100.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The transition (gross gate delay) fault model of §3 of the paper.
+//!
+//! A transition fault delays one edge direction at one gate pin by more than
+//! the slack but less than one clock cycle: in the cycle where the faulty
+//! transition would occur, the pin holds its previous value (PV) while the
+//! outputs and flip-flops are sampled, and settles to the complete value
+//! (CV) afterwards. Two faults are associated with each gate input: the
+//! 0→1 (slow-to-rise) and 1→0 (slow-to-fall) transition faults.
+
+use std::fmt;
+
+use cfs_logic::Logic;
+use cfs_netlist::{Circuit, GateId, GateKind};
+
+/// Direction of the delayed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Edge {
+    /// The 0 → 1 transition is delayed (slow-to-rise).
+    Rise,
+    /// The 1 → 0 transition is delayed (slow-to-fall).
+    Fall,
+}
+
+impl Edge {
+    /// Both directions.
+    pub const ALL: [Edge; 2] = [Edge::Rise, Edge::Fall];
+
+    /// The value the pin departs from (PV for an exercised fault).
+    pub const fn from_value(self) -> Logic {
+        match self {
+            Edge::Rise => Logic::Zero,
+            Edge::Fall => Logic::One,
+        }
+    }
+
+    /// The value the pin settles to (CV).
+    pub const fn to_value(self) -> Logic {
+        match self {
+            Edge::Rise => Logic::One,
+            Edge::Fall => Logic::Zero,
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edge::Rise => f.write_str("str"), // slow to rise
+            Edge::Fall => f.write_str("stf"), // slow to fall
+        }
+    }
+}
+
+/// A transition fault on one gate input pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionFault {
+    /// The gate with the faulty input.
+    pub gate: GateId,
+    /// Pin index into the gate's fanin list.
+    pub pin: u8,
+    /// The delayed edge direction.
+    pub edge: Edge,
+}
+
+impl TransitionFault {
+    /// Creates a transition fault.
+    pub fn new(gate: GateId, pin: u8, edge: Edge) -> Self {
+        TransitionFault { gate, pin, edge }
+    }
+
+    /// Human-readable description against a circuit.
+    pub fn describe(self, circuit: &Circuit) -> String {
+        let dir = match self.edge {
+            Edge::Rise => "0 to 1",
+            Edge::Fall => "1 to 0",
+        };
+        format!(
+            "{dir} transition fault at input {} of {}",
+            self.pin,
+            circuit.gate(self.gate).name()
+        )
+    }
+}
+
+impl fmt::Display for TransitionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}/{}", self.gate, self.pin, self.edge)
+    }
+}
+
+/// Enumerates the transition fault universe: two faults per input pin of
+/// every combinational gate and every flip-flop D pin.
+pub fn enumerate_transition(circuit: &Circuit) -> Vec<TransitionFault> {
+    let mut faults = Vec::new();
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        if !matches!(gate.kind(), GateKind::Comb(_) | GateKind::Dff) {
+            continue;
+        }
+        let id = GateId::from_index(i);
+        for pin in 0..gate.fanin().len() {
+            for edge in Edge::ALL {
+                faults.push(TransitionFault::new(id, pin as u8, edge));
+            }
+        }
+    }
+    faults
+}
+
+/// The paper's Table 1: the value a faulty pin presents during the sampling
+/// phase, given the pin's previous value `pv` and its complete (new) value
+/// `cv`, for a fault that delays `edge`.
+///
+/// When the exact `pv → cv` transition matches the faulty edge, the pin
+/// holds `pv`. Transitions involving `X` are resolved pessimistically: if
+/// the faulty transition *may* have occurred, the faulty value is `X`.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_faults::{transition_value, Edge};
+/// use cfs_logic::Logic::*;
+///
+/// // 0→1 with a slow-to-rise fault: the pin stays at 0.
+/// assert_eq!(transition_value(Edge::Rise, Zero, One), Zero);
+/// // 0→0: no transition, the fault does not fire.
+/// assert_eq!(transition_value(Edge::Rise, Zero, Zero), Zero);
+/// // x→1 with slow-to-rise: may or may not fire — unknown.
+/// assert_eq!(transition_value(Edge::Rise, X, One), X);
+/// ```
+pub fn transition_value(edge: Edge, pv: Logic, cv: Logic) -> Logic {
+    let fv = edge.from_value();
+    let tv = edge.to_value();
+    if cv == fv {
+        // Arriving at the edge's departure value: the fault delays only the
+        // opposite edge, so the pin simply follows.
+        fv
+    } else if cv == tv {
+        // Arriving at the delayed destination.
+        if pv == fv {
+            fv // exact faulty transition: held at PV
+        } else if pv == tv {
+            tv // no transition
+        } else {
+            Logic::X // pv unknown: may or may not have fired
+        }
+    } else {
+        // cv == X. If the pin departs from fv, both completions sample to
+        // fv (held when rising, unchanged when staying); otherwise unknown.
+        if pv == fv {
+            fv
+        } else {
+            Logic::X
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_netlist::parse_bench;
+    use Logic::*;
+
+    /// The complete Table 1 of the paper (PV, CV → FV) for both fault
+    /// directions. Rows are (pv, cv, fv_rise, fv_fall).
+    #[test]
+    fn table1_complete() {
+        let rows = [
+            // pv   cv    slow-to-rise  slow-to-fall
+            (Zero, Zero, Zero, Zero),
+            (Zero, One, Zero, One), // 0→1 held by str; stf doesn't care
+            (Zero, X, Zero, X),     // str: held at 0 under either completion
+            (One, Zero, Zero, One), // 1→0 held by stf
+            (One, One, One, One),
+            (One, X, X, One), // stf: held at 1 under either completion
+            (X, Zero, Zero, X),
+            (X, One, X, One),
+            (X, X, X, X),
+        ];
+        for (pv, cv, fr, ff) in rows {
+            assert_eq!(transition_value(Edge::Rise, pv, cv), fr, "rise {pv}->{cv}");
+            assert_eq!(transition_value(Edge::Fall, pv, cv), ff, "fall {pv}->{cv}");
+        }
+    }
+
+    #[test]
+    fn faulty_value_never_contradicts_a_non_firing_fault() {
+        // If cv is binary and not the delayed destination, fv == cv.
+        for edge in Edge::ALL {
+            for pv in Logic::ALL {
+                let cv = edge.from_value();
+                assert_eq!(transition_value(edge, pv, cv), cv);
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_covers_pins_and_dff() {
+        let c = parse_bench(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(y)\ny = AND(a, b)\n",
+        )
+        .unwrap();
+        let f = enumerate_transition(&c);
+        // AND has 2 pins, DFF has 1 pin: 3 pins × 2 edges = 6 faults.
+        assert_eq!(f.len(), 6);
+    }
+
+    #[test]
+    fn display_and_describe() {
+        let c = parse_bench("t", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let y = c.find("y").unwrap();
+        let f = TransitionFault::new(y, 0, Edge::Rise);
+        assert!(f.to_string().ends_with("/str"));
+        assert_eq!(f.describe(&c), "0 to 1 transition fault at input 0 of y");
+    }
+}

@@ -1,0 +1,208 @@
+//! Value Change Dump (VCD) recording for waveform viewers.
+//!
+//! The arbitrary-delay simulator produces real waveforms — glitches and
+//! all — and this module serializes them in the industry-standard VCD
+//! format (IEEE 1364 §18) so they can be inspected in GTKWave or any other
+//! viewer.
+
+use std::fmt::Write as _;
+
+use cfs_logic::Logic;
+use cfs_netlist::{Circuit, GateId};
+
+/// Records value changes of selected signals and serializes them as VCD.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_goodsim::{DelayModel, DelaySim, VcdRecorder};
+/// use cfs_logic::Logic;
+/// use cfs_netlist::parse_bench;
+///
+/// let c = parse_bench("inv", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")?;
+/// let mut sim = DelaySim::new(&c, DelayModel::unit(&c));
+/// let mut vcd = VcdRecorder::all(&c);
+/// vcd.sample(sim.now(), sim.values());
+/// sim.set_input(0, Logic::One);
+/// sim.run_traced(100, &mut vcd).expect("settles");
+/// let text = vcd.render();
+/// assert!(text.contains("$enddefinitions"));
+/// assert!(text.contains("#1"));
+/// # Ok::<(), cfs_netlist::ParseBenchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VcdRecorder {
+    /// `(node, identifier code, name)` per traced signal.
+    signals: Vec<(GateId, String, String)>,
+    last: Vec<Option<Logic>>,
+    /// `(time, changes)` batches.
+    changes: Vec<(u64, Vec<(usize, Logic)>)>,
+    module: String,
+    timescale: String,
+}
+
+impl VcdRecorder {
+    /// Traces the given signals.
+    pub fn new(circuit: &Circuit, signals: &[GateId]) -> Self {
+        let signals: Vec<(GateId, String, String)> = signals
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, id_code(i), circuit.gate(id).name().to_owned()))
+            .collect();
+        VcdRecorder {
+            last: vec![None; signals.len()],
+            signals,
+            changes: Vec::new(),
+            module: circuit.name().to_owned(),
+            timescale: "1ns".to_owned(),
+        }
+    }
+
+    /// Traces every node of the circuit.
+    pub fn all(circuit: &Circuit) -> Self {
+        let ids: Vec<GateId> = (0..circuit.num_nodes()).map(GateId::from_index).collect();
+        VcdRecorder::new(circuit, &ids)
+    }
+
+    /// Sets the VCD timescale string (default `1ns`).
+    pub fn set_timescale(&mut self, ts: impl Into<String>) {
+        self.timescale = ts.into();
+    }
+
+    /// Records the current values at `time` (only actual changes are kept).
+    ///
+    /// `values` is the full node-value array of the simulator
+    /// ([`crate::DelaySim::values`] or [`crate::ZeroDelaySim::values`]).
+    pub fn sample(&mut self, time: u64, values: &[Logic]) {
+        let mut batch = Vec::new();
+        for (k, (id, _, _)) in self.signals.iter().enumerate() {
+            let v = values[id.index()];
+            if self.last[k] != Some(v) {
+                self.last[k] = Some(v);
+                batch.push((k, v));
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        // Coalesce repeated samples at the same timestamp.
+        if let Some(last) = self.changes.last_mut() {
+            if last.0 == time {
+                last.1.extend(batch);
+                return;
+            }
+        }
+        self.changes.push((time, batch));
+    }
+
+    /// Number of change batches recorded so far.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Serializes the recording as VCD text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$version cfs fault-simulation workspace $end");
+        let _ = writeln!(out, "$timescale {} $end", self.timescale);
+        let _ = writeln!(out, "$scope module {} $end", sanitize(&self.module));
+        for (_, code, name) in &self.signals {
+            let _ = writeln!(out, "$var wire 1 {code} {} $end", sanitize(name));
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        for (time, batch) in &self.changes {
+            let _ = writeln!(out, "#{time}");
+            for &(k, v) in batch {
+                let _ = writeln!(out, "{}{}", v.to_char(), self.signals[k].1);
+            }
+        }
+        out
+    }
+}
+
+/// VCD identifier codes: printable ASCII 33..=126, little-endian digits.
+fn id_code(mut i: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push(char::from(33 + (i % 94) as u8));
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    code
+}
+
+/// VCD identifiers must not contain whitespace; keep names conservative.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayModel, DelaySim};
+    use cfs_netlist::parse_bench;
+
+    #[test]
+    fn records_glitches() {
+        let c = parse_bench("hz", "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = OR(a, n)\n").unwrap();
+        let delays = DelayModel::from_fn(&c, |id| if c.gate(id).name() == "n" { 5 } else { 1 });
+        let mut sim = DelaySim::new(&c, delays);
+        let y = c.find("y").unwrap();
+        let mut vcd = VcdRecorder::new(&c, &[c.find("a").unwrap(), y]);
+        vcd.sample(0, sim.values());
+        sim.set_input(0, cfs_logic::Logic::One);
+        sim.run_traced(100, &mut vcd).unwrap();
+        sim.set_input(0, cfs_logic::Logic::Zero);
+        sim.run_traced(100, &mut vcd).unwrap();
+        let text = vcd.render();
+        // The falling edge produces a 0-glitch on y: the rendered VCD shows
+        // y going 1 → 0 → 1.
+        let y_code = "\"";
+        let y_changes: Vec<&str> = text
+            .lines()
+            .filter(|l| l.ends_with(y_code) && !l.starts_with('$'))
+            .collect();
+        assert!(y_changes.len() >= 3, "x→1, glitch 0, back to 1: {text}");
+    }
+
+    #[test]
+    fn header_contains_declarations() {
+        let c = parse_bench("t", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n").unwrap();
+        let vcd = VcdRecorder::all(&c);
+        let text = vcd.render();
+        assert!(text.contains("$timescale 1ns $end"));
+        assert!(text.contains("$var wire 1 ! a $end"));
+        assert!(text.contains("$enddefinitions"));
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let code = id_code(i);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code), "duplicate at {i}");
+        }
+    }
+
+    #[test]
+    fn duplicate_samples_record_nothing() {
+        let c = parse_bench("t", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n").unwrap();
+        let sim = DelaySim::new(&c, DelayModel::unit(&c));
+        let mut vcd = VcdRecorder::all(&c);
+        vcd.sample(0, sim.values());
+        let n = vcd.len();
+        vcd.sample(1, sim.values());
+        assert_eq!(vcd.len(), n, "no changes, no batches");
+    }
+}

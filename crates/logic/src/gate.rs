@@ -1,0 +1,254 @@
+//! Primitive gate functions and their three-valued evaluation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::Logic;
+
+/// The primitive combinational functions found in ISCAS-style netlists.
+///
+/// Sequential elements (D flip-flops) and structural roles (primary inputs
+/// and outputs) are modeled at the netlist layer, not here; this enum is the
+/// *function* of a combinational cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateFn {
+    /// Identity.
+    Buf,
+    /// Inversion.
+    Not,
+    /// N-ary conjunction.
+    And,
+    /// Complemented conjunction.
+    Nand,
+    /// N-ary disjunction.
+    Or,
+    /// Complemented disjunction.
+    Nor,
+    /// N-ary exclusive or (odd parity).
+    Xor,
+    /// Complemented exclusive or (even parity).
+    Xnor,
+}
+
+impl GateFn {
+    /// Every primitive function.
+    pub const ALL: [GateFn; 8] = [
+        GateFn::Buf,
+        GateFn::Not,
+        GateFn::And,
+        GateFn::Nand,
+        GateFn::Or,
+        GateFn::Nor,
+        GateFn::Xor,
+        GateFn::Xnor,
+    ];
+
+    /// Returns `true` for the two single-input functions.
+    #[inline]
+    pub const fn is_unary(self) -> bool {
+        matches!(self, GateFn::Buf | GateFn::Not)
+    }
+
+    /// Returns `true` when the function's output is inverted relative to its
+    /// uncomplemented base (`Nand`, `Nor`, `Xnor`, `Not`).
+    #[inline]
+    pub const fn is_inverting(self) -> bool {
+        matches!(self, GateFn::Not | GateFn::Nand | GateFn::Nor | GateFn::Xnor)
+    }
+
+    /// The *controlling value* of the function, if it has one: the input
+    /// value that determines the output regardless of the other inputs
+    /// (`0` for AND/NAND, `1` for OR/NOR).
+    #[inline]
+    pub const fn controlling_value(self) -> Option<Logic> {
+        match self {
+            GateFn::And | GateFn::Nand => Some(Logic::Zero),
+            GateFn::Or | GateFn::Nor => Some(Logic::One),
+            _ => None,
+        }
+    }
+
+    /// The output produced when a controlling value is present on any input.
+    #[inline]
+    pub const fn controlled_output(self) -> Option<Logic> {
+        match self {
+            GateFn::And => Some(Logic::Zero),
+            GateFn::Nand => Some(Logic::One),
+            GateFn::Or => Some(Logic::One),
+            GateFn::Nor => Some(Logic::Zero),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the function over three-valued inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, or has more than one element for a unary
+    /// function (the netlist layer validates arity at construction time, so
+    /// this indicates a corrupted circuit).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfs_logic::{GateFn, Logic};
+    ///
+    /// let out = GateFn::Nand.eval(&[Logic::One, Logic::X]);
+    /// assert_eq!(out, Logic::X);
+    /// let out = GateFn::Nand.eval(&[Logic::Zero, Logic::X]);
+    /// assert_eq!(out, Logic::One);
+    /// ```
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        assert!(!inputs.is_empty(), "gate evaluated with no inputs");
+        match self {
+            GateFn::Buf => {
+                debug_assert_eq!(inputs.len(), 1, "BUF must have exactly one input");
+                inputs[0]
+            }
+            GateFn::Not => {
+                debug_assert_eq!(inputs.len(), 1, "NOT must have exactly one input");
+                !inputs[0]
+            }
+            GateFn::And => inputs.iter().copied().fold(Logic::One, Logic::and),
+            GateFn::Nand => !inputs.iter().copied().fold(Logic::One, Logic::and),
+            GateFn::Or => inputs.iter().copied().fold(Logic::Zero, Logic::or),
+            GateFn::Nor => !inputs.iter().copied().fold(Logic::Zero, Logic::or),
+            GateFn::Xor => inputs.iter().copied().fold(Logic::Zero, Logic::xor),
+            GateFn::Xnor => !inputs.iter().copied().fold(Logic::Zero, Logic::xor),
+        }
+    }
+
+    /// Evaluates the function over binary inputs given as a bit mask.
+    ///
+    /// Bit `i` of `bits` is input `i`. Only the lowest `arity` bits are used.
+    pub fn eval_bits(self, bits: usize, arity: usize) -> bool {
+        debug_assert!(arity >= 1);
+        let mask = if arity >= usize::BITS as usize {
+            usize::MAX
+        } else {
+            (1usize << arity) - 1
+        };
+        let bits = bits & mask;
+        match self {
+            GateFn::Buf => bits & 1 != 0,
+            GateFn::Not => bits & 1 == 0,
+            GateFn::And => bits == mask,
+            GateFn::Nand => bits != mask,
+            GateFn::Or => bits != 0,
+            GateFn::Nor => bits == 0,
+            GateFn::Xor => bits.count_ones() % 2 == 1,
+            GateFn::Xnor => bits.count_ones().is_multiple_of(2),
+        }
+    }
+
+    /// The canonical lowercase name used in `.bench` files.
+    pub const fn name(self) -> &'static str {
+        match self {
+            GateFn::Buf => "buf",
+            GateFn::Not => "not",
+            GateFn::And => "and",
+            GateFn::Nand => "nand",
+            GateFn::Or => "or",
+            GateFn::Nor => "nor",
+            GateFn::Xor => "xor",
+            GateFn::Xnor => "xnor",
+        }
+    }
+}
+
+impl fmt::Display for GateFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name().to_uppercase().as_str())
+    }
+}
+
+/// Error returned when a gate-function name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateFnError {
+    name: String,
+}
+
+impl fmt::Display for ParseGateFnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate function {:?}", self.name)
+    }
+}
+
+impl std::error::Error for ParseGateFnError {}
+
+impl FromStr for GateFn {
+    type Err = ParseGateFnError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "buf" | "buff" => Ok(GateFn::Buf),
+            "not" | "inv" => Ok(GateFn::Not),
+            "and" => Ok(GateFn::And),
+            "nand" => Ok(GateFn::Nand),
+            "or" => Ok(GateFn::Or),
+            "nor" => Ok(GateFn::Nor),
+            "xor" => Ok(GateFn::Xor),
+            "xnor" => Ok(GateFn::Xnor),
+            other => Err(ParseGateFnError {
+                name: other.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn binary_and_three_valued_agree_on_binary_inputs() {
+        for f in GateFn::ALL {
+            let max_arity = if f.is_unary() { 1 } else { 4 };
+            for arity in 1..=max_arity {
+                if f.is_unary() && arity != 1 {
+                    continue;
+                }
+                for bits in 0..(1usize << arity) {
+                    let inputs: Vec<Logic> = (0..arity)
+                        .map(|i| Logic::from_bool(bits >> i & 1 != 0))
+                        .collect();
+                    let expect = Logic::from_bool(f.eval_bits(bits, arity));
+                    assert_eq!(f.eval(&inputs), expect, "{f} arity {arity} bits {bits:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlling_values_control() {
+        for f in [GateFn::And, GateFn::Nand, GateFn::Or, GateFn::Nor] {
+            let cv = f.controlling_value().unwrap();
+            let out = f.controlled_output().unwrap();
+            assert_eq!(f.eval(&[cv, X, X]), out, "{f}");
+        }
+    }
+
+    #[test]
+    fn x_pessimism() {
+        assert_eq!(GateFn::And.eval(&[One, X]), X);
+        assert_eq!(GateFn::Or.eval(&[Zero, X]), X);
+        assert_eq!(GateFn::Xor.eval(&[One, X]), X);
+        assert_eq!(GateFn::Not.eval(&[X]), X);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for f in GateFn::ALL {
+            assert_eq!(f.name().parse::<GateFn>().unwrap(), f);
+        }
+        assert_eq!("BUFF".parse::<GateFn>().unwrap(), GateFn::Buf);
+        assert!("mux".parse::<GateFn>().is_err());
+    }
+
+    #[test]
+    fn parity_functions() {
+        assert_eq!(GateFn::Xor.eval(&[One, One, One]), One);
+        assert_eq!(GateFn::Xnor.eval(&[One, One, One]), Zero);
+    }
+}

@@ -1,0 +1,39 @@
+//! Logic-value substrate for gate-level fault simulation.
+//!
+//! This crate provides the value domain and evaluation machinery shared by
+//! every simulator in the workspace, which reproduces *Lee & Reddy, "On
+//! Efficient Concurrent Fault Simulation for Synchronous Sequential
+//! Circuits," DAC 1992*:
+//!
+//! * [`Logic`] — the three-valued (0/1/X) scalar domain,
+//! * [`GateFn`] — primitive combinational functions and their evaluation,
+//! * [`TruthTable`] / [`Lut3`] — binary and precomputed three-valued look-up
+//!   tables, the basis of the paper's macro extraction and functional faults,
+//! * [`PackedLogic`] — 64-way bit-parallel encoding used by the PROOFS-style
+//!   baseline simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfs_logic::{GateFn, Logic, Lut3};
+//!
+//! // Direct evaluation…
+//! assert_eq!(GateFn::Nor.eval(&[Logic::Zero, Logic::Zero]), Logic::One);
+//!
+//! // …or through a precomputed three-valued LUT, as csim's macros do.
+//! let lut = Lut3::from_gate_fn(GateFn::Nor, 2);
+//! assert_eq!(lut.eval(&[Logic::Zero, Logic::X]), Logic::X);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod gate;
+mod parallel;
+mod table;
+mod value;
+
+pub use gate::{GateFn, ParseGateFnError};
+pub use parallel::{PackedLogic, LANES};
+pub use table::{index3, Lut3, TruthTable, MAX_LUT_INPUTS, POW3};
+pub use value::{format_pattern, logic_from_char, parse_pattern, Logic, ParseLogicError};

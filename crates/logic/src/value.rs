@@ -1,0 +1,367 @@
+//! The three-valued logic domain used throughout the simulators.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A three-valued logic level: `0`, `1`, or unknown (`X`).
+///
+/// Zero-delay fault simulation of synchronous sequential circuits (the
+/// setting of Lee & Reddy, DAC 1992) is performed over this domain: flip-flop
+/// contents are unknown until initialized by the test sequence, and unknown
+/// values must propagate pessimistically so that a fault is only counted as
+/// detected when the good machine output is binary and the faulty machine
+/// output is the opposite binary value.
+///
+/// The discriminants are chosen so that `0` and `1` encode themselves and the
+/// type fits the 2-bit packed "state variable" of the paper's fault elements.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_logic::Logic;
+///
+/// assert_eq!(Logic::Zero & Logic::X, Logic::Zero);
+/// assert_eq!(Logic::One & Logic::X, Logic::X);
+/// assert_eq!(!Logic::X, Logic::X);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(u8)]
+pub enum Logic {
+    /// Logic low.
+    Zero = 0,
+    /// Logic high.
+    One = 1,
+    /// Unknown / uninitialized.
+    #[default]
+    X = 2,
+}
+
+impl Logic {
+    /// All values of the domain, in encoding order.
+    pub const ALL: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+    /// Creates a value from a `bool`.
+    #[inline]
+    pub const fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Decodes the 2-bit encoding produced by [`Logic::code`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 2`.
+    #[inline]
+    pub const fn from_code(code: u8) -> Self {
+        match code {
+            0 => Logic::Zero,
+            1 => Logic::One,
+            2 => Logic::X,
+            _ => panic!("logic code out of range"),
+        }
+    }
+
+    /// The 2-bit encoding of the value (`0`, `1`, or `2`).
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Returns `true` when the value is `0` or `1`.
+    #[inline]
+    pub const fn is_binary(self) -> bool {
+        (self as u8) < 2
+    }
+
+    /// Returns `Some(bool)` for binary values, `None` for `X`.
+    #[inline]
+    pub const fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// Three-valued conjunction (Kleene AND).
+    #[inline]
+    pub const fn and(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued disjunction (Kleene OR).
+    #[inline]
+    pub const fn or(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// Three-valued exclusive or.
+    #[inline]
+    pub const fn xor(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::X, _) | (_, Logic::X) => Logic::X,
+            (a, b) => {
+                if (a as u8) == (b as u8) {
+                    Logic::Zero
+                } else {
+                    Logic::One
+                }
+            }
+        }
+    }
+
+    /// Three-valued negation.
+    #[inline]
+    pub const fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+
+    /// Returns `true` when `self` and `other` are *distinguishable*: both
+    /// binary and different. This is the fault-detection criterion at a
+    /// primary output.
+    #[inline]
+    pub const fn detectably_differs(self, other: Logic) -> bool {
+        self.is_binary() && other.is_binary() && (self as u8) != (other as u8)
+    }
+
+    /// A compact character representation: `'0'`, `'1'`, or `'x'`.
+    #[inline]
+    pub const fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl std::ops::BitAnd for Logic {
+    type Output = Logic;
+    fn bitand(self, rhs: Logic) -> Logic {
+        self.and(rhs)
+    }
+}
+
+impl std::ops::BitOr for Logic {
+    type Output = Logic;
+    fn bitor(self, rhs: Logic) -> Logic {
+        self.or(rhs)
+    }
+}
+
+impl std::ops::BitXor for Logic {
+    type Output = Logic;
+    fn bitxor(self, rhs: Logic) -> Logic {
+        self.xor(rhs)
+    }
+}
+
+impl std::ops::Not for Logic {
+    type Output = Logic;
+    fn not(self) -> Logic {
+        Logic::not(self)
+    }
+}
+
+/// Error returned when parsing a [`Logic`] value or pattern string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLogicError {
+    offending: char,
+}
+
+impl fmt::Display for ParseLogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid logic character {:?}, expected one of '0', '1', 'x', 'X'",
+            self.offending
+        )
+    }
+}
+
+impl std::error::Error for ParseLogicError {}
+
+impl FromStr for Logic {
+    type Err = ParseLogicError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars();
+        let c = chars.next().ok_or(ParseLogicError { offending: ' ' })?;
+        if chars.next().is_some() {
+            return Err(ParseLogicError { offending: c });
+        }
+        logic_from_char(c)
+    }
+}
+
+/// Parses a single pattern character into a [`Logic`] value.
+///
+/// # Errors
+///
+/// Returns [`ParseLogicError`] for characters other than `0`, `1`, `x`, `X`.
+pub fn logic_from_char(c: char) -> Result<Logic, ParseLogicError> {
+    match c {
+        '0' => Ok(Logic::Zero),
+        '1' => Ok(Logic::One),
+        'x' | 'X' => Ok(Logic::X),
+        other => Err(ParseLogicError { offending: other }),
+    }
+}
+
+/// Parses a pattern string such as `"01x1"` into a vector of logic values.
+///
+/// Whitespace is ignored so column-aligned pattern files parse cleanly.
+///
+/// # Errors
+///
+/// Returns [`ParseLogicError`] on the first invalid character.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_logic::{parse_pattern, Logic};
+///
+/// let p = parse_pattern("01x")?;
+/// assert_eq!(p, vec![Logic::Zero, Logic::One, Logic::X]);
+/// # Ok::<(), cfs_logic::ParseLogicError>(())
+/// ```
+pub fn parse_pattern(s: &str) -> Result<Vec<Logic>, ParseLogicError> {
+    s.chars()
+        .filter(|c| !c.is_whitespace())
+        .map(logic_from_char)
+        .collect()
+}
+
+/// Formats a slice of logic values as a compact pattern string.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_logic::{format_pattern, Logic};
+///
+/// assert_eq!(format_pattern(&[Logic::One, Logic::X]), "1x");
+/// ```
+pub fn format_pattern(values: &[Logic]) -> String {
+    values.iter().map(|v| v.to_char()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::from_code(v.code()), v);
+        }
+    }
+
+    #[test]
+    fn kleene_and_truth_table() {
+        use Logic::*;
+        let cases = [
+            (Zero, Zero, Zero),
+            (Zero, One, Zero),
+            (Zero, X, Zero),
+            (One, One, One),
+            (One, X, X),
+            (X, X, X),
+        ];
+        for (a, b, r) in cases {
+            assert_eq!(a & b, r, "{a} & {b}");
+            assert_eq!(b & a, r, "commutativity {b} & {a}");
+        }
+    }
+
+    #[test]
+    fn kleene_or_truth_table() {
+        use Logic::*;
+        let cases = [
+            (Zero, Zero, Zero),
+            (Zero, One, One),
+            (Zero, X, X),
+            (One, One, One),
+            (One, X, One),
+            (X, X, X),
+        ];
+        for (a, b, r) in cases {
+            assert_eq!(a | b, r, "{a} | {b}");
+            assert_eq!(b | a, r, "commutativity");
+        }
+    }
+
+    #[test]
+    fn xor_with_x_is_x() {
+        for v in Logic::ALL {
+            assert_eq!(v ^ Logic::X, Logic::X);
+        }
+        assert_eq!(Logic::One ^ Logic::One, Logic::Zero);
+        assert_eq!(Logic::One ^ Logic::Zero, Logic::One);
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn detection_requires_binary_difference() {
+        assert!(Logic::Zero.detectably_differs(Logic::One));
+        assert!(Logic::One.detectably_differs(Logic::Zero));
+        assert!(!Logic::X.detectably_differs(Logic::One));
+        assert!(!Logic::One.detectably_differs(Logic::X));
+        assert!(!Logic::One.detectably_differs(Logic::One));
+    }
+
+    #[test]
+    fn pattern_round_trip() {
+        let s = "01x10x";
+        let p = parse_pattern(s).unwrap();
+        assert_eq!(format_pattern(&p), s);
+    }
+
+    #[test]
+    fn pattern_rejects_garbage() {
+        assert!(parse_pattern("01z").is_err());
+        let err = parse_pattern("2").unwrap_err();
+        assert!(err.to_string().contains('2'));
+    }
+
+    #[test]
+    fn pattern_skips_whitespace() {
+        assert_eq!(parse_pattern(" 0 1 ").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,415 @@
+//! Reader and writer for the ISCAS-85/89 `.bench` netlist format.
+//!
+//! The format the paper's benchmark circuits are distributed in:
+//!
+//! ```text
+//! # s27 — comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G10 = NAND(G14, G11)
+//! G14 = NOT(G0)
+//! ```
+//!
+//! Signals may be referenced before they are defined; definition order is
+//! irrelevant.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cfs_logic::GateFn;
+
+use crate::{Circuit, CircuitBuilder, CircuitError, GateId, GateKind};
+
+/// Error produced while parsing a `.bench` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A gate type is not supported.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown type name.
+        name: String,
+    },
+    /// A signal was referenced but never defined.
+    Undefined(String),
+    /// A signal was defined twice.
+    Redefined {
+        /// 1-based line number of the second definition.
+        line: usize,
+        /// The signal name.
+        name: String,
+    },
+    /// The netlist parsed but failed circuit validation.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::Syntax { line, text } => {
+                write!(f, "line {line}: cannot parse {text:?}")
+            }
+            ParseBenchError::UnknownGate { line, name } => {
+                write!(f, "line {line}: unknown gate type {name:?}")
+            }
+            ParseBenchError::Undefined(name) => write!(f, "undefined signal {name:?}"),
+            ParseBenchError::Redefined { line, name } => {
+                write!(f, "line {line}: signal {name:?} redefined")
+            }
+            ParseBenchError::Circuit(e) => write!(f, "invalid circuit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseBenchError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for ParseBenchError {
+    fn from(e: CircuitError) -> Self {
+        ParseBenchError::Circuit(e)
+    }
+}
+
+#[derive(Debug)]
+enum Def {
+    Input,
+    Dff(String),
+    Gate(GateFn, Vec<String>),
+}
+
+/// Parses a circuit from `.bench` text.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, unknown gate types,
+/// dangling signal references, redefinitions, or structural problems
+/// (combinational cycles, missing I/O).
+///
+/// # Examples
+///
+/// ```
+/// let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+/// let c = cfs_netlist::parse_bench("inv", src)?;
+/// assert_eq!(c.num_comb_gates(), 1);
+/// # Ok::<(), cfs_netlist::ParseBenchError>(())
+/// ```
+pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
+    let mut defs: Vec<(String, Def)> = Vec::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let syntax = || ParseBenchError::Syntax {
+            line,
+            text: raw.trim().to_owned(),
+        };
+        if let Some(rest) = strip_directive(text, "INPUT") {
+            inputs.push(rest.to_owned());
+            if seen.insert(rest.to_owned(), line).is_some() {
+                return Err(ParseBenchError::Redefined {
+                    line,
+                    name: rest.to_owned(),
+                });
+            }
+            defs.push((rest.to_owned(), Def::Input));
+        } else if let Some(rest) = strip_directive(text, "OUTPUT") {
+            outputs.push(rest.to_owned());
+        } else if let Some(eq) = text.find('=') {
+            let lhs = text[..eq].trim().to_owned();
+            let rhs = text[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(syntax)?;
+            if !rhs.ends_with(')') {
+                return Err(syntax());
+            }
+            let fn_name = rhs[..open].trim();
+            let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if args.is_empty() {
+                return Err(syntax());
+            }
+            let def = if fn_name.eq_ignore_ascii_case("DFF") {
+                if args.len() != 1 {
+                    return Err(syntax());
+                }
+                Def::Dff(args[0].clone())
+            } else {
+                let f: GateFn = fn_name.parse().map_err(|_| ParseBenchError::UnknownGate {
+                    line,
+                    name: fn_name.to_owned(),
+                })?;
+                Def::Gate(f, args)
+            };
+            if seen.insert(lhs.clone(), line).is_some() {
+                return Err(ParseBenchError::Redefined { line, name: lhs });
+            }
+            defs.push((lhs, def));
+        } else {
+            return Err(syntax());
+        }
+    }
+
+    build(name, defs, outputs)
+}
+
+fn build(
+    name: &str,
+    defs: Vec<(String, Def)>,
+    outputs: Vec<String>,
+) -> Result<Circuit, ParseBenchError> {
+    let mut b = CircuitBuilder::new(name);
+    let mut ids: HashMap<String, GateId> = HashMap::new();
+    // Pass 1: create every node so forward references resolve.
+    for (signal, def) in &defs {
+        let id = match def {
+            Def::Input => b.input(signal.clone()),
+            Def::Dff(_) => b.dff(signal.clone()),
+            Def::Gate(f, args) => {
+                // Fanins are patched in pass 2; reserve with placeholder
+                // self-loops is not possible pre-finish, so create with a
+                // dummy list and fix below via the two-pass trick: we create
+                // gates only in pass 2 instead.
+                let _ = (f, args);
+                continue;
+            }
+        };
+        ids.insert(signal.clone(), id);
+    }
+    // Pass 2: combinational gates in definition order, resolving names. A
+    // gate may reference a later gate, so iterate until fixpoint over the
+    // remaining definitions (definition order is usually topological-ish;
+    // the loop handles the rest).
+    let mut remaining: Vec<(String, GateFn, Vec<String>)> = defs
+        .iter()
+        .filter_map(|(s, d)| match d {
+            Def::Gate(f, args) => Some((s.clone(), *f, args.clone())),
+            _ => None,
+        })
+        .collect();
+    while !remaining.is_empty() {
+        let mut progress = false;
+        let mut arity_error: Option<CircuitError> = None;
+        remaining.retain(|(signal, f, args)| {
+            if arity_error.is_some() {
+                return true;
+            }
+            let resolved: Option<Vec<GateId>> = args.iter().map(|a| ids.get(a).copied()).collect();
+            match resolved {
+                Some(fanin) => match b.gate(signal.clone(), *f, fanin) {
+                    Ok(id) => {
+                        ids.insert(signal.clone(), id);
+                        progress = true;
+                        false
+                    }
+                    Err(e) => {
+                        arity_error = Some(e);
+                        true
+                    }
+                },
+                None => true,
+            }
+        });
+        if let Some(e) = arity_error {
+            return Err(e.into());
+        }
+        if !progress {
+            // No progress: either a dangling name or mutual references
+            // among combinational gates (a cycle).
+            for (_, _, args) in &remaining {
+                for a in args {
+                    if !ids.contains_key(a) && !remaining.iter().any(|(s, _, _)| s == a) {
+                        return Err(ParseBenchError::Undefined(a.clone()));
+                    }
+                }
+            }
+            return Err(CircuitError::CombinationalCycle(remaining[0].0.clone()).into());
+        }
+    }
+    // Bind DFF inputs.
+    for (signal, def) in &defs {
+        if let Def::Dff(d) = def {
+            let q = ids[signal];
+            let d_id = *ids
+                .get(d)
+                .ok_or_else(|| ParseBenchError::Undefined(d.clone()))?;
+            b.set_dff_input(q, d_id)?;
+        }
+    }
+    for out in &outputs {
+        let id = *ids
+            .get(out)
+            .ok_or_else(|| ParseBenchError::Undefined(out.clone()))?;
+        b.output(id);
+    }
+    Ok(b.finish()?)
+}
+
+fn strip_directive<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = text.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+/// Serializes a circuit to `.bench` text.
+///
+/// The output parses back to an identical circuit (names, kinds, pin order,
+/// and output taps are preserved).
+///
+/// # Examples
+///
+/// ```
+/// let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+/// let c = cfs_netlist::parse_bench("inv", src)?;
+/// let round = cfs_netlist::write_bench(&c);
+/// let c2 = cfs_netlist::parse_bench("inv", &round)?;
+/// assert_eq!(c.num_comb_gates(), c2.num_comb_gates());
+/// # Ok::<(), cfs_netlist::ParseBenchError>(())
+/// ```
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    for &id in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", circuit.gate(id).name()));
+    }
+    for &id in circuit.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", circuit.gate(id).name()));
+    }
+    for (idx, gate) in circuit.gates().iter().enumerate() {
+        let _ = idx;
+        match gate.kind() {
+            GateKind::Input => {}
+            GateKind::Dff => {
+                let d = circuit.gate(gate.fanin()[0]).name();
+                out.push_str(&format!("{} = DFF({})\n", gate.name(), d));
+            }
+            GateKind::Comb(f) => {
+                let args: Vec<&str> = gate
+                    .fanin()
+                    .iter()
+                    .map(|&src| circuit.gate(src).name())
+                    .collect();
+                out.push_str(&format!(
+                    "{} = {}({})\n",
+                    gate.name(),
+                    f.name().to_uppercase(),
+                    args.join(", ")
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::S27_BENCH;
+
+    #[test]
+    fn parses_s27() {
+        let c = parse_bench("s27", S27_BENCH).unwrap();
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 3);
+        assert_eq!(c.num_comb_gates(), 10);
+    }
+
+    #[test]
+    fn round_trips_s27() {
+        let c = parse_bench("s27", S27_BENCH).unwrap();
+        let text = write_bench(&c);
+        let c2 = parse_bench("s27", &text).unwrap();
+        assert_eq!(c.num_comb_gates(), c2.num_comb_gates());
+        assert_eq!(c.num_dffs(), c2.num_dffs());
+        for g in c.gates() {
+            let id2 = c2.find(g.name()).unwrap();
+            let g2 = c2.gate(id2);
+            assert_eq!(g.kind(), g2.kind(), "{}", g.name());
+            let names1: Vec<&str> = g.fanin().iter().map(|&i| c.gate(i).name()).collect();
+            let names2: Vec<&str> = g2.fanin().iter().map(|&i| c2.gate(i).name()).collect();
+            assert_eq!(names1, names2, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(m, a)\nm = NOT(a)\n";
+        let c = parse_bench("fwd", src).unwrap();
+        assert_eq!(c.num_comb_gates(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored ()
+    {
+        let src = "# header\n\nINPUT(a) # trailing\nOUTPUT(y)\ny = BUF(a)\n";
+        assert!(parse_bench("c", src).is_ok());
+    }
+
+    #[test]
+    fn dangling_reference_is_reported() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+        let err = parse_bench("d", src).unwrap_err();
+        assert_eq!(err, ParseBenchError::Undefined("ghost".into()));
+    }
+
+    #[test]
+    fn unknown_gate_is_reported() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n";
+        let err = parse_bench("u", src).unwrap_err();
+        assert!(matches!(err, ParseBenchError::UnknownGate { .. }));
+        assert!(err.to_string().contains("MAJ"));
+    }
+
+    #[test]
+    fn redefinition_is_reported() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\ny = NOT(a)\n";
+        let err = parse_bench("r", src).unwrap_err();
+        assert!(matches!(err, ParseBenchError::Redefined { line: 4, .. }));
+    }
+
+    #[test]
+    fn combinational_cycle_is_reported() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUF(y)\n";
+        let err = parse_bench("cyc", src).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseBenchError::Circuit(CircuitError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        let src = "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = AND(a, q)\n";
+        let c = parse_bench("seq", src).unwrap();
+        assert_eq!(c.num_dffs(), 1);
+    }
+
+    #[test]
+    fn garbage_line_is_syntax_error() {
+        let err = parse_bench("g", "INPUT(a)\nwhat is this\n").unwrap_err();
+        assert!(matches!(err, ParseBenchError::Syntax { line: 2, .. }));
+    }
+}

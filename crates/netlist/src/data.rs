@@ -1,0 +1,48 @@
+//! Embedded benchmark netlists.
+//!
+//! Only the tiny, textbook-published `s27` is embedded verbatim; the larger
+//! ISCAS-89 circuits used in the paper's tables are reproduced as seeded
+//! synthetic equivalents by [`crate::generate`] (see `DESIGN.md` for the
+//! substitution rationale).
+
+/// The ISCAS-89 `s27` benchmark: 4 PIs, 1 PO, 3 DFFs, 10 gates.
+pub const S27_BENCH: &str = "\
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+/// Parses the embedded [`S27_BENCH`] netlist.
+///
+/// # Panics
+///
+/// Never in practice: the embedded text is validated by the crate's tests.
+pub fn s27() -> crate::Circuit {
+    crate::parse_bench("s27", S27_BENCH).expect("embedded s27 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn s27_has_published_statistics() {
+        let c = super::s27();
+        let s = c.stats();
+        assert_eq!((s.inputs, s.outputs, s.dffs, s.comb_gates), (4, 1, 3, 10));
+    }
+}

@@ -1,0 +1,483 @@
+//! Hierarchical netlists: module definitions, instantiation, and
+//! flattening.
+//!
+//! The paper's conclusion: *"More efficient fault simulation is possible
+//! when hierarchical design information is utilized because the concurrent
+//! fault simulation method is inherently suited to hierarchical designs."*
+//! This module provides the structural half of that story — a hierarchy of
+//! reusable modules that flattens into the workspace's [`Circuit`] — and
+//! the flattener names every instance path (`u1/u2/g`), so per-instance
+//! fault sites remain addressable after flattening.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cfs_logic::GateFn;
+
+use crate::{Circuit, CircuitBuilder, CircuitError, GateId};
+
+/// A reusable module definition: ports plus contents (gates and instances
+/// of other modules).
+#[derive(Debug, Clone)]
+pub struct Module {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    items: Vec<Item>,
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Gate {
+        name: String,
+        f: GateFn,
+        fanin: Vec<String>,
+    },
+    Dff {
+        name: String,
+        d: String,
+    },
+    Instance {
+        name: String,
+        module: String,
+        /// Actual signal per formal input, in port order.
+        input_conns: Vec<String>,
+        /// Local signal name bound to each formal output, in port order.
+        output_binds: Vec<String>,
+    },
+}
+
+impl Module {
+    /// Starts a module with the given port lists.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        outputs: Vec<String>,
+    ) -> Self {
+        Module {
+            name: name.into(),
+            inputs,
+            outputs,
+            items: Vec::new(),
+        }
+    }
+
+    /// The module's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a combinational gate (signals are local names).
+    pub fn gate(&mut self, name: impl Into<String>, f: GateFn, fanin: Vec<String>) -> &mut Self {
+        self.items.push(Item::Gate {
+            name: name.into(),
+            f,
+            fanin,
+        });
+        self
+    }
+
+    /// Adds a flip-flop.
+    pub fn dff(&mut self, name: impl Into<String>, d: impl Into<String>) -> &mut Self {
+        self.items.push(Item::Dff {
+            name: name.into(),
+            d: d.into(),
+        });
+        self
+    }
+
+    /// Instantiates a sub-module: `input_conns` bind its formal inputs,
+    /// `output_binds` name its formal outputs locally.
+    pub fn instance(
+        &mut self,
+        name: impl Into<String>,
+        module: impl Into<String>,
+        input_conns: Vec<String>,
+        output_binds: Vec<String>,
+    ) -> &mut Self {
+        self.items.push(Item::Instance {
+            name: name.into(),
+            module: module.into(),
+            input_conns,
+            output_binds,
+        });
+        self
+    }
+}
+
+/// Error produced while flattening a hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlattenError {
+    /// An instance references an unknown module.
+    UnknownModule(String),
+    /// Instance port counts do not match the module definition.
+    PortMismatch {
+        /// The instance path.
+        instance: String,
+        /// The instantiated module.
+        module: String,
+    },
+    /// Instantiation recursion (a module transitively containing itself).
+    Recursive(String),
+    /// The flattened netlist failed circuit validation.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlattenError::UnknownModule(m) => write!(f, "unknown module {m:?}"),
+            FlattenError::PortMismatch { instance, module } => {
+                write!(f, "instance {instance:?} does not match ports of {module:?}")
+            }
+            FlattenError::Recursive(m) => write!(f, "recursive instantiation of {m:?}"),
+            FlattenError::Circuit(e) => write!(f, "flattened netlist invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlattenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlattenError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for FlattenError {
+    fn from(e: CircuitError) -> Self {
+        FlattenError::Circuit(e)
+    }
+}
+
+/// A library of module definitions with one designated top module.
+#[derive(Debug, Clone, Default)]
+pub struct Hierarchy {
+    modules: HashMap<String, Module>,
+}
+
+impl Hierarchy {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        Hierarchy::default()
+    }
+
+    /// Adds (or replaces) a module definition.
+    pub fn add(&mut self, module: Module) -> &mut Self {
+        self.modules.insert(module.name.clone(), module);
+        self
+    }
+
+    /// Flattens `top` into a plain [`Circuit`]. Instance-local signals are
+    /// prefixed with their instance path (`u1/u2/sig`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlattenError`] on unknown modules, port mismatches,
+    /// recursion, or structural problems in the result.
+    pub fn flatten(&self, top: &str) -> Result<Circuit, FlattenError> {
+        let module = self
+            .modules
+            .get(top)
+            .ok_or_else(|| FlattenError::UnknownModule(top.to_owned()))?;
+        let mut b = CircuitBuilder::new(top.to_owned());
+        // Top-level ports become primary inputs/outputs.
+        let mut env: HashMap<String, GateId> = HashMap::new();
+        for port in &module.inputs {
+            env.insert(port.clone(), b.input(port.clone()));
+        }
+        let mut stack = vec![top.to_owned()];
+        let outs = self.expand(module, "", &mut b, &mut env, &mut stack)?;
+        for o in outs {
+            b.output(o);
+        }
+        Ok(b.finish()?)
+    }
+
+    /// Expands one module body; returns the ids bound to its formal
+    /// outputs. `env` maps the module's local signal names (with `prefix`
+    /// applied for definitions) to built node ids; formal inputs must be
+    /// pre-bound by the caller.
+    fn expand(
+        &self,
+        module: &Module,
+        prefix: &str,
+        b: &mut CircuitBuilder,
+        env: &mut HashMap<String, GateId>,
+        stack: &mut Vec<String>,
+    ) -> Result<Vec<GateId>, FlattenError> {
+        // Two passes so flip-flops may be referenced before their D logic,
+        // and instances may be wired in any order (but combinational
+        // forward references across instances are resolved by a worklist).
+        let mut pending: Vec<&Item> = module.items.iter().collect();
+        // Pre-declare flip-flops (they break any reference cycles).
+        for item in &module.items {
+            if let Item::Dff { name, .. } = item {
+                let q = b.dff(format!("{prefix}{name}"));
+                env.insert(name.clone(), q);
+            }
+        }
+        let mut progress = true;
+        while !pending.is_empty() && progress {
+            progress = false;
+            pending.retain(|item| match item {
+                Item::Gate { name, f, fanin } => {
+                    let resolved: Option<Vec<GateId>> =
+                        fanin.iter().map(|s| env.get(s).copied()).collect();
+                    match resolved {
+                        Some(ids) => {
+                            let id = b
+                                .gate(format!("{prefix}{name}"), *f, ids)
+                                .expect("arity checked by builder on finish");
+                            env.insert(name.clone(), id);
+                            progress = true;
+                            false
+                        }
+                        None => true,
+                    }
+                }
+                Item::Dff { name, d } => match env.get(d).copied() {
+                    Some(did) => {
+                        let q = env[name];
+                        b.set_dff_input(q, did).expect("declared as dff");
+                        progress = true;
+                        false
+                    }
+                    None => true,
+                },
+                Item::Instance {
+                    name,
+                    module: child_name,
+                    input_conns,
+                    output_binds,
+                } => {
+                    let Some(child) = self.modules.get(child_name) else {
+                        return true; // reported below when no progress
+                    };
+                    let resolved: Option<Vec<GateId>> =
+                        input_conns.iter().map(|s| env.get(s).copied()).collect();
+                    let Some(ids) = resolved else { return true };
+                    if input_conns.len() != child.inputs.len()
+                        || output_binds.len() != child.outputs.len()
+                    {
+                        return true; // surfaces as PortMismatch below
+                    }
+                    if stack.contains(child_name) {
+                        return true; // surfaces as Recursive below
+                    }
+                    let child_prefix = format!("{prefix}{name}/");
+                    let mut child_env: HashMap<String, GateId> = child
+                        .inputs
+                        .iter()
+                        .cloned()
+                        .zip(ids)
+                        .collect();
+                    stack.push(child_name.clone());
+                    let outs = match self.expand(child, &child_prefix, b, &mut child_env, stack)
+                    {
+                        Ok(o) => o,
+                        Err(_) => {
+                            stack.pop();
+                            return true;
+                        }
+                    };
+                    stack.pop();
+                    for (bind, id) in output_binds.iter().zip(outs) {
+                        env.insert(bind.clone(), id);
+                    }
+                    progress = true;
+                    false
+                }
+            });
+            if let Some(err) = self.stuck_reason(&pending, stack) {
+                if !progress && !pending.is_empty() {
+                    return Err(err);
+                }
+            }
+        }
+        if !pending.is_empty() {
+            return Err(self
+                .stuck_reason(&pending, stack)
+                .unwrap_or_else(|| FlattenError::UnknownModule(module.name.clone())));
+        }
+        // Formal outputs must all be bound.
+        module
+            .outputs
+            .iter()
+            .map(|o| {
+                env.get(o)
+                    .copied()
+                    .ok_or_else(|| FlattenError::UnknownModule(format!("{}:{o}", module.name)))
+            })
+            .collect()
+    }
+
+    /// Best-effort explanation for a stuck expansion.
+    fn stuck_reason(&self, pending: &[&Item], stack: &[String]) -> Option<FlattenError> {
+        for item in pending {
+            if let Item::Instance {
+                name,
+                module,
+                input_conns,
+                output_binds,
+            } = item
+            {
+                match self.modules.get(module) {
+                    None => return Some(FlattenError::UnknownModule(module.clone())),
+                    Some(m) => {
+                        if input_conns.len() != m.inputs.len()
+                            || output_binds.len() != m.outputs.len()
+                        {
+                            return Some(FlattenError::PortMismatch {
+                                instance: name.clone(),
+                                module: module.clone(),
+                            });
+                        }
+                        if stack.contains(module) {
+                            return Some(FlattenError::Recursive(module.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    /// A 1-bit full adder module, then a 2-bit ripple adder built from it.
+    fn adder_hierarchy() -> Hierarchy {
+        let mut fa = Module::new("fa", strs(&["a", "b", "cin"]), strs(&["sum", "cout"]));
+        fa.gate("axb", GateFn::Xor, strs(&["a", "b"]))
+            .gate("sum", GateFn::Xor, strs(&["axb", "cin"]))
+            .gate("ab", GateFn::And, strs(&["a", "b"]))
+            .gate("c_ax", GateFn::And, strs(&["axb", "cin"]))
+            .gate("cout", GateFn::Or, strs(&["ab", "c_ax"]));
+        let mut top = Module::new(
+            "add2",
+            strs(&["a0", "a1", "b0", "b1", "cin"]),
+            strs(&["s0", "s1", "cout"]),
+        );
+        top.instance("u0", "fa", strs(&["a0", "b0", "cin"]), strs(&["s0", "c0"]));
+        top.instance("u1", "fa", strs(&["a1", "b1", "c0"]), strs(&["s1", "cout"]));
+        let mut h = Hierarchy::new();
+        h.add(fa).add(top);
+        h
+    }
+
+    #[test]
+    fn ripple_adder_flattens_and_adds() {
+        let h = adder_hierarchy();
+        let c = h.flatten("add2").unwrap();
+        assert_eq!(c.num_inputs(), 5);
+        assert_eq!(c.num_outputs(), 3);
+        assert_eq!(c.num_comb_gates(), 10, "two 5-gate full adders");
+        // Instance paths are preserved in the flat names.
+        assert!(c.find("u0/sum").is_some());
+        assert!(c.find("u1/cout").is_some());
+        // Exhaustive check: the circuit really adds.
+        for a in 0..4u32 {
+            for bv in 0..4u32 {
+                for cin in 0..2u32 {
+                    let bits = [a & 1, a >> 1, bv & 1, bv >> 1, cin];
+                    let pattern: Vec<cfs_logic::Logic> = bits
+                        .iter()
+                        .map(|&x| cfs_logic::Logic::from_bool(x != 0))
+                        .collect();
+                    let mut values = vec![cfs_logic::Logic::X; c.num_nodes()];
+                    for (&pi, &v) in c.inputs().iter().zip(&pattern) {
+                        values[pi.index()] = v;
+                    }
+                    let mut scratch = Vec::new();
+                    for &g in c.topo_order() {
+                        scratch.clear();
+                        for &s in c.gate(g).fanin() {
+                            scratch.push(values[s.index()]);
+                        }
+                        values[g.index()] =
+                            c.gate(g).kind().gate_fn().unwrap().eval(&scratch);
+                    }
+                    let outs: Vec<u32> = c
+                        .outputs()
+                        .iter()
+                        .map(|&po| u32::from(values[po.index()] == cfs_logic::Logic::One))
+                        .collect();
+                    let got = outs[0] + (outs[1] << 1) + (outs[2] << 2);
+                    assert_eq!(got, a + bv + cin, "{a} + {bv} + {cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_module_flattens() {
+        // A toggle-counter bit as a module, instantiated twice.
+        let mut bit = Module::new("tbit", strs(&["en"]), strs(&["q"]));
+        bit.dff("q", "d").gate("d", GateFn::Xor, strs(&["q", "en"]));
+        let mut top = Module::new("cnt2", strs(&["en"]), strs(&["q0", "q1"]));
+        top.instance("b0", "tbit", strs(&["en"]), strs(&["q0"]));
+        top.instance("b1", "tbit", strs(&["q0"]), strs(&["q1"]));
+        let mut h = Hierarchy::new();
+        h.add(bit).add(top);
+        let c = h.flatten("cnt2").unwrap();
+        assert_eq!(c.num_dffs(), 2);
+        assert!(c.find("b0/q").is_some());
+        assert!(c.find("b1/d").is_some());
+    }
+
+    #[test]
+    fn unknown_module_is_reported() {
+        let mut top = Module::new("t", strs(&["a"]), strs(&["y"]));
+        top.instance("u", "ghost", strs(&["a"]), strs(&["y"]));
+        let mut h = Hierarchy::new();
+        h.add(top);
+        assert_eq!(
+            h.flatten("t").unwrap_err(),
+            FlattenError::UnknownModule("ghost".into())
+        );
+        assert!(h.flatten("nope").is_err());
+    }
+
+    #[test]
+    fn port_mismatch_is_reported() {
+        let sub = Module::new("sub", strs(&["a", "b"]), strs(&["y"]));
+        let mut subm = sub;
+        subm.gate("y", GateFn::And, strs(&["a", "b"]));
+        let mut top = Module::new("t", strs(&["a"]), strs(&["y"]));
+        top.instance("u", "sub", strs(&["a"]), strs(&["y"]));
+        let mut h = Hierarchy::new();
+        h.add(subm).add(top);
+        assert!(matches!(
+            h.flatten("t").unwrap_err(),
+            FlattenError::PortMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn recursion_is_reported() {
+        let mut m = Module::new("r", strs(&["a"]), strs(&["y"]));
+        m.instance("u", "r", strs(&["a"]), strs(&["y"]));
+        let mut h = Hierarchy::new();
+        h.add(m);
+        assert_eq!(h.flatten("r").unwrap_err(), FlattenError::Recursive("r".into()));
+    }
+
+    #[test]
+    fn flattened_hierarchy_fault_sites_are_per_instance() {
+        // The same module fault exists independently in each instance: the
+        // flattener must give them distinct sites.
+        let h = adder_hierarchy();
+        let c = h.flatten("add2").unwrap();
+        let f0 = c.find("u0/ab").unwrap();
+        let f1 = c.find("u1/ab").unwrap();
+        assert_ne!(f0, f1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Full-scan transformation: the design-for-test view in which every
+//! flip-flop is part of a scan chain, so its output is controllable (a
+//! pseudo primary input) and its input observable (a pseudo primary
+//! output).
+//!
+//! The combinational view this produces is what pattern-parallel methods
+//! (PPSFP) and combinational ATPG operate on; the paper's sequential
+//! setting is exactly the *absence* of this transformation, so having both
+//! views lets the workspace compare the two worlds.
+
+use cfs_logic::GateFn;
+
+use crate::{Circuit, CircuitBuilder, GateId};
+
+/// The combinational full-scan view of a sequential circuit, with the
+/// mapping back to the original.
+#[derive(Debug, Clone)]
+pub struct ScanView {
+    /// The combinational circuit: original PIs followed by one pseudo-PI
+    /// per flip-flop; original POs followed by one pseudo-PO per flip-flop.
+    pub circuit: Circuit,
+    /// Number of real primary inputs (the first inputs of `circuit`).
+    pub real_inputs: usize,
+    /// Number of real primary outputs (the first outputs of `circuit`).
+    pub real_outputs: usize,
+    /// Scan-view node for each original node (flip-flops map to their
+    /// pseudo-PI).
+    map: Vec<GateId>,
+}
+
+impl ScanView {
+    /// The scan-view copy of an original node.
+    pub fn map(&self, original: GateId) -> GateId {
+        self.map[original.index()]
+    }
+
+    /// Number of scan cells (original flip-flops).
+    pub fn scan_cells(&self) -> usize {
+        self.circuit.num_inputs() - self.real_inputs
+    }
+}
+
+/// Builds the full-scan (combinational) view of a circuit.
+///
+/// Pseudo primary inputs are named `scan_in_<ff>`; each flip-flop's D
+/// driver is buffered into a pseudo primary output `scan_out_<ff>` so pin
+/// faults on the scan path have distinct sites.
+///
+/// # Examples
+///
+/// ```
+/// use cfs_netlist::{data::s27, full_scan_view};
+///
+/// let seq = s27();
+/// let scan = full_scan_view(&seq);
+/// assert_eq!(scan.circuit.num_dffs(), 0);
+/// assert_eq!(scan.circuit.num_inputs(), seq.num_inputs() + seq.num_dffs());
+/// assert_eq!(scan.circuit.num_outputs(), seq.num_outputs() + seq.num_dffs());
+/// ```
+pub fn full_scan_view(circuit: &Circuit) -> ScanView {
+    let mut b = CircuitBuilder::new(format!("{}_scan", circuit.name()));
+    let mut map = vec![GateId::from_index(0); circuit.num_nodes()];
+    for &pi in circuit.inputs() {
+        map[pi.index()] = b.input(circuit.gate(pi).name().to_owned());
+    }
+    for &q in circuit.dffs() {
+        map[q.index()] = b.input(format!("scan_in_{}", circuit.gate(q).name()));
+    }
+    for &g in circuit.topo_order() {
+        let gate = circuit.gate(g);
+        let f = gate.kind().gate_fn().expect("combinational");
+        let fanin: Vec<GateId> = gate.fanin().iter().map(|&s| map[s.index()]).collect();
+        map[g.index()] = b
+            .gate(gate.name().to_owned(), f, fanin)
+            .expect("copied arity is valid");
+    }
+    for &po in circuit.outputs() {
+        b.output(map[po.index()]);
+    }
+    for &q in circuit.dffs() {
+        let d = circuit.gate(q).fanin()[0];
+        let out = b
+            .gate(
+                format!("scan_out_{}", circuit.gate(q).name()),
+                GateFn::Buf,
+                vec![map[d.index()]],
+            )
+            .expect("buffer arity");
+        b.output(out);
+    }
+    let scan = b.finish().expect("scan view is structurally valid");
+    ScanView {
+        real_inputs: circuit.num_inputs(),
+        real_outputs: circuit.num_outputs(),
+        circuit: scan,
+        map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::s27;
+    use cfs_logic::Logic;
+
+    #[test]
+    fn scan_view_is_combinational_and_complete() {
+        let seq = s27();
+        let scan = full_scan_view(&seq);
+        assert_eq!(scan.circuit.num_dffs(), 0);
+        assert_eq!(scan.scan_cells(), 3);
+        // Gate count: the original logic plus one scan-out buffer per cell.
+        assert_eq!(
+            scan.circuit.num_comb_gates(),
+            seq.num_comb_gates() + seq.num_dffs()
+        );
+        // Node mapping covers every original combinational gate.
+        for &g in seq.topo_order() {
+            let mapped = scan.map(g);
+            assert_eq!(
+                scan.circuit.gate(mapped).kind(),
+                seq.gate(g).kind(),
+                "{}",
+                seq.gate(g).name()
+            );
+        }
+    }
+
+    #[test]
+    fn one_scan_cycle_equals_one_sequential_cycle() {
+        // Feeding (inputs, state) into the scan view reproduces one cycle
+        // of the sequential circuit: same POs, and the scan-outs equal the
+        // next state.
+        let seq = s27();
+        let scan = full_scan_view(&seq);
+        let mut seq_sim = cfs_goodsim_stub::FullSimLike::new(&seq);
+        let mut state = vec![Logic::X; seq.num_dffs()];
+        let patterns = ["0000", "1111", "0101", "1010", "0011"];
+        for p in patterns {
+            let inputs: Vec<Logic> = cfs_logic::parse_pattern(p).unwrap();
+            // Sequential step.
+            let (seq_out, next_state) = seq_sim.step(&inputs, &state);
+            // Scan evaluation of the same frame.
+            let mut scan_inputs = inputs.clone();
+            scan_inputs.extend(state.iter().copied());
+            let scan_out = cfs_goodsim_stub::evaluate(&scan.circuit, &scan_inputs);
+            let (real, pseudo) = scan_out.split_at(scan.real_outputs);
+            assert_eq!(real, seq_out.as_slice(), "primary outputs match");
+            assert_eq!(pseudo, next_state.as_slice(), "scan-outs are next state");
+            state = next_state;
+        }
+    }
+
+    /// A tiny local evaluator so the netlist crate's tests need no
+    /// dependency on the simulator crates (which depend on this crate).
+    mod cfs_goodsim_stub {
+        use crate::{Circuit, GateKind};
+        use cfs_logic::Logic;
+
+        pub struct FullSimLike<'c> {
+            circuit: &'c Circuit,
+        }
+
+        impl<'c> FullSimLike<'c> {
+            pub fn new(circuit: &'c Circuit) -> Self {
+                FullSimLike { circuit }
+            }
+
+            /// One cycle from explicit state; returns (POs, next state).
+            pub fn step(&mut self, inputs: &[Logic], state: &[Logic]) -> (Vec<Logic>, Vec<Logic>) {
+                let mut values = vec![Logic::X; self.circuit.num_nodes()];
+                for (&pi, &v) in self.circuit.inputs().iter().zip(inputs) {
+                    values[pi.index()] = v;
+                }
+                for (&q, &v) in self.circuit.dffs().iter().zip(state) {
+                    values[q.index()] = v;
+                }
+                settle(self.circuit, &mut values);
+                let outs = self
+                    .circuit
+                    .outputs()
+                    .iter()
+                    .map(|&po| values[po.index()])
+                    .collect();
+                let next = self
+                    .circuit
+                    .dffs()
+                    .iter()
+                    .map(|&q| values[self.circuit.gate(q).fanin()[0].index()])
+                    .collect();
+                (outs, next)
+            }
+        }
+
+        pub fn evaluate(circuit: &Circuit, inputs: &[Logic]) -> Vec<Logic> {
+            let mut values = vec![Logic::X; circuit.num_nodes()];
+            for (&pi, &v) in circuit.inputs().iter().zip(inputs) {
+                values[pi.index()] = v;
+            }
+            settle(circuit, &mut values);
+            circuit
+                .outputs()
+                .iter()
+                .map(|&po| values[po.index()])
+                .collect()
+        }
+
+        fn settle(circuit: &Circuit, values: &mut [Logic]) {
+            let mut scratch = Vec::new();
+            for &g in circuit.topo_order() {
+                let gate = circuit.gate(g);
+                scratch.clear();
+                for &s in gate.fanin() {
+                    scratch.push(values[s.index()]);
+                }
+                let f = match gate.kind() {
+                    GateKind::Comb(f) => f,
+                    _ => unreachable!(),
+                };
+                values[g.index()] = f.eval(&scratch);
+            }
+        }
+    }
+}

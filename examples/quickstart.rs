@@ -1,0 +1,40 @@
+//! Quickstart: fault-simulate the ISCAS-89 `s27` benchmark.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cfs::atpg::random_patterns;
+use cfs::core_sim::{ConcurrentSim, CsimVariant};
+use cfs::faults::collapse_stuck_at;
+use cfs::netlist::data::s27;
+
+fn main() {
+    // 1. A circuit: the embedded s27, or parse your own `.bench` file with
+    //    `cfs::netlist::parse_bench`.
+    let circuit = s27();
+    println!("circuit: {circuit}");
+
+    // 2. A fault universe: the collapsed single stuck-at faults.
+    let faults = collapse_stuck_at(&circuit).representatives;
+    println!("faults:  {} collapsed stuck-at", faults.len());
+
+    // 3. A test sequence: 64 random patterns (see `cfs::atpg` for real
+    //    test generation).
+    let patterns = random_patterns(&circuit, 64, 42);
+
+    // 4. The concurrent fault simulator, in its best configuration
+    //    (csim-MV: macro extraction + visible/invisible list splitting).
+    let mut sim = ConcurrentSim::new(&circuit, &faults, CsimVariant::Mv.options());
+    let report = sim.run(&patterns);
+
+    println!("result:  {report}");
+    for (i, status) in report.statuses.iter().enumerate().take(5) {
+        println!("         {} → {status}", faults[i].describe(&circuit));
+    }
+    println!(
+        "         peak fault elements: {}, events: {}",
+        sim.peak_elements(),
+        report.events
+    );
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the `cfs` workspace — a reproduction of *Dong Ho Lee
+//! and Sudhakar M. Reddy, "On Efficient Concurrent Fault Simulation for
+//! Synchronous Sequential Circuits," DAC 1992*.
+//!
+//! Re-exports every member crate; see the crate-level documentation of
+//! [`cfs_core`] for the simulator itself and `README.md` for the project
+//! overview.
+
+#![forbid(unsafe_code)]
+
+pub use cfs_atpg as atpg;
+pub use cfs_baselines as baselines;
+pub use cfs_core as core_sim;
+pub use cfs_faults as faults;
+pub use cfs_goodsim as goodsim;
+pub use cfs_logic as logic;
+pub use cfs_netlist as netlist;

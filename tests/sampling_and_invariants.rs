@@ -1,0 +1,107 @@
+//! Fault-sampling statistics against ground truth, and engine structural
+//! invariants under stress.
+
+use cfs_core::{ConcurrentSim, CsimOptions, CsimVariant};
+use cfs_faults::{enumerate_stuck_at, estimate_coverage, sample_faults};
+use cfs_logic::Logic;
+use cfs_netlist::generate::{benchmark, generate, CircuitSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_patterns(n_inputs: usize, count: usize, seed: u64) -> Vec<Vec<Logic>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (0..n_inputs)
+                .map(|_| Logic::from_bool(rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn sampled_coverage_brackets_true_coverage() {
+    let c = benchmark("s1196g").unwrap();
+    let all = enumerate_stuck_at(&c);
+    let patterns = random_patterns(c.num_inputs(), 150, 0xFACE);
+
+    // Ground truth over the whole universe.
+    let mut full = ConcurrentSim::new(&c, &all, CsimVariant::Mv.options());
+    let truth = full.run(&patterns).coverage_percent();
+
+    // Estimates from independent samples: most must bracket the truth
+    // (the interval is ~95%, so demand at least 8 of 10).
+    let mut hits = 0;
+    for seed in 0..10 {
+        let (sample, _) = sample_faults(&all, 250, seed);
+        let mut sim = ConcurrentSim::new(&c, &sample, CsimVariant::Mv.options());
+        let report = sim.run(&patterns);
+        let est = estimate_coverage(&report.statuses, all.len());
+        if est.contains(truth) {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 8, "confidence interval too narrow: {hits}/10");
+}
+
+#[test]
+fn engine_invariants_hold_under_stress() {
+    // Random circuits, random X-containing stimulus, all option
+    // combinations: the fault-list structure must stay well-formed after
+    // every cycle.
+    let mut rng = StdRng::seed_from_u64(404);
+    for seed in 0..3u64 {
+        let spec = CircuitSpec::new(format!("inv{seed}"), 4, 3, 5, 45, 3000 + seed);
+        let c = generate(&spec);
+        let faults = enumerate_stuck_at(&c);
+        for split in [false, true] {
+            for use_macros in [false, true] {
+                for drop in [false, true] {
+                    let mut sim = ConcurrentSim::new(
+                        &c,
+                        &faults,
+                        CsimOptions {
+                            split_invisible: split,
+                            use_macros,
+                            macro_max_inputs: 4,
+                            drop_detected: drop,
+                        },
+                    );
+                    for _ in 0..15 {
+                        let p: Vec<Logic> = (0..c.num_inputs())
+                            .map(|_| match rng.gen_range(0..6) {
+                                0 => Logic::X,
+                                k => Logic::from_bool(k % 2 == 0),
+                            })
+                            .collect();
+                        sim.step(&p);
+                        sim.assert_invariants();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dropping_eventually_frees_detected_elements() {
+    // After detection, continued simulation traverses the lists and purges
+    // the dropped elements: live storage must shrink towards the floor of
+    // permanent local elements of undetected faults.
+    let c = benchmark("s298g").unwrap();
+    let faults = enumerate_stuck_at(&c);
+    let patterns = random_patterns(c.num_inputs(), 120, 3);
+    let mut sim = ConcurrentSim::new(&c, &faults, CsimVariant::V.options());
+    for p in &patterns {
+        sim.step(p);
+    }
+    let detected = sim.detected();
+    assert!(detected > 0);
+    let live = sim.live_elements();
+    let peak = sim.peak_elements();
+    assert!(
+        live < peak,
+        "event-driven dropping reclaimed storage: live {live} < peak {peak}"
+    );
+    sim.assert_invariants();
+}
