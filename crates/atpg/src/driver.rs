@@ -138,12 +138,8 @@ pub fn generate_tests(circuit: &Circuit, faults: &[StuckAt], options: AtpgOption
                     assignable[k] = true;
                 }
             }
-            let podem = Podem::with_assignable(
-                &u.circuit,
-                injections,
-                assignable,
-                options.backtrack_limit,
-            );
+            let podem =
+                Podem::with_assignable(&u.circuit, injections, assignable, options.backtrack_limit);
             match podem.run() {
                 PodemResult::Test(mut assignment) => {
                     random_fill(&mut assignment, &mut rng);
@@ -240,11 +236,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(
-            outcome.report.coverage_percent() > 90.0,
-            "{}",
-            outcome
-        );
+        assert!(outcome.report.coverage_percent() > 90.0, "{}", outcome);
         // The reported coverage is confirmed by the serial oracle.
         let serial = SerialSim::new(&c, &faults).run(&outcome.patterns);
         assert_eq!(serial.detected(), outcome.report.detected());
@@ -256,7 +248,11 @@ mod tests {
         let faults = collapse_stuck_at(&c).representatives;
         let n_random = 48;
         let mut random_only = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
-        let rr = random_only.run(&random_patterns(&c, n_random, AtpgOptions::default().seed ^ 0x5eed));
+        let rr = random_only.run(&random_patterns(
+            &c,
+            n_random,
+            AtpgOptions::default().seed ^ 0x5eed,
+        ));
         let outcome = generate_tests(
             &c,
             &faults,

@@ -78,7 +78,11 @@ impl<'c> Podem<'c> {
         assignable: Vec<bool>,
         backtrack_limit: usize,
     ) -> Self {
-        assert_eq!(circuit.num_dffs(), 0, "PODEM is combinational: unroll first");
+        assert_eq!(
+            circuit.num_dffs(),
+            0,
+            "PODEM is combinational: unroll first"
+        );
         assert_eq!(assignable.len(), circuit.num_inputs());
         // Static reachability: which nodes can be influenced by an
         // assignable PI (backtrace must not descend into dead cones).
@@ -87,11 +91,7 @@ impl<'c> Podem<'c> {
             reaches[pi.index()] = assignable[k];
         }
         for &g in circuit.topo_order() {
-            reaches[g.index()] = circuit
-                .gate(g)
-                .fanin()
-                .iter()
-                .any(|&s| reaches[s.index()]);
+            reaches[g.index()] = circuit.gate(g).fanin().iter().any(|&s| reaches[s.index()]);
         }
         Podem {
             circuit,
@@ -202,8 +202,8 @@ impl<'c> Podem<'c> {
     /// Chooses the next objective `(net, desired good value)`.
     fn objective(&self, good: &[Logic], faulty: &[Logic]) -> Option<(GateId, Logic)> {
         // Is there any fault effect (binary difference) in the circuit?
-        let effect_exists = (0..self.circuit.num_nodes())
-            .any(|i| good[i].detectably_differs(faulty[i]));
+        let effect_exists =
+            (0..self.circuit.num_nodes()).any(|i| good[i].detectably_differs(faulty[i]));
         if !effect_exists {
             // Activation: drive some injection site's good side opposite to
             // the stuck value.
@@ -215,9 +215,7 @@ impl<'c> Podem<'c> {
                     }
                 };
                 match good[net.index()] {
-                    Logic::X if self.reaches_assignable[net.index()] => {
-                        return Some((net, want))
-                    }
+                    Logic::X if self.reaches_assignable[net.index()] => return Some((net, want)),
                     _ => continue,
                 }
             }
@@ -253,17 +251,15 @@ impl<'c> Podem<'c> {
                 continue; // effect already through this gate
             }
             if !good[g.index()].is_binary() || !faulty[g.index()].is_binary() {
-                let has_diff_input = gate.fanin().iter().any(|&s| {
-                    good[s.index()].detectably_differs(faulty[s.index()])
-                });
+                let has_diff_input = gate
+                    .fanin()
+                    .iter()
+                    .any(|&s| good[s.index()].detectably_differs(faulty[s.index()]));
                 if !has_diff_input {
                     continue;
                 }
                 let f = gate.kind().gate_fn().expect("combinational");
-                let want = f
-                    .controlling_value()
-                    .map(|c| !c)
-                    .unwrap_or(Logic::Zero);
+                let want = f.controlling_value().map(|c| !c).unwrap_or(Logic::Zero);
                 for &s in gate.fanin() {
                     if good[s.index()] == Logic::X && self.reaches_assignable[s.index()] {
                         return Some((s, want));
@@ -275,7 +271,12 @@ impl<'c> Podem<'c> {
     }
 
     /// Walks an objective back to an unassigned, assignable primary input.
-    fn backtrace(&self, mut net: GateId, mut value: Logic, good: &[Logic]) -> Option<(usize, Logic)> {
+    fn backtrace(
+        &self,
+        mut net: GateId,
+        mut value: Logic,
+        good: &[Logic],
+    ) -> Option<(usize, Logic)> {
         loop {
             if let Some(k) = self.circuit.inputs().iter().position(|&p| p == net) {
                 if self.assignable[k] && good[net.index()] == Logic::X {
@@ -286,9 +287,11 @@ impl<'c> Podem<'c> {
             let gate = self.circuit.gate(net);
             let f = gate.kind().gate_fn().expect("combinational");
             // Choose an X input whose cone reaches an assignable PI.
-            let pick = gate.fanin().iter().copied().find(|&s| {
-                good[s.index()] == Logic::X && self.reaches_assignable[s.index()]
-            })?;
+            let pick = gate
+                .fanin()
+                .iter()
+                .copied()
+                .find(|&s| good[s.index()] == Logic::X && self.reaches_assignable[s.index()])?;
             value = input_target(f, value);
             net = pick;
         }
@@ -300,9 +303,9 @@ fn input_target(f: GateFn, out: Logic) -> Logic {
     match f {
         GateFn::Buf => out,
         GateFn::Not => !out,
-        GateFn::And => out,        // want 1 ⇒ inputs 1; want 0 ⇒ some input 0
-        GateFn::Nand => !out,      // want 0 ⇒ inputs 1
-        GateFn::Or => out,         // want 1 ⇒ some input 1; want 0 ⇒ inputs 0
+        GateFn::And => out,   // want 1 ⇒ inputs 1; want 0 ⇒ some input 0
+        GateFn::Nand => !out, // want 0 ⇒ inputs 1
+        GateFn::Or => out,    // want 1 ⇒ some input 1; want 0 ⇒ inputs 0
         GateFn::Nor => !out,
         GateFn::Xor | GateFn::Xnor => out, // parity: any choice, search fixes it
     }
@@ -371,12 +374,8 @@ mod tests {
     fn unassignable_inputs_are_never_assigned() {
         let c = parse_bench("u", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
         let y = c.find("y").unwrap();
-        let podem = Podem::with_assignable(
-            &c,
-            vec![StuckAt::output(y, false)],
-            vec![true, false],
-            100,
-        );
+        let podem =
+            Podem::with_assignable(&c, vec![StuckAt::output(y, false)], vec![true, false], 100);
         // b cannot be set to 1, so no test exists.
         assert_eq!(podem.run(), PodemResult::Untestable);
     }

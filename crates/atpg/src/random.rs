@@ -71,12 +71,7 @@ mod tests {
     #[test]
     fn weights_shift_the_distribution() {
         let c = s27();
-        let ones = |ps: &[Vec<Logic>]| {
-            ps.iter()
-                .flatten()
-                .filter(|&&v| v == Logic::One)
-                .count()
-        };
+        let ones = |ps: &[Vec<Logic>]| ps.iter().flatten().filter(|&&v| v == Logic::One).count();
         let lo = weighted_random_patterns(&c, 200, 1, 0.1);
         let hi = weighted_random_patterns(&c, 200, 1, 0.9);
         assert!(ones(&lo) < ones(&hi) / 3);

@@ -75,8 +75,7 @@ impl Unrolled {
             for &g in circuit.topo_order() {
                 let gate = circuit.gate(g);
                 let f = gate.kind().gate_fn().expect("combinational");
-                let fanin: Vec<GateId> =
-                    gate.fanin().iter().map(|&s| copy[t][s.index()]).collect();
+                let fanin: Vec<GateId> = gate.fanin().iter().map(|&s| copy[t][s.index()]).collect();
                 let id = b
                     .gate(format!("{}@{t}", gate.name()), f, fanin)
                     .expect("copied arity is valid");
@@ -226,8 +225,18 @@ mod tests {
         let u = Unrolled::new(&c, 3);
         let q = c.dffs()[0];
         let g11 = c.find("G11").unwrap();
-        assert_eq!(u.map_fault(&c, cfs_faults::StuckAt::output(g11, true)).len(), 3);
-        assert_eq!(u.map_fault(&c, cfs_faults::StuckAt::output(q, false)).len(), 3);
-        assert_eq!(u.map_fault(&c, cfs_faults::StuckAt::pin(q, 0, true)).len(), 2);
+        assert_eq!(
+            u.map_fault(&c, cfs_faults::StuckAt::output(g11, true))
+                .len(),
+            3
+        );
+        assert_eq!(
+            u.map_fault(&c, cfs_faults::StuckAt::output(q, false)).len(),
+            3
+        );
+        assert_eq!(
+            u.map_fault(&c, cfs_faults::StuckAt::pin(q, 0, true)).len(),
+            2
+        );
     }
 }

@@ -173,8 +173,7 @@ impl<'c> CptSim<'c> {
                 }
                 let hit = match fault.site {
                     FaultSite::Output { gate } => {
-                        out_critical[gate.index()]
-                            && values[gate.index()] == !fault.value()
+                        out_critical[gate.index()] && values[gate.index()] == !fault.value()
                     }
                     FaultSite::Pin { gate, pin } => {
                         let src = self.circuit.gate(gate).fanin()[pin as usize];
@@ -217,11 +216,7 @@ impl<'c> CptSim<'c> {
                 continue;
             }
             let gate = self.circuit.gate(g);
-            if gate
-                .fanin()
-                .iter()
-                .all(|&s| flipped[s.index()].is_none())
-            {
+            if gate.fanin().iter().all(|&s| flipped[s.index()].is_none()) {
                 continue;
             }
             scratch.clear();
@@ -348,9 +343,7 @@ mod tests {
     fn rejects_x_patterns() {
         let c = parse_bench("b", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n").unwrap();
         let faults = enumerate_stuck_at(&c);
-        let err = CptSim::new(&c, &faults)
-            .run(&[vec![Logic::X]])
-            .unwrap_err();
+        let err = CptSim::new(&c, &faults).run(&[vec![Logic::X]]).unwrap_err();
         assert_eq!(err.pattern, 0);
     }
 }

@@ -39,7 +39,10 @@ impl fmt::Display for DeductiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeductiveError::NonBinaryPattern { pattern } => {
-                write!(f, "pattern {pattern} contains X; deductive simulation is binary-only")
+                write!(
+                    f,
+                    "pattern {pattern} contains X; deductive simulation is binary-only"
+                )
             }
             DeductiveError::NonBinaryReset => {
                 f.write_str("deductive simulation requires a binary reset state")
@@ -83,8 +86,7 @@ impl<'c> DeductiveSim<'c> {
     /// Panics if `reset_state.len()` differs from the flip-flop count.
     pub fn new(circuit: &'c Circuit, faults: &[StuckAt], reset_state: Vec<Logic>) -> Self {
         assert_eq!(reset_state.len(), circuit.num_dffs(), "state width");
-        let mut locals: Vec<Vec<(u32, Option<u8>, Logic)>> =
-            vec![Vec::new(); circuit.num_nodes()];
+        let mut locals: Vec<Vec<(u32, Option<u8>, Logic)>> = vec![Vec::new(); circuit.num_nodes()];
         for (i, f) in faults.iter().enumerate() {
             let (g, pin) = match f.site {
                 FaultSite::Output { gate } => (gate, None),
@@ -161,7 +163,11 @@ impl<'c> DeductiveSim<'c> {
                                 .iter()
                                 .map(|&k| {
                                     let flip = lists[k].binary_search(&fid).is_ok();
-                                    if flip { !values[k] } else { values[k] }
+                                    if flip {
+                                        !values[k]
+                                    } else {
+                                        values[k]
+                                    }
                                 })
                                 .collect();
                             vals[p as usize] = stuck;

@@ -38,9 +38,9 @@ mod proofs;
 mod serial;
 mod transition_ref;
 
-pub use deductive::{deductive_supported, zero_state, DeductiveError, DeductiveSim};
 pub use cpt::{CptSim, NonBinaryPatternError};
-pub use dictionary::{FaultDictionary, Failure, PassFailDictionary};
+pub use deductive::{deductive_supported, zero_state, DeductiveError, DeductiveSim};
+pub use dictionary::{Failure, FaultDictionary, PassFailDictionary};
 pub use ppsfp::PpsfpSim;
 pub use proofs::ProofsSim;
 pub use serial::{FaultySim, SerialSim};

@@ -228,9 +228,7 @@ impl<'c> PpsfpSim<'c> {
                 })
                 .collect(),
             cpu: start.elapsed(),
-            memory_bytes: self.circuit.num_nodes()
-                * std::mem::size_of::<PackedLogic>()
-                * 2
+            memory_bytes: self.circuit.num_nodes() * std::mem::size_of::<PackedLogic>() * 2
                 + self.faults.len() * 16,
             events: 0,
             evaluations: self.evaluations,

@@ -250,18 +250,27 @@ impl<'c> ProofsSim<'c> {
             let g = f.site.gate();
             match (f.site, self.circuit.gate(g).kind()) {
                 (FaultSite::Output { .. }, GateKind::Comb(_)) => {
-                    out_inj.entry(g.index()).or_default().push((lane, f.value()));
+                    out_inj
+                        .entry(g.index())
+                        .or_default()
+                        .push((lane, f.value()));
                 }
                 (FaultSite::Output { .. }, _) => {
                     // PI or DFF output: forced before propagation, and (for
                     // a DFF) at latch time as well.
-                    out_inj.entry(g.index()).or_default().push((lane, f.value()));
+                    out_inj
+                        .entry(g.index())
+                        .or_default()
+                        .push((lane, f.value()));
                     if let Some(&ord) = dff_ordinal.get(&g.index()) {
                         latch_inj.push((lane, ord, f.value()));
                     }
                 }
                 (FaultSite::Pin { pin, .. }, GateKind::Comb(_)) => {
-                    pin_inj.entry(g.index()).or_default().push((lane, pin, f.value()));
+                    pin_inj
+                        .entry(g.index())
+                        .or_default()
+                        .push((lane, pin, f.value()));
                 }
                 (FaultSite::Pin { .. }, GateKind::Dff) => {
                     let ord = dff_ordinal[&g.index()];

@@ -233,10 +233,12 @@ mod tests {
     fn s27_serial_detects_reasonable_fraction() {
         let c = s27();
         let faults = enumerate_stuck_at(&c);
-        let patterns: Vec<_> = ["0000", "1111", "0101", "1010", "0011", "1100", "0110", "1001"]
-            .iter()
-            .map(|p| parse_pattern(p).unwrap())
-            .collect();
+        let patterns: Vec<_> = [
+            "0000", "1111", "0101", "1010", "0011", "1100", "0110", "1001",
+        ]
+        .iter()
+        .map(|p| parse_pattern(p).unwrap())
+        .collect();
         let report = SerialSim::new(&c, &faults).run(&patterns);
         let cvg = report.coverage_percent();
         assert!(cvg > 40.0 && cvg <= 100.0, "{cvg}");
@@ -254,11 +256,8 @@ mod tests {
 
     #[test]
     fn stuck_dff_q_persists_through_reset() {
-        let c = cfs_netlist::parse_bench(
-            "ff",
-            "INPUT(a)\nOUTPUT(y)\nq = DFF(a)\ny = BUF(q)\n",
-        )
-        .unwrap();
+        let c = cfs_netlist::parse_bench("ff", "INPUT(a)\nOUTPUT(y)\nq = DFF(a)\ny = BUF(q)\n")
+            .unwrap();
         let q = c.find("q").unwrap();
         let faults = [StuckAt::output(q, true)];
         let sim = SerialSim::new(&c, &faults).with_reset_state(vec![Logic::Zero]);
@@ -271,11 +270,8 @@ mod tests {
     fn undetectable_with_x_outputs() {
         // Without reset, a fault visible only against X state is not
         // "detected" by the binary-difference criterion.
-        let c = cfs_netlist::parse_bench(
-            "ff",
-            "INPUT(a)\nOUTPUT(y)\nq = DFF(a)\ny = BUF(q)\n",
-        )
-        .unwrap();
+        let c = cfs_netlist::parse_bench("ff", "INPUT(a)\nOUTPUT(y)\nq = DFF(a)\ny = BUF(q)\n")
+            .unwrap();
         let q = c.find("q").unwrap();
         let faults = [StuckAt::output(q, true)];
         let report = SerialSim::new(&c, &faults).run(&[parse_pattern("x").unwrap()]);

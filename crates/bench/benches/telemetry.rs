@@ -1,0 +1,52 @@
+//! Telemetry overhead bench: the same csim-MV workload with the probe
+//! absent (`NullProbe`, the default) and with the recording `SimMetrics`
+//! probe attached.
+//!
+//! The `off` timing is the acceptance check for the zero-cost claim: the
+//! probe-free engine is monomorphized over `NullProbe`, whose methods are
+//! empty `#[inline]` bodies, and every costful sweep is gated behind
+//! `P::ENABLED`, so `telemetry/off` must match the pre-instrumentation
+//! engine (within noise; the `on` row shows what the probe itself costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfs_bench::workloads::{circuit, deterministic_tests, fault_universe, WorkloadConfig};
+use cfs_core::{ConcurrentSim, CsimVariant};
+
+const CIRCUITS: &[&str] = &["s298g", "s1196g"];
+
+fn bench_overhead(c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick();
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(20);
+    for &name in CIRCUITS {
+        let ckt = circuit(name, &cfg);
+        let faults = fault_universe(&ckt);
+        let tests = deterministic_tests(&ckt, &faults, &cfg);
+        group.bench_with_input(
+            BenchmarkId::new("off", name),
+            &(&ckt, &faults, &tests),
+            |b, (ckt, faults, tests)| {
+                b.iter(|| {
+                    let mut sim = ConcurrentSim::new(ckt, faults, CsimVariant::Mv.options());
+                    sim.run(tests).detected()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("on", name),
+            &(&ckt, &faults, &tests),
+            |b, (ckt, faults, tests)| {
+                b.iter(|| {
+                    let mut sim =
+                        ConcurrentSim::instrumented(ckt, faults, CsimVariant::Mv.options());
+                    sim.run(tests).detected()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

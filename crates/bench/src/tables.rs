@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 
 use cfs_baselines::ProofsSim;
-use cfs_core::{ConcurrentSim, CsimVariant, TransitionOptions, TransitionSim};
+use cfs_core::{ConcurrentSim, CsimVariant, MetricsSnapshot, TransitionOptions, TransitionSim};
 use cfs_faults::{enumerate_transition, FaultSimReport};
 
 use crate::workloads::{
@@ -66,7 +66,12 @@ pub fn table2(names: &[&str], config: &WorkloadConfig) -> Vec<Table2Row> {
             let report = sim.run(&tests);
             Table2Row {
                 name: name.to_owned(),
-                stats: (c.num_inputs(), c.num_outputs(), c.num_dffs(), c.num_comb_gates()),
+                stats: (
+                    c.num_inputs(),
+                    c.num_outputs(),
+                    c.num_dffs(),
+                    c.num_comb_gates(),
+                ),
                 faults: faults.len(),
                 patterns: tests.len(),
                 coverage: report.coverage_percent(),
@@ -78,7 +83,10 @@ pub fn table2(names: &[&str], config: &WorkloadConfig) -> Vec<Table2Row> {
 /// Formats Table 2 in the paper's layout.
 pub fn format_table2(rows: &[Table2Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2. Benchmark circuits and deterministic test sets");
+    let _ = writeln!(
+        out,
+        "Table 2. Benchmark circuits and deterministic test sets"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>4} {:>4} {:>5} {:>6} {:>7} {:>6} {:>7}",
@@ -107,6 +115,10 @@ pub struct Table3Row {
     pub proofs: Measurement,
     /// Pattern count.
     pub patterns: usize,
+    /// Telemetry snapshot of an instrumented csim-MV run on the same test
+    /// set: events per pattern and fault-list lengths. Taken from a
+    /// separate run so the timing columns stay probe-free.
+    pub telemetry: MetricsSnapshot,
 }
 
 /// Regenerates Table 3 over the given circuits.
@@ -123,34 +135,49 @@ pub fn table3(names: &[&str], config: &WorkloadConfig) -> Vec<Table3Row> {
             });
             let mut psim = ProofsSim::new(&c, &faults);
             let proofs = Measurement::from_report(&psim.run(&tests));
+            let mut instrumented =
+                ConcurrentSim::instrumented(&c, &faults, CsimVariant::Mv.options());
+            instrumented.run(&tests);
             Table3Row {
                 name: name.to_owned(),
                 csim,
                 proofs,
                 patterns: tests.len(),
+                telemetry: instrumented.snapshot(),
             }
         })
         .collect()
 }
 
-/// Formats Table 3 in the paper's layout.
+/// Formats Table 3 in the paper's layout, extended with the telemetry
+/// columns (events per pattern and mean fault-list length of csim-MV).
 pub fn format_table3(rows: &[Table3Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 3. Deterministic Patterns (I)");
     let _ = writeln!(
         out,
-        "{:<10} {:>6} | {:>8} | {:>8} | {:>8} | {:>8} {:>7} | {:>8} {:>7}",
-        "ckt", "#ptns", "csim", "csim-V", "csim-M", "csim-MV", "mem", "PROOFS", "mem"
+        "{:<10} {:>6} | {:>8} | {:>8} | {:>8} | {:>8} {:>7} {:>7} {:>7} | {:>8} {:>7}",
+        "ckt",
+        "#ptns",
+        "csim",
+        "csim-V",
+        "csim-M",
+        "csim-MV",
+        "mem",
+        "ev/pat",
+        "avg |F|",
+        "PROOFS",
+        "mem"
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>6} | {:>8} | {:>8} | {:>8} | {:>8} {:>7} | {:>8} {:>7}",
-        "", "", "cpu s", "cpu s", "cpu s", "cpu s", "MB", "cpu s", "MB"
+        "{:<10} {:>6} | {:>8} | {:>8} | {:>8} | {:>8} {:>7} {:>7} {:>7} | {:>8} {:>7}",
+        "", "", "cpu s", "cpu s", "cpu s", "cpu s", "MB", "", "", "cpu s", "MB"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:<10} {:>6} | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3} {:>7.2} | {:>8.3} {:>7.2}",
+            "{:<10} {:>6} | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3} {:>7.2} {:>7.1} {:>7.2} | {:>8.3} {:>7.2}",
             r.name,
             r.patterns,
             r.csim[0].cpu_s,
@@ -158,6 +185,8 @@ pub fn format_table3(rows: &[Table3Row]) -> String {
             r.csim[2].cpu_s,
             r.csim[3].cpu_s,
             r.csim[3].mem_mb,
+            r.telemetry.events_per_pattern,
+            r.telemetry.avg_list_len,
             r.proofs.cpu_s,
             r.proofs.mem_mb
         );
@@ -282,7 +311,12 @@ pub fn format_table5(rows: &[Table5Row]) -> String {
         let _ = writeln!(
             out,
             "{:>6} {:>8.2} | {:>8.3} {:>7.2} | {:>8.3} {:>7.2}",
-            r.patterns, r.coverage, r.csim_mv.cpu_s, r.csim_mv.mem_mb, r.proofs.cpu_s, r.proofs.mem_mb
+            r.patterns,
+            r.coverage,
+            r.csim_mv.cpu_s,
+            r.csim_mv.mem_mb,
+            r.proofs.cpu_s,
+            r.proofs.mem_mb
         );
     }
     out
@@ -334,7 +368,10 @@ pub fn table6(names: &[&str], config: &WorkloadConfig) -> Vec<Table6Row> {
 /// Formats Table 6 in the paper's layout.
 pub fn format_table6(rows: &[Table6Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 6. Transition Fault Simulation (stuck-at test sets)");
+    let _ = writeln!(
+        out,
+        "Table 6. Transition Fault Simulation (stuck-at test sets)"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>7} {:>7} {:>8} {:>9} {:>9}",
@@ -374,7 +411,11 @@ pub fn headline(rows3: &[Table3Row]) -> String {
             faster += 1;
         }
     }
-    format!("csim-MV beats or ties PROOFS on {}/{} circuits", faster, rows3.len())
+    format!(
+        "csim-MV beats or ties PROOFS on {}/{} circuits",
+        faster,
+        rows3.len()
+    )
 }
 
 #[cfg(test)]
@@ -390,9 +431,15 @@ mod tests {
             let d = r.csim[0].detected;
             assert!(r.csim.iter().all(|m| m.detected == d), "{}", r.name);
             assert_eq!(r.proofs.detected, d, "{}", r.name);
+            // The instrumented re-run agrees and fills the telemetry columns.
+            assert_eq!(r.telemetry.detected as usize, d, "{}", r.name);
+            assert!(r.telemetry.avg_list_len > 0.0, "{}", r.name);
+            assert!(r.telemetry.events_per_pattern > 0.0, "{}", r.name);
         }
         let s = format_table3(&rows);
         assert!(s.contains("s298g"));
+        assert!(s.contains("ev/pat"));
+        assert!(s.contains("avg |F|"));
     }
 
     #[test]

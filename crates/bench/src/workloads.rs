@@ -13,8 +13,9 @@ pub const TABLE3_CIRCUITS: &[&str] = &[
 ];
 
 /// The circuits of Table 4 (higher-coverage deterministic tests).
-pub const TABLE4_CIRCUITS: &[&str] =
-    &["s298g", "s382g", "s400g", "s444g", "s526g", "s641g", "s713g"];
+pub const TABLE4_CIRCUITS: &[&str] = &[
+    "s298g", "s382g", "s400g", "s444g", "s526g", "s641g", "s713g",
+];
 
 /// The circuits of Table 6 (transition fault simulation).
 pub const TABLE6_CIRCUITS: &[&str] = &[
@@ -102,7 +103,11 @@ pub fn deterministic_tests(
 
 /// The Table 4 "higher coverage" tests: the full ATPG flow (random phase +
 /// PODEM over time-frame windows).
-pub fn atpg_tests(circuit: &Circuit, faults: &[StuckAt], config: &WorkloadConfig) -> Vec<Vec<Logic>> {
+pub fn atpg_tests(
+    circuit: &Circuit,
+    faults: &[StuckAt],
+    config: &WorkloadConfig,
+) -> Vec<Vec<Logic>> {
     let outcome = generate_tests(
         circuit,
         faults,

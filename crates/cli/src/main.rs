@@ -3,19 +3,31 @@
 //!
 //! ```text
 //! fsim stats <circuit>
-//! fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv]
+//! fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]
 //!                    [--simulator csim|proofs|serial|deductive] [--uncollapsed]
+//!                    [--stats] [--stats-json FILE] [--trace-every N]
 //! fsim transition <circuit> [--random N | --patterns FILE]
+//!                    [--stats] [--stats-json FILE] [--trace-every N]
 //! fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]
 //! fsim generate <name> [--out FILE]
 //! ```
 //!
 //! `<circuit>` is a `.bench` file path, or `@name` for a built-in circuit
-//! (`@s27` or a generated benchmark such as `@s298g`).
+//! (`@s27` or a generated benchmark such as `@s298g`). Flags accept both
+//! `--flag value` and `--flag=value`; unknown flags are an error.
+//!
+//! `--stats` attaches the telemetry probe and prints the per-run metric
+//! table (plus phase times and list-length/queue-depth histograms for the
+//! concurrent simulators); `--stats-json FILE` streams one JSON line per
+//! pattern plus a summary record; `--trace-every N` prints a progress line
+//! every N patterns. `--variant all` runs all four concurrent variants and
+//! renders them in one comparison table.
 
 use std::fmt;
 use std::fs;
+use std::io;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use cfs_atpg::{generate_tests, random_patterns, AtpgOptions};
 use cfs_baselines::{DeductiveSim, ProofsSim, SerialSim};
@@ -23,6 +35,10 @@ use cfs_core::{ConcurrentSim, CsimVariant, TransitionOptions, TransitionSim};
 use cfs_faults::{collapse_stuck_at, enumerate_stuck_at, enumerate_transition, FaultSimReport};
 use cfs_logic::{format_pattern, parse_pattern, Logic};
 use cfs_netlist::{extract_macros, parse_bench, write_bench, Circuit};
+use cfs_telemetry::{
+    render_histogram, render_phase_table, render_summary_table, JsonlWriter, MetricsSnapshot,
+    SimMetrics,
+};
 
 #[derive(Debug)]
 struct CliError(String);
@@ -76,26 +92,138 @@ fn print_usage() {
          \n\
          usage:\n\
          \u{20}  fsim stats <circuit>\n\
-         \u{20}  fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv]\n\
+         \u{20}  fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]\n\
          \u{20}                     [--simulator csim|proofs|serial|deductive] [--uncollapsed]\n\
+         \u{20}                     [--stats] [--stats-json FILE] [--trace-every N]\n\
          \u{20}  fsim transition <circuit> [--random N | --patterns FILE]\n\
+         \u{20}                     [--stats] [--stats-json FILE] [--trace-every N]\n\
          \u{20}  fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]\n\
          \u{20}  fsim generate <name> [--out FILE]\n\
          \n\
-         <circuit>: a .bench file, or @name for a built-in (@s27, @s298g, …)"
+         <circuit>: a .bench file, or @name for a built-in (@s27, @s298g, …)\n\
+         flags take either `--flag value` or `--flag=value`\n\
+         --stats       print the metric table (plus phase times and histograms)\n\
+         --stats-json  write one JSON line per pattern plus a summary record\n\
+         --trace-every print a progress line every N patterns (concurrent sims)\n\
+         --variant all run all four concurrent variants into one comparison table"
     );
 }
 
-/// Simple flag scanner: returns the value following `flag`, if present.
+/// Simple flag scanner: returns the value of `flag`, given either as
+/// `--flag value` or `--flag=value`.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return args.get(i + 1).map(String::as_str);
+        }
+        if let Some(rest) = a.strip_prefix(flag) {
+            if let Some(value) = rest.strip_prefix('=') {
+                return Some(value);
+            }
+        }
+    }
+    None
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Per-command flag table: `(name, takes_value)`.
+type FlagSpec = &'static [(&'static str, bool)];
+
+const STATS_FLAGS: FlagSpec = &[];
+const SIM_FLAGS: FlagSpec = &[
+    ("--patterns", true),
+    ("--random", true),
+    ("--seed", true),
+    ("--variant", true),
+    ("--simulator", true),
+    ("--uncollapsed", false),
+    ("--stats", false),
+    ("--stats-json", true),
+    ("--trace-every", true),
+];
+const TRANSITION_FLAGS: FlagSpec = &[
+    ("--patterns", true),
+    ("--random", true),
+    ("--seed", true),
+    ("--stats", false),
+    ("--stats-json", true),
+    ("--trace-every", true),
+];
+const ATPG_FLAGS: FlagSpec = &[("--max-frames", true), ("--random", true), ("--out", true)];
+const GENERATE_FLAGS: FlagSpec = &[("--out", true)];
+
+/// Rejects unknown flags, missing values, values on boolean flags, and
+/// stray positionals. The single positional (circuit or benchmark name)
+/// must come first.
+fn validate_flags(
+    cmd: &str,
+    args: &[String],
+    spec: FlagSpec,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            let (name, inline_value) = match a.split_once('=') {
+                Some((n, v)) => (n, Some(v)),
+                None => (a.as_str(), None),
+            };
+            let Some(&(_, takes_value)) = spec.iter().find(|(n, _)| *n == name) else {
+                return Err(err(format!("{cmd}: unknown flag {name} (try --help)")));
+            };
+            if takes_value {
+                if inline_value.is_none() {
+                    match args.get(i + 1) {
+                        Some(v) if !v.starts_with("--") => i += 1,
+                        _ => return Err(err(format!("{cmd}: flag {name} needs a value"))),
+                    }
+                }
+            } else if inline_value.is_some() {
+                return Err(err(format!("{cmd}: flag {name} does not take a value")));
+            }
+        } else if i != 0 {
+            return Err(err(format!(
+                "{cmd}: unexpected argument {a:?} (the circuit must come first)"
+            )));
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// Telemetry-related options shared by `sim` and `transition`.
+struct TelemetryOpts {
+    stats: bool,
+    stats_json: Option<String>,
+    trace_every: Option<usize>,
+}
+
+impl TelemetryOpts {
+    fn parse(args: &[String]) -> Result<Self, Box<dyn std::error::Error>> {
+        let trace_every = match flag_value(args, "--trace-every") {
+            Some(v) => {
+                let n: usize = v.parse().map_err(|_| err("--trace-every needs a number"))?;
+                if n == 0 {
+                    return Err(err("--trace-every must be at least 1"));
+                }
+                Some(n)
+            }
+            None => None,
+        };
+        Ok(TelemetryOpts {
+            stats: has_flag(args, "--stats"),
+            stats_json: flag_value(args, "--stats-json").map(str::to_owned),
+            trace_every,
+        })
+    }
+
+    /// Whether the run needs the recording probe attached at all.
+    fn enabled(&self) -> bool {
+        self.stats || self.stats_json.is_some() || self.trace_every.is_some()
+    }
 }
 
 fn load_circuit(spec: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
@@ -152,6 +280,7 @@ fn load_patterns(
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags("stats", args, STATS_FLAGS)?;
     let spec = args.first().ok_or_else(|| err("stats: missing circuit"))?;
     let c = load_circuit(spec)?;
     println!("{c}");
@@ -182,7 +311,190 @@ fn print_report(report: &FaultSimReport) {
     );
 }
 
+type JsonlFile = JsonlWriter<io::BufWriter<fs::File>>;
+
+fn open_jsonl(path: &Option<String>) -> Result<Option<JsonlFile>, Box<dyn std::error::Error>> {
+    match path {
+        Some(p) => {
+            let file = fs::File::create(p).map_err(|e| err(format!("cannot write {p}: {e}")))?;
+            Ok(Some(JsonlWriter::new(io::BufWriter::new(file))))
+        }
+        None => Ok(None),
+    }
+}
+
+fn close_jsonl(
+    jsonl: Option<JsonlFile>,
+    path: &Option<String>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let (Some(mut w), Some(p)) = (jsonl, path.as_ref()) {
+        w.flush()
+            .map_err(|e| err(format!("cannot write {p}: {e}")))?;
+        println!("wrote telemetry to {p}");
+    }
+    Ok(())
+}
+
+/// Streams every per-pattern record plus the run summary as JSON lines.
+fn emit_jsonl(
+    w: &mut JsonlFile,
+    metrics: &SimMetrics,
+    snap: &MetricsSnapshot,
+) -> Result<(), Box<dyn std::error::Error>> {
+    for record in metrics.records() {
+        w.write_pattern(record)
+            .map_err(|e| err(format!("cannot write telemetry: {e}")))?;
+    }
+    w.write_summary(snap)
+        .map_err(|e| err(format!("cannot write telemetry: {e}")))
+}
+
+fn trace_progress(metrics: &SimMetrics, pattern: usize, detected: usize, total: usize) {
+    let (avg, events) = metrics
+        .records()
+        .last()
+        .map(|r| (r.avg_list_len, r.counters.activations))
+        .unwrap_or((0.0, 0));
+    println!(
+        "  pattern {pattern:>6}: detected {detected}/{total}  avg |F| {avg:.1}  events {events}"
+    );
+}
+
+/// The per-run detail blocks behind `--stats`: phase times and the two
+/// engine histograms (only the concurrent simulators have these).
+fn print_stats_detail(snap: &MetricsSnapshot, metrics: &SimMetrics) {
+    print!("{}", render_phase_table(&snap.phases));
+    print!(
+        "{}",
+        render_histogram("fault-list length per node", &metrics.list_len_hist)
+    );
+    print!(
+        "{}",
+        render_histogram("event-queue depth per level", &metrics.queue_depth_hist)
+    );
+}
+
+fn run_stuck_instrumented(
+    sim: &mut ConcurrentSim<SimMetrics>,
+    circuit: &str,
+    patterns: &[Vec<Logic>],
+    trace_every: Option<usize>,
+    total_faults: usize,
+) -> FaultSimReport {
+    let start = Instant::now();
+    for (i, p) in patterns.iter().enumerate() {
+        sim.step(p);
+        if trace_every.is_some_and(|n| (i + 1) % n == 0) {
+            trace_progress(sim.metrics(), i + 1, sim.detected(), total_faults);
+        }
+    }
+    let cpu = start.elapsed();
+    FaultSimReport {
+        simulator: sim.name().to_owned(),
+        circuit: circuit.to_owned(),
+        patterns: patterns.len(),
+        statuses: sim.statuses(),
+        cpu,
+        memory_bytes: sim.memory_bytes(),
+        events: sim.events(),
+        evaluations: sim.fault_evaluations(),
+    }
+}
+
+/// `sim --simulator csim`: one variant, or all four under `--variant all`.
+fn run_csim_stuck(
+    c: &Circuit,
+    faults: &[cfs_faults::StuckAt],
+    patterns: &[Vec<Logic>],
+    variant_name: &str,
+    tel: &TelemetryOpts,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let variants: Vec<CsimVariant> = if variant_name == "all" {
+        vec![
+            CsimVariant::Base,
+            CsimVariant::V,
+            CsimVariant::M,
+            CsimVariant::Mv,
+        ]
+    } else {
+        vec![match variant_name {
+            "base" => CsimVariant::Base,
+            "v" => CsimVariant::V,
+            "m" => CsimVariant::M,
+            "mv" => CsimVariant::Mv,
+            other => return Err(err(format!("unknown variant {other:?}"))),
+        }]
+    };
+    if !tel.enabled() && variants.len() == 1 {
+        // Fast path: no probe attached, zero instrumentation cost.
+        let mut sim = ConcurrentSim::new(c, faults, variants[0].options());
+        print_report(&sim.run(patterns));
+        return Ok(());
+    }
+    let mut jsonl = open_jsonl(&tel.stats_json)?;
+    let mut snaps = Vec::new();
+    for &variant in &variants {
+        let mut sim = ConcurrentSim::instrumented(c, faults, variant.options());
+        let report =
+            run_stuck_instrumented(&mut sim, c.name(), patterns, tel.trace_every, faults.len());
+        print_report(&report);
+        let mut snap = sim.snapshot();
+        // Phase spans nest, so the wall clock is the honest total.
+        snap.cpu_seconds = report.cpu.as_secs_f64();
+        if tel.stats {
+            print_stats_detail(&snap, sim.metrics());
+        }
+        if let Some(w) = jsonl.as_mut() {
+            emit_jsonl(w, sim.metrics(), &snap)?;
+        }
+        snaps.push(snap);
+    }
+    if tel.stats || variants.len() > 1 {
+        println!();
+        print!("{}", render_summary_table(&snaps));
+    }
+    close_jsonl(jsonl, &tel.stats_json)
+}
+
+/// Telemetry output for the baseline simulators, which report only run
+/// totals: a headline-only snapshot through the same table and JSON path.
+fn emit_basic_telemetry(
+    tel: &TelemetryOpts,
+    report: &FaultSimReport,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if !tel.enabled() {
+        return Ok(());
+    }
+    if tel.trace_every.is_some() {
+        eprintln!("fsim: note: --trace-every needs a concurrent simulator; ignored");
+    }
+    let snap = MetricsSnapshot::from_basic(
+        &report.simulator,
+        &report.circuit,
+        report.patterns as u64,
+        report.detected() as u64,
+        report.events,
+        report.evaluations,
+        report.memory_bytes as u64,
+        report.cpu.as_secs_f64(),
+    );
+    if tel.stats {
+        println!();
+        print!("{}", render_summary_table(std::slice::from_ref(&snap)));
+    }
+    if let Some(path) = &tel.stats_json {
+        let mut jsonl = open_jsonl(&tel.stats_json)?;
+        if let Some(w) = jsonl.as_mut() {
+            w.write_summary(&snap)
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        }
+        close_jsonl(jsonl, &tel.stats_json)?;
+    }
+    Ok(())
+}
+
 fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags("sim", args, SIM_FLAGS)?;
     let spec = args.first().ok_or_else(|| err("sim: missing circuit"))?;
     let c = load_circuit(spec)?;
     let faults = if has_flag(args, "--uncollapsed") {
@@ -192,18 +504,10 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let patterns = load_patterns(&c, args, 256)?;
     let simulator = flag_value(args, "--simulator").unwrap_or("csim");
+    let variant_name = flag_value(args, "--variant").unwrap_or("mv");
+    let tel = TelemetryOpts::parse(args)?;
     let report = match simulator {
-        "csim" => {
-            let variant = match flag_value(args, "--variant").unwrap_or("mv") {
-                "base" => CsimVariant::Base,
-                "v" => CsimVariant::V,
-                "m" => CsimVariant::M,
-                "mv" => CsimVariant::Mv,
-                other => return Err(err(format!("unknown variant {other:?}"))),
-            };
-            let mut sim = ConcurrentSim::new(&c, &faults, variant.options());
-            sim.run(&patterns)
-        }
+        "csim" => return run_csim_stuck(&c, &faults, &patterns, variant_name, &tel),
         "proofs" => ProofsSim::new(&c, &faults).run(&patterns),
         "serial" => SerialSim::new(&c, &faults).run(&patterns),
         "deductive" => {
@@ -213,23 +517,70 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         other => return Err(err(format!("unknown simulator {other:?}"))),
     };
     print_report(&report);
-    Ok(())
+    emit_basic_telemetry(&tel, &report)
+}
+
+fn run_transition_instrumented(
+    sim: &mut TransitionSim<SimMetrics>,
+    circuit: &str,
+    patterns: &[Vec<Logic>],
+    trace_every: Option<usize>,
+    total_faults: usize,
+) -> FaultSimReport {
+    let start = Instant::now();
+    for (i, p) in patterns.iter().enumerate() {
+        sim.step(p);
+        if trace_every.is_some_and(|n| (i + 1) % n == 0) {
+            trace_progress(sim.metrics(), i + 1, sim.detected(), total_faults);
+        }
+    }
+    let cpu = start.elapsed();
+    FaultSimReport {
+        simulator: "csim-T".to_owned(),
+        circuit: circuit.to_owned(),
+        patterns: patterns.len(),
+        statuses: sim.statuses(),
+        cpu,
+        memory_bytes: sim.memory_bytes(),
+        events: sim.events(),
+        evaluations: sim.fault_evaluations(),
+    }
 }
 
 fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags("transition", args, TRANSITION_FLAGS)?;
     let spec = args
         .first()
         .ok_or_else(|| err("transition: missing circuit"))?;
     let c = load_circuit(spec)?;
     let faults = enumerate_transition(&c);
     let patterns = load_patterns(&c, args, 256)?;
-    let mut sim = TransitionSim::new(&c, &faults, TransitionOptions::default());
-    let report = sim.run(&patterns);
+    let tel = TelemetryOpts::parse(args)?;
+    if !tel.enabled() {
+        let mut sim = TransitionSim::new(&c, &faults, TransitionOptions::default());
+        print_report(&sim.run(&patterns));
+        return Ok(());
+    }
+    let mut jsonl = open_jsonl(&tel.stats_json)?;
+    let mut sim = TransitionSim::instrumented(&c, &faults, TransitionOptions::default());
+    let report =
+        run_transition_instrumented(&mut sim, c.name(), &patterns, tel.trace_every, faults.len());
     print_report(&report);
-    Ok(())
+    let mut snap = sim.snapshot();
+    snap.cpu_seconds = report.cpu.as_secs_f64();
+    if tel.stats {
+        print_stats_detail(&snap, sim.metrics());
+        println!();
+        print!("{}", render_summary_table(std::slice::from_ref(&snap)));
+    }
+    if let Some(w) = jsonl.as_mut() {
+        emit_jsonl(w, sim.metrics(), &snap)?;
+    }
+    close_jsonl(jsonl, &tel.stats_json)
 }
 
 fn cmd_atpg(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags("atpg", args, ATPG_FLAGS)?;
     let spec = args.first().ok_or_else(|| err("atpg: missing circuit"))?;
     let c = load_circuit(spec)?;
     let faults = collapse_stuck_at(&c).representatives;
@@ -259,6 +610,7 @@ fn cmd_atpg(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags("generate", args, GENERATE_FLAGS)?;
     let name = args.first().ok_or_else(|| err("generate: missing name"))?;
     let c = cfs_netlist::generate::benchmark(name)
         .ok_or_else(|| err(format!("unknown benchmark {name:?}")))?;

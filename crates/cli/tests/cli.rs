@@ -2,6 +2,8 @@
 
 use std::process::Command;
 
+use cfs_telemetry::JsonValue;
+
 fn fsim(args: &[&str]) -> (bool, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_fsim"))
         .args(args)
@@ -93,7 +95,10 @@ fn sim_from_bench_file_and_pattern_file() {
         "--uncollapsed",
     ]);
     assert!(ok, "{err}");
-    assert!(out.contains("(100.00%)"), "all inverter faults found: {out}");
+    assert!(
+        out.contains("(100.00%)"),
+        "all inverter faults found: {out}"
+    );
 }
 
 #[test]
@@ -148,4 +153,168 @@ fn atpg_writes_patterns() {
     // Patterns feed back into sim.
     let (ok, _, err) = fsim(&["sim", "@s27", "--patterns", out_file.to_str().unwrap()]);
     assert!(ok, "{err}");
+}
+
+#[test]
+fn equals_form_flags_are_accepted() {
+    let (ok, out, err) = fsim(&["sim", "@s27", "--random=16", "--seed=3", "--variant=base"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("16 patterns"), "{out}");
+    assert!(out.contains("csim on s27"), "{out}");
+}
+
+#[test]
+fn unknown_flag_is_an_error() {
+    let (ok, _, err) = fsim(&["sim", "@s27", "--frobnicate", "3"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag --frobnicate"), "{err}");
+    let (ok, _, err) = fsim(&["transition", "@s27", "--uncollapsed"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag --uncollapsed"), "{err}");
+}
+
+#[test]
+fn boolean_flag_rejects_a_value() {
+    let (ok, _, err) = fsim(&["sim", "@s27", "--stats=yes"]);
+    assert!(!ok);
+    assert!(err.contains("does not take a value"), "{err}");
+}
+
+#[test]
+fn value_flag_requires_a_value() {
+    let (ok, _, err) = fsim(&["sim", "@s27", "--random"]);
+    assert!(!ok);
+    assert!(err.contains("needs a value"), "{err}");
+}
+
+#[test]
+fn sim_stats_prints_metric_tables() {
+    let (ok, out, err) = fsim(&["sim", "@s27", "--random", "16", "--stats"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("avg |F|"), "{out}");
+    assert!(out.contains("visible%"), "{out}");
+    assert!(out.contains("propagate"), "{out}");
+    assert!(out.contains("fault-list length per node"), "{out}");
+    assert!(out.contains("event-queue depth per level"), "{out}");
+}
+
+#[test]
+fn sim_variant_all_renders_comparison_table() {
+    let (ok, out, err) = fsim(&["sim", "@s27", "--random", "16", "--variant", "all"]);
+    assert!(ok, "{err}");
+    for name in ["csim ", "csim-V", "csim-M", "csim-MV"] {
+        assert!(out.contains(name), "missing {name} in: {out}");
+    }
+    assert!(out.contains("avg |F|"), "{out}");
+}
+
+#[test]
+fn baseline_stats_flow_through_the_same_table() {
+    let (ok, out, err) = fsim(&[
+        "sim",
+        "@s27",
+        "--random",
+        "16",
+        "--simulator",
+        "proofs",
+        "--stats",
+    ]);
+    assert!(ok, "{err}");
+    // Headline columns are filled, probe-only columns are dashes.
+    assert!(out.contains("proofs"), "{out}");
+    assert!(out.contains("avg |F|"), "{out}");
+    assert!(out.contains(" - "), "{out}");
+}
+
+/// The ISSUE acceptance scenario: a `--stats-json` run emits one record
+/// per pattern plus a summary whose detected count matches a plain run.
+#[test]
+fn stats_json_emits_pattern_records_and_matching_summary() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("stats.jsonl");
+    let (ok, _, err) = fsim(&[
+        "sim",
+        "@s27",
+        "--random",
+        "8",
+        "--stats-json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let text = std::fs::read_to_string(&json).unwrap();
+    let lines: Vec<JsonValue> = text
+        .lines()
+        .map(|l| JsonValue::parse(l).expect("valid JSON line"))
+        .collect();
+    assert_eq!(lines.len(), 9, "8 pattern records + 1 summary");
+    for (i, line) in lines[..8].iter().enumerate() {
+        assert_eq!(
+            line.get("type").and_then(JsonValue::as_str),
+            Some("pattern")
+        );
+        assert_eq!(
+            line.get("pattern").and_then(JsonValue::as_u64),
+            Some(i as u64)
+        );
+        assert!(line
+            .get("avg_list_len")
+            .and_then(JsonValue::as_f64)
+            .is_some());
+    }
+    let summary = &lines[8];
+    assert_eq!(
+        summary.get("type").and_then(JsonValue::as_str),
+        Some("summary")
+    );
+    assert_eq!(
+        summary.get("simulator").and_then(JsonValue::as_str),
+        Some("csim-MV")
+    );
+    assert_eq!(summary.get("patterns").and_then(JsonValue::as_u64), Some(8));
+
+    // Detected count agrees with an uninstrumented run of the same seed.
+    let (ok, out, err) = fsim(&["sim", "@s27", "--random", "8"]);
+    assert!(ok, "{err}");
+    let plain_detected: u64 = out
+        .split_whitespace()
+        .find(|w| w.contains('/'))
+        .and_then(|w| w.split('/').next())
+        .and_then(|n| n.parse().ok())
+        .expect("detected count in report");
+    assert_eq!(
+        summary.get("detected").and_then(JsonValue::as_u64),
+        Some(plain_detected)
+    );
+}
+
+#[test]
+fn transition_stats_json_runs() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("transition-stats.jsonl");
+    let (ok, out, err) = fsim(&[
+        "transition",
+        "@s27",
+        "--random=4",
+        "--stats",
+        "--stats-json",
+        json.to_str().unwrap(),
+        "--trace-every",
+        "2",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("transition_first"), "{out}");
+    assert!(out.contains("pattern"), "{out}");
+    let text = std::fs::read_to_string(&json).unwrap();
+    assert_eq!(text.lines().count(), 5, "4 pattern records + 1 summary");
+    let last = JsonValue::parse(text.lines().last().unwrap()).unwrap();
+    assert_eq!(
+        last.get("type").and_then(JsonValue::as_str),
+        Some("summary")
+    );
+    assert_eq!(
+        last.get("simulator").and_then(JsonValue::as_str),
+        Some("csim-T")
+    );
 }

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use cfs_faults::{FaultSite, FaultSimReport, FaultStatus, StuckAt};
+use cfs_faults::{FaultSimReport, FaultSite, FaultStatus, StuckAt};
 use cfs_goodsim::DelayModel;
 use cfs_logic::Logic;
 use cfs_netlist::{Circuit, GateId};
@@ -480,8 +480,7 @@ impl<'c> DelayCsim<'c> {
             patterns: patterns.len(),
             statuses: self.statuses(),
             cpu: start.elapsed(),
-            memory_bytes: self.arena.peak() * Arena::ELEMENT_BYTES
-                + self.descriptors.len() * 24,
+            memory_bytes: self.arena.peak() * Arena::ELEMENT_BYTES + self.descriptors.len() * 24,
             events: self.events,
             evaluations: self.evaluations,
         }
@@ -494,7 +493,7 @@ mod tests {
     use cfs_netlist::parse_bench;
     use Logic::*;
 
-#[test]
+    #[test]
     fn full_universe_matches_zero_delay_on_s27() {
         // The interference regression: with the whole fault universe and
         // skewed per-gate delays, detection must match zero-delay csim.
@@ -567,7 +566,7 @@ mod tests {
             }
         }
         let _ = saw_difference; // glitch visibility depends on commit order
-        // After settling both agree again (y = 0): the fault converged.
+                                // After settling both agree again (y = 0): the fault converged.
         sim.run_until_quiet(1000).unwrap();
         assert_eq!(sim.value(y), Zero);
         assert_eq!(sim.faulty_value(y, 0), Zero);

@@ -11,6 +11,7 @@
 
 use cfs_faults::transition_value;
 use cfs_logic::Logic;
+use cfs_telemetry::{NullProbe, Phase, Probe};
 
 use crate::list::{Arena, ListBuilder, NIL, TERMINAL_FAULT};
 use crate::network::{LocalEffect, Network, NodeEval, NodeId, NodeKind};
@@ -33,7 +34,12 @@ struct DffUpdate {
 
 /// The concurrent fault-simulation engine shared by the stuck-at and
 /// transition simulators.
-pub(crate) struct Engine {
+///
+/// Generic over a [`Probe`]: with the default [`NullProbe`] every
+/// instrumentation call site is an empty inlined function and the
+/// `P::ENABLED`-gated blocks are compiled out, so the uninstrumented engine
+/// is byte-for-byte the unprobed one.
+pub(crate) struct Engine<P: Probe = NullProbe> {
     pub net: Network,
     pub arena: Arena,
     /// Good-machine value per node.
@@ -68,13 +74,16 @@ pub(crate) struct Engine {
     cursors: Vec<u32>,
     good_in: Vec<Logic>,
     faulty_in: Vec<Logic>,
+
+    /// Instrumentation hooks (zero-sized and inert for [`NullProbe`]).
+    pub probe: P,
 }
 
-impl Engine {
+impl<P: Probe> Engine<P> {
     /// Builds an engine over a compiled network; all values start at `X`,
     /// every fault gets its permanent local element at its site, and every
     /// evaluation node is scheduled for the first step.
-    pub fn new(net: Network, split: bool, drop_detected: bool) -> Self {
+    pub fn with_probe(net: Network, split: bool, drop_detected: bool, probe: P) -> Self {
         let n = net.num_nodes();
         let num_faults = net.descriptors.len();
         let mut eng = Engine {
@@ -96,6 +105,7 @@ impl Engine {
             cursors: Vec::new(),
             good_in: Vec::new(),
             faulty_in: Vec::new(),
+            probe,
             net,
         };
         // Permanent local elements: every fault starts invisible (value X ==
@@ -246,7 +256,11 @@ impl Engine {
 
     /// Settles the network: processes scheduled nodes level by level.
     pub fn propagate(&mut self) {
+        self.probe.phase_start(Phase::Propagate);
         for level in 0..self.buckets.len() {
+            if P::ENABLED && !self.buckets[level].is_empty() {
+                self.probe.queue_depth(self.buckets[level].len() as u64);
+            }
             let mut i = 0;
             while i < self.buckets[level].len() {
                 let n = self.buckets[level][i];
@@ -256,12 +270,14 @@ impl Engine {
             }
             self.buckets[level].clear();
         }
+        self.probe.phase_end(Phase::Propagate);
     }
 
     /// Evaluates one node: good machine plus every faulty machine explicit
     /// on its inputs or local to it, with divergence/convergence.
     fn eval_node(&mut self, n: NodeId) {
         self.events += 1;
+        self.probe.node_activated();
         let eval = self.net.nodes[n as usize].eval;
         let nsrc = self.net.nodes[n as usize].sources.len();
         self.src_scratch.clear();
@@ -274,33 +290,36 @@ impl Engine {
         let old_good = self.good[n as usize];
         let new_good = eval_fn(&self.net, eval, &self.good_in);
         self.good_evals += 1;
+        self.probe.good_eval();
 
         // Cursors over the fanin lists (visible only in split mode; the
         // combined list otherwise) plus this node's own lists.
         self.cursors.clear();
         for k in 0..nsrc {
-            self.cursors.push(self.vis_head[self.src_scratch[k] as usize]);
+            self.cursors
+                .push(self.vis_head[self.src_scratch[k] as usize]);
         }
         let mut own_vis = std::mem::replace(&mut self.vis_head[n as usize], NIL);
         let mut own_inv = std::mem::replace(&mut self.inv_head[n as usize], NIL);
         let mut new_vis = ListBuilder::new();
         let mut new_inv = ListBuilder::new();
         let mut fault_event = false;
+        // Merge-loop telemetry; dead code unless the probe records.
+        let mut traversed: u64 = 0;
+        let mut visible: u64 = 0;
 
         self.faulty_in.resize(nsrc, Logic::X);
         loop {
             // The terminal element makes the minimum computation safe with
             // no end-of-list checks.
-            let mut m = self
-                .arena
-                .fault(own_vis)
-                .min(self.arena.fault(own_inv));
+            let mut m = self.arena.fault(own_vis).min(self.arena.fault(own_inv));
             for k in 0..nsrc {
                 m = m.min(self.arena.fault(self.cursors[k]));
             }
             if m == TERMINAL_FAULT {
                 break;
             }
+            traversed += 1;
             // Gather machine m's input values: explicit fanin elements where
             // present, good values elsewhere (Figure 1's rule).
             for k in 0..nsrc {
@@ -314,21 +333,27 @@ impl Engine {
             }
             // Consume (and free) this node's own element for m, if any.
             let mut old_faulty = old_good;
+            let mut had_own = false;
             if self.arena.fault(own_vis) == m {
                 old_faulty = self.arena.value(own_vis);
                 let nx = self.arena.next(own_vis);
                 self.arena.free(own_vis);
                 own_vis = nx;
+                had_own = true;
             } else if self.arena.fault(own_inv) == m {
                 old_faulty = self.arena.value(own_inv);
                 let nx = self.arena.next(own_inv);
                 self.arena.free(own_inv);
                 own_inv = nx;
+                had_own = true;
             }
             let desc = &self.net.descriptors[m as usize];
             // Event-driven fault dropping: elements of detected faults are
             // removed while the list they belong to is traversed.
             if self.drop_detected && desc.is_detected() {
+                if had_own {
+                    self.probe.fault_dropped();
+                }
                 continue;
             }
             let is_local = desc.site == n;
@@ -337,11 +362,13 @@ impl Engine {
                 self.eval_local(eval, effect, m)
             } else {
                 self.fault_evals += 1;
+                self.probe.fault_evals(1);
                 eval_fn(&self.net, eval, &self.faulty_in)
             };
             // Divergence / convergence.
             if new_val != new_good {
                 new_vis.push(&mut self.arena, m, new_val);
+                visible += 1;
             } else if is_local {
                 // Local faults keep a permanent (invisible) element.
                 if self.split {
@@ -350,9 +377,22 @@ impl Engine {
                     new_vis.push(&mut self.arena, m, new_val);
                 }
             }
+            if P::ENABLED {
+                let was_visible = had_own && old_faulty != old_good;
+                let is_visible = new_val != new_good;
+                if is_visible && !was_visible {
+                    self.probe.divergence();
+                } else if was_visible && !is_visible {
+                    self.probe.convergence();
+                }
+            }
             if old_faulty != new_val {
                 fault_event = true;
             }
+        }
+        if P::ENABLED {
+            self.probe.elements_traversed(traversed);
+            self.probe.elements_visible(visible);
         }
         self.vis_head[n as usize] = new_vis.finish();
         self.inv_head[n as usize] = new_inv.finish();
@@ -366,15 +406,14 @@ impl Engine {
     /// effect from the descriptor.
     fn eval_local(&mut self, eval: NodeEval, effect: LocalEffect, m: u32) -> Logic {
         self.fault_evals += 1;
+        self.probe.fault_evals(1);
         match effect {
             LocalEffect::OutputStuck(v) => v,
             LocalEffect::PinStuck { pin, value } => {
                 self.faulty_in[pin as usize] = value;
                 eval_fn(&self.net, eval, &self.faulty_in)
             }
-            LocalEffect::FaultyLut(idx) => {
-                eval_fn(&self.net, NodeEval::Lut(idx), &self.faulty_in)
-            }
+            LocalEffect::FaultyLut(idx) => eval_fn(&self.net, NodeEval::Lut(idx), &self.faulty_in),
             LocalEffect::TransitionPin { pin, edge } => {
                 if self.transition_hold {
                     let cv = self.faulty_in[pin as usize];
@@ -390,6 +429,7 @@ impl Engine {
     /// value and the good value are opposite binary values. Newly detected
     /// faults are marked in their descriptors (elements are purged lazily).
     pub fn detect(&mut self) -> Vec<Detection> {
+        self.probe.phase_start(Phase::Detect);
         let mut found = Vec::new();
         for t in 0..self.net.po_taps.len() {
             let p = self.net.po_taps[t];
@@ -403,9 +443,11 @@ impl Engine {
                 if desc.detected_at.is_none() && val.detectably_differs(good) {
                     desc.detected_at = Some(self.pattern_index);
                     found.push((fid, self.pattern_index));
+                    self.probe.fault_detected();
                 }
             }
         }
+        self.probe.phase_end(Phase::Detect);
         found
     }
 
@@ -413,6 +455,7 @@ impl Engine {
     /// committing them (flip-flops latch simultaneously, and the transition
     /// model's second pass needs the old state).
     pub fn latch_collect(&mut self) -> LatchStash {
+        self.probe.phase_start(Phase::LatchCollect);
         let mut updates = Vec::with_capacity(self.net.dff_nodes.len());
         for di in 0..self.net.dff_nodes.len() {
             let q = self.net.dff_nodes[di];
@@ -488,12 +531,18 @@ impl Engine {
                 changed,
             });
         }
+        if P::ENABLED {
+            let stashed: usize = updates.iter().map(|u| u.elements.len()).sum();
+            self.probe.dff_stash(stashed as u64);
+        }
+        self.probe.phase_end(Phase::LatchCollect);
         LatchStash { updates }
     }
 
     /// Commits a latch stash: writes new flip-flop values and fault lists,
     /// scheduling the fanouts of every changed flip-flop.
     pub fn latch_commit(&mut self, stash: LatchStash) {
+        self.probe.phase_start(Phase::LatchCommit);
         for up in stash.updates {
             let q = up.node;
             let old_vis = std::mem::replace(&mut self.vis_head[q as usize], NIL);
@@ -516,16 +565,40 @@ impl Engine {
                 self.schedule_fanouts(q);
             }
         }
+        self.probe.phase_end(Phase::LatchCommit);
+    }
+
+    /// Opens the telemetry scope for the pattern about to be simulated.
+    pub fn pattern_begin(&mut self) {
+        self.probe.begin_pattern(u64::from(self.pattern_index));
+    }
+
+    /// Closes the current pattern's telemetry scope. With a recording probe
+    /// this sweeps every node's fault-list length and samples peak memory;
+    /// with [`NullProbe`] the whole body compiles out.
+    pub fn pattern_end(&mut self) {
+        if P::ENABLED {
+            for ni in 0..self.net.num_nodes() {
+                let len =
+                    self.arena.list_len(self.vis_head[ni]) + self.arena.list_len(self.inv_head[ni]);
+                self.probe.list_len(len as u64);
+            }
+            let bytes = self.memory_bytes() as u64;
+            self.probe.memory_bytes(bytes);
+        }
+        self.probe.end_pattern();
     }
 
     /// One stuck-at clock cycle: apply, settle, detect, latch.
     pub fn step_stuck(&mut self, pattern: &[Logic]) -> Vec<Detection> {
+        self.pattern_begin();
         self.apply_inputs(pattern);
         self.propagate();
         let detections = self.detect();
         let stash = self.latch_collect();
         self.latch_commit(stash);
         self.pattern_index += 1;
+        self.pattern_end();
         detections
     }
 
@@ -620,12 +693,27 @@ impl Engine {
     }
 
     /// Paper-comparable memory model: peak live elements plus descriptor
-    /// and look-up-table overhead.
+    /// and look-up-table overhead, plus every buffer the engine itself
+    /// owns (value/list-head arrays, per-fault transition state, the level
+    /// buckets, and the merge-loop scratch vectors).
     pub fn memory_bytes(&self) -> usize {
-        self.arena.peak() * Arena::ELEMENT_BYTES
+        let model = self.arena.peak() * Arena::ELEMENT_BYTES
             + self.net.descriptors.len() * 24
             + self.net.lut_bytes
-            + self.net.num_nodes() * 48
+            + self.net.num_nodes() * 48;
+        let values = self.good.capacity() * std::mem::size_of::<Logic>()
+            + (self.vis_head.capacity() + self.inv_head.capacity()) * std::mem::size_of::<u32>()
+            + self.prev_pin.capacity() * std::mem::size_of::<Logic>();
+        let scheduling = self.queued.capacity() * std::mem::size_of::<bool>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<NodeId>())
+                .sum::<usize>();
+        let scratch = self.src_scratch.capacity() * std::mem::size_of::<NodeId>()
+            + self.cursors.capacity() * std::mem::size_of::<u32>()
+            + (self.good_in.capacity() + self.faulty_in.capacity()) * std::mem::size_of::<Logic>();
+        model + values + scheduling + scratch
     }
 }
 
@@ -659,7 +747,7 @@ mod tests {
             FaultSpec::Stuck(StuckAt::pin(g, 0, false)), // fault 1: g.0/sa0
         ];
         let net = build_gate_network(&c, &specs);
-        (c.clone(), Engine::new(net, split, true))
+        (c.clone(), Engine::with_probe(net, split, true, NullProbe))
     }
 
     #[test]
@@ -690,7 +778,10 @@ mod tests {
             .iter_list(eng.vis_head[g as usize])
             .map(|(f, _)| f)
             .collect();
-        assert!(vis.contains(&0), "activated local fault is visible: {vis:?}");
+        assert!(
+            vis.contains(&0),
+            "activated local fault is visible: {vis:?}"
+        );
         eng.assert_invariants();
     }
 

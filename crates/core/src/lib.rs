@@ -49,6 +49,10 @@ pub use list::{Arena, FaultElement, ListBuilder, ListIter, NIL, TERMINAL_FAULT};
 pub use stuck::{ConcurrentSim, CsimOptions, CsimVariant, StepResult};
 pub use transition::{TransitionOptions, TransitionSim};
 
+// Re-exported so downstream crates can name probe types without adding a
+// direct cfs-telemetry dependency.
+pub use cfs_telemetry::{MetricsSnapshot, NullProbe, Probe, SimMetrics};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +244,84 @@ mod tests {
         assert!(untestable > 0, "r stuck-at-1 is redundant");
         // And testable faults are still found: y stuck-at-0 via b=1.
         assert!(report.detected() > 0);
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run() {
+        let c = cfs_netlist::data::s27();
+        let faults = enumerate_stuck_at(&c);
+        let patterns: Vec<Vec<Logic>> = ["0000", "1111", "0101", "1010", "0011", "1100"]
+            .iter()
+            .map(|p| parse_pattern(p).unwrap())
+            .collect();
+        let mut plain = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+        let rp = plain.run(&patterns);
+        let mut inst = ConcurrentSim::instrumented(&c, &faults, CsimVariant::Mv.options());
+        let ri = inst.run(&patterns);
+        // The probe must not change simulation semantics or work counts.
+        assert_eq!(rp.statuses, ri.statuses);
+        assert_eq!(rp.events, ri.events);
+        assert_eq!(rp.evaluations, ri.evaluations);
+        let snap = inst.snapshot();
+        assert_eq!(snap.patterns as usize, patterns.len());
+        assert_eq!(snap.detected as usize, ri.detected());
+        assert_eq!(snap.events, ri.events);
+        assert_eq!(snap.fault_evals, ri.evaluations);
+        assert!(snap.traversed >= snap.visible, "visible is a subset");
+        assert!(snap.avg_list_len > 0.0);
+        assert!(snap.visible_fraction > 0.0 && snap.visible_fraction <= 1.0);
+        assert!(snap.peak_memory_bytes as usize >= inst.memory_bytes());
+        // Per-pattern records sum to the totals.
+        let records = inst.metrics().records();
+        assert_eq!(records.len(), patterns.len());
+        let act: u64 = records.iter().map(|r| r.counters.activations).sum();
+        assert_eq!(act, snap.events);
+        let det: u64 = records.iter().map(|r| r.counters.detected).sum();
+        assert_eq!(det, snap.detected);
+    }
+
+    #[test]
+    fn instrumented_transition_times_both_passes() {
+        use cfs_telemetry::Phase;
+        let c = cfs_netlist::data::s27();
+        let faults = cfs_faults::enumerate_transition(&c);
+        let patterns: Vec<Vec<Logic>> = ["0000", "1111", "0000", "1111"]
+            .iter()
+            .map(|p| parse_pattern(p).unwrap())
+            .collect();
+        let mut sim = TransitionSim::instrumented(&c, &faults, Default::default());
+        let report = sim.run(&patterns);
+        let snap = sim.snapshot();
+        assert_eq!(snap.simulator, "csim-T");
+        assert_eq!(snap.detected as usize, report.detected());
+        assert!(snap.phases.get(Phase::TransitionFirst) > std::time::Duration::ZERO);
+        assert!(snap.phases.get(Phase::TransitionSecond) > std::time::Duration::ZERO);
+        assert!(snap.phases.get(Phase::Propagate) > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn memory_is_monotone_in_fault_count() {
+        let c = cfs_netlist::generate::benchmark("s298g").unwrap();
+        let faults = enumerate_stuck_at(&c);
+        let patterns: Vec<Vec<Logic>> = (0..10)
+            .map(|i| {
+                (0..c.num_inputs())
+                    .map(|k| Logic::from_bool((i * 5 + k) % 3 == 0))
+                    .collect()
+            })
+            .collect();
+        let mut last = 0usize;
+        for frac in [4, 2, 1] {
+            let n = faults.len() / frac;
+            let mut sim = ConcurrentSim::new(&c, &faults[..n], CsimVariant::Mv.options());
+            sim.run(&patterns);
+            let mem = sim.memory_bytes();
+            assert!(
+                mem >= last,
+                "memory model shrank when faults grew: {n} faults -> {mem} < {last}"
+            );
+            last = mem;
+        }
     }
 
     #[test]

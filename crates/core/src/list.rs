@@ -128,7 +128,10 @@ impl Arena {
 
     /// Iterates a list's `(fault, value)` pairs (excluding the terminal).
     pub fn iter_list(&self, head: u32) -> ListIter<'_> {
-        ListIter { arena: self, cur: head }
+        ListIter {
+            arena: self,
+            cur: head,
+        }
     }
 
     /// Collects a list into a vector (test/debug helper).

@@ -165,9 +165,21 @@ pub(crate) fn build_gate_network(circuit: &Circuit, faults: &[FaultSpec]) -> Net
     for (k, &pi) in circuit.inputs().iter().enumerate() {
         nodes[pi.index()].kind = NodeKind::Input(k as u32);
     }
-    let pi_nodes = circuit.inputs().iter().map(|&g| g.index() as NodeId).collect();
-    let dff_nodes = circuit.dffs().iter().map(|&g| g.index() as NodeId).collect();
-    let po_taps = circuit.outputs().iter().map(|&g| g.index() as NodeId).collect();
+    let pi_nodes = circuit
+        .inputs()
+        .iter()
+        .map(|&g| g.index() as NodeId)
+        .collect();
+    let dff_nodes = circuit
+        .dffs()
+        .iter()
+        .map(|&g| g.index() as NodeId)
+        .collect();
+    let po_taps = circuit
+        .outputs()
+        .iter()
+        .map(|&g| g.index() as NodeId)
+        .collect();
 
     let mut net = Network {
         max_level: circuit.max_level(),
@@ -317,24 +329,15 @@ pub(crate) fn build_macro_network(
                                 value: f.stuck_at_one,
                             },
                         };
-                        let entry =
-                            faulty_lut_cache.entry((ci, msite)).or_insert_with(|| {
-                                let ft = cell
-                                    .faulty_table(msite)
-                                    .expect("site belongs to its cell");
-                                if ft.equivalent(cell.table()) {
-                                    None // redundant within the macro
-                                } else {
-                                    let lut = cell
-                                        .faulty_lut(msite)
-                                        .expect("site belongs to its cell");
-                                    Some(intern_lut(
-                                        &mut net.lut_pool,
-                                        &mut lut_interner,
-                                        lut,
-                                    ))
-                                }
-                            });
+                        let entry = faulty_lut_cache.entry((ci, msite)).or_insert_with(|| {
+                            let ft = cell.faulty_table(msite).expect("site belongs to its cell");
+                            if ft.equivalent(cell.table()) {
+                                None // redundant within the macro
+                            } else {
+                                let lut = cell.faulty_lut(msite).expect("site belongs to its cell");
+                                Some(intern_lut(&mut net.lut_pool, &mut lut_interner, lut))
+                            }
+                        });
                         match entry {
                             Some(idx) => ResolvedFault::Plain {
                                 site: cell_node[ci],

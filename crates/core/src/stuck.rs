@@ -7,6 +7,7 @@ use std::time::Instant;
 use cfs_faults::{FaultSimReport, FaultStatus, StuckAt};
 use cfs_logic::Logic;
 use cfs_netlist::{Circuit, DEFAULT_MACRO_MAX_INPUTS};
+use cfs_telemetry::{MetricsSnapshot, NullProbe, Probe, SimMetrics};
 
 use crate::engine::Engine;
 use crate::network::{build_gate_network, build_macro_network, FaultSpec};
@@ -48,8 +49,12 @@ pub enum CsimVariant {
 
 impl CsimVariant {
     /// All four variants, in Table 3 column order.
-    pub const ALL: [CsimVariant; 4] =
-        [CsimVariant::Base, CsimVariant::V, CsimVariant::M, CsimVariant::Mv];
+    pub const ALL: [CsimVariant; 4] = [
+        CsimVariant::Base,
+        CsimVariant::V,
+        CsimVariant::M,
+        CsimVariant::Mv,
+    ];
 
     /// The paper's name for the variant.
     pub fn name(self) -> &'static str {
@@ -110,14 +115,14 @@ pub struct StepResult {
 /// assert!(report.detected() > 0);
 /// # Ok::<(), cfs_logic::ParseLogicError>(())
 /// ```
-pub struct ConcurrentSim {
-    engine: Engine,
+pub struct ConcurrentSim<P: Probe = NullProbe> {
+    engine: Engine<P>,
     options: CsimOptions,
     circuit_name: String,
     num_faults: usize,
 }
 
-impl fmt::Debug for ConcurrentSim {
+impl<P: Probe> fmt::Debug for ConcurrentSim<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ConcurrentSim")
             .field("circuit", &self.circuit_name)
@@ -129,15 +134,48 @@ impl fmt::Debug for ConcurrentSim {
 
 impl ConcurrentSim {
     /// Compiles the circuit (and, with `-M`, its macro cells) and attaches
-    /// the fault universe.
+    /// the fault universe. The resulting simulator carries no probe and
+    /// pays no instrumentation cost.
     pub fn new(circuit: &Circuit, faults: &[StuckAt], options: CsimOptions) -> Self {
+        Self::with_probe(circuit, faults, options, NullProbe)
+    }
+}
+
+impl ConcurrentSim<SimMetrics> {
+    /// Like [`ConcurrentSim::new`], but with a recording [`SimMetrics`]
+    /// probe attached: per-pattern counters, histograms, and phase times
+    /// accumulate as the simulation runs.
+    pub fn instrumented(circuit: &Circuit, faults: &[StuckAt], options: CsimOptions) -> Self {
+        Self::with_probe(circuit, faults, options, SimMetrics::new())
+    }
+
+    /// The accumulated telemetry.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.engine.probe
+    }
+
+    /// Collapses the accumulated telemetry into headline aggregates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.engine.probe.snapshot(self.name(), &self.circuit_name)
+    }
+}
+
+impl<P: Probe> ConcurrentSim<P> {
+    /// Compiles the circuit and attaches the fault universe and an
+    /// arbitrary probe implementation.
+    pub fn with_probe(
+        circuit: &Circuit,
+        faults: &[StuckAt],
+        options: CsimOptions,
+        probe: P,
+    ) -> Self {
         let specs: Vec<FaultSpec> = faults.iter().map(|&f| FaultSpec::Stuck(f)).collect();
         let net = if options.use_macros {
             build_macro_network(circuit, &specs, options.macro_max_inputs)
         } else {
             build_gate_network(circuit, &specs)
         };
-        let engine = Engine::new(net, options.split_invisible, options.drop_detected);
+        let engine = Engine::with_probe(net, options.split_invisible, options.drop_detected, probe);
         ConcurrentSim {
             engine,
             options,

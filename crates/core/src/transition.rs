@@ -19,6 +19,7 @@ use std::time::Instant;
 use cfs_faults::{FaultSimReport, FaultStatus, TransitionFault};
 use cfs_logic::Logic;
 use cfs_netlist::Circuit;
+use cfs_telemetry::{MetricsSnapshot, NullProbe, Phase, Probe, SimMetrics};
 
 use crate::engine::Engine;
 use crate::network::{build_gate_network, FaultSpec};
@@ -63,13 +64,13 @@ impl Default for TransitionOptions {
 /// assert_eq!(report.total_faults(), faults.len());
 /// # Ok::<(), cfs_logic::ParseLogicError>(())
 /// ```
-pub struct TransitionSim {
-    engine: Engine,
+pub struct TransitionSim<P: Probe = NullProbe> {
+    engine: Engine<P>,
     circuit_name: String,
     num_faults: usize,
 }
 
-impl fmt::Debug for TransitionSim {
+impl<P: Probe> fmt::Debug for TransitionSim<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TransitionSim")
             .field("circuit", &self.circuit_name)
@@ -80,14 +81,47 @@ impl fmt::Debug for TransitionSim {
 
 impl TransitionSim {
     /// Compiles the gate-level network with the transition fault universe.
-    pub fn new(
+    /// The resulting simulator carries no probe and pays no
+    /// instrumentation cost.
+    pub fn new(circuit: &Circuit, faults: &[TransitionFault], options: TransitionOptions) -> Self {
+        Self::with_probe(circuit, faults, options, NullProbe)
+    }
+}
+
+impl TransitionSim<SimMetrics> {
+    /// Like [`TransitionSim::new`], but with a recording [`SimMetrics`]
+    /// probe attached.
+    pub fn instrumented(
         circuit: &Circuit,
         faults: &[TransitionFault],
         options: TransitionOptions,
     ) -> Self {
+        Self::with_probe(circuit, faults, options, SimMetrics::new())
+    }
+
+    /// The accumulated telemetry.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.engine.probe
+    }
+
+    /// Collapses the accumulated telemetry into headline aggregates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.engine.probe.snapshot("csim-T", &self.circuit_name)
+    }
+}
+
+impl<P: Probe> TransitionSim<P> {
+    /// Compiles the gate-level network with the transition fault universe
+    /// and an arbitrary probe implementation.
+    pub fn with_probe(
+        circuit: &Circuit,
+        faults: &[TransitionFault],
+        options: TransitionOptions,
+        probe: P,
+    ) -> Self {
         let specs: Vec<FaultSpec> = faults.iter().map(|&f| FaultSpec::Transition(f)).collect();
         let net = build_gate_network(circuit, &specs);
-        let engine = Engine::new(net, options.split_invisible, options.drop_detected);
+        let engine = Engine::with_probe(net, options.split_invisible, options.drop_detected, probe);
         TransitionSim {
             engine,
             circuit_name: circuit.name().to_owned(),
@@ -102,20 +136,26 @@ impl TransitionSim {
     ///
     /// Panics if `inputs.len()` differs from the primary-input count.
     pub fn step(&mut self, inputs: &[Logic]) -> Vec<usize> {
+        self.engine.pattern_begin();
         // Pass 1: transitions held; sample and latch masters.
+        self.engine.probe.phase_start(Phase::TransitionFirst);
         self.engine.transition_hold = true;
         self.engine.apply_inputs(inputs);
         self.engine.propagate();
         let detections = self.engine.detect();
         let stash = self.engine.latch_collect();
+        self.engine.probe.phase_end(Phase::TransitionFirst);
         // Pass 2: transitions released, old flip-flop state still visible.
+        self.engine.probe.phase_start(Phase::TransitionSecond);
         self.engine.transition_hold = false;
         self.engine.schedule_transition_sites();
         self.engine.propagate();
         self.engine.record_prev_pins();
         // Slaves take the stashed state only now.
         self.engine.latch_commit(stash);
+        self.engine.probe.phase_end(Phase::TransitionSecond);
         self.engine.pattern_index += 1;
+        self.engine.pattern_end();
         detections.into_iter().map(|(f, _)| f as usize).collect()
     }
 
@@ -167,6 +207,16 @@ impl TransitionSim {
     /// Peak live fault elements so far.
     pub fn peak_elements(&self) -> usize {
         self.engine.arena.peak()
+    }
+
+    /// Node activations processed so far (the paper's event count).
+    pub fn events(&self) -> u64 {
+        self.engine.events
+    }
+
+    /// Individual faulty-machine evaluations performed so far.
+    pub fn fault_evaluations(&self) -> u64 {
+        self.engine.fault_evals
     }
 
     /// Paper-comparable memory model in bytes.

@@ -320,8 +320,7 @@ mod tests {
 
     #[test]
     fn inverter_chain_collapses_to_two() {
-        let c =
-            parse_bench("t", "INPUT(a)\nOUTPUT(y)\nm = NOT(a)\ny = NOT(m)\n").unwrap();
+        let c = parse_bench("t", "INPUT(a)\nOUTPUT(y)\nm = NOT(a)\ny = NOT(m)\n").unwrap();
         let col = collapse_stuck_at(&c);
         // a—NOT—m—NOT—y: all 10 faults collapse to 2 classes (sa0/sa1 at
         // one site, propagated through equivalences).

@@ -266,11 +266,7 @@ impl<'c> DelaySim<'c> {
     /// Like [`DelaySim::run_until_quiet`], sampling the recorder after every
     /// processed time step so the full waveform (including glitches) is
     /// captured.
-    pub fn run_traced(
-        &mut self,
-        max_time: u64,
-        recorder: &mut crate::VcdRecorder,
-    ) -> Option<u64> {
+    pub fn run_traced(&mut self, max_time: u64, recorder: &mut crate::VcdRecorder) -> Option<u64> {
         let mut last = self.wheel.now;
         while let Some((t, batch)) = self.wheel.next_batch() {
             if t > max_time {

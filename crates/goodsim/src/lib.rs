@@ -36,6 +36,6 @@ mod vcd;
 mod zero_delay;
 
 pub use delay::{DelayModel, DelaySim};
-pub use vcd::VcdRecorder;
 pub use parallel::{pack_patterns, ParallelSim};
+pub use vcd::VcdRecorder;
 pub use zero_delay::{is_source, FullSim, Pattern, ZeroDelaySim};

@@ -298,10 +298,7 @@ impl<'c> FullSim<'c> {
 /// Returns `true` if `id` is a node whose value is defined by the
 /// environment rather than by evaluation (PI or flip-flop).
 pub fn is_source(circuit: &Circuit, id: GateId) -> bool {
-    matches!(
-        circuit.gate(id).kind(),
-        GateKind::Input | GateKind::Dff
-    )
+    matches!(circuit.gate(id).kind(), GateKind::Input | GateKind::Dff)
 }
 
 #[cfg(test)]
@@ -334,7 +331,9 @@ mod tests {
         for cycle in 0..200 {
             let mut pat = Vec::new();
             for _ in 0..c.num_inputs() {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 pat.push(Logic::from_bool(seed >> 33 & 1 != 0));
             }
             let a = ev.step(&pat);

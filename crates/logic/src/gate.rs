@@ -53,7 +53,10 @@ impl GateFn {
     /// uncomplemented base (`Nand`, `Nor`, `Xnor`, `Not`).
     #[inline]
     pub const fn is_inverting(self) -> bool {
-        matches!(self, GateFn::Not | GateFn::Nand | GateFn::Nor | GateFn::Xnor)
+        matches!(
+            self,
+            GateFn::Not | GateFn::Nand | GateFn::Nor | GateFn::Xnor
+        )
     }
 
     /// The *controlling value* of the function, if it has one: the input

@@ -194,9 +194,7 @@ impl PackedLogic {
         match f {
             GateFn::Buf => inputs[0],
             GateFn::Not => inputs[0].not(),
-            GateFn::And => inputs[1..]
-                .iter()
-                .fold(inputs[0], |acc, &v| acc.and(v)),
+            GateFn::And => inputs[1..].iter().fold(inputs[0], |acc, &v| acc.and(v)),
             GateFn::Nand => inputs[1..]
                 .iter()
                 .fold(inputs[0], |acc, &v| acc.and(v))
@@ -206,9 +204,7 @@ impl PackedLogic {
                 .iter()
                 .fold(inputs[0], |acc, &v| acc.or(v))
                 .not(),
-            GateFn::Xor => inputs[1..]
-                .iter()
-                .fold(inputs[0], |acc, &v| acc.xor(v)),
+            GateFn::Xor => inputs[1..].iter().fold(inputs[0], |acc, &v| acc.xor(v)),
             GateFn::Xnor => inputs[1..]
                 .iter()
                 .fold(inputs[0], |acc, &v| acc.xor(v))

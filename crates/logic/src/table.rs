@@ -19,8 +19,7 @@ use crate::{GateFn, Logic};
 pub const MAX_LUT_INPUTS: usize = 10;
 
 /// Powers of three up to `3^MAX_LUT_INPUTS`, used for mixed-radix indexing.
-pub const POW3: [usize; MAX_LUT_INPUTS + 1] =
-    [1, 3, 9, 27, 81, 243, 729, 2187, 6561, 19683, 59049];
+pub const POW3: [usize; MAX_LUT_INPUTS + 1] = [1, 3, 9, 27, 81, 243, 729, 2187, 6561, 19683, 59049];
 
 /// A complete binary truth table over `n ≤ 16` inputs.
 ///
@@ -333,7 +332,11 @@ mod tests {
             let arity = if f.is_unary() { 1 } else { 3 };
             let lut = Lut3::from_gate_fn(f, arity);
             for assignment in all_assignments(arity) {
-                assert_eq!(lut.eval(&assignment), f.eval(&assignment), "{f} {assignment:?}");
+                assert_eq!(
+                    lut.eval(&assignment),
+                    f.eval(&assignment),
+                    "{f} {assignment:?}"
+                );
             }
         }
     }

@@ -362,8 +362,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored ()
-    {
+    fn comments_and_blank_lines_are_ignored() {
         let src = "# header\n\nINPUT(a) # trailing\nOUTPUT(y)\ny = BUF(a)\n";
         assert!(parse_bench("c", src).is_ok());
     }

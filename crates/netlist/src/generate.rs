@@ -176,8 +176,7 @@ pub fn generate(spec: &CircuitSpec) -> Circuit {
     for i in 0..plain_gates {
         // Allowed level ramps up across the gate sequence so every level is
         // populated and the final depth approaches the target.
-        let lmax =
-            1 + (i as u64 * u64::from(depth_target - 1) / plain_gates.max(1) as u64) as u32;
+        let lmax = 1 + (i as u64 * u64::from(depth_target - 1) / plain_gates.max(1) as u64) as u32;
         let arity = pick_arity(&mut rng).min(sources.len());
         let f = pick_fn(&mut rng, arity);
         let mut fanin: Vec<GateId> = Vec::with_capacity(arity);
@@ -211,7 +210,9 @@ pub fn generate(spec: &CircuitSpec) -> Circuit {
         // Gate the toggle with a primary input so the flip-flop is
         // initializable (XOR alone would lock at X forever): pi = 0 clears,
         // pi = 1 toggles by `excite`.
-        let gate_pi = b.find(&format!("pi{}", k % spec.inputs)).expect("pi exists");
+        let gate_pi = b
+            .find(&format!("pi{}", k % spec.inputs))
+            .expect("pi exists");
         let d = b
             .gate(format!("tl{k}"), GateFn::And, vec![gate_pi, t])
             .expect("binary arity");
@@ -342,9 +343,8 @@ fn pick_source(
     level: &[u32],
     lmax: u32,
 ) -> GateId {
-    let ok = |cand: GateId, already: &[GateId]| {
-        level[cand.index()] < lmax && !already.contains(&cand)
-    };
+    let ok =
+        |cand: GateId, already: &[GateId]| level[cand.index()] < lmax && !already.contains(&cand);
     if !pool.is_empty() && rng.gen_bool(0.7) {
         for _ in 0..4 {
             let k = rng.gen_range(0..pool.len());
@@ -446,7 +446,12 @@ mod tests {
                 let mut pins = g.fanin().to_vec();
                 pins.sort();
                 pins.dedup();
-                assert_eq!(pins.len(), g.fanin().len(), "{} has duplicate pins", g.name());
+                assert_eq!(
+                    pins.len(),
+                    g.fanin().len(),
+                    "{} has duplicate pins",
+                    g.name()
+                );
             }
         }
     }

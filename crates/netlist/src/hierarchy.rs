@@ -49,11 +49,7 @@ enum Item {
 
 impl Module {
     /// Starts a module with the given port lists.
-    pub fn new(
-        name: impl Into<String>,
-        inputs: Vec<String>,
-        outputs: Vec<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, inputs: Vec<String>, outputs: Vec<String>) -> Self {
         Module {
             name: name.into(),
             inputs,
@@ -128,7 +124,10 @@ impl fmt::Display for FlattenError {
         match self {
             FlattenError::UnknownModule(m) => write!(f, "unknown module {m:?}"),
             FlattenError::PortMismatch { instance, module } => {
-                write!(f, "instance {instance:?} does not match ports of {module:?}")
+                write!(
+                    f,
+                    "instance {instance:?} does not match ports of {module:?}"
+                )
             }
             FlattenError::Recursive(m) => write!(f, "recursive instantiation of {m:?}"),
             FlattenError::Circuit(e) => write!(f, "flattened netlist invalid: {e}"),
@@ -267,15 +266,10 @@ impl Hierarchy {
                         return true; // surfaces as Recursive below
                     }
                     let child_prefix = format!("{prefix}{name}/");
-                    let mut child_env: HashMap<String, GateId> = child
-                        .inputs
-                        .iter()
-                        .cloned()
-                        .zip(ids)
-                        .collect();
+                    let mut child_env: HashMap<String, GateId> =
+                        child.inputs.iter().cloned().zip(ids).collect();
                     stack.push(child_name.clone());
-                    let outs = match self.expand(child, &child_prefix, b, &mut child_env, stack)
-                    {
+                    let outs = match self.expand(child, &child_prefix, b, &mut child_env, stack) {
                         Ok(o) => o,
                         Err(_) => {
                             stack.pop();
@@ -402,8 +396,7 @@ mod tests {
                         for &s in c.gate(g).fanin() {
                             scratch.push(values[s.index()]);
                         }
-                        values[g.index()] =
-                            c.gate(g).kind().gate_fn().unwrap().eval(&scratch);
+                        values[g.index()] = c.gate(g).kind().gate_fn().unwrap().eval(&scratch);
                     }
                     let outs: Vec<u32> = c
                         .outputs()
@@ -467,7 +460,10 @@ mod tests {
         m.instance("u", "r", strs(&["a"]), strs(&["y"]));
         let mut h = Hierarchy::new();
         h.add(m);
-        assert_eq!(h.flatten("r").unwrap_err(), FlattenError::Recursive("r".into()));
+        assert_eq!(
+            h.flatten("r").unwrap_err(),
+            FlattenError::Recursive("r".into())
+        );
     }
 
     #[test]

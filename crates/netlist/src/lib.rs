@@ -30,12 +30,10 @@ mod macros;
 mod scan;
 
 pub use bench::{parse_bench, write_bench, ParseBenchError};
-pub use circuit::{
-    Circuit, CircuitBuilder, CircuitError, CircuitStats, Gate, GateId, GateKind,
-};
+pub use circuit::{Circuit, CircuitBuilder, CircuitError, CircuitStats, Gate, GateId, GateKind};
 pub use generate::{benchmark, benchmark_spec, CircuitSpec, ISCAS89_SPECS};
 pub use hierarchy::{FlattenError, Hierarchy, Module};
-pub use scan::{full_scan_view, ScanView};
 pub use macros::{
     extract_macros, MacroCell, MacroCircuit, MacroFaultSite, DEFAULT_MACRO_MAX_INPUTS,
 };
+pub use scan::{full_scan_view, ScanView};

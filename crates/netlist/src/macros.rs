@@ -224,7 +224,11 @@ impl MacroCell {
         self.lut.memory_bytes()
             + self.members.len() * std::mem::size_of::<GateId>()
             + self.support.len() * std::mem::size_of::<GateId>()
-            + self.plan.iter().map(|s| 16 + 4 * s.args.len()).sum::<usize>()
+            + self
+                .plan
+                .iter()
+                .map(|s| 16 + 4 * s.args.len())
+                .sum::<usize>()
     }
 }
 
@@ -385,8 +389,7 @@ pub fn extract_macros(circuit: &Circuit, max_inputs: usize) -> MacroCircuit {
 }
 
 fn region_support(circuit: &Circuit, members: &[GateId], extra: Option<GateId>) -> Vec<GateId> {
-    let in_region =
-        |g: GateId| members.contains(&g) || extra == Some(g);
+    let in_region = |g: GateId| members.contains(&g) || extra == Some(g);
     let mut support = Vec::new();
     for &m in members.iter().chain(extra.iter()) {
         for &src in circuit.gate(m).fanin() {
@@ -447,7 +450,11 @@ fn finish_cell(
     // The simulation LUT uses gate-by-gate Kleene evaluation (not the exact
     // X-completion merge) so macro and gate simulation agree bit-for-bit.
     let lut = Lut3::from_fn3(n.max(1), |vals| shell.eval_plan_logic(vals, None));
-    MacroCell { table, lut, ..shell }
+    MacroCell {
+        table,
+        lut,
+        ..shell
+    }
 }
 
 #[cfg(test)]
@@ -495,7 +502,10 @@ mod tests {
         for &g in c.topo_order() {
             assert_eq!(seen[g.index()], 1, "{}", c.gate(g).name());
         }
-        assert!(m.num_cells() < c.num_comb_gates(), "some collapsing happened");
+        assert!(
+            m.num_cells() < c.num_comb_gates(),
+            "some collapsing happened"
+        );
     }
 
     #[test]
@@ -525,7 +535,12 @@ mod tests {
                 let sup: Vec<Logic> = (0..n)
                     .map(|i| Logic::from_bool(bits >> i & 1 != 0))
                     .collect();
-                assert_eq!(cell.eval(&sup), expect, "cell {} bits {bits:b}", cell.root());
+                assert_eq!(
+                    cell.eval(&sup),
+                    expect,
+                    "cell {} bits {bits:b}",
+                    cell.root()
+                );
             }
         }
     }
@@ -559,21 +574,39 @@ mod tests {
         let cell = &m.cells()[0];
         let g1 = c.find("g1").unwrap();
         // g1 output stuck-at-1 ⇒ NOT(g1)=0 ⇒ y = c.
-        let ft = cell.faulty_table(MacroFaultSite::Output { gate: g1, value: true }).unwrap();
-        let ci = cell.support().iter().position(|&s| s == c.find("c").unwrap()).unwrap();
+        let ft = cell
+            .faulty_table(MacroFaultSite::Output {
+                gate: g1,
+                value: true,
+            })
+            .unwrap();
+        let ci = cell
+            .support()
+            .iter()
+            .position(|&s| s == c.find("c").unwrap())
+            .unwrap();
         for bits in 0..1usize << 3 {
             assert_eq!(ft.eval_bits(bits), bits >> ci & 1 != 0, "bits {bits:b}");
         }
         // Pin fault: g1 input pin 0 (signal a) stuck-at-0 ⇒ g1=0 ⇒ y = 1.
         let ft = cell
-            .faulty_table(MacroFaultSite::Pin { gate: g1, pin: 0, value: false })
+            .faulty_table(MacroFaultSite::Pin {
+                gate: g1,
+                pin: 0,
+                value: false,
+            })
             .unwrap();
         for bits in 0..1usize << 3 {
             assert!(ft.eval_bits(bits));
         }
         // Site outside the cell is rejected.
         let a = c.find("a").unwrap();
-        assert!(cell.faulty_table(MacroFaultSite::Output { gate: a, value: true }).is_none());
+        assert!(cell
+            .faulty_table(MacroFaultSite::Output {
+                gate: a,
+                value: true
+            })
+            .is_none());
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Log2-bucketed histograms for list lengths and queue depths.
+
+/// A histogram with power-of-two buckets: 0, 1, 2–3, 4–7, … .
+///
+/// Values are `u64`; bucket `0` holds zeros, bucket `k` (k ≥ 1) holds
+/// values in `[2^(k-1), 2^k)`. Sixty-five buckets cover the full `u64`
+/// range, so recording never saturates or clips.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The half-open value range `[lo, hi)` of bucket `index`
+    /// (`hi == u64::MAX` means unbounded above for the top bucket).
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        if index == 0 {
+            (0, 1)
+        } else {
+            let lo = 1u64 << (index - 1);
+            let hi = if index >= 64 { u64::MAX } else { 1u64 << index };
+            (lo, hi)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Observations in bucket `index`.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` with `[lo, hi)` ranges,
+    /// lowest bucket first.
+    pub fn nonempty(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_range(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(7), 3);
+        assert_eq!(Log2Histogram::bucket_index(8), 4);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..=64usize {
+            let (lo, hi) = Log2Histogram::bucket_range(i);
+            assert_eq!(Log2Histogram::bucket_index(lo), i);
+            if hi != u64::MAX {
+                assert_eq!(Log2Histogram::bucket_index(hi - 1), i);
+            }
+        }
+    }
+
+    #[test]
+    fn record_accumulates_stats() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 1, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 109);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 109.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.bucket_count(0), 1); // {0}
+        assert_eq!(h.bucket_count(1), 2); // {1, 1}
+        assert_eq!(h.bucket_count(2), 1); // {3}
+        assert_eq!(h.bucket_count(3), 1); // {4}
+        assert_eq!(h.bucket_count(7), 1); // {100} in [64, 128)
+        let rows: Vec<_> = h.nonempty().collect();
+        assert_eq!(
+            rows,
+            vec![(0, 1, 1), (1, 2, 2), (2, 4, 1), (4, 8, 1), (64, 128, 1)]
+        );
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Log2Histogram::new();
+        a.record(2);
+        a.record(5);
+        let mut b = Log2Histogram::new();
+        b.record(5);
+        b.record(999);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 1011);
+        assert_eq!(a.max(), 999);
+        assert_eq!(a.bucket_count(3), 2); // both fives
+    }
+}

@@ -1,0 +1,109 @@
+//! The [`Probe`] trait: the compile-time hook surface the engine calls.
+
+use crate::timing::Phase;
+
+/// Instrumentation hooks threaded through the simulation engine.
+///
+/// Every method has an empty `#[inline]` default, and `ENABLED` defaults to
+/// `false`. The engine is generic over its probe, so with [`NullProbe`]
+/// (the default) each call site monomorphizes to nothing — the hot merge
+/// loop pays zero cost. Work that is only worth doing when someone is
+/// recording (e.g. sweeping all fault lists at end of pattern) is gated in
+/// the engine on `P::ENABLED`, which is a compile-time constant.
+///
+/// Counter semantics (all per current pattern):
+/// - `node_activated` — a node came off the event queue and was evaluated.
+/// - `good_eval` / `fault_eval` — one good-machine / faulty-machine gate
+///   evaluation (the paper's "number of gate evaluations").
+/// - `elements_traversed` — fault-list elements touched by the merge loop.
+/// - `elements_visible` — elements written to the *visible* output list.
+/// - `divergence` — a faulty machine spawned its own list element at a node
+///   where it previously agreed with the good machine.
+/// - `convergence` — a faulty machine's element was removed because its
+///   value re-joined the good machine.
+/// - `fault_dropped` — a detected fault's element was purged (fault
+///   dropping).
+/// - `fault_detected` — a fault first observed at a primary output.
+pub trait Probe {
+    /// Compile-time flag: `true` only for recording probes. Lets the engine
+    /// skip instrumentation-only work (list sweeps) entirely when off.
+    const ENABLED: bool = false;
+
+    /// A new pattern begins.
+    #[inline]
+    fn begin_pattern(&mut self, _pattern: u64) {}
+
+    /// The current pattern is finished.
+    #[inline]
+    fn end_pattern(&mut self) {}
+
+    /// A node was taken off the event queue and evaluated.
+    #[inline]
+    fn node_activated(&mut self) {}
+
+    /// One good-machine evaluation.
+    #[inline]
+    fn good_eval(&mut self) {}
+
+    /// `n` faulty-machine evaluations.
+    #[inline]
+    fn fault_evals(&mut self, _n: u64) {}
+
+    /// `n` fault-list elements traversed by the merge loop.
+    #[inline]
+    fn elements_traversed(&mut self, _n: u64) {}
+
+    /// `n` elements emitted to the visible output list.
+    #[inline]
+    fn elements_visible(&mut self, _n: u64) {}
+
+    /// A faulty machine diverged from the good machine at a node.
+    #[inline]
+    fn divergence(&mut self) {}
+
+    /// A faulty machine converged back to the good machine at a node.
+    #[inline]
+    fn convergence(&mut self) {}
+
+    /// A detected fault's list element was purged.
+    #[inline]
+    fn fault_dropped(&mut self) {}
+
+    /// A fault was detected at a primary output.
+    #[inline]
+    fn fault_detected(&mut self) {}
+
+    /// Observed length of one node's fault list (end-of-pattern sweep).
+    #[inline]
+    fn list_len(&mut self, _len: u64) {}
+
+    /// Event-queue population for one level before it is drained.
+    #[inline]
+    fn queue_depth(&mut self, _depth: u64) {}
+
+    /// Size of the DFF update stash collected at a clock edge.
+    #[inline]
+    fn dff_stash(&mut self, _len: u64) {}
+
+    /// Peak engine memory in bytes (monotone max).
+    #[inline]
+    fn memory_bytes(&mut self, _bytes: u64) {}
+
+    /// A timed phase begins.
+    #[inline]
+    fn phase_start(&mut self, _phase: Phase) {}
+
+    /// The innermost started phase ends.
+    #[inline]
+    fn phase_end(&mut self, _phase: Phase) {}
+}
+
+/// The default probe: records nothing, costs nothing.
+///
+/// All methods inherit the empty defaults and `ENABLED = false`; an engine
+/// instantiated with `NullProbe` compiles to the same code as one with no
+/// instrumentation at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}

@@ -1,0 +1,122 @@
+//! Aggregate headline metrics for tables, benches, and JSON summaries.
+
+use crate::timing::PhaseTimes;
+
+/// Everything a results table needs about one finished simulation, in one
+/// plain-data struct.
+///
+/// Produced either by [`crate::SimMetrics::snapshot`] (full detail, from an
+/// instrumented engine) or by [`MetricsSnapshot::from_basic`] (headline
+/// fields only, from a simulator that reports totals but has no probe —
+/// the baselines). This is what lets all simulators flow through one
+/// reporting code path: the renderers print dashes for fields a basic
+/// snapshot cannot know.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Simulator name (e.g. `csim-MV`, `proofs`, `serial`).
+    pub simulator: String,
+    /// Circuit name.
+    pub circuit: String,
+    /// Patterns simulated.
+    pub patterns: u64,
+    /// Faults detected.
+    pub detected: u64,
+    /// Node activations (the paper's event count).
+    pub events: u64,
+    /// Good-machine gate evaluations.
+    pub good_evals: u64,
+    /// Faulty-machine gate evaluations.
+    pub fault_evals: u64,
+    /// Fault-list elements traversed in merge loops.
+    pub traversed: u64,
+    /// Elements emitted to visible lists.
+    pub visible: u64,
+    /// Divergences (faulty machine spawned).
+    pub divergences: u64,
+    /// Convergences (faulty machine re-joined the good machine).
+    pub convergences: u64,
+    /// Detected-fault elements purged.
+    pub drops: u64,
+    /// Mean fault-list length over end-of-pattern sweeps.
+    pub avg_list_len: f64,
+    /// Longest fault list ever observed.
+    pub max_list_len: u64,
+    /// `visible / traversed` over the whole run.
+    pub visible_fraction: f64,
+    /// `events / patterns`.
+    pub events_per_pattern: f64,
+    /// Peak event-queue depth at any level.
+    pub queue_depth_peak: u64,
+    /// Peak engine memory in bytes.
+    pub peak_memory_bytes: u64,
+    /// Total measured CPU seconds (phase sum, or the caller's wall time).
+    pub cpu_seconds: f64,
+    /// Per-phase wall times (all zero for basic snapshots).
+    pub phases: PhaseTimes,
+}
+
+impl MetricsSnapshot {
+    /// Whether this snapshot carries probe-level detail (list lengths,
+    /// visibility split) or only headline totals.
+    pub fn has_detail(&self) -> bool {
+        self.traversed > 0 || self.avg_list_len > 0.0
+    }
+
+    /// Builds a headline-only snapshot from the totals every simulator
+    /// reports, for baselines without a probe. `evaluations` is counted as
+    /// faulty-machine work, matching how the baseline reports mean it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_basic(
+        simulator: &str,
+        circuit: &str,
+        patterns: u64,
+        detected: u64,
+        events: u64,
+        evaluations: u64,
+        memory_bytes: u64,
+        cpu_seconds: f64,
+    ) -> Self {
+        MetricsSnapshot {
+            simulator: simulator.to_string(),
+            circuit: circuit.to_string(),
+            patterns,
+            detected,
+            events,
+            fault_evals: evaluations,
+            events_per_pattern: if patterns == 0 {
+                0.0
+            } else {
+                events as f64 / patterns as f64
+            },
+            peak_memory_bytes: memory_bytes,
+            cpu_seconds,
+            ..MetricsSnapshot::default()
+        }
+    }
+
+    /// Peak memory in megabytes.
+    pub fn peak_memory_megabytes(&self) -> f64 {
+        self.peak_memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_snapshot_has_no_detail() {
+        let s = MetricsSnapshot::from_basic("proofs", "s27", 10, 25, 400, 900, 1 << 20, 0.5);
+        assert!(!s.has_detail());
+        assert_eq!(s.patterns, 10);
+        assert_eq!(s.fault_evals, 900);
+        assert!((s.events_per_pattern - 40.0).abs() < 1e-12);
+        assert!((s.peak_memory_megabytes() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_patterns_does_not_divide() {
+        let s = MetricsSnapshot::from_basic("serial", "s27", 0, 0, 0, 0, 0, 0.0);
+        assert_eq!(s.events_per_pattern, 0.0);
+    }
+}

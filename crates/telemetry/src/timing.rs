@@ -1,0 +1,179 @@
+//! Phase identification and span timing.
+
+use std::time::{Duration, Instant};
+
+/// The timed phases of one simulation step.
+///
+/// `Propagate`, `Detect`, `LatchCollect`, and `LatchCommit` are the four
+/// stages of a stuck-at clock cycle; `TransitionFirst` and
+/// `TransitionSecond` wrap the two passes of transition-fault simulation
+/// (initialization pattern, then launch/capture pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Event-driven propagation through the levelized network.
+    Propagate,
+    /// Primary-output comparison against the good machine.
+    Detect,
+    /// Gathering next-state DFF values at the clock edge.
+    LatchCollect,
+    /// Committing stashed DFF values as present state.
+    LatchCommit,
+    /// First (initialization) pass of a transition-fault step.
+    TransitionFirst,
+    /// Second (launch/capture) pass of a transition-fault step.
+    TransitionSecond,
+}
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Propagate,
+        Phase::Detect,
+        Phase::LatchCollect,
+        Phase::LatchCommit,
+        Phase::TransitionFirst,
+        Phase::TransitionSecond,
+    ];
+
+    /// Number of phases.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index for table storage.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Propagate => 0,
+            Phase::Detect => 1,
+            Phase::LatchCollect => 2,
+            Phase::LatchCommit => 3,
+            Phase::TransitionFirst => 4,
+            Phase::TransitionSecond => 5,
+        }
+    }
+
+    /// Stable display name (also used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Propagate => "propagate",
+            Phase::Detect => "detect",
+            Phase::LatchCollect => "latch_collect",
+            Phase::LatchCommit => "latch_commit",
+            Phase::TransitionFirst => "transition_first",
+            Phase::TransitionSecond => "transition_second",
+        }
+    }
+}
+
+/// Accumulated wall time per [`Phase`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    totals: [Duration; Phase::COUNT],
+}
+
+impl PhaseTimes {
+    /// An all-zero table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `elapsed` to `phase`'s total.
+    pub fn add(&mut self, phase: Phase, elapsed: Duration) {
+        self.totals[phase.index()] += elapsed;
+    }
+
+    /// Total time recorded for `phase`.
+    pub fn get(&self, phase: Phase) -> Duration {
+        self.totals[phase.index()]
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> Duration {
+        self.totals.iter().sum()
+    }
+
+    /// Folds another table into this one.
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for (t, o) in self.totals.iter_mut().zip(other.totals.iter()) {
+            *t += *o;
+        }
+    }
+
+    /// `(phase, total)` pairs with non-zero time, in display order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Phase, Duration)> + '_ {
+        Phase::ALL
+            .iter()
+            .map(|&p| (p, self.get(p)))
+            .filter(|&(_, d)| d > Duration::ZERO)
+    }
+}
+
+/// A guard that adds its lifetime's wall time to one phase on drop.
+///
+/// For call sites that own a [`PhaseTimes`] directly (drivers, the CLI);
+/// inside the generic engine the equivalent is the probe's
+/// `phase_start`/`phase_end` pair, which [`crate::SimMetrics`] backs with
+/// the same clock.
+#[derive(Debug)]
+pub struct Timer<'a> {
+    times: &'a mut PhaseTimes,
+    phase: Phase,
+    started: Instant,
+}
+
+impl<'a> Timer<'a> {
+    /// Starts timing `phase`.
+    pub fn new(times: &'a mut PhaseTimes, phase: Phase) -> Self {
+        Timer {
+            times,
+            phase,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Timer<'_> {
+    fn drop(&mut self) {
+        self.times.add(self.phase, self.started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_are_dense_and_distinct() {
+        let mut seen = [false; Phase::COUNT];
+        for p in Phase::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn add_and_merge_accumulate() {
+        let mut a = PhaseTimes::new();
+        a.add(Phase::Propagate, Duration::from_millis(5));
+        a.add(Phase::Propagate, Duration::from_millis(5));
+        a.add(Phase::Detect, Duration::from_millis(1));
+        let mut b = PhaseTimes::new();
+        b.add(Phase::Detect, Duration::from_millis(2));
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Propagate), Duration::from_millis(10));
+        assert_eq!(a.get(Phase::Detect), Duration::from_millis(3));
+        assert_eq!(a.total(), Duration::from_millis(13));
+        let nz: Vec<_> = a.nonzero().map(|(p, _)| p).collect();
+        assert_eq!(nz, vec![Phase::Propagate, Phase::Detect]);
+    }
+
+    #[test]
+    fn timer_guard_records_on_drop() {
+        let mut times = PhaseTimes::new();
+        {
+            let _t = Timer::new(&mut times, Phase::LatchCollect);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(times.get(Phase::LatchCollect) >= Duration::from_millis(1));
+        assert_eq!(times.get(Phase::Propagate), Duration::ZERO);
+    }
+}

@@ -13,7 +13,9 @@ use cfs::faults::{collapse_stuck_at, enumerate_transition};
 use cfs::netlist::generate::benchmark;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "s386g".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "s386g".to_owned());
     let circuit = benchmark(&name).unwrap_or_else(|| {
         eprintln!("unknown benchmark {name:?}");
         std::process::exit(2);

@@ -70,7 +70,11 @@ fn main() {
     let ranked = dict.diagnose(&observed);
     println!("top candidates:");
     for (rank, (fi, score)) in ranked.iter().take(5).enumerate() {
-        let marker = if *fi == culprit { "  ← injected defect" } else { "" };
+        let marker = if *fi == culprit {
+            "  ← injected defect"
+        } else {
+            ""
+        };
         println!(
             "  {}. {:<40} match {:.3}{}",
             rank + 1,
@@ -89,5 +93,9 @@ fn main() {
         (culprit_score - top_score).abs() < 1e-12,
         "the injected defect must tie the best score (indistinguishable class)"
     );
-    println!("\ninjected defect ranked #{} (score {:.3})", rank + 1, culprit_score);
+    println!(
+        "\ninjected defect ranked #{} (score {:.3})",
+        rank + 1,
+        culprit_score
+    );
 }

@@ -18,10 +18,7 @@ use cfs::netlist::generate::benchmark;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "s526g".to_owned());
-    let count: usize = args
-        .next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200);
+    let count: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(200);
     let circuit = benchmark(&name).unwrap_or_else(|| {
         eprintln!("unknown benchmark {name:?}; try s298g, s526g, s1196g, …");
         std::process::exit(2);
@@ -34,19 +31,32 @@ fn main() {
         faults.len(),
         patterns.len()
     );
-    println!("{:<12} {:>10} {:>10} {:>9}", "simulator", "detected", "cpu ms", "mem KB");
+    println!(
+        "{:<12} {:>10} {:>10} {:>9}",
+        "simulator", "detected", "cpu ms", "mem KB"
+    );
 
     let mut reference: Option<usize> = None;
     for variant in CsimVariant::ALL {
         let mut sim = ConcurrentSim::new(&circuit, &faults, variant.options());
         let report = sim.run(&patterns);
-        print_row(variant.name(), report.detected(), report.cpu.as_secs_f64(), report.memory_bytes);
+        print_row(
+            variant.name(),
+            report.detected(),
+            report.cpu.as_secs_f64(),
+            report.memory_bytes,
+        );
         check(&mut reference, report.detected(), variant.name());
     }
     {
         let mut sim = ProofsSim::new(&circuit, &faults);
         let report = sim.run(&patterns);
-        print_row("proofs", report.detected(), report.cpu.as_secs_f64(), report.memory_bytes);
+        print_row(
+            "proofs",
+            report.detected(),
+            report.cpu.as_secs_f64(),
+            report.memory_bytes,
+        );
         check(&mut reference, report.detected(), "proofs");
     }
     {
@@ -57,12 +67,22 @@ fn main() {
         let report = DeductiveSim::new(&circuit, &faults, reset)
             .run(&patterns)
             .expect("binary patterns");
-        print_row("deductive*", report.detected(), start.elapsed().as_secs_f64(), report.memory_bytes);
+        print_row(
+            "deductive*",
+            report.detected(),
+            start.elapsed().as_secs_f64(),
+            report.memory_bytes,
+        );
     }
     {
         let sim = SerialSim::new(&circuit, &faults);
         let report = sim.run(&patterns);
-        print_row("serial", report.detected(), report.cpu.as_secs_f64(), report.memory_bytes);
+        print_row(
+            "serial",
+            report.detected(),
+            report.cpu.as_secs_f64(),
+            report.memory_bytes,
+        );
         check(&mut reference, report.detected(), "serial");
     }
     println!("\n(*) deductive runs from the all-zero reset state, the others from all-X.");

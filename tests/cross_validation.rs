@@ -42,7 +42,12 @@ fn assert_same_detections(
             "{label}: fault {i} ({}) reference={a} candidate={b}",
             faults[i].describe(circuit)
         );
-        assert_eq!(a_det, b_det, "{label}: fault {i} ({})", faults[i].describe(circuit));
+        assert_eq!(
+            a_det,
+            b_det,
+            "{label}: fault {i} ({})",
+            faults[i].describe(circuit)
+        );
     }
 }
 
@@ -167,11 +172,23 @@ fn s298g_collapsed_universe_agrees() {
     let reference = SerialSim::new(&c, &faults).run(&patterns);
     let mut mv = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
     let report = mv.run(&patterns);
-    assert_same_detections(&c, &faults, &reference.statuses, &report.statuses, "csim-MV s298g");
+    assert_same_detections(
+        &c,
+        &faults,
+        &reference.statuses,
+        &report.statuses,
+        "csim-MV s298g",
+    );
 
     let mut proofs = ProofsSim::new(&c, &faults);
     let pr = proofs.run(&patterns);
-    assert_same_detections(&c, &faults, &reference.statuses, &pr.statuses, "proofs s298g");
+    assert_same_detections(
+        &c,
+        &faults,
+        &reference.statuses,
+        &pr.statuses,
+        "proofs s298g",
+    );
 }
 
 #[test]

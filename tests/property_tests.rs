@@ -134,13 +134,14 @@ proptest! {
 
 fn arb_circuit() -> impl Strategy<Value = Circuit> {
     (2usize..6, 2usize..5, 0usize..6, 10usize..60, any::<u64>()).prop_map(
-        |(pi, po, dff, gates, seed)| {
-            generate(&CircuitSpec::new("prop", pi, po, dff, gates, seed))
-        },
+        |(pi, po, dff, gates, seed)| generate(&CircuitSpec::new("prop", pi, po, dff, gates, seed)),
     )
 }
 
-fn arb_patterns(inputs: usize, len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<Logic>>> {
+fn arb_patterns(
+    inputs: usize,
+    len: std::ops::Range<usize>,
+) -> impl Strategy<Value = Vec<Vec<Logic>>> {
     prop::collection::vec(prop::collection::vec(arb_logic(), inputs), len)
 }
 

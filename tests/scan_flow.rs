@@ -51,11 +51,8 @@ fn scan_coverage_beats_sequential_coverage() {
                 .collect()
         })
         .collect();
-    let mut csim = cfs_core::ConcurrentSim::new(
-        &seq,
-        &seq_faults,
-        cfs_core::CsimVariant::Mv.options(),
-    );
+    let mut csim =
+        cfs_core::ConcurrentSim::new(&seq, &seq_faults, cfs_core::CsimVariant::Mv.options());
     let seq_cvg = csim.run(&seq_patterns).coverage_percent();
 
     // Scan run: the same budget of test frames, but state is directly
