@@ -5,12 +5,12 @@
 //! repro-tables            # default: full circuit list, large ones scaled
 //! repro-tables --quick    # smoke run (small budgets, heavy scaling)
 //! repro-tables --full     # paper-scale circuits (slow)
-//! repro-tables --table 3  # a single table
+//! repro-tables --table 3  # a single table (7 = the parallel speedup table)
 //! ```
 
 use cfs_bench::tables::{
-    format_table2, format_table3, format_table4, format_table5, format_table6, headline, table2,
-    table3, table4, table5, table6,
+    format_table2, format_table3, format_table4, format_table5, format_table6,
+    format_table_parallel, headline, table2, table3, table4, table5, table6, table_parallel,
 };
 use cfs_bench::workloads::{WorkloadConfig, TABLE3_CIRCUITS, TABLE4_CIRCUITS, TABLE6_CIRCUITS};
 
@@ -27,7 +27,7 @@ fn main() {
                 only = iter
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .or_else(|| panic!("--table needs a number 2..=6"));
+                    .or_else(|| panic!("--table needs a number 2..=7"));
             }
             "--help" | "-h" => {
                 eprintln!("usage: repro-tables [--quick|--full] [--table N]");
@@ -56,14 +56,25 @@ fn main() {
             print!("{}", format_table5(&table5(&config)));
             println!();
             print!("{}", format_table6(&table6(TABLE6_CIRCUITS, &config)));
+            println!();
+            print!(
+                "{}",
+                format_table_parallel("s35932g", &table_parallel("s35932g", &config))
+            );
         }
         Some(2) => print!("{}", format_table2(&table2(TABLE3_CIRCUITS, &config))),
         Some(3) => print!("{}", format_table3(&table3(TABLE3_CIRCUITS, &config))),
         Some(4) => print!("{}", format_table4(&table4(TABLE4_CIRCUITS, &config))),
         Some(5) => print!("{}", format_table5(&table5(&config))),
         Some(6) => print!("{}", format_table6(&table6(TABLE6_CIRCUITS, &config))),
+        Some(7) => print!(
+            "{}",
+            format_table_parallel("s35932g", &table_parallel("s35932g", &config))
+        ),
         Some(n) => {
-            eprintln!("no table {n}; the paper has tables 2..=6");
+            eprintln!(
+                "no table {n}; tables 2..=6 reproduce the paper, 7 is the parallel speedup table"
+            );
             std::process::exit(2);
         }
     }

@@ -10,7 +10,10 @@
 use std::fmt::Write as _;
 
 use cfs_baselines::ProofsSim;
-use cfs_core::{ConcurrentSim, CsimVariant, MetricsSnapshot, TransitionOptions, TransitionSim};
+use cfs_core::{
+    ConcurrentSim, CsimVariant, MetricsSnapshot, ParallelSim, ShardPlan, TransitionOptions,
+    TransitionSim,
+};
 use cfs_faults::{enumerate_transition, FaultSimReport};
 
 use crate::workloads::{
@@ -387,6 +390,78 @@ pub fn format_table6(rows: &[Table6Row]) -> String {
     out
 }
 
+/// Thread counts of the parallel speedup table.
+pub const PARALLEL_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Parallel speedup table (no 1992 counterpart): fault-sharded csim-MV on
+/// the largest circuit at increasing thread counts.
+#[derive(Debug, Clone)]
+pub struct TableParallelRow {
+    /// Worker thread count.
+    pub threads: usize,
+    /// csim-MV measurement at this thread count.
+    pub csim_mv: Measurement,
+    /// Wall-clock speedup over the 1-thread row of the same table.
+    pub speedup: f64,
+}
+
+/// Regenerates the parallel speedup table: random patterns on `name`
+/// (scaled per `config`), csim-MV sharded round-robin across
+/// [`PARALLEL_THREADS`]. Every row must detect the same faults — the
+/// determinism guarantee — which [`table_parallel`] asserts.
+pub fn table_parallel(name: &str, config: &WorkloadConfig) -> Vec<TableParallelRow> {
+    let c = circuit(name, config);
+    let faults = fault_universe(&c);
+    let tests = cfs_atpg::random_patterns(&c, config.random_patterns, config.seed);
+    let mut rows: Vec<TableParallelRow> = Vec::new();
+    let mut serial_statuses = None;
+    for threads in PARALLEL_THREADS {
+        let mut sim = ParallelSim::new(
+            &c,
+            &faults,
+            CsimVariant::Mv.options(),
+            threads,
+            ShardPlan::RoundRobin,
+        );
+        let report = sim.run(&tests);
+        match &serial_statuses {
+            None => serial_statuses = Some(report.statuses.clone()),
+            Some(reference) => assert_eq!(
+                reference, &report.statuses,
+                "{threads}-thread run diverged from serial"
+            ),
+        }
+        let m = Measurement::from_report(&report);
+        let speedup = rows.first().map_or(1.0, |r| r.csim_mv.cpu_s / m.cpu_s);
+        rows.push(TableParallelRow {
+            threads,
+            csim_mv: m,
+            speedup,
+        });
+    }
+    rows
+}
+
+/// Formats the parallel speedup table.
+pub fn format_table_parallel(name: &str, rows: &[TableParallelRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table P. Fault-Sharded Parallel Simulation ({name})");
+    let _ = writeln!(
+        out,
+        "{:>8} | {:>8} {:>7} {:>8}",
+        "threads", "csim-MV", "MEM", "speedup"
+    );
+    let _ = writeln!(out, "{:>8} | {:>8} {:>7} {:>8}", "", "cpu s", "MB", "x");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8} | {:>8.3} {:>7.2} {:>8.2}",
+            r.threads, r.csim_mv.cpu_s, r.csim_mv.mem_mb, r.speedup
+        );
+    }
+    out
+}
+
 /// Convenience: regenerates and formats every table with the same circuit
 /// selections as the paper.
 pub fn all_tables(config: &WorkloadConfig) -> String {
@@ -400,6 +475,11 @@ pub fn all_tables(config: &WorkloadConfig) -> String {
     out.push_str(&format_table5(&table5(config)));
     out.push('\n');
     out.push_str(&format_table6(&table6(TABLE6_CIRCUITS, config)));
+    out.push('\n');
+    out.push_str(&format_table_parallel(
+        "s35932g",
+        &table_parallel("s35932g", config),
+    ));
     out
 }
 
@@ -449,6 +529,23 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert!(rows[0].faults > 0);
         assert!(format_table6(&rows).contains("s298g"));
+    }
+
+    #[test]
+    fn table_parallel_rows_agree_and_report_speedup() {
+        let mut cfg = WorkloadConfig::quick();
+        cfg.random_patterns = 64;
+        let rows = table_parallel("s1423g", &cfg);
+        assert_eq!(rows.len(), PARALLEL_THREADS.len());
+        // table_parallel itself asserts status equality; check the derived
+        // columns here.
+        let d = rows[0].csim_mv.detected;
+        assert!(rows.iter().all(|r| r.csim_mv.detected == d));
+        assert!((rows[0].speedup - 1.0).abs() < 1e-12);
+        assert!(rows.iter().all(|r| r.speedup > 0.0));
+        let s = format_table_parallel("s1423g", &rows);
+        assert!(s.contains("speedup"), "{s}");
+        assert!(s.contains("s1423g"), "{s}");
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! fsim stats <circuit>
 //! fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]
 //!                    [--simulator csim|proofs|serial|deductive] [--uncollapsed]
+//!                    [--threads N] [--shard-plan PLAN] [--detections FILE]
 //!                    [--stats] [--stats-json FILE] [--trace-every N]
 //! fsim transition <circuit> [--random N | --patterns FILE]
+//!                    [--threads N] [--shard-plan PLAN] [--detections FILE]
 //!                    [--stats] [--stats-json FILE] [--trace-every N]
 //! fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]
 //! fsim generate <name> [--out FILE]
@@ -15,6 +17,13 @@
 //! `<circuit>` is a `.bench` file path, or `@name` for a built-in circuit
 //! (`@s27` or a generated benchmark such as `@s298g`). Flags accept both
 //! `--flag value` and `--flag=value`; unknown flags are an error.
+//!
+//! `--threads N` fault-shards the concurrent simulators across `N` worker
+//! threads (`--shard-plan round-robin|contiguous|level-aware` picks the
+//! partition); results are bit-identical for every thread count.
+//! `--detections FILE` writes the deterministic detection list — one
+//! `pattern fault` line per detected fault, sorted by pattern then fault
+//! index — which is the artifact to diff across thread counts.
 //!
 //! `--stats` attaches the telemetry probe and prints the per-run metric
 //! table (plus phase times and list-length/queue-depth histograms for the
@@ -31,13 +40,18 @@ use std::time::Instant;
 
 use cfs_atpg::{generate_tests, random_patterns, AtpgOptions};
 use cfs_baselines::{DeductiveSim, ProofsSim, SerialSim};
-use cfs_core::{ConcurrentSim, CsimVariant, TransitionOptions, TransitionSim};
-use cfs_faults::{collapse_stuck_at, enumerate_stuck_at, enumerate_transition, FaultSimReport};
+use cfs_core::{
+    detections_of, ConcurrentSim, CsimVariant, ParallelSim, ParallelTransitionSim, ShardPlan,
+    TransitionOptions, TransitionSim,
+};
+use cfs_faults::{
+    collapse_stuck_at, enumerate_stuck_at, enumerate_transition, FaultSimReport, FaultStatus,
+};
 use cfs_logic::{format_pattern, parse_pattern, Logic};
 use cfs_netlist::{extract_macros, parse_bench, write_bench, Circuit};
 use cfs_telemetry::{
-    render_histogram, render_phase_table, render_summary_table, JsonlWriter, MetricsSnapshot,
-    SimMetrics,
+    render_histogram, render_phase_table, render_summary_table, JsonlWriter, Log2Histogram,
+    MetricsSnapshot, SimMetrics,
 };
 
 #[derive(Debug)]
@@ -94,14 +108,19 @@ fn print_usage() {
          \u{20}  fsim stats <circuit>\n\
          \u{20}  fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]\n\
          \u{20}                     [--simulator csim|proofs|serial|deductive] [--uncollapsed]\n\
+         \u{20}                     [--threads N] [--shard-plan PLAN] [--detections FILE]\n\
          \u{20}                     [--stats] [--stats-json FILE] [--trace-every N]\n\
          \u{20}  fsim transition <circuit> [--random N | --patterns FILE]\n\
+         \u{20}                     [--threads N] [--shard-plan PLAN] [--detections FILE]\n\
          \u{20}                     [--stats] [--stats-json FILE] [--trace-every N]\n\
          \u{20}  fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]\n\
          \u{20}  fsim generate <name> [--out FILE]\n\
          \n\
          <circuit>: a .bench file, or @name for a built-in (@s27, @s298g, …)\n\
          flags take either `--flag value` or `--flag=value`\n\
+         --threads     fault-shard the concurrent simulator across N workers\n\
+         --shard-plan  round-robin (default) | contiguous | level-aware\n\
+         --detections  write the sorted `pattern fault` detection list\n\
          --stats       print the metric table (plus phase times and histograms)\n\
          --stats-json  write one JSON line per pattern plus a summary record\n\
          --trace-every print a progress line every N patterns (concurrent sims)\n\
@@ -140,6 +159,9 @@ const SIM_FLAGS: FlagSpec = &[
     ("--variant", true),
     ("--simulator", true),
     ("--uncollapsed", false),
+    ("--threads", true),
+    ("--shard-plan", true),
+    ("--detections", true),
     ("--stats", false),
     ("--stats-json", true),
     ("--trace-every", true),
@@ -148,6 +170,9 @@ const TRANSITION_FLAGS: FlagSpec = &[
     ("--patterns", true),
     ("--random", true),
     ("--seed", true),
+    ("--threads", true),
+    ("--shard-plan", true),
+    ("--detections", true),
     ("--stats", false),
     ("--stats-json", true),
     ("--trace-every", true),
@@ -224,6 +249,58 @@ impl TelemetryOpts {
     fn enabled(&self) -> bool {
         self.stats || self.stats_json.is_some() || self.trace_every.is_some()
     }
+}
+
+/// Fault-sharding options shared by `sim` and `transition`.
+struct ParallelOpts {
+    threads: usize,
+    plan: ShardPlan,
+    detections: Option<String>,
+}
+
+impl ParallelOpts {
+    fn parse(args: &[String]) -> Result<Self, Box<dyn std::error::Error>> {
+        let threads = match flag_value(args, "--threads") {
+            Some(v) => {
+                let n: usize = v.parse().map_err(|_| err("--threads needs a number"))?;
+                if n == 0 {
+                    return Err(err("--threads must be at least 1"));
+                }
+                n
+            }
+            None => 1,
+        };
+        let plan = match flag_value(args, "--shard-plan") {
+            Some(v) => ShardPlan::parse(v).ok_or_else(|| {
+                err(format!(
+                    "unknown shard plan {v:?} (round-robin, contiguous, level-aware)"
+                ))
+            })?,
+            None => ShardPlan::RoundRobin,
+        };
+        Ok(ParallelOpts {
+            threads,
+            plan,
+            detections: flag_value(args, "--detections").map(str::to_owned),
+        })
+    }
+}
+
+/// Writes the deterministic detection list: one `pattern fault` line per
+/// detected fault, sorted by pattern then fault index. Byte-identical for
+/// every thread count and shard plan.
+fn write_detections(
+    path: &str,
+    statuses: &[FaultStatus],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let dets = detections_of(statuses);
+    let mut text = String::with_capacity(dets.len() * 12);
+    for (fault, pattern) in &dets {
+        text.push_str(&format!("{pattern} {fault}\n"));
+    }
+    fs::write(path, text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    println!("wrote {} detections to {path}", dets.len());
+    Ok(())
 }
 
 fn load_circuit(spec: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
@@ -374,6 +451,29 @@ fn print_stats_detail(snap: &MetricsSnapshot, metrics: &SimMetrics) {
     );
 }
 
+/// Like [`print_stats_detail`], with the histograms merged across all
+/// shard probes of a parallel run.
+fn print_stats_detail_sharded<'a>(
+    snap: &MetricsSnapshot,
+    shards: impl Iterator<Item = &'a SimMetrics>,
+) {
+    let mut list_hist = Log2Histogram::default();
+    let mut queue_hist = Log2Histogram::default();
+    for m in shards {
+        list_hist.merge(&m.list_len_hist);
+        queue_hist.merge(&m.queue_depth_hist);
+    }
+    print!("{}", render_phase_table(&snap.phases));
+    print!(
+        "{}",
+        render_histogram("fault-list length per node", &list_hist)
+    );
+    print!(
+        "{}",
+        render_histogram("event-queue depth per level", &queue_hist)
+    );
+}
+
 fn run_stuck_instrumented(
     sim: &mut ConcurrentSim<SimMetrics>,
     circuit: &str,
@@ -408,6 +508,7 @@ fn run_csim_stuck(
     patterns: &[Vec<Logic>],
     variant_name: &str,
     tel: &TelemetryOpts,
+    par: &ParallelOpts,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let variants: Vec<CsimVariant> = if variant_name == "all" {
         vec![
@@ -425,10 +526,20 @@ fn run_csim_stuck(
             other => return Err(err(format!("unknown variant {other:?}"))),
         }]
     };
+    if par.detections.is_some() && variants.len() > 1 {
+        return Err(err("--detections needs a single --variant"));
+    }
+    if par.threads > 1 {
+        return run_csim_stuck_sharded(c, faults, patterns, &variants, tel, par);
+    }
     if !tel.enabled() && variants.len() == 1 {
         // Fast path: no probe attached, zero instrumentation cost.
         let mut sim = ConcurrentSim::new(c, faults, variants[0].options());
-        print_report(&sim.run(patterns));
+        let report = sim.run(patterns);
+        print_report(&report);
+        if let Some(path) = &par.detections {
+            write_detections(path, &report.statuses)?;
+        }
         return Ok(());
     }
     let mut jsonl = open_jsonl(&tel.stats_json)?;
@@ -447,9 +558,61 @@ fn run_csim_stuck(
         if let Some(w) = jsonl.as_mut() {
             emit_jsonl(w, sim.metrics(), &snap)?;
         }
+        if let Some(path) = &par.detections {
+            write_detections(path, &report.statuses)?;
+        }
         snaps.push(snap);
     }
     if tel.stats || variants.len() > 1 {
+        println!();
+        print!("{}", render_summary_table(&snaps));
+    }
+    close_jsonl(jsonl, &tel.stats_json)
+}
+
+/// The `--threads N > 1` path: fault-sharded engines over a shared good
+/// machine. Per-pattern tracing and per-pattern JSON records are a serial
+/// concept, so `--trace-every` is ignored here and `--stats-json` carries
+/// only the merged summary record.
+fn run_csim_stuck_sharded(
+    c: &Circuit,
+    faults: &[cfs_faults::StuckAt],
+    patterns: &[Vec<Logic>],
+    variants: &[CsimVariant],
+    tel: &TelemetryOpts,
+    par: &ParallelOpts,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if tel.trace_every.is_some() {
+        eprintln!("fsim: note: --trace-every is serial-only; ignored with --threads");
+    }
+    let mut jsonl = open_jsonl(&tel.stats_json)?;
+    let mut snaps = Vec::new();
+    for &variant in variants {
+        let report = if tel.enabled() {
+            let mut sim =
+                ParallelSim::instrumented(c, faults, variant.options(), par.threads, par.plan);
+            let report = sim.run(patterns);
+            let mut snap = sim.snapshot();
+            snap.cpu_seconds = report.cpu.as_secs_f64();
+            if tel.stats {
+                print_stats_detail_sharded(&snap, sim.shard_metrics());
+            }
+            if let Some(w) = jsonl.as_mut() {
+                w.write_summary(&snap)
+                    .map_err(|e| err(format!("cannot write telemetry: {e}")))?;
+            }
+            snaps.push(snap);
+            report
+        } else {
+            let mut sim = ParallelSim::new(c, faults, variant.options(), par.threads, par.plan);
+            sim.run(patterns)
+        };
+        print_report(&report);
+        if let Some(path) = &par.detections {
+            write_detections(path, &report.statuses)?;
+        }
+    }
+    if tel.stats || snaps.len() > 1 {
         println!();
         print!("{}", render_summary_table(&snaps));
     }
@@ -506,8 +669,14 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let simulator = flag_value(args, "--simulator").unwrap_or("csim");
     let variant_name = flag_value(args, "--variant").unwrap_or("mv");
     let tel = TelemetryOpts::parse(args)?;
+    let par = ParallelOpts::parse(args)?;
     let report = match simulator {
-        "csim" => return run_csim_stuck(&c, &faults, &patterns, variant_name, &tel),
+        "csim" => return run_csim_stuck(&c, &faults, &patterns, variant_name, &tel, &par),
+        other if par.threads > 1 => {
+            return Err(err(format!(
+                "--threads needs the concurrent simulator, not {other:?}"
+            )))
+        }
         "proofs" => ProofsSim::new(&c, &faults).run(&patterns),
         "serial" => SerialSim::new(&c, &faults).run(&patterns),
         "deductive" => {
@@ -517,6 +686,9 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         other => return Err(err(format!("unknown simulator {other:?}"))),
     };
     print_report(&report);
+    if let Some(path) = &par.detections {
+        write_detections(path, &report.statuses)?;
+    }
     emit_basic_telemetry(&tel, &report)
 }
 
@@ -556,9 +728,17 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let faults = enumerate_transition(&c);
     let patterns = load_patterns(&c, args, 256)?;
     let tel = TelemetryOpts::parse(args)?;
+    let par = ParallelOpts::parse(args)?;
+    if par.threads > 1 {
+        return run_transition_sharded(&c, &faults, &patterns, &tel, &par);
+    }
     if !tel.enabled() {
         let mut sim = TransitionSim::new(&c, &faults, TransitionOptions::default());
-        print_report(&sim.run(&patterns));
+        let report = sim.run(&patterns);
+        print_report(&report);
+        if let Some(path) = &par.detections {
+            write_detections(path, &report.statuses)?;
+        }
         return Ok(());
     }
     let mut jsonl = open_jsonl(&tel.stats_json)?;
@@ -576,7 +756,64 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(w) = jsonl.as_mut() {
         emit_jsonl(w, sim.metrics(), &snap)?;
     }
+    if let Some(path) = &par.detections {
+        write_detections(path, &report.statuses)?;
+    }
     close_jsonl(jsonl, &tel.stats_json)
+}
+
+/// The `transition --threads N > 1` path; mirrors
+/// [`run_csim_stuck_sharded`].
+fn run_transition_sharded(
+    c: &Circuit,
+    faults: &[cfs_faults::TransitionFault],
+    patterns: &[Vec<Logic>],
+    tel: &TelemetryOpts,
+    par: &ParallelOpts,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if tel.trace_every.is_some() {
+        eprintln!("fsim: note: --trace-every is serial-only; ignored with --threads");
+    }
+    let report = if tel.enabled() {
+        let mut jsonl = open_jsonl(&tel.stats_json)?;
+        let mut sim = ParallelTransitionSim::instrumented(
+            c,
+            faults,
+            TransitionOptions::default(),
+            par.threads,
+            par.plan,
+        );
+        let report = sim.run(patterns);
+        print_report(&report);
+        let mut snap = sim.snapshot();
+        snap.cpu_seconds = report.cpu.as_secs_f64();
+        if tel.stats {
+            print_stats_detail_sharded(&snap, sim.shard_metrics());
+            println!();
+            print!("{}", render_summary_table(std::slice::from_ref(&snap)));
+        }
+        if let Some(w) = jsonl.as_mut() {
+            w.write_summary(&snap)
+                .map_err(|e| err(format!("cannot write telemetry: {e}")))?;
+        }
+        close_jsonl(jsonl, &tel.stats_json)?;
+        report
+    } else {
+        let mut sim = ParallelTransitionSim::new(
+            c,
+            faults,
+            TransitionOptions::default(),
+            par.threads,
+            par.plan,
+        );
+        let report = sim.run(patterns);
+        print_report(&report);
+        report
+    };
+    if let Some(path) = &par.detections {
+        write_detections(path, &report.statuses)?;
+    }
+    Ok(())
 }
 
 fn cmd_atpg(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {

@@ -288,6 +288,108 @@ fn stats_json_emits_pattern_records_and_matching_summary() {
     );
 }
 
+/// The ISSUE acceptance scenario: `--threads 4` produces a byte-identical
+/// detection dump to `--threads 1`, for every shard plan.
+#[test]
+fn sim_threads_detections_are_byte_identical() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let serial = dir.join("det-serial.txt");
+    let (ok, _, err) = fsim(&[
+        "sim",
+        "@s298g",
+        "--random",
+        "64",
+        "--threads",
+        "1",
+        "--detections",
+        serial.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let reference = std::fs::read_to_string(&serial).unwrap();
+    assert!(!reference.trim().is_empty(), "some faults detected");
+    for plan in ["round-robin", "contiguous", "level-aware"] {
+        let par = dir.join(format!("det-{plan}.txt"));
+        let (ok, out, err) = fsim(&[
+            "sim",
+            "@s298g",
+            "--random",
+            "64",
+            "--threads",
+            "4",
+            "--shard-plan",
+            plan,
+            "--detections",
+            par.to_str().unwrap(),
+        ]);
+        assert!(ok, "{err}");
+        assert!(out.contains("csim-MV-p4"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&par).unwrap(),
+            reference,
+            "plan {plan} diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn transition_threads_detections_are_byte_identical() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let serial = dir.join("tdet-serial.txt");
+    let par = dir.join("tdet-par.txt");
+    let (ok, _, err) = fsim(&[
+        "transition",
+        "@s298g",
+        "--random",
+        "64",
+        "--detections",
+        serial.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = fsim(&[
+        "transition",
+        "@s298g",
+        "--random",
+        "64",
+        "--threads",
+        "4",
+        "--detections",
+        par.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("csim-T-p4"), "{out}");
+    assert_eq!(
+        std::fs::read_to_string(&par).unwrap(),
+        std::fs::read_to_string(&serial).unwrap()
+    );
+}
+
+#[test]
+fn sim_threads_stats_renders_merged_table() {
+    let (ok, out, err) = fsim(&["sim", "@s27", "--random", "16", "--threads", "2", "--stats"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("csim-MV-p2"), "{out}");
+    assert!(out.contains("avg |F|"), "{out}");
+    assert!(out.contains("fault-list length per node"), "{out}");
+}
+
+#[test]
+fn threads_flag_rejects_bad_values() {
+    let (ok, _, err) = fsim(&["sim", "@s27", "--threads", "0"]);
+    assert!(!ok);
+    assert!(err.contains("--threads must be at least 1"), "{err}");
+    let (ok, _, err) = fsim(&["sim", "@s27", "--shard-plan", "mystery"]);
+    assert!(!ok);
+    assert!(err.contains("unknown shard plan"), "{err}");
+    let (ok, _, err) = fsim(&["sim", "@s27", "--threads", "2", "--simulator", "proofs"]);
+    assert!(!ok);
+    assert!(
+        err.contains("--threads needs the concurrent simulator"),
+        "{err}"
+    );
+}
+
 #[test]
 fn transition_stats_json_runs() {
     let dir = std::env::temp_dir().join("fsim-cli-test");

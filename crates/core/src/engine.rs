@@ -256,6 +256,21 @@ impl<P: Probe> Engine<P> {
 
     /// Settles the network: processes scheduled nodes level by level.
     pub fn propagate(&mut self) {
+        self.propagate_with(None);
+    }
+
+    /// Like [`Engine::propagate`], but with an optional shared good-machine
+    /// trace: `shared[n]` is node `n`'s settled good value for this cycle,
+    /// computed once by a fault-free engine (see [`Engine::good_cycle`]).
+    /// When present, node evaluation reads the good value from the trace
+    /// instead of re-evaluating the good machine — the redundancy a
+    /// fault-sharded parallel run would otherwise pay once per shard.
+    ///
+    /// Substituting the settled value is exact: levelized zero-delay
+    /// scheduling evaluates each node at most once per cycle, strictly
+    /// after its fanins, so the value `eval_fn` would compute *is* the
+    /// settled value.
+    pub fn propagate_with(&mut self, shared: Option<&[Logic]>) {
         self.probe.phase_start(Phase::Propagate);
         for level in 0..self.buckets.len() {
             if P::ENABLED && !self.buckets[level].is_empty() {
@@ -266,7 +281,7 @@ impl<P: Probe> Engine<P> {
                 let n = self.buckets[level][i];
                 i += 1;
                 self.queued[n as usize] = false;
-                self.eval_node(n);
+                self.eval_node(n, shared);
             }
             self.buckets[level].clear();
         }
@@ -275,7 +290,7 @@ impl<P: Probe> Engine<P> {
 
     /// Evaluates one node: good machine plus every faulty machine explicit
     /// on its inputs or local to it, with divergence/convergence.
-    fn eval_node(&mut self, n: NodeId) {
+    fn eval_node(&mut self, n: NodeId, shared: Option<&[Logic]>) {
         self.events += 1;
         self.probe.node_activated();
         let eval = self.net.nodes[n as usize].eval;
@@ -288,9 +303,14 @@ impl<P: Probe> Engine<P> {
             self.good_in.push(self.good[self.src_scratch[k] as usize]);
         }
         let old_good = self.good[n as usize];
-        let new_good = eval_fn(&self.net, eval, &self.good_in);
-        self.good_evals += 1;
-        self.probe.good_eval();
+        let new_good = match shared {
+            Some(trace) => trace[n as usize],
+            None => {
+                self.good_evals += 1;
+                self.probe.good_eval();
+                eval_fn(&self.net, eval, &self.good_in)
+            }
+        };
 
         // Cursors over the fanin lists (visible only in split mode; the
         // combined list otherwise) plus this node's own lists.
@@ -591,15 +611,41 @@ impl<P: Probe> Engine<P> {
 
     /// One stuck-at clock cycle: apply, settle, detect, latch.
     pub fn step_stuck(&mut self, pattern: &[Logic]) -> Vec<Detection> {
+        self.step_stuck_with(pattern, None)
+    }
+
+    /// One stuck-at clock cycle against an optional shared good-machine
+    /// trace (see [`Engine::propagate_with`]).
+    pub fn step_stuck_with(
+        &mut self,
+        pattern: &[Logic],
+        shared: Option<&[Logic]>,
+    ) -> Vec<Detection> {
         self.pattern_begin();
         self.apply_inputs(pattern);
-        self.propagate();
+        self.propagate_with(shared);
         let detections = self.detect();
         let stash = self.latch_collect();
         self.latch_commit(stash);
         self.pattern_index += 1;
         self.pattern_end();
         detections
+    }
+
+    /// Advances a *fault-free* engine one clock cycle and returns the
+    /// settled good value of every node (after propagation, before the
+    /// latch), ready to be shared with shard engines via
+    /// [`Engine::propagate_with`]. The good machine evolves identically in
+    /// the stuck-at and transition flows (faults never touch it), so one
+    /// trace serves both passes of a transition cycle.
+    pub fn good_cycle(&mut self, pattern: &[Logic]) -> Vec<Logic> {
+        self.apply_inputs(pattern);
+        self.propagate();
+        let settled = self.good.clone();
+        let stash = self.latch_collect();
+        self.latch_commit(stash);
+        self.pattern_index += 1;
+        settled
     }
 
     /// Schedules the site nodes of all live transition faults (used by the

@@ -41,11 +41,16 @@ mod delay_mode;
 mod engine;
 mod list;
 mod network;
+mod parallel;
 mod stuck;
 mod transition;
 
 pub use delay_mode::DelayCsim;
 pub use list::{Arena, FaultElement, ListBuilder, ListIter, NIL, TERMINAL_FAULT};
+pub use parallel::{
+    detections_of, stuck_levels, transition_levels, GlobalDetection, ParallelSim,
+    ParallelTransitionSim, ShardPlan,
+};
 pub use stuck::{ConcurrentSim, CsimOptions, CsimVariant, StepResult};
 pub use transition::{TransitionOptions, TransitionSim};
 

@@ -1,0 +1,816 @@
+//! Fault-sharded parallel simulation.
+//!
+//! The concurrent algorithm's fault universe is embarrassingly
+//! partitionable: every faulty machine lives on its own list elements and
+//! never interacts with another fault, so splitting the fault list across
+//! `P` independent engines changes nothing about per-fault semantics.
+//! [`ParallelSim`] (stuck-at) and [`ParallelTransitionSim`] (the §3
+//! transition model) exploit exactly that:
+//!
+//! * the fault list is partitioned by a pluggable [`ShardPlan`] into `P`
+//!   exact-cover shards, one engine per shard,
+//! * the **good machine is evaluated once per pattern** by a fault-free
+//!   engine and its settled node values are shared read-only with every
+//!   shard (`Engine::propagate_with`), eliminating the per-shard
+//!   redundancy of re-simulating the identical good machine,
+//! * shards run on scoped `std::thread` workers with no cross-thread
+//!   communication during a block of patterns,
+//! * results merge deterministically — statuses by global fault index,
+//!   detections sorted by `(pattern, fault id)` — so the output is
+//!   bit-identical for any thread count, including `P = 1`, which skips
+//!   the good-trace machinery entirely and runs today's serial path.
+//!
+//! Determinism needs no locks because fault detection is a per-fault fact:
+//! whether (and at which pattern) fault `f` is detected depends only on
+//! the circuit, the pattern sequence, and `f` itself — never on which
+//! other faults share its engine.
+
+use std::fmt;
+use std::time::Instant;
+
+use cfs_faults::{FaultSimReport, FaultStatus, StuckAt, TransitionFault};
+use cfs_logic::Logic;
+use cfs_netlist::Circuit;
+use cfs_telemetry::{MetricsSnapshot, NullProbe, Probe, SimMetrics};
+
+use crate::engine::Engine;
+use crate::network::{build_gate_network, build_macro_network};
+use crate::stuck::{ConcurrentSim, CsimOptions};
+use crate::transition::{TransitionOptions, TransitionSim};
+
+/// Patterns per good-trace block: the good engine runs a block ahead, then
+/// every shard consumes the block in parallel. Bounds trace memory at
+/// `BLOCK × nodes` bytes while keeping thread launches rare.
+const BLOCK: usize = 128;
+
+/// How the fault list is split across shards.
+///
+/// Every plan is an *exact cover*: each fault index appears in exactly one
+/// shard. Plans only affect load balance, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShardPlan {
+    /// Fault `i` goes to shard `i mod P`. Site-adjacent faults (which the
+    /// enumeration orders together) spread across shards, which balances
+    /// well in practice.
+    #[default]
+    RoundRobin,
+    /// `P` nearly-equal contiguous slices of the fault list. Keeps each
+    /// shard's faults clustered on few sites (smaller per-shard lists),
+    /// at the risk of imbalance when detectability clusters.
+    Contiguous,
+    /// Faults sorted by their site's logic level, then dealt round-robin,
+    /// so each shard receives the same mix of shallow and deep faults.
+    LevelAware,
+}
+
+impl ShardPlan {
+    /// All plans, for sweeps and tests.
+    pub const ALL: [ShardPlan; 3] = [
+        ShardPlan::RoundRobin,
+        ShardPlan::Contiguous,
+        ShardPlan::LevelAware,
+    ];
+
+    /// Stable CLI/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardPlan::RoundRobin => "round-robin",
+            ShardPlan::Contiguous => "contiguous",
+            ShardPlan::LevelAware => "level-aware",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Option<ShardPlan> {
+        match s {
+            "round-robin" | "rr" => Some(ShardPlan::RoundRobin),
+            "contiguous" | "chunk" => Some(ShardPlan::Contiguous),
+            "level-aware" | "level" => Some(ShardPlan::LevelAware),
+            _ => None,
+        }
+    }
+
+    /// Partitions fault indices `0..levels.len()` into `shards` lists,
+    /// each sorted ascending. `levels[i]` is the logic level of fault
+    /// `i`'s site (only consulted by [`ShardPlan::LevelAware`]).
+    ///
+    /// The result is an exact cover: every index in exactly one shard.
+    /// Empty shards are possible when there are fewer faults than shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn partition(self, levels: &[u32], shards: usize) -> Vec<Vec<usize>> {
+        assert!(shards > 0, "at least one shard");
+        let n = levels.len();
+        let mut out = vec![Vec::with_capacity(n / shards + 1); shards];
+        match self {
+            ShardPlan::RoundRobin => {
+                for i in 0..n {
+                    out[i % shards].push(i);
+                }
+            }
+            ShardPlan::Contiguous => {
+                // Balanced slices: the first n % shards slices get one extra.
+                for (k, shard) in out.iter_mut().enumerate() {
+                    let lo = k * n / shards;
+                    let hi = (k + 1) * n / shards;
+                    shard.extend(lo..hi);
+                }
+            }
+            ShardPlan::LevelAware => {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&i| (levels[i], i));
+                for (k, &i) in order.iter().enumerate() {
+                    out[k % shards].push(i);
+                }
+                for shard in &mut out {
+                    shard.sort_unstable();
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ShardPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Site logic levels of a stuck-at fault list (input to
+/// [`ShardPlan::partition`]).
+pub fn stuck_levels(circuit: &Circuit, faults: &[StuckAt]) -> Vec<u32> {
+    faults
+        .iter()
+        .map(|f| circuit.level(f.site.gate()))
+        .collect()
+}
+
+/// Site logic levels of a transition fault list.
+pub fn transition_levels(circuit: &Circuit, faults: &[TransitionFault]) -> Vec<u32> {
+    faults.iter().map(|f| circuit.level(f.gate)).collect()
+}
+
+/// A detection in global fault-index terms: `(fault index, pattern)`.
+pub type GlobalDetection = (u32, u32);
+
+/// Merges per-fault statuses from shards back into the global order and
+/// derives the deterministic detection list: sorted by pattern, then by
+/// fault index. Shared by both parallel simulators.
+fn merge_statuses(
+    num_faults: usize,
+    shards: impl Iterator<Item = (Vec<usize>, Vec<FaultStatus>)>,
+) -> Vec<FaultStatus> {
+    let mut statuses = vec![FaultStatus::Undetected; num_faults];
+    for (global, local) in shards {
+        debug_assert_eq!(global.len(), local.len());
+        for (&g, &s) in global.iter().zip(&local) {
+            statuses[g] = s;
+        }
+    }
+    statuses
+}
+
+/// The deterministic detection list of a status vector: every detected
+/// fault as `(fault index, pattern)`, sorted by pattern then fault index —
+/// the merge order the differential harness pins.
+pub fn detections_of(statuses: &[FaultStatus]) -> Vec<GlobalDetection> {
+    let mut dets: Vec<GlobalDetection> = statuses
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s {
+            FaultStatus::Detected { pattern } => Some((i as u32, *pattern as u32)),
+            _ => None,
+        })
+        .collect();
+    dets.sort_unstable_by_key(|&(f, p)| (p, f));
+    dets
+}
+
+struct StuckShard<P: Probe> {
+    sim: ConcurrentSim<P>,
+    /// Global fault index per local fault id (ascending).
+    global: Vec<usize>,
+}
+
+/// Fault-sharded parallel stuck-at simulator: `P` concurrent engines over
+/// disjoint fault shards, one shared good machine.
+///
+/// With `threads == 1` the single shard holds every fault and runs the
+/// exact serial code path (no good trace, no worker threads).
+///
+/// # Examples
+///
+/// ```
+/// use cfs_core::{CsimVariant, ParallelSim, ShardPlan};
+/// use cfs_faults::collapse_stuck_at;
+/// use cfs_logic::parse_pattern;
+/// use cfs_netlist::data::s27;
+///
+/// let circuit = s27();
+/// let faults = collapse_stuck_at(&circuit).representatives;
+/// let mut par = ParallelSim::new(
+///     &circuit, &faults, CsimVariant::Mv.options(), 4, ShardPlan::RoundRobin);
+/// let mut serial = ParallelSim::new(
+///     &circuit, &faults, CsimVariant::Mv.options(), 1, ShardPlan::RoundRobin);
+/// let patterns: Vec<_> = ["0000", "1111", "0101", "1010"]
+///     .iter()
+///     .map(|p| parse_pattern(p))
+///     .collect::<Result<_, _>>()?;
+/// let rp = par.run(&patterns);
+/// let rs = serial.run(&patterns);
+/// assert_eq!(rp.statuses, rs.statuses);
+/// # Ok::<(), cfs_logic::ParseLogicError>(())
+/// ```
+pub struct ParallelSim<P: Probe = NullProbe> {
+    shards: Vec<StuckShard<P>>,
+    /// Fault-free engine advancing the shared good machine.
+    good: Engine,
+    options: CsimOptions,
+    plan: ShardPlan,
+    circuit_name: String,
+    num_faults: usize,
+}
+
+impl<P: Probe> fmt::Debug for ParallelSim<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelSim")
+            .field("circuit", &self.circuit_name)
+            .field("faults", &self.num_faults)
+            .field("threads", &self.shards.len())
+            .field("plan", &self.plan)
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+impl ParallelSim {
+    /// Shards `faults` into `threads` engines per `plan`. Each shard
+    /// carries no probe and pays no instrumentation cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(
+        circuit: &Circuit,
+        faults: &[StuckAt],
+        options: CsimOptions,
+        threads: usize,
+        plan: ShardPlan,
+    ) -> Self {
+        Self::with_probes(circuit, faults, options, threads, plan, |_| NullProbe)
+    }
+}
+
+impl ParallelSim<SimMetrics> {
+    /// Like [`ParallelSim::new`], but every shard records a [`SimMetrics`]
+    /// probe; [`ParallelSim::snapshot`] merges them.
+    pub fn instrumented(
+        circuit: &Circuit,
+        faults: &[StuckAt],
+        options: CsimOptions,
+        threads: usize,
+        plan: ShardPlan,
+    ) -> Self {
+        Self::with_probes(circuit, faults, options, threads, plan, |_| {
+            SimMetrics::new()
+        })
+    }
+
+    /// Telemetry merged across all shards: counters summed, peaks maxed,
+    /// rates recomputed (see [`MetricsSnapshot::merge_shard`]). The good
+    /// engine's once-per-pattern work is folded into the event and
+    /// good-evaluation totals so the sum stays comparable to a serial run.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut merged: Option<MetricsSnapshot> = None;
+        for shard in &self.shards {
+            let snap = shard.sim.engine.probe.snapshot("", &self.circuit_name);
+            match merged.as_mut() {
+                None => merged = Some(snap),
+                Some(m) => m.merge_shard(&snap),
+            }
+        }
+        let mut snap = merged.unwrap_or_default();
+        snap.simulator = self.name_str();
+        snap.circuit = self.circuit_name.clone();
+        snap.events += self.good.events;
+        snap.good_evals += self.good.good_evals;
+        snap
+    }
+
+    /// Per-shard metric recorders, in shard order.
+    pub fn shard_metrics(&self) -> impl Iterator<Item = &SimMetrics> {
+        self.shards.iter().map(|s| &s.sim.engine.probe)
+    }
+}
+
+impl<P: Probe> ParallelSim<P> {
+    fn with_probes(
+        circuit: &Circuit,
+        faults: &[StuckAt],
+        options: CsimOptions,
+        threads: usize,
+        plan: ShardPlan,
+        mut probe: impl FnMut(usize) -> P,
+    ) -> Self {
+        assert!(threads > 0, "at least one thread");
+        let parts = plan.partition(&stuck_levels(circuit, faults), threads);
+        let shards = parts
+            .into_iter()
+            .enumerate()
+            .map(|(k, global)| {
+                let subset: Vec<StuckAt> = global.iter().map(|&i| faults[i]).collect();
+                StuckShard {
+                    sim: ConcurrentSim::with_probe(circuit, &subset, options.clone(), probe(k)),
+                    global,
+                }
+            })
+            .collect();
+        // The good engine must live on the same compiled network shape as
+        // the shards (macro collapsing renumbers nodes).
+        let net = if options.use_macros {
+            build_macro_network(circuit, &[], options.macro_max_inputs)
+        } else {
+            build_gate_network(circuit, &[])
+        };
+        let good = Engine::with_probe(
+            net,
+            options.split_invisible,
+            options.drop_detected,
+            NullProbe,
+        );
+        ParallelSim {
+            shards,
+            good,
+            options,
+            plan,
+            circuit_name: circuit.name().to_owned(),
+            num_faults: faults.len(),
+        }
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The sharding plan in use.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    fn name_str(&self) -> String {
+        let base = match (self.options.split_invisible, self.options.use_macros) {
+            (false, false) => "csim",
+            (true, false) => "csim-V",
+            (false, true) => "csim-M",
+            (true, true) => "csim-MV",
+        };
+        if self.shards.len() == 1 {
+            base.to_owned()
+        } else {
+            format!("{base}-p{}", self.shards.len())
+        }
+    }
+
+    /// Forces the good-machine flip-flop state on every shard and the
+    /// shared good engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the flip-flop count.
+    pub fn set_state(&mut self, state: &[Logic]) {
+        self.good.set_dff_state(state);
+        for shard in &mut self.shards {
+            shard.sim.set_state(state);
+        }
+    }
+}
+
+impl<P: Probe + Send> ParallelSim<P> {
+    /// Simulates a pattern sequence and assembles the merged report.
+    pub fn run(&mut self, patterns: &[Vec<Logic>]) -> FaultSimReport {
+        let start = Instant::now();
+        if self.shards.len() == 1 {
+            // Serial path: identical to ConcurrentSim::run.
+            for p in patterns {
+                self.shards[0].sim.engine.step_stuck(p);
+            }
+        } else {
+            for block in patterns.chunks(BLOCK) {
+                let traces: Vec<Vec<Logic>> =
+                    block.iter().map(|p| self.good.good_cycle(p)).collect();
+                std::thread::scope(|scope| {
+                    for shard in &mut self.shards {
+                        let traces = &traces;
+                        scope.spawn(move || {
+                            for (p, trace) in block.iter().zip(traces) {
+                                shard.sim.engine.step_stuck_with(p, Some(trace));
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        let cpu = start.elapsed();
+        FaultSimReport {
+            simulator: self.name_str(),
+            circuit: self.circuit_name.clone(),
+            patterns: patterns.len(),
+            statuses: self.statuses(),
+            cpu,
+            memory_bytes: self.memory_bytes(),
+            events: self.events(),
+            evaluations: self.fault_evaluations(),
+        }
+    }
+
+    /// Per-fault statuses in the global fault order given to
+    /// [`ParallelSim::new`] — bit-identical for any thread count.
+    pub fn statuses(&self) -> Vec<FaultStatus> {
+        merge_statuses(
+            self.num_faults,
+            self.shards
+                .iter()
+                .map(|s| (s.global.clone(), s.sim.statuses())),
+        )
+    }
+
+    /// The deterministic merged detection list: `(global fault index,
+    /// pattern)` sorted by pattern, then fault index.
+    pub fn detections(&self) -> Vec<GlobalDetection> {
+        detections_of(&self.statuses())
+    }
+
+    /// Faults detected so far.
+    pub fn detected(&self) -> usize {
+        self.shards.iter().map(|s| s.sim.detected()).sum()
+    }
+
+    /// Node activations across all shards plus the shared good engine.
+    pub fn events(&self) -> u64 {
+        self.good.events + self.shards.iter().map(|s| s.sim.events()).sum::<u64>()
+    }
+
+    /// Faulty-machine evaluations across all shards.
+    pub fn fault_evaluations(&self) -> u64 {
+        self.shards.iter().map(|s| s.sim.fault_evaluations()).sum()
+    }
+
+    /// Paper-comparable memory model summed over shards and the good
+    /// engine.
+    pub fn memory_bytes(&self) -> usize {
+        let good = if self.shards.len() == 1 {
+            0 // serial path never touches the good engine
+        } else {
+            self.good.memory_bytes()
+        };
+        good + self
+            .shards
+            .iter()
+            .map(|s| s.sim.memory_bytes())
+            .sum::<usize>()
+    }
+}
+
+struct TransitionShard<P: Probe> {
+    sim: TransitionSim<P>,
+    global: Vec<usize>,
+}
+
+/// Fault-sharded parallel transition simulator (§3 model): like
+/// [`ParallelSim`], with the two-pass hold/release cycle per shard. The
+/// per-fault previous-pin state and the latch stash live inside each
+/// shard's own engine, so sharding changes nothing about the two-pass
+/// semantics.
+pub struct ParallelTransitionSim<P: Probe = NullProbe> {
+    shards: Vec<TransitionShard<P>>,
+    good: Engine,
+    plan: ShardPlan,
+    circuit_name: String,
+    num_faults: usize,
+}
+
+impl<P: Probe> fmt::Debug for ParallelTransitionSim<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelTransitionSim")
+            .field("circuit", &self.circuit_name)
+            .field("faults", &self.num_faults)
+            .field("threads", &self.shards.len())
+            .field("plan", &self.plan)
+            .finish()
+    }
+}
+
+impl ParallelTransitionSim {
+    /// Shards the transition fault list into `threads` engines per `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(
+        circuit: &Circuit,
+        faults: &[TransitionFault],
+        options: TransitionOptions,
+        threads: usize,
+        plan: ShardPlan,
+    ) -> Self {
+        Self::with_probes(circuit, faults, options, threads, plan, |_| NullProbe)
+    }
+}
+
+impl ParallelTransitionSim<SimMetrics> {
+    /// Like [`ParallelTransitionSim::new`] with recording probes.
+    pub fn instrumented(
+        circuit: &Circuit,
+        faults: &[TransitionFault],
+        options: TransitionOptions,
+        threads: usize,
+        plan: ShardPlan,
+    ) -> Self {
+        Self::with_probes(circuit, faults, options, threads, plan, |_| {
+            SimMetrics::new()
+        })
+    }
+
+    /// Telemetry merged across all shards plus the good engine's work.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut merged: Option<MetricsSnapshot> = None;
+        for shard in &self.shards {
+            let snap = shard
+                .sim
+                .engine
+                .probe
+                .snapshot("csim-T", &self.circuit_name);
+            match merged.as_mut() {
+                None => merged = Some(snap),
+                Some(m) => m.merge_shard(&snap),
+            }
+        }
+        let mut snap = merged.unwrap_or_default();
+        snap.simulator = self.name_str();
+        snap.circuit = self.circuit_name.clone();
+        snap.events += self.good.events;
+        snap.good_evals += self.good.good_evals;
+        snap
+    }
+
+    /// Per-shard metric recorders, in shard order.
+    pub fn shard_metrics(&self) -> impl Iterator<Item = &SimMetrics> {
+        self.shards.iter().map(|s| &s.sim.engine.probe)
+    }
+}
+
+impl<P: Probe> ParallelTransitionSim<P> {
+    fn with_probes(
+        circuit: &Circuit,
+        faults: &[TransitionFault],
+        options: TransitionOptions,
+        threads: usize,
+        plan: ShardPlan,
+        mut probe: impl FnMut(usize) -> P,
+    ) -> Self {
+        assert!(threads > 0, "at least one thread");
+        let parts = plan.partition(&transition_levels(circuit, faults), threads);
+        let shards = parts
+            .into_iter()
+            .enumerate()
+            .map(|(k, global)| {
+                let subset: Vec<TransitionFault> = global.iter().map(|&i| faults[i]).collect();
+                TransitionShard {
+                    sim: TransitionSim::with_probe(circuit, &subset, options.clone(), probe(k)),
+                    global,
+                }
+            })
+            .collect();
+        let net = build_gate_network(circuit, &[]);
+        let good = Engine::with_probe(
+            net,
+            options.split_invisible,
+            options.drop_detected,
+            NullProbe,
+        );
+        ParallelTransitionSim {
+            shards,
+            good,
+            plan,
+            circuit_name: circuit.name().to_owned(),
+            num_faults: faults.len(),
+        }
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The sharding plan in use.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    fn name_str(&self) -> String {
+        if self.shards.len() == 1 {
+            "csim-T".to_owned()
+        } else {
+            format!("csim-T-p{}", self.shards.len())
+        }
+    }
+}
+
+impl<P: Probe + Send> ParallelTransitionSim<P> {
+    /// Simulates a pattern sequence and assembles the merged report.
+    pub fn run(&mut self, patterns: &[Vec<Logic>]) -> FaultSimReport {
+        let start = Instant::now();
+        if self.shards.len() == 1 {
+            for p in patterns {
+                self.shards[0].sim.step(p);
+            }
+        } else {
+            for block in patterns.chunks(BLOCK) {
+                let traces: Vec<Vec<Logic>> =
+                    block.iter().map(|p| self.good.good_cycle(p)).collect();
+                std::thread::scope(|scope| {
+                    for shard in &mut self.shards {
+                        let traces = &traces;
+                        scope.spawn(move || {
+                            for (p, trace) in block.iter().zip(traces) {
+                                shard.sim.step_with(p, Some(trace));
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        let cpu = start.elapsed();
+        FaultSimReport {
+            simulator: self.name_str(),
+            circuit: self.circuit_name.clone(),
+            patterns: patterns.len(),
+            statuses: self.statuses(),
+            cpu,
+            memory_bytes: self.memory_bytes(),
+            events: self.events(),
+            evaluations: self.fault_evaluations(),
+        }
+    }
+
+    /// Per-fault statuses in the global fault order.
+    pub fn statuses(&self) -> Vec<FaultStatus> {
+        merge_statuses(
+            self.num_faults,
+            self.shards
+                .iter()
+                .map(|s| (s.global.clone(), s.sim.statuses())),
+        )
+    }
+
+    /// The deterministic merged detection list.
+    pub fn detections(&self) -> Vec<GlobalDetection> {
+        detections_of(&self.statuses())
+    }
+
+    /// Faults detected so far.
+    pub fn detected(&self) -> usize {
+        self.shards.iter().map(|s| s.sim.detected()).sum()
+    }
+
+    /// Node activations across all shards plus the shared good engine.
+    pub fn events(&self) -> u64 {
+        self.good.events + self.shards.iter().map(|s| s.sim.events()).sum::<u64>()
+    }
+
+    /// Faulty-machine evaluations across all shards.
+    pub fn fault_evaluations(&self) -> u64 {
+        self.shards.iter().map(|s| s.sim.fault_evaluations()).sum()
+    }
+
+    /// Paper-comparable memory model summed over shards and the good
+    /// engine.
+    pub fn memory_bytes(&self) -> usize {
+        let good = if self.shards.len() == 1 {
+            0
+        } else {
+            self.good.memory_bytes()
+        };
+        good + self
+            .shards
+            .iter()
+            .map(|s| s.sim.memory_bytes())
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stuck::CsimVariant;
+    use cfs_faults::{enumerate_stuck_at, enumerate_transition};
+    use cfs_logic::parse_pattern;
+    use cfs_netlist::data::s27;
+
+    fn patterns() -> Vec<Vec<Logic>> {
+        [
+            "0000", "1111", "0101", "1010", "0011", "1100", "0110", "1001",
+        ]
+        .iter()
+        .map(|p| parse_pattern(p).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn every_plan_is_an_exact_cover() {
+        let levels: Vec<u32> = (0..37).map(|i| (i * 7) % 11).collect();
+        for plan in ShardPlan::ALL {
+            for shards in [1, 2, 3, 5, 37, 50] {
+                let parts = plan.partition(&levels, shards);
+                assert_eq!(parts.len(), shards);
+                let mut seen = vec![false; levels.len()];
+                for part in &parts {
+                    assert!(part.windows(2).all(|w| w[0] < w[1]), "{plan}: sorted");
+                    for &i in part {
+                        assert!(!seen[i], "{plan}: fault {i} duplicated");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "{plan}: fault lost");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_s27() {
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        let mut serial = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+        let reference = serial.run(&patterns());
+        for threads in [1, 2, 3, 5] {
+            for plan in ShardPlan::ALL {
+                let mut par =
+                    ParallelSim::new(&c, &faults, CsimVariant::Mv.options(), threads, plan);
+                let report = par.run(&patterns());
+                assert_eq!(
+                    report.statuses, reference.statuses,
+                    "threads={threads} plan={plan}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_transition_matches_serial_on_s27() {
+        let c = s27();
+        let faults = enumerate_transition(&c);
+        let mut serial = TransitionSim::new(&c, &faults, TransitionOptions::default());
+        let reference = serial.run(&patterns());
+        for threads in [1, 2, 4] {
+            let mut par = ParallelTransitionSim::new(
+                &c,
+                &faults,
+                TransitionOptions::default(),
+                threads,
+                ShardPlan::RoundRobin,
+            );
+            let report = par.run(&patterns());
+            assert_eq!(report.statuses, reference.statuses, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn detections_sorted_by_pattern_then_fault() {
+        let statuses = vec![
+            FaultStatus::Detected { pattern: 3 },
+            FaultStatus::Undetected,
+            FaultStatus::Detected { pattern: 0 },
+            FaultStatus::Detected { pattern: 3 },
+            FaultStatus::Untestable,
+            FaultStatus::Detected { pattern: 1 },
+        ];
+        assert_eq!(
+            detections_of(&statuses),
+            vec![(2, 0), (5, 1), (0, 3), (3, 3)]
+        );
+    }
+
+    #[test]
+    fn merged_snapshot_counts_all_shards() {
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        let mut par = ParallelSim::instrumented(
+            &c,
+            &faults,
+            CsimVariant::Mv.options(),
+            3,
+            ShardPlan::LevelAware,
+        );
+        let report = par.run(&patterns());
+        let snap = par.snapshot();
+        assert_eq!(snap.patterns as usize, patterns().len());
+        assert_eq!(snap.detected as usize, report.detected());
+        assert_eq!(snap.events, report.events);
+        assert_eq!(snap.fault_evals, report.evaluations);
+        assert!(snap.simulator.ends_with("-p3"), "{}", snap.simulator);
+    }
+}

@@ -116,7 +116,7 @@ pub struct StepResult {
 /// # Ok::<(), cfs_logic::ParseLogicError>(())
 /// ```
 pub struct ConcurrentSim<P: Probe = NullProbe> {
-    engine: Engine<P>,
+    pub(crate) engine: Engine<P>,
     options: CsimOptions,
     circuit_name: String,
     num_faults: usize,

@@ -65,7 +65,7 @@ impl Default for TransitionOptions {
 /// # Ok::<(), cfs_logic::ParseLogicError>(())
 /// ```
 pub struct TransitionSim<P: Probe = NullProbe> {
-    engine: Engine<P>,
+    pub(crate) engine: Engine<P>,
     circuit_name: String,
     num_faults: usize,
 }
@@ -136,12 +136,20 @@ impl<P: Probe> TransitionSim<P> {
     ///
     /// Panics if `inputs.len()` differs from the primary-input count.
     pub fn step(&mut self, inputs: &[Logic]) -> Vec<usize> {
+        self.step_with(inputs, None)
+    }
+
+    /// One clock cycle against an optional shared good-machine trace (the
+    /// settled good values for this cycle, computed once by a fault-free
+    /// engine). The good machine is untouched by the hold/release passes,
+    /// so the same trace serves both.
+    pub(crate) fn step_with(&mut self, inputs: &[Logic], shared: Option<&[Logic]>) -> Vec<usize> {
         self.engine.pattern_begin();
         // Pass 1: transitions held; sample and latch masters.
         self.engine.probe.phase_start(Phase::TransitionFirst);
         self.engine.transition_hold = true;
         self.engine.apply_inputs(inputs);
-        self.engine.propagate();
+        self.engine.propagate_with(shared);
         let detections = self.engine.detect();
         let stash = self.engine.latch_collect();
         self.engine.probe.phase_end(Phase::TransitionFirst);
@@ -149,7 +157,7 @@ impl<P: Probe> TransitionSim<P> {
         self.engine.probe.phase_start(Phase::TransitionSecond);
         self.engine.transition_hold = false;
         self.engine.schedule_transition_sites();
-        self.engine.propagate();
+        self.engine.propagate_with(shared);
         self.engine.record_prev_pins();
         // Slaves take the stashed state only now.
         self.engine.latch_commit(stash);

@@ -98,6 +98,54 @@ impl MetricsSnapshot {
     pub fn peak_memory_megabytes(&self) -> f64 {
         self.peak_memory_bytes as f64 / (1024.0 * 1024.0)
     }
+
+    /// Folds another shard's snapshot of the *same run* into this one, for
+    /// fault-sharded parallel simulation where each worker engine records
+    /// its own probe.
+    ///
+    /// Work counters (events, evaluations, traversals, divergences, …) and
+    /// memory sum — every shard does distinct work and owns distinct
+    /// storage. `patterns` takes the maximum, because all shards simulate
+    /// the *same* pattern sequence. Peaks (`max_list_len`,
+    /// `queue_depth_peak`) take the maximum; `cpu_seconds` too, since
+    /// shards run concurrently and the slowest one bounds the wall clock.
+    /// The derived rates (`avg_list_len`, `visible_fraction`,
+    /// `events_per_pattern`) are recomputed from the merged sums, with
+    /// `avg_list_len` weighted by each side's traversal volume.
+    pub fn merge_shard(&mut self, other: &MetricsSnapshot) {
+        let w_self = self.traversed as f64;
+        let w_other = other.traversed as f64;
+        self.avg_list_len = if w_self + w_other > 0.0 {
+            (self.avg_list_len * w_self + other.avg_list_len * w_other) / (w_self + w_other)
+        } else {
+            0.0
+        };
+        self.patterns = self.patterns.max(other.patterns);
+        self.detected += other.detected;
+        self.events += other.events;
+        self.good_evals += other.good_evals;
+        self.fault_evals += other.fault_evals;
+        self.traversed += other.traversed;
+        self.visible += other.visible;
+        self.divergences += other.divergences;
+        self.convergences += other.convergences;
+        self.drops += other.drops;
+        self.max_list_len = self.max_list_len.max(other.max_list_len);
+        self.visible_fraction = if self.traversed == 0 {
+            0.0
+        } else {
+            self.visible as f64 / self.traversed as f64
+        };
+        self.events_per_pattern = if self.patterns == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.patterns as f64
+        };
+        self.queue_depth_peak = self.queue_depth_peak.max(other.queue_depth_peak);
+        self.peak_memory_bytes += other.peak_memory_bytes;
+        self.cpu_seconds = self.cpu_seconds.max(other.cpu_seconds);
+        self.phases.merge(&other.phases);
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +166,49 @@ mod tests {
     fn zero_patterns_does_not_divide() {
         let s = MetricsSnapshot::from_basic("serial", "s27", 0, 0, 0, 0, 0, 0.0);
         assert_eq!(s.events_per_pattern, 0.0);
+    }
+
+    #[test]
+    fn shard_merge_sums_work_and_maxes_peaks() {
+        let mut a = MetricsSnapshot::from_basic("csim", "s27", 10, 4, 100, 300, 1000, 0.25);
+        a.traversed = 60;
+        a.visible = 30;
+        a.avg_list_len = 8.0;
+        a.max_list_len = 12;
+        a.queue_depth_peak = 5;
+        let mut b = MetricsSnapshot::from_basic("csim", "s27", 10, 6, 140, 500, 2000, 0.75);
+        b.traversed = 20;
+        b.visible = 10;
+        b.avg_list_len = 4.0;
+        b.max_list_len = 20;
+        b.queue_depth_peak = 3;
+        a.merge_shard(&b);
+        assert_eq!(a.patterns, 10, "same run: patterns max, not sum");
+        assert_eq!(a.detected, 10);
+        assert_eq!(a.events, 240);
+        assert_eq!(a.fault_evals, 800);
+        assert_eq!(a.traversed, 80);
+        assert_eq!(a.visible, 40);
+        assert_eq!(a.max_list_len, 20);
+        assert_eq!(a.queue_depth_peak, 5);
+        assert_eq!(a.peak_memory_bytes, 3000);
+        assert!((a.cpu_seconds - 0.75).abs() < 1e-12, "concurrent: max");
+        assert!((a.visible_fraction - 0.5).abs() < 1e-12);
+        assert!((a.events_per_pattern - 24.0).abs() < 1e-12);
+        // avg_list_len weighted 60:20 → (8*60 + 4*20) / 80 = 7.0
+        assert!((a.avg_list_len - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_merge_with_empty_shard_is_identity_on_rates() {
+        let mut a = MetricsSnapshot::from_basic("csim", "s27", 5, 2, 50, 80, 100, 0.1);
+        a.traversed = 10;
+        a.visible = 5;
+        a.avg_list_len = 3.0;
+        let empty = MetricsSnapshot::default();
+        a.merge_shard(&empty);
+        assert!((a.avg_list_len - 3.0).abs() < 1e-12);
+        assert!((a.visible_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(a.patterns, 5);
     }
 }
