@@ -6,31 +6,78 @@
 //! repro-tables --quick    # smoke run (small budgets, heavy scaling)
 //! repro-tables --full     # paper-scale circuits (slow)
 //! repro-tables --table 3  # a single table (7 = the parallel speedup table)
+//! repro-tables --no-check # skip the cfs-check preflight
 //! ```
 
 use cfs_bench::tables::{
     format_table2, format_table3, format_table4, format_table5, format_table6,
     format_table_parallel, headline, table2, table3, table4, table5, table6, table_parallel,
 };
-use cfs_bench::workloads::{WorkloadConfig, TABLE3_CIRCUITS, TABLE4_CIRCUITS, TABLE6_CIRCUITS};
+use cfs_bench::workloads::{
+    circuit, WorkloadConfig, TABLE3_CIRCUITS, TABLE4_CIRCUITS, TABLE6_CIRCUITS,
+};
+
+/// Runs the `cfs-check` static analyses over every circuit the selected
+/// tables will simulate; exits nonzero if any carries an error-severity
+/// finding, so a broken generator cannot silently skew the tables.
+fn preflight(only: Option<u32>, config: &WorkloadConfig) {
+    let names: Vec<&str> = match only {
+        Some(2) | Some(3) => TABLE3_CIRCUITS.to_vec(),
+        Some(4) => TABLE4_CIRCUITS.to_vec(),
+        Some(5) | Some(7) => vec!["s35932g"],
+        Some(6) => TABLE6_CIRCUITS.to_vec(),
+        _ => {
+            let mut all = TABLE3_CIRCUITS.to_vec();
+            for n in TABLE4_CIRCUITS
+                .iter()
+                .chain(TABLE6_CIRCUITS)
+                .chain(["s35932g"].iter())
+            {
+                if !all.contains(n) {
+                    all.push(n);
+                }
+            }
+            all
+        }
+    };
+    let mut bad = 0usize;
+    for name in names {
+        let report = cfs_check::check_circuit(&circuit(name, config));
+        if report.has_errors() {
+            eprint!("{}", report.render_text());
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        eprintln!(
+            "repro-tables: {bad} workload circuit(s) failed cfs-check (use --no-check to bypass)"
+        );
+        std::process::exit(2);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = WorkloadConfig::default();
     let mut only: Option<u32> = None;
+    let mut no_check = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => config = WorkloadConfig::quick(),
             "--full" => config = WorkloadConfig::full_scale(),
+            "--no-check" => no_check = true,
             "--table" => {
-                only = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .or_else(|| panic!("--table needs a number 2..=7"));
+                only = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--table needs a number 2..=7");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--help" | "-h" => {
-                eprintln!("usage: repro-tables [--quick|--full] [--table N]");
+                eprintln!("usage: repro-tables [--quick|--full] [--table N] [--no-check]");
                 return;
             }
             other => {
@@ -38,6 +85,9 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if !no_check {
+        preflight(only, &config);
     }
     eprintln!(
         "# workload: large-circuit scale {:.2}, deterministic budget {}, random {}",

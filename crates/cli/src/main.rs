@@ -2,14 +2,17 @@
 //! sequential circuits (Lee & Reddy, DAC 1992).
 //!
 //! ```text
+//! fsim check <circuit> [--format text|json]
 //! fsim stats <circuit>
 //! fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]
 //!                    [--simulator csim|proofs|serial|deductive] [--uncollapsed]
 //!                    [--threads N] [--shard-plan PLAN] [--detections FILE]
 //!                    [--stats] [--stats-json FILE] [--trace-every N]
+//!                    [--no-check] [--paranoid]
 //! fsim transition <circuit> [--random N | --patterns FILE]
 //!                    [--threads N] [--shard-plan PLAN] [--detections FILE]
 //!                    [--stats] [--stats-json FILE] [--trace-every N]
+//!                    [--no-check] [--paranoid]
 //! fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]
 //! fsim generate <name> [--out FILE]
 //! ```
@@ -25,6 +28,13 @@
 //! `pattern fault` line per detected fault, sorted by pattern then fault
 //! index — which is the artifact to diff across thread counts.
 //!
+//! `fsim check` runs the `cfs-check` static analyses and prints the
+//! diagnostics (stable rule codes, severities, `.bench` line spans; JSON
+//! under `--format json`), exiting nonzero on any error-severity finding.
+//! `sim` and `transition` run the same analyses as a preflight and refuse
+//! error-ridden netlists unless `--no-check` is given. `--paranoid` turns
+//! on the engine's per-pattern invariant verifier even in release builds.
+//!
 //! `--stats` attaches the telemetry probe and prints the per-run metric
 //! table (plus phase times and list-length/queue-depth histograms for the
 //! concurrent simulators); `--stats-json FILE` streams one JSON line per
@@ -36,7 +46,7 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cfs_atpg::{generate_tests, random_patterns, AtpgOptions};
 use cfs_baselines::{DeductiveSim, ProofsSim, SerialSim};
@@ -51,7 +61,7 @@ use cfs_logic::{format_pattern, parse_pattern, Logic};
 use cfs_netlist::{extract_macros, parse_bench, write_bench, Circuit};
 use cfs_telemetry::{
     render_histogram, render_phase_table, render_summary_table, JsonlWriter, Log2Histogram,
-    MetricsSnapshot, SimMetrics,
+    MetricsSnapshot, Phase, SimMetrics,
 };
 
 #[derive(Debug)]
@@ -87,6 +97,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let rest = &args[1..];
     match command.as_str() {
+        "check" => cmd_check(rest),
         "stats" => cmd_stats(rest),
         "sim" => cmd_sim(rest),
         "transition" => cmd_transition(rest),
@@ -105,14 +116,17 @@ fn print_usage() {
         "fsim — concurrent fault simulation for synchronous sequential circuits\n\
          \n\
          usage:\n\
+         \u{20}  fsim check <circuit> [--format text|json]\n\
          \u{20}  fsim stats <circuit>\n\
          \u{20}  fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]\n\
          \u{20}                     [--simulator csim|proofs|serial|deductive] [--uncollapsed]\n\
          \u{20}                     [--threads N] [--shard-plan PLAN] [--detections FILE]\n\
          \u{20}                     [--stats] [--stats-json FILE] [--trace-every N]\n\
+         \u{20}                     [--no-check] [--paranoid]\n\
          \u{20}  fsim transition <circuit> [--random N | --patterns FILE]\n\
          \u{20}                     [--threads N] [--shard-plan PLAN] [--detections FILE]\n\
          \u{20}                     [--stats] [--stats-json FILE] [--trace-every N]\n\
+         \u{20}                     [--no-check] [--paranoid]\n\
          \u{20}  fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]\n\
          \u{20}  fsim generate <name> [--out FILE]\n\
          \n\
@@ -124,7 +138,10 @@ fn print_usage() {
          --stats       print the metric table (plus phase times and histograms)\n\
          --stats-json  write one JSON line per pattern plus a summary record\n\
          --trace-every print a progress line every N patterns (concurrent sims)\n\
-         --variant all run all four concurrent variants into one comparison table"
+         --variant all run all four concurrent variants into one comparison table\n\
+         --no-check    skip the cfs-check preflight (sim/transition refuse on errors)\n\
+         --paranoid    verify engine invariants after every pattern, even in release\n\
+         --format      check output: text (default) | json"
     );
 }
 
@@ -152,6 +169,7 @@ fn has_flag(args: &[String], flag: &str) -> bool {
 type FlagSpec = &'static [(&'static str, bool)];
 
 const STATS_FLAGS: FlagSpec = &[];
+const CHECK_FLAGS: FlagSpec = &[("--format", true)];
 const SIM_FLAGS: FlagSpec = &[
     ("--patterns", true),
     ("--random", true),
@@ -165,6 +183,8 @@ const SIM_FLAGS: FlagSpec = &[
     ("--stats", false),
     ("--stats-json", true),
     ("--trace-every", true),
+    ("--no-check", false),
+    ("--paranoid", false),
 ];
 const TRANSITION_FLAGS: FlagSpec = &[
     ("--patterns", true),
@@ -176,6 +196,8 @@ const TRANSITION_FLAGS: FlagSpec = &[
     ("--stats", false),
     ("--stats-json", true),
     ("--trace-every", true),
+    ("--no-check", false),
+    ("--paranoid", false),
 ];
 const ATPG_FLAGS: FlagSpec = &[("--max-frames", true), ("--random", true), ("--out", true)];
 const GENERATE_FLAGS: FlagSpec = &[("--out", true)];
@@ -224,6 +246,9 @@ struct TelemetryOpts {
     stats: bool,
     stats_json: Option<String>,
     trace_every: Option<usize>,
+    /// Wall time the `cfs-check` preflight took, folded into the phase
+    /// table of every snapshot the run emits.
+    check_time: Duration,
 }
 
 impl TelemetryOpts {
@@ -242,6 +267,7 @@ impl TelemetryOpts {
             stats: has_flag(args, "--stats"),
             stats_json: flag_value(args, "--stats-json").map(str::to_owned),
             trace_every,
+            check_time: Duration::ZERO,
         })
     }
 
@@ -251,11 +277,12 @@ impl TelemetryOpts {
     }
 }
 
-/// Fault-sharding options shared by `sim` and `transition`.
+/// Fault-sharding and engine options shared by `sim` and `transition`.
 struct ParallelOpts {
     threads: usize,
     plan: ShardPlan,
     detections: Option<String>,
+    paranoid: bool,
 }
 
 impl ParallelOpts {
@@ -282,6 +309,7 @@ impl ParallelOpts {
             threads,
             plan,
             detections: flag_value(args, "--detections").map(str::to_owned),
+            paranoid: has_flag(args, "--paranoid"),
         })
     }
 }
@@ -312,11 +340,70 @@ fn load_circuit(spec: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
             .ok_or_else(|| err(format!("unknown built-in circuit {name:?}")));
     }
     let text = fs::read_to_string(spec).map_err(|e| err(format!("cannot read {spec}: {e}")))?;
-    let name = std::path::Path::new(spec)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("circuit");
-    Ok(parse_bench(name, &text)?)
+    Ok(parse_bench(circuit_name_of(spec), &text)?)
+}
+
+/// Display name of a circuit spec: the file stem, or the built-in name.
+fn circuit_name_of(spec: &str) -> &str {
+    spec.strip_prefix('@').unwrap_or_else(|| {
+        std::path::Path::new(spec)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("circuit")
+    })
+}
+
+/// Runs the full `cfs-check` analysis over a circuit spec. Files are
+/// analyzed as raw source so spans point at the actual file lines;
+/// built-ins go through their canonical serialization.
+fn check_spec(spec: &str) -> Result<cfs_check::Report, Box<dyn std::error::Error>> {
+    if spec.starts_with('@') {
+        return Ok(cfs_check::check_circuit(&load_circuit(spec)?));
+    }
+    let text = fs::read_to_string(spec).map_err(|e| err(format!("cannot read {spec}: {e}")))?;
+    Ok(cfs_check::check_bench_source(circuit_name_of(spec), &text))
+}
+
+/// Loads a circuit for simulation, running the `cfs-check` preflight
+/// first (unless `--no-check`): on error-severity findings the
+/// diagnostics go to stderr and the run refuses to start. Returns the
+/// circuit and the preflight's wall time for the phase table.
+fn load_circuit_checked(
+    spec: &str,
+    args: &[String],
+) -> Result<(Circuit, Duration), Box<dyn std::error::Error>> {
+    if has_flag(args, "--no-check") {
+        return Ok((load_circuit(spec)?, Duration::ZERO));
+    }
+    let started = Instant::now();
+    let report = check_spec(spec)?;
+    let elapsed = started.elapsed();
+    if report.has_errors() {
+        eprint!("{}", report.render_text());
+        return Err(err(format!(
+            "{spec}: refusing to simulate a netlist with check errors (use --no-check to bypass)"
+        )));
+    }
+    Ok((load_circuit(spec)?, elapsed))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags("check", args, CHECK_FLAGS)?;
+    let spec = args.first().ok_or_else(|| err("check: missing circuit"))?;
+    let format = flag_value(args, "--format").unwrap_or("text");
+    let report = check_spec(spec)?;
+    match format {
+        "text" => print!("{}", report.render_text()),
+        "json" => println!("{}", report.render_json()),
+        other => return Err(err(format!("unknown format {other:?} (text, json)"))),
+    }
+    if report.has_errors() {
+        return Err(err(format!(
+            "{spec}: {} error(s)",
+            report.count(cfs_check::Severity::Error)
+        )));
+    }
+    Ok(())
 }
 
 fn load_patterns(
@@ -535,6 +622,9 @@ fn run_csim_stuck(
     if !tel.enabled() && variants.len() == 1 {
         // Fast path: no probe attached, zero instrumentation cost.
         let mut sim = ConcurrentSim::new(c, faults, variants[0].options());
+        if par.paranoid {
+            sim.set_paranoid(true);
+        }
         let report = sim.run(patterns);
         print_report(&report);
         if let Some(path) = &par.detections {
@@ -546,12 +636,16 @@ fn run_csim_stuck(
     let mut snaps = Vec::new();
     for &variant in &variants {
         let mut sim = ConcurrentSim::instrumented(c, faults, variant.options());
+        if par.paranoid {
+            sim.set_paranoid(true);
+        }
         let report =
             run_stuck_instrumented(&mut sim, c.name(), patterns, tel.trace_every, faults.len());
         print_report(&report);
         let mut snap = sim.snapshot();
         // Phase spans nest, so the wall clock is the honest total.
         snap.cpu_seconds = report.cpu.as_secs_f64();
+        snap.phases.add(Phase::Check, tel.check_time);
         if tel.stats {
             print_stats_detail(&snap, sim.metrics());
         }
@@ -591,9 +685,13 @@ fn run_csim_stuck_sharded(
         let report = if tel.enabled() {
             let mut sim =
                 ParallelSim::instrumented(c, faults, variant.options(), par.threads, par.plan);
+            if par.paranoid {
+                sim.set_paranoid(true);
+            }
             let report = sim.run(patterns);
             let mut snap = sim.snapshot();
             snap.cpu_seconds = report.cpu.as_secs_f64();
+            snap.phases.add(Phase::Check, tel.check_time);
             if tel.stats {
                 print_stats_detail_sharded(&snap, sim.shard_metrics());
             }
@@ -605,6 +703,9 @@ fn run_csim_stuck_sharded(
             report
         } else {
             let mut sim = ParallelSim::new(c, faults, variant.options(), par.threads, par.plan);
+            if par.paranoid {
+                sim.set_paranoid(true);
+            }
             sim.run(patterns)
         };
         print_report(&report);
@@ -659,7 +760,7 @@ fn emit_basic_telemetry(
 fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     validate_flags("sim", args, SIM_FLAGS)?;
     let spec = args.first().ok_or_else(|| err("sim: missing circuit"))?;
-    let c = load_circuit(spec)?;
+    let (c, check_time) = load_circuit_checked(spec, args)?;
     let faults = if has_flag(args, "--uncollapsed") {
         enumerate_stuck_at(&c)
     } else {
@@ -668,13 +769,19 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let patterns = load_patterns(&c, args, 256)?;
     let simulator = flag_value(args, "--simulator").unwrap_or("csim");
     let variant_name = flag_value(args, "--variant").unwrap_or("mv");
-    let tel = TelemetryOpts::parse(args)?;
+    let mut tel = TelemetryOpts::parse(args)?;
+    tel.check_time = check_time;
     let par = ParallelOpts::parse(args)?;
     let report = match simulator {
         "csim" => return run_csim_stuck(&c, &faults, &patterns, variant_name, &tel, &par),
         other if par.threads > 1 => {
             return Err(err(format!(
                 "--threads needs the concurrent simulator, not {other:?}"
+            )))
+        }
+        other if par.paranoid => {
+            return Err(err(format!(
+                "--paranoid needs the concurrent simulator, not {other:?}"
             )))
         }
         "proofs" => ProofsSim::new(&c, &faults).run(&patterns),
@@ -724,16 +831,20 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let spec = args
         .first()
         .ok_or_else(|| err("transition: missing circuit"))?;
-    let c = load_circuit(spec)?;
+    let (c, check_time) = load_circuit_checked(spec, args)?;
     let faults = enumerate_transition(&c);
     let patterns = load_patterns(&c, args, 256)?;
-    let tel = TelemetryOpts::parse(args)?;
+    let mut tel = TelemetryOpts::parse(args)?;
+    tel.check_time = check_time;
     let par = ParallelOpts::parse(args)?;
     if par.threads > 1 {
         return run_transition_sharded(&c, &faults, &patterns, &tel, &par);
     }
     if !tel.enabled() {
         let mut sim = TransitionSim::new(&c, &faults, TransitionOptions::default());
+        if par.paranoid {
+            sim.set_paranoid(true);
+        }
         let report = sim.run(&patterns);
         print_report(&report);
         if let Some(path) = &par.detections {
@@ -743,11 +854,15 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut jsonl = open_jsonl(&tel.stats_json)?;
     let mut sim = TransitionSim::instrumented(&c, &faults, TransitionOptions::default());
+    if par.paranoid {
+        sim.set_paranoid(true);
+    }
     let report =
         run_transition_instrumented(&mut sim, c.name(), &patterns, tel.trace_every, faults.len());
     print_report(&report);
     let mut snap = sim.snapshot();
     snap.cpu_seconds = report.cpu.as_secs_f64();
+    snap.phases.add(Phase::Check, tel.check_time);
     if tel.stats {
         print_stats_detail(&snap, sim.metrics());
         println!();
@@ -783,10 +898,14 @@ fn run_transition_sharded(
             par.threads,
             par.plan,
         );
+        if par.paranoid {
+            sim.set_paranoid(true);
+        }
         let report = sim.run(patterns);
         print_report(&report);
         let mut snap = sim.snapshot();
         snap.cpu_seconds = report.cpu.as_secs_f64();
+        snap.phases.add(Phase::Check, tel.check_time);
         if tel.stats {
             print_stats_detail_sharded(&snap, sim.shard_metrics());
             println!();
@@ -806,6 +925,9 @@ fn run_transition_sharded(
             par.threads,
             par.plan,
         );
+        if par.paranoid {
+            sim.set_paranoid(true);
+        }
         let report = sim.run(patterns);
         print_report(&report);
         report

@@ -420,3 +420,100 @@ fn transition_stats_json_runs() {
         Some("csim-T")
     );
 }
+
+/// The ISSUE acceptance scenario: `fsim check` passes clean circuits and
+/// fails netlists with error-severity findings, in both output formats.
+#[test]
+fn check_clean_builtin_passes() {
+    let (ok, out, err) = fsim(&["check", "@s27"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("0 error(s)"), "{out}");
+    let (ok, out, err) = fsim(&["check", "@s298g", "--format", "json"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("\"errors\":0"), "{out}");
+}
+
+#[test]
+fn check_bad_netlist_fails_with_rule_codes() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("bad-check.bench");
+    std::fs::write(
+        &bench,
+        "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\nz = NOT(z)\n",
+    )
+    .unwrap();
+    let (ok, out, err) = fsim(&["check", bench.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(out.contains("N002"), "{out}");
+    assert!(out.contains("undriven-net"), "{out}");
+    assert!(out.contains("N001"), "{out}");
+    assert!(out.contains("line 3:12"), "{out}");
+    assert!(err.contains("2 error(s)"), "{err}");
+
+    let (ok, out, _) = fsim(&["check", bench.to_str().unwrap(), "--format", "json"]);
+    assert!(!ok);
+    let v = JsonValue::parse(out.trim()).expect("valid JSON report");
+    assert_eq!(v.get("errors").and_then(JsonValue::as_u64), Some(2));
+    let diags = out.matches("\"code\":").count();
+    assert_eq!(diags, 3, "two errors plus the N004 warning: {out}");
+}
+
+#[test]
+fn sim_refuses_bad_netlist_unless_no_check() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("bad-sim.bench");
+    std::fs::write(&bench, "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").unwrap();
+    let (ok, _, err) = fsim(&["sim", bench.to_str().unwrap(), "--random", "4"]);
+    assert!(!ok);
+    assert!(err.contains("refusing to simulate"), "{err}");
+    assert!(err.contains("N002"), "{err}");
+    assert!(err.contains("--no-check"), "{err}");
+    // With --no-check the parser's own error surfaces instead.
+    let (ok, _, err) = fsim(&[
+        "sim",
+        bench.to_str().unwrap(),
+        "--random",
+        "4",
+        "--no-check",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("ghost"), "{err}");
+}
+
+#[test]
+fn paranoid_runs_clean_on_all_paths() {
+    let (ok, _, err) = fsim(&["sim", "@s27", "--random", "16", "--paranoid"]);
+    assert!(ok, "{err}");
+    let (ok, _, err) = fsim(&[
+        "sim",
+        "@s27",
+        "--random",
+        "16",
+        "--paranoid",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "{err}");
+    let (ok, _, err) = fsim(&["transition", "@s27", "--random", "16", "--paranoid"]);
+    assert!(ok, "{err}");
+    let (ok, _, err) = fsim(&[
+        "sim",
+        "@s27",
+        "--random",
+        "4",
+        "--paranoid",
+        "--simulator",
+        "serial",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("--paranoid needs the concurrent"), "{err}");
+}
+
+#[test]
+fn stats_phase_table_includes_check_time() {
+    let (ok, out, err) = fsim(&["sim", "@s27", "--random", "8", "--stats"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("check"), "check phase in table: {out}");
+}

@@ -68,6 +68,13 @@ pub(crate) struct Engine<P: Probe = NullProbe> {
     pub fault_evals: u64,
     /// Current pattern (clock cycle) index.
     pub pattern_index: u32,
+    /// Re-check the concurrent-list laws after every settled pattern
+    /// ([`Engine::verify_after_pattern`]). On by default in debug builds;
+    /// `--paranoid` forces it on in release builds.
+    pub verify: bool,
+    /// Nodes evaluated since the last verification (purge-law
+    /// bookkeeping; maintained only while `verify` is set).
+    touched: Vec<bool>,
 
     // Reusable scratch buffers for the merge loop.
     src_scratch: Vec<NodeId>,
@@ -101,6 +108,8 @@ impl<P: Probe> Engine<P> {
             good_evals: 0,
             fault_evals: 0,
             pattern_index: 0,
+            verify: cfg!(debug_assertions),
+            touched: vec![false; n],
             src_scratch: Vec::new(),
             cursors: Vec::new(),
             good_in: Vec::new(),
@@ -293,6 +302,9 @@ impl<P: Probe> Engine<P> {
     fn eval_node(&mut self, n: NodeId, shared: Option<&[Logic]>) {
         self.events += 1;
         self.probe.node_activated();
+        if self.verify {
+            self.touched[n as usize] = true;
+        }
         let eval = self.net.nodes[n as usize].eval;
         let nsrc = self.net.nodes[n as usize].sources.len();
         self.src_scratch.clear();
@@ -629,6 +641,7 @@ impl<P: Probe> Engine<P> {
         self.latch_commit(stash);
         self.pattern_index += 1;
         self.pattern_end();
+        self.verify_after_pattern();
         detections
     }
 
@@ -735,6 +748,89 @@ impl<P: Probe> Engine<P> {
                 .chain(self.arena.iter_list(self.inv_head[site]))
                 .any(|(f, _)| f == fid as u32);
             assert!(present, "fault {fid} lost its permanent local element");
+        }
+    }
+
+    /// Re-checks the concurrent-list laws after a settled pattern: the
+    /// structural invariants of [`Engine::assert_invariants`], the
+    /// visible/invisible partition law against the good values, and — with
+    /// fault dropping on — the purge law that no element of a previously
+    /// detected fault survives a traversal. No-op unless [`Engine::verify`]
+    /// is set (debug builds, or `--paranoid`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated law.
+    pub fn verify_after_pattern(&mut self) {
+        if !self.verify {
+            return;
+        }
+        self.assert_invariants();
+        for ni in 0..self.net.num_nodes() {
+            let good = self.good[ni];
+            for (fid, val) in self.arena.iter_list(self.vis_head[ni]) {
+                if self.split {
+                    assert!(
+                        val != good,
+                        "node {ni}: fault {fid} agrees with the good value \
+                         {good:?} but sits on the visible list"
+                    );
+                } else {
+                    let local = self.net.descriptors[fid as usize].site as usize == ni;
+                    assert!(
+                        val != good || local,
+                        "node {ni}: non-local fault {fid} converged to \
+                         {good:?} but its element survives"
+                    );
+                }
+            }
+            for (fid, val) in self.arena.iter_list(self.inv_head[ni]) {
+                assert!(
+                    self.split,
+                    "node {ni}: invisible list populated in combined mode"
+                );
+                assert!(
+                    val == good,
+                    "node {ni}: fault {fid} diverges ({val:?} vs good \
+                     {good:?}) but sits on the invisible list"
+                );
+                assert!(
+                    self.net.descriptors[fid as usize].site as usize == ni,
+                    "node {ni}: non-local fault {fid} on the invisible list"
+                );
+            }
+        }
+        // Purge law: nodes whose lists were rebuilt this pattern (every
+        // evaluated node, every primary input, every flip-flop) hold no
+        // element of a fault detected on an *earlier* pattern. Faults
+        // detected this pattern are purged lazily on later traversals.
+        if self.drop_detected && self.pattern_index > 0 {
+            let current = self.pattern_index - 1;
+            let mut rebuilt = std::mem::take(&mut self.touched);
+            for &ni in self.net.pi_nodes.iter().chain(self.net.dff_nodes.iter()) {
+                rebuilt[ni as usize] = true;
+            }
+            for (ni, flag) in rebuilt.iter().enumerate() {
+                if !flag {
+                    continue;
+                }
+                for head in [self.vis_head[ni], self.inv_head[ni]] {
+                    for (fid, _) in self.arena.iter_list(head) {
+                        if let Some(at) = self.net.descriptors[fid as usize].detected_at {
+                            assert!(
+                                at >= current,
+                                "node {ni}: element of fault {fid} (detected \
+                                 at pattern {at}) survived the traversal at \
+                                 pattern {current}"
+                            );
+                        }
+                    }
+                }
+            }
+            rebuilt.iter_mut().for_each(|f| *f = false);
+            self.touched = rebuilt;
+        } else {
+            self.touched.iter_mut().for_each(|f| *f = false);
         }
     }
 

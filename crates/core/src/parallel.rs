@@ -387,6 +387,14 @@ impl<P: Probe> ParallelSim<P> {
             shard.sim.set_state(state);
         }
     }
+
+    /// Forces every shard's per-pattern invariant verifier on (or off)
+    /// regardless of the build profile — the CLI's `--paranoid`.
+    pub fn set_paranoid(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.sim.set_paranoid(on);
+        }
+    }
 }
 
 impl<P: Probe + Send> ParallelSim<P> {
@@ -616,6 +624,14 @@ impl<P: Probe> ParallelTransitionSim<P> {
             "csim-T".to_owned()
         } else {
             format!("csim-T-p{}", self.shards.len())
+        }
+    }
+
+    /// Forces every shard's per-pattern invariant verifier on (or off)
+    /// regardless of the build profile — the CLI's `--paranoid`.
+    pub fn set_paranoid(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.sim.set_paranoid(on);
         }
     }
 }

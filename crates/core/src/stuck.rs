@@ -301,6 +301,15 @@ impl<P: Probe> ConcurrentSim<P> {
         self.engine.assert_invariants();
     }
 
+    /// Forces the per-pattern invariant verifier on (or off) regardless of
+    /// the build profile — the CLI's `--paranoid`. The verifier re-checks
+    /// every concurrent-list law (sorted sentinel-terminated lists, the
+    /// visible/invisible partition against the good values, the
+    /// detected-fault purge) after each simulated pattern.
+    pub fn set_paranoid(&mut self, on: bool) {
+        self.engine.verify = on;
+    }
+
     /// Node activations processed so far.
     pub fn events(&self) -> u64 {
         self.engine.events

@@ -164,7 +164,14 @@ impl<P: Probe> TransitionSim<P> {
         self.engine.probe.phase_end(Phase::TransitionSecond);
         self.engine.pattern_index += 1;
         self.engine.pattern_end();
+        self.engine.verify_after_pattern();
         detections.into_iter().map(|(f, _)| f as usize).collect()
+    }
+
+    /// Forces the per-pattern invariant verifier on (or off) regardless of
+    /// the build profile — the CLI's `--paranoid`.
+    pub fn set_paranoid(&mut self, on: bool) {
+        self.engine.verify = on;
     }
 
     /// Simulates a pattern sequence and assembles the report.

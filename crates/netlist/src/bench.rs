@@ -13,6 +13,11 @@
 //!
 //! Signals may be referenced before they are defined; definition order is
 //! irrelevant.
+//!
+//! Every [`ParseBenchError`] variant carries the 1-based line and column of
+//! the offending token, and [`parse_bench_with_provenance`] additionally
+//! returns a [`BenchProvenance`] side table mapping every gate back to its
+//! defining source line — the raw material for diagnostic spans.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -22,12 +27,18 @@ use cfs_logic::GateFn;
 use crate::{Circuit, CircuitBuilder, CircuitError, GateId, GateKind};
 
 /// Error produced while parsing a `.bench` file.
+///
+/// All variants locate the problem: `line`/`col` are 1-based source
+/// coordinates of the offending token (for whole-circuit problems with no
+/// single token, such as a missing `INPUT`, `line` is 0).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseBenchError {
     /// A line could not be understood.
     Syntax {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the first offending character.
+        col: usize,
         /// The offending text.
         text: String,
     },
@@ -35,36 +46,85 @@ pub enum ParseBenchError {
     UnknownGate {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the type name.
+        col: usize,
         /// The unknown type name.
         name: String,
     },
     /// A signal was referenced but never defined.
-    Undefined(String),
+    Undefined {
+        /// 1-based line number of the referencing definition or directive.
+        line: usize,
+        /// 1-based column of the dangling name.
+        col: usize,
+        /// The undefined signal name.
+        name: String,
+    },
     /// A signal was defined twice.
     Redefined {
         /// 1-based line number of the second definition.
         line: usize,
+        /// 1-based column of the redefined name.
+        col: usize,
         /// The signal name.
         name: String,
     },
     /// The netlist parsed but failed circuit validation.
-    Circuit(CircuitError),
+    Circuit {
+        /// 1-based line number of the gate the error names (0 when the
+        /// error has no single source location, e.g. missing I/O).
+        line: usize,
+        /// 1-based column (1 when unknown).
+        col: usize,
+        /// The underlying structural error.
+        error: CircuitError,
+    },
+}
+
+impl ParseBenchError {
+    /// The 1-based source line, when the error points at one.
+    pub fn line(&self) -> Option<usize> {
+        let line = match self {
+            ParseBenchError::Syntax { line, .. }
+            | ParseBenchError::UnknownGate { line, .. }
+            | ParseBenchError::Undefined { line, .. }
+            | ParseBenchError::Redefined { line, .. }
+            | ParseBenchError::Circuit { line, .. } => *line,
+        };
+        (line > 0).then_some(line)
+    }
+
+    /// The 1-based source column, when the error points at a line.
+    pub fn column(&self) -> Option<usize> {
+        self.line().map(|_| match self {
+            ParseBenchError::Syntax { col, .. }
+            | ParseBenchError::UnknownGate { col, .. }
+            | ParseBenchError::Undefined { col, .. }
+            | ParseBenchError::Redefined { col, .. }
+            | ParseBenchError::Circuit { col, .. } => *col,
+        })
+    }
 }
 
 impl fmt::Display for ParseBenchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseBenchError::Syntax { line, text } => {
-                write!(f, "line {line}: cannot parse {text:?}")
+            ParseBenchError::Syntax { line, col, text } => {
+                write!(f, "line {line}:{col}: cannot parse {text:?}")
             }
-            ParseBenchError::UnknownGate { line, name } => {
-                write!(f, "line {line}: unknown gate type {name:?}")
+            ParseBenchError::UnknownGate { line, col, name } => {
+                write!(f, "line {line}:{col}: unknown gate type {name:?}")
             }
-            ParseBenchError::Undefined(name) => write!(f, "undefined signal {name:?}"),
-            ParseBenchError::Redefined { line, name } => {
-                write!(f, "line {line}: signal {name:?} redefined")
+            ParseBenchError::Undefined { line, col, name } => {
+                write!(f, "line {line}:{col}: undefined signal {name:?}")
             }
-            ParseBenchError::Circuit(e) => write!(f, "invalid circuit: {e}"),
+            ParseBenchError::Redefined { line, col, name } => {
+                write!(f, "line {line}:{col}: signal {name:?} redefined")
+            }
+            ParseBenchError::Circuit { line, col, error } if *line > 0 => {
+                write!(f, "line {line}:{col}: invalid circuit: {error}")
+            }
+            ParseBenchError::Circuit { error, .. } => write!(f, "invalid circuit: {error}"),
         }
     }
 }
@@ -72,15 +132,27 @@ impl fmt::Display for ParseBenchError {
 impl std::error::Error for ParseBenchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ParseBenchError::Circuit(e) => Some(e),
+            ParseBenchError::Circuit { error, .. } => Some(error),
             _ => None,
         }
     }
 }
 
-impl From<CircuitError> for ParseBenchError {
-    fn from(e: CircuitError) -> Self {
-        ParseBenchError::Circuit(e)
+/// Source-line provenance for a parsed circuit: which `.bench` line defined
+/// each gate. Built by [`parse_bench_with_provenance`]; consumed by
+/// diagnostics that want to point back into the source text.
+#[derive(Debug, Clone, Default)]
+pub struct BenchProvenance {
+    /// 1-based defining line per gate index (0 = unknown).
+    lines: Vec<usize>,
+}
+
+impl BenchProvenance {
+    /// The 1-based line that defined `id` (its `INPUT(...)` directive or
+    /// `name = FN(...)` assignment), if known.
+    pub fn line_of(&self, id: GateId) -> Option<usize> {
+        let line = self.lines.get(id.index()).copied().unwrap_or(0);
+        (line > 0).then_some(line)
     }
 }
 
@@ -91,13 +163,24 @@ enum Def {
     Gate(GateFn, Vec<String>),
 }
 
+/// 1-based column of `token` within the 1-based `line` of `source` (1 when
+/// the token cannot be located, e.g. the line is synthetic).
+fn col_of(source: &str, line: usize, token: &str) -> usize {
+    source
+        .lines()
+        .nth(line.wrapping_sub(1))
+        .and_then(|raw| raw.find(token))
+        .map_or(1, |i| i + 1)
+}
+
 /// Parses a circuit from `.bench` text.
 ///
 /// # Errors
 ///
 /// Returns [`ParseBenchError`] on malformed lines, unknown gate types,
 /// dangling signal references, redefinitions, or structural problems
-/// (combinational cycles, missing I/O).
+/// (combinational cycles, missing I/O). Every error names the offending
+/// source line and column.
 ///
 /// # Examples
 ///
@@ -108,9 +191,31 @@ enum Def {
 /// # Ok::<(), cfs_netlist::ParseBenchError>(())
 /// ```
 pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
-    let mut defs: Vec<(String, Def)> = Vec::new();
+    parse_bench_with_provenance(name, source).map(|(c, _)| c)
+}
+
+/// Like [`parse_bench`], but also returns the per-gate line provenance.
+///
+/// # Errors
+///
+/// Same as [`parse_bench`].
+///
+/// # Examples
+///
+/// ```
+/// let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+/// let (c, prov) = cfs_netlist::parse_bench_with_provenance("inv", src)?;
+/// let y = c.find("y").unwrap();
+/// assert_eq!(prov.line_of(y), Some(3));
+/// # Ok::<(), cfs_netlist::ParseBenchError>(())
+/// ```
+pub fn parse_bench_with_provenance(
+    name: &str,
+    source: &str,
+) -> Result<(Circuit, BenchProvenance), ParseBenchError> {
+    let mut defs: Vec<(String, Def, usize)> = Vec::new();
     let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
     let mut seen: HashMap<String, usize> = HashMap::new();
 
     for (lineno, raw) in source.lines().enumerate() {
@@ -121,6 +226,7 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError>
         }
         let syntax = || ParseBenchError::Syntax {
             line,
+            col: raw.find(|c: char| !c.is_whitespace()).map_or(1, |i| i + 1),
             text: raw.trim().to_owned(),
         };
         if let Some(rest) = strip_directive(text, "INPUT") {
@@ -128,12 +234,13 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError>
             if seen.insert(rest.to_owned(), line).is_some() {
                 return Err(ParseBenchError::Redefined {
                     line,
+                    col: col_of(source, line, rest),
                     name: rest.to_owned(),
                 });
             }
-            defs.push((rest.to_owned(), Def::Input));
+            defs.push((rest.to_owned(), Def::Input, line));
         } else if let Some(rest) = strip_directive(text, "OUTPUT") {
-            outputs.push(rest.to_owned());
+            outputs.push((rest.to_owned(), line));
         } else if let Some(eq) = text.find('=') {
             let lhs = text[..eq].trim().to_owned();
             let rhs = text[eq + 1..].trim();
@@ -158,42 +265,65 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError>
             } else {
                 let f: GateFn = fn_name.parse().map_err(|_| ParseBenchError::UnknownGate {
                     line,
+                    col: col_of(source, line, fn_name),
                     name: fn_name.to_owned(),
                 })?;
                 Def::Gate(f, args)
             };
             if seen.insert(lhs.clone(), line).is_some() {
-                return Err(ParseBenchError::Redefined { line, name: lhs });
+                return Err(ParseBenchError::Redefined {
+                    line,
+                    col: col_of(source, line, &lhs),
+                    name: lhs,
+                });
             }
-            defs.push((lhs, def));
+            defs.push((lhs, def, line));
         } else {
             return Err(syntax());
         }
     }
 
-    build(name, defs, outputs)
+    build(name, source, defs, outputs)
 }
 
 fn build(
     name: &str,
-    defs: Vec<(String, Def)>,
-    outputs: Vec<String>,
-) -> Result<Circuit, ParseBenchError> {
+    source: &str,
+    defs: Vec<(String, Def, usize)>,
+    outputs: Vec<(String, usize)>,
+) -> Result<(Circuit, BenchProvenance), ParseBenchError> {
     let mut b = CircuitBuilder::new(name);
     let mut ids: HashMap<String, GateId> = HashMap::new();
-    // Pass 1: create every node so forward references resolve.
-    for (signal, def) in &defs {
+    let def_line: HashMap<&str, usize> = defs.iter().map(|(s, _, l)| (s.as_str(), *l)).collect();
+    // Maps a structural error to the defining line of the gate it names.
+    let circuit_err = |e: CircuitError| -> ParseBenchError {
+        let gate_name = match &e {
+            CircuitError::DuplicateName(n)
+            | CircuitError::UnboundDff(n)
+            | CircuitError::NotADff(n)
+            | CircuitError::CombinationalCycle(n)
+            | CircuitError::Undefined(n) => Some(n.clone()),
+            CircuitError::BadArity { gate, .. } => Some(gate.clone()),
+            CircuitError::NoInputs | CircuitError::NoOutputs => None,
+        };
+        let line = gate_name
+            .as_deref()
+            .and_then(|n| def_line.get(n).copied())
+            .unwrap_or(0);
+        let col = gate_name.as_deref().map_or(1, |n| col_of(source, line, n));
+        ParseBenchError::Circuit {
+            line,
+            col,
+            error: e,
+        }
+    };
+    // Pass 1: create every source node so forward references resolve
+    // (combinational gates are created in pass 2, when their fanins exist).
+    for (signal, def, _) in &defs {
         let id = match def {
             Def::Input => b.input(signal.clone()),
             Def::Dff(_) => b.dff(signal.clone()),
-            Def::Gate(f, args) => {
-                // Fanins are patched in pass 2; reserve with placeholder
-                // self-loops is not possible pre-finish, so create with a
-                // dummy list and fix below via the two-pass trick: we create
-                // gates only in pass 2 instead.
-                let _ = (f, args);
-                continue;
-            }
+            Def::Gate(..) => continue,
         };
         ids.insert(signal.clone(), id);
     }
@@ -201,17 +331,17 @@ fn build(
     // gate may reference a later gate, so iterate until fixpoint over the
     // remaining definitions (definition order is usually topological-ish;
     // the loop handles the rest).
-    let mut remaining: Vec<(String, GateFn, Vec<String>)> = defs
+    let mut remaining: Vec<(String, GateFn, Vec<String>, usize)> = defs
         .iter()
-        .filter_map(|(s, d)| match d {
-            Def::Gate(f, args) => Some((s.clone(), *f, args.clone())),
+        .filter_map(|(s, d, l)| match d {
+            Def::Gate(f, args) => Some((s.clone(), *f, args.clone(), *l)),
             _ => None,
         })
         .collect();
     while !remaining.is_empty() {
         let mut progress = false;
         let mut arity_error: Option<CircuitError> = None;
-        remaining.retain(|(signal, f, args)| {
+        remaining.retain(|(signal, f, args, _)| {
             if arity_error.is_some() {
                 return true;
             }
@@ -232,38 +362,55 @@ fn build(
             }
         });
         if let Some(e) = arity_error {
-            return Err(e.into());
+            return Err(circuit_err(e));
         }
         if !progress {
             // No progress: either a dangling name or mutual references
             // among combinational gates (a cycle).
-            for (_, _, args) in &remaining {
+            for (_, _, args, line) in &remaining {
                 for a in args {
-                    if !ids.contains_key(a) && !remaining.iter().any(|(s, _, _)| s == a) {
-                        return Err(ParseBenchError::Undefined(a.clone()));
+                    if !ids.contains_key(a) && !remaining.iter().any(|(s, ..)| s == a) {
+                        return Err(ParseBenchError::Undefined {
+                            line: *line,
+                            col: col_of(source, *line, a),
+                            name: a.clone(),
+                        });
                     }
                 }
             }
-            return Err(CircuitError::CombinationalCycle(remaining[0].0.clone()).into());
+            return Err(circuit_err(CircuitError::CombinationalCycle(
+                remaining[0].0.clone(),
+            )));
         }
     }
     // Bind DFF inputs.
-    for (signal, def) in &defs {
+    for (signal, def, line) in &defs {
         if let Def::Dff(d) = def {
             let q = ids[signal];
-            let d_id = *ids
-                .get(d)
-                .ok_or_else(|| ParseBenchError::Undefined(d.clone()))?;
-            b.set_dff_input(q, d_id)?;
+            let d_id = *ids.get(d).ok_or_else(|| ParseBenchError::Undefined {
+                line: *line,
+                col: col_of(source, *line, d),
+                name: d.clone(),
+            })?;
+            b.set_dff_input(q, d_id).map_err(&circuit_err)?;
         }
     }
-    for out in &outputs {
-        let id = *ids
-            .get(out)
-            .ok_or_else(|| ParseBenchError::Undefined(out.clone()))?;
+    for (out, line) in &outputs {
+        let id = *ids.get(out).ok_or_else(|| ParseBenchError::Undefined {
+            line: *line,
+            col: col_of(source, *line, out),
+            name: out.clone(),
+        })?;
         b.output(id);
     }
-    Ok(b.finish()?)
+    let circuit = b.finish().map_err(circuit_err)?;
+    let mut lines = vec![0usize; circuit.num_nodes()];
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        if let Some(&l) = def_line.get(gate.name()) {
+            lines[i] = l;
+        }
+    }
+    Ok((circuit, BenchProvenance { lines }))
 }
 
 fn strip_directive<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
@@ -297,8 +444,7 @@ pub fn write_bench(circuit: &Circuit) -> String {
     for &id in circuit.outputs() {
         out.push_str(&format!("OUTPUT({})\n", circuit.gate(id).name()));
     }
-    for (idx, gate) in circuit.gates().iter().enumerate() {
-        let _ = idx;
+    for gate in circuit.gates() {
         match gate.kind() {
             GateKind::Input => {}
             GateKind::Dff => {
@@ -337,21 +483,51 @@ mod tests {
         assert_eq!(c.num_comb_gates(), 10);
     }
 
+    /// Provenance-free structural equality: same node names, kinds, fanin
+    /// name sequences, and output tap names.
+    fn assert_same_structure(a: &Circuit, b: &Circuit) {
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        for g in a.gates() {
+            let id2 = b.find(g.name()).unwrap_or_else(|| panic!("{}", g.name()));
+            let g2 = b.gate(id2);
+            assert_eq!(g.kind(), g2.kind(), "{}", g.name());
+            let names1: Vec<&str> = g.fanin().iter().map(|&i| a.gate(i).name()).collect();
+            let names2: Vec<&str> = g2.fanin().iter().map(|&i| b.gate(i).name()).collect();
+            assert_eq!(names1, names2, "{}", g.name());
+        }
+        let outs1: Vec<&str> = a.outputs().iter().map(|&i| a.gate(i).name()).collect();
+        let outs2: Vec<&str> = b.outputs().iter().map(|&i| b.gate(i).name()).collect();
+        assert_eq!(outs1, outs2);
+    }
+
     #[test]
     fn round_trips_s27() {
         let c = parse_bench("s27", S27_BENCH).unwrap();
         let text = write_bench(&c);
         let c2 = parse_bench("s27", &text).unwrap();
-        assert_eq!(c.num_comb_gates(), c2.num_comb_gates());
-        assert_eq!(c.num_dffs(), c2.num_dffs());
-        for g in c.gates() {
-            let id2 = c2.find(g.name()).unwrap();
-            let g2 = c2.gate(id2);
-            assert_eq!(g.kind(), g2.kind(), "{}", g.name());
-            let names1: Vec<&str> = g.fanin().iter().map(|&i| c.gate(i).name()).collect();
-            let names2: Vec<&str> = g2.fanin().iter().map(|&i| c2.gate(i).name()).collect();
-            assert_eq!(names1, names2, "{}", g.name());
+        assert_same_structure(&c, &c2);
+        // Serialization is idempotent once the text has round-tripped.
+        assert_eq!(write_bench(&c2), text);
+    }
+
+    #[test]
+    fn round_trips_generated_benchmarks() {
+        for name in ["s298g", "s641g"] {
+            let c = crate::generate::benchmark(name).unwrap();
+            let text = write_bench(&c);
+            let c2 = parse_bench(name, &text).unwrap();
+            assert_same_structure(&c, &c2);
+            assert_eq!(write_bench(&c2), text, "{name}");
         }
+    }
+
+    #[test]
+    fn provenance_maps_gates_to_defining_lines() {
+        let src = "# hdr\nINPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = AND(a, q)\n";
+        let (c, prov) = parse_bench_with_provenance("p", src).unwrap();
+        assert_eq!(prov.line_of(c.find("a").unwrap()), Some(2));
+        assert_eq!(prov.line_of(c.find("q").unwrap()), Some(4));
+        assert_eq!(prov.line_of(c.find("y").unwrap()), Some(5));
     }
 
     #[test]
@@ -368,17 +544,66 @@ mod tests {
     }
 
     #[test]
-    fn dangling_reference_is_reported() {
+    fn dangling_reference_is_reported_with_position() {
         let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
         let err = parse_bench("d", src).unwrap_err();
-        assert_eq!(err, ParseBenchError::Undefined("ghost".into()));
+        assert!(
+            matches!(
+                &err,
+                ParseBenchError::Undefined { line: 3, col: 12, name } if name == "ghost"
+            ),
+            "{err:?}"
+        );
+        assert_eq!(err.line(), Some(3));
+        assert_eq!(err.column(), Some(12));
+    }
+
+    #[test]
+    fn dangling_output_is_reported_with_position() {
+        let src = "INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n";
+        let err = parse_bench("d", src).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ParseBenchError::Undefined {
+                    line: 2,
+                    col: 8,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn dangling_dff_input_is_reported_with_position() {
+        let src = "INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n";
+        let err = parse_bench("d", src).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ParseBenchError::Undefined {
+                    line: 3,
+                    col: 9,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn unknown_gate_is_reported() {
         let src = "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n";
         let err = parse_bench("u", src).unwrap_err();
-        assert!(matches!(err, ParseBenchError::UnknownGate { .. }));
+        assert!(matches!(
+            err,
+            ParseBenchError::UnknownGate {
+                line: 3,
+                col: 5,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("MAJ"));
     }
 
@@ -386,17 +611,63 @@ mod tests {
     fn redefinition_is_reported() {
         let src = "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\ny = NOT(a)\n";
         let err = parse_bench("r", src).unwrap_err();
-        assert!(matches!(err, ParseBenchError::Redefined { line: 4, .. }));
+        assert!(matches!(
+            err,
+            ParseBenchError::Redefined {
+                line: 4,
+                col: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
-    fn combinational_cycle_is_reported() {
+    fn combinational_cycle_is_reported_with_line() {
         let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUF(y)\n";
         let err = parse_bench("cyc", src).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ParseBenchError::Circuit {
+                    line,
+                    error: CircuitError::CombinationalCycle(_),
+                    ..
+                } if *line > 0
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn bad_arity_is_reported_with_line() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n";
+        let err = parse_bench("ar", src).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ParseBenchError::Circuit {
+                    line: 4,
+                    error: CircuitError::BadArity { .. },
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_io_has_no_location() {
+        let err = parse_bench("io", "INPUT(a)\nb = NOT(a)\n").unwrap_err();
         assert!(matches!(
-            err,
-            ParseBenchError::Circuit(CircuitError::CombinationalCycle(_))
+            &err,
+            ParseBenchError::Circuit {
+                line: 0,
+                error: CircuitError::NoOutputs,
+                ..
+            }
         ));
+        assert_eq!(err.line(), None);
+        assert_eq!(err.column(), None);
     }
 
     #[test]
@@ -409,6 +680,13 @@ mod tests {
     #[test]
     fn garbage_line_is_syntax_error() {
         let err = parse_bench("g", "INPUT(a)\nwhat is this\n").unwrap_err();
-        assert!(matches!(err, ParseBenchError::Syntax { line: 2, .. }));
+        assert!(matches!(
+            err,
+            ParseBenchError::Syntax {
+                line: 2,
+                col: 1,
+                ..
+            }
+        ));
     }
 }

@@ -29,7 +29,9 @@ mod hierarchy;
 mod macros;
 mod scan;
 
-pub use bench::{parse_bench, write_bench, ParseBenchError};
+pub use bench::{
+    parse_bench, parse_bench_with_provenance, write_bench, BenchProvenance, ParseBenchError,
+};
 pub use circuit::{Circuit, CircuitBuilder, CircuitError, CircuitStats, Gate, GateId, GateKind};
 pub use generate::{benchmark, benchmark_spec, CircuitSpec, ISCAS89_SPECS};
 pub use hierarchy::{FlattenError, Hierarchy, Module};

@@ -22,17 +22,20 @@ pub enum Phase {
     TransitionFirst,
     /// Second (launch/capture) pass of a transition-fault step.
     TransitionSecond,
+    /// Pre-simulation static analysis (`cfs-check` preflight).
+    Check,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Propagate,
         Phase::Detect,
         Phase::LatchCollect,
         Phase::LatchCommit,
         Phase::TransitionFirst,
         Phase::TransitionSecond,
+        Phase::Check,
     ];
 
     /// Number of phases.
@@ -47,6 +50,7 @@ impl Phase {
             Phase::LatchCommit => 3,
             Phase::TransitionFirst => 4,
             Phase::TransitionSecond => 5,
+            Phase::Check => 6,
         }
     }
 
@@ -59,6 +63,7 @@ impl Phase {
             Phase::LatchCommit => "latch_commit",
             Phase::TransitionFirst => "transition_first",
             Phase::TransitionSecond => "transition_second",
+            Phase::Check => "check",
         }
     }
 }

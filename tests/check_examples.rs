@@ -1,0 +1,48 @@
+//! The bundled example netlists and every built-in benchmark must pass
+//! `cfs-check` with zero error-severity findings — the same gate CI
+//! enforces by running `fsim check` over `examples/bench/`.
+
+use cfs_check::{check_bench_source, check_circuit};
+
+#[test]
+fn bundled_example_benches_are_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/bench");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(dir).expect("examples/bench exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("bench") {
+            continue;
+        }
+        let name = path.file_stem().unwrap().to_str().unwrap().to_owned();
+        let text = std::fs::read_to_string(&path).expect("readable fixture");
+        let report = check_bench_source(&name, &text);
+        assert!(
+            !report.has_errors(),
+            "{}: {}",
+            path.display(),
+            report.render_text()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 4,
+        "expected the bundled fixtures, found {checked}"
+    );
+}
+
+#[test]
+fn builtin_s27_is_clean() {
+    let report = check_circuit(&cfs_netlist::data::s27());
+    assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+}
+
+#[test]
+fn builtin_generated_benchmarks_are_clean() {
+    for name in [
+        "s298g", "s344g", "s349g", "s386g", "s400g", "s444g", "s526g", "s641g", "s713g",
+    ] {
+        let c = cfs_netlist::generate::benchmark(name).expect("known benchmark");
+        let report = check_circuit(&c);
+        assert!(!report.has_errors(), "{name}: {}", report.render_text());
+    }
+}
