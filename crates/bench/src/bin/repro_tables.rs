@@ -8,7 +8,21 @@
 //! repro-tables --table 3  # a single table (7 = the parallel speedup table)
 //! repro-tables --no-check # skip the cfs-check preflight
 //! ```
+//!
+//! The `BENCH.json` performance-trajectory harness (see `cfs_bench::perf`):
+//!
+//! ```text
+//! repro-tables --bench-json BENCH.json              # default circuits
+//! repro-tables --bench-json BENCH.json \
+//!     --bench-circuits s27,s298g --bench-patterns 64 --bench-repeats 1 \
+//!     --bench-check benchmarks/bench_smoke_baseline.json   # CI drift gate
+//! repro-tables --bench-json BENCH.json \
+//!     --bench-baseline benchmarks/bench_baseline_aos.json  # embed + speedups
+//! ```
 
+use cfs_bench::perf::{
+    check_against, parse_bench_json, render_bench_json, run_perf, speedups_against, PerfConfig,
+};
 use cfs_bench::tables::{
     format_table2, format_table3, format_table4, format_table5, format_table6,
     format_table_parallel, headline, table2, table3, table4, table5, table6, table_parallel,
@@ -56,17 +70,115 @@ fn preflight(only: Option<u32>, config: &WorkloadConfig) {
     }
 }
 
+/// Runs the `BENCH.json` harness and handles the baseline/check flags;
+/// returns the process exit code.
+fn run_bench_json(
+    path: &str,
+    config: &PerfConfig,
+    baseline_path: Option<&str>,
+    check_path: Option<&str>,
+) -> i32 {
+    eprintln!(
+        "# bench: {} circuit(s), {} patterns, threads {:?}, {} repeat(s)",
+        config.circuits.len(),
+        config.patterns,
+        config.threads,
+        config.repeats
+    );
+    let runs = run_perf(config);
+    let baseline = baseline_path.map(|p| {
+        let text =
+            std::fs::read_to_string(p).unwrap_or_else(|e| panic!("--bench-baseline {p:?}: {e}"));
+        let parsed =
+            parse_bench_json(&text).unwrap_or_else(|e| panic!("--bench-baseline {p:?}: {e}"));
+        (p.to_owned(), parsed)
+    });
+    let json = render_bench_json(
+        config,
+        &runs,
+        baseline.as_ref().map(|(p, b)| (p.as_str(), b.as_slice())),
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    eprintln!("# bench: wrote {path}");
+    if let Some((_, base)) = &baseline {
+        for (key, base_wall, wall, ratio) in speedups_against(&runs, base) {
+            eprintln!("# speedup {key}: {base_wall:.4}s -> {wall:.4}s ({ratio:.2}x)");
+        }
+    }
+    if let Some(p) = check_path {
+        let text =
+            std::fs::read_to_string(p).unwrap_or_else(|e| panic!("--bench-check {p:?}: {e}"));
+        let base = parse_bench_json(&text).unwrap_or_else(|e| panic!("--bench-check {p:?}: {e}"));
+        let drifts = check_against(&runs, &base);
+        if !drifts.is_empty() {
+            for d in &drifts {
+                eprintln!("bench drift: {d}");
+            }
+            eprintln!(
+                "repro-tables: {} deterministic counter(s) drifted from {p}",
+                drifts.len()
+            );
+            return 1;
+        }
+        eprintln!("# bench: deterministic counters match {p}");
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = WorkloadConfig::default();
     let mut only: Option<u32> = None;
     let mut no_check = false;
+    let mut bench_json: Option<String> = None;
+    let mut bench_config = PerfConfig::default();
+    let mut bench_baseline: Option<String> = None;
+    let mut bench_check: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| -> String {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
         match arg.as_str() {
             "--quick" => config = WorkloadConfig::quick(),
             "--full" => config = WorkloadConfig::full_scale(),
             "--no-check" => no_check = true,
+            "--bench-json" => bench_json = Some(take("--bench-json")),
+            "--bench-baseline" => bench_baseline = Some(take("--bench-baseline")),
+            "--bench-check" => bench_check = Some(take("--bench-check")),
+            "--bench-circuits" => {
+                bench_config.circuits = take("--bench-circuits")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(ToOwned::to_owned)
+                    .collect();
+            }
+            "--bench-patterns" => {
+                bench_config.patterns = take("--bench-patterns").parse().unwrap_or_else(|_| {
+                    eprintln!("--bench-patterns needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--bench-repeats" => {
+                bench_config.repeats = take("--bench-repeats").parse().unwrap_or_else(|_| {
+                    eprintln!("--bench-repeats needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--bench-threads" => {
+                bench_config.threads = take("--bench-threads")
+                    .split(',')
+                    .map(|s| {
+                        s.parse().unwrap_or_else(|_| {
+                            eprintln!("--bench-threads needs comma-separated numbers");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
             "--table" => {
                 only = match iter.next().and_then(|v| v.parse().ok()) {
                     Some(n) => Some(n),
@@ -77,7 +189,12 @@ fn main() {
                 };
             }
             "--help" | "-h" => {
-                eprintln!("usage: repro-tables [--quick|--full] [--table N] [--no-check]");
+                eprintln!(
+                    "usage: repro-tables [--quick|--full] [--table N] [--no-check]\n       \
+                     repro-tables --bench-json PATH [--bench-circuits a,b] [--bench-patterns N]\n                    \
+                     [--bench-threads 1,2] [--bench-repeats N]\n                    \
+                     [--bench-baseline FILE] [--bench-check FILE]"
+                );
                 return;
             }
             other => {
@@ -85,6 +202,14 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = bench_json {
+        std::process::exit(run_bench_json(
+            &path,
+            &bench_config,
+            bench_baseline.as_deref(),
+            bench_check.as_deref(),
+        ));
     }
     if !no_check {
         preflight(only, &config);

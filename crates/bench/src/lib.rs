@@ -17,5 +17,6 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perf;
 pub mod tables;
 pub mod workloads;

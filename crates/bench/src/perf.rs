@@ -1,0 +1,543 @@
+//! The `BENCH.json` performance harness: one documented command that runs
+//! the bundled ISCAS-style example circuits across every concurrent-engine
+//! configuration (all four `csim` variants plus `csim-T`, serial and
+//! fault-sharded parallel) and records a machine-readable trajectory —
+//! wall time, events per pattern, detection counts, peak arena bytes, and
+//! per-phase timings from the existing telemetry.
+//!
+//! ```text
+//! cargo run --release -p cfs-bench --bin repro-tables -- --bench-json BENCH.json
+//! ```
+//!
+//! The JSON is stable and diffable: work counters (`events_per_pattern`,
+//! `detected`) are deterministic for a given circuit/seed and act as a
+//! drift gate in CI (`--bench-check`), while timings are advisory. Passing
+//! `--bench-baseline FILE` embeds a previously recorded run and computes
+//! wall-time speedups against it, which is how a perf PR records a real
+//! before/after trajectory.
+
+use std::time::Instant;
+
+use cfs_core::{ConcurrentSim, CsimVariant, ParallelSim, ShardPlan, TransitionSim};
+use cfs_faults::{collapse_stuck_at, enumerate_transition};
+use cfs_logic::Logic;
+use cfs_netlist::Circuit;
+use cfs_telemetry::{write_json_f64, write_json_string, JsonValue, MetricsSnapshot, Phase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default circuit list: the bundled `examples/bench` netlists, smallest to
+/// largest (the last one is the headline speedup circuit).
+pub const DEFAULT_CIRCUITS: &[&str] = &["s27", "s298g", "s641g", "s1238g"];
+
+/// Configuration of one harness invocation.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Circuits to run (`s27` or generated `s*g` benchmark names).
+    pub circuits: Vec<String>,
+    /// Random patterns per circuit.
+    pub patterns: usize,
+    /// Thread counts: `1` is the serial engine, anything larger the
+    /// fault-sharded parallel engine.
+    pub threads: Vec<usize>,
+    /// Timing repetitions; the recorded wall time is the minimum.
+    pub repeats: usize,
+    /// Seed for the pattern generator.
+    pub seed: u64,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            circuits: DEFAULT_CIRCUITS.iter().map(|s| (*s).to_owned()).collect(),
+            patterns: 256,
+            threads: vec![1, 2],
+            repeats: 3,
+            seed: 0x01992DAC,
+        }
+    }
+}
+
+/// One measured configuration: a circuit × simulator variant × thread
+/// count.
+#[derive(Debug, Clone)]
+pub struct PerfRun {
+    /// Circuit name.
+    pub circuit: String,
+    /// Simulator name (`csim`, `csim-V`, `csim-M`, `csim-MV`, `csim-T`).
+    pub variant: String,
+    /// Worker threads (1 = serial path).
+    pub threads: usize,
+    /// Patterns simulated.
+    pub patterns: usize,
+    /// Faults in the universe.
+    pub faults: usize,
+    /// Minimum wall time over the configured repeats, in seconds.
+    pub wall_seconds: f64,
+    /// Node activations (deterministic work measure).
+    pub events: u64,
+    /// `events / patterns`.
+    pub events_per_pattern: f64,
+    /// Faults detected (deterministic).
+    pub detected: usize,
+    /// Peak live fault elements across all engines.
+    pub peak_elements: usize,
+    /// Peak fault-element storage in bytes (`peak_elements ×
+    /// ELEMENT_BYTES`).
+    pub peak_arena_bytes: usize,
+    /// Full modeled memory in bytes.
+    pub memory_bytes: usize,
+    /// Per-phase seconds from one instrumented repetition, in
+    /// [`Phase::ALL`] order (zero entries omitted from the JSON).
+    pub phase_seconds: Vec<(&'static str, f64)>,
+}
+
+impl PerfRun {
+    /// Stable identity key within a BENCH.json file.
+    pub fn key(&self) -> String {
+        format!("{}/{}/t{}", self.circuit, self.variant, self.threads)
+    }
+}
+
+/// Resolves a harness circuit name (the paper's `s27` or a generated
+/// benchmark).
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn perf_circuit(name: &str) -> Circuit {
+    if name == "s27" {
+        cfs_netlist::data::s27()
+    } else {
+        cfs_netlist::generate::benchmark(name)
+            .unwrap_or_else(|| panic!("unknown benchmark circuit {name:?}"))
+    }
+}
+
+fn random_patterns(circuit: &Circuit, count: usize, seed: u64) -> Vec<Vec<Logic>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (0..circuit.num_inputs())
+                .map(|_| Logic::from_bool(rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+fn phase_seconds(snap: &MetricsSnapshot) -> Vec<(&'static str, f64)> {
+    Phase::ALL
+        .iter()
+        .map(|&p| (p.name(), snap.phases.get(p).as_secs_f64()))
+        .filter(|&(_, s)| s > 0.0)
+        .collect()
+}
+
+/// Runs one stuck-at configuration: timed uninstrumented repeats plus one
+/// instrumented repetition for the phase breakdown.
+fn run_stuck(
+    circuit: &Circuit,
+    variant: CsimVariant,
+    threads: usize,
+    patterns: &[Vec<Logic>],
+    repeats: usize,
+) -> PerfRun {
+    let faults = collapse_stuck_at(circuit).representatives;
+    let mut wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut detected = 0usize;
+    let mut peak_elements = 0usize;
+    let mut peak_arena_bytes = 0usize;
+    let mut memory_bytes = 0usize;
+    for _ in 0..repeats.max(1) {
+        if threads == 1 {
+            let mut sim = ConcurrentSim::new(circuit, &faults, variant.options());
+            let start = Instant::now();
+            sim.run(patterns);
+            wall = wall.min(start.elapsed().as_secs_f64());
+            events = sim.events();
+            detected = sim.detected();
+            peak_elements = sim.peak_elements();
+            peak_arena_bytes = peak_elements * cfs_core::Arena::ELEMENT_BYTES;
+            memory_bytes = sim.memory_bytes();
+        } else {
+            let mut sim = ParallelSim::new(
+                circuit,
+                &faults,
+                variant.options(),
+                threads,
+                ShardPlan::RoundRobin,
+            );
+            let start = Instant::now();
+            sim.run(patterns);
+            wall = wall.min(start.elapsed().as_secs_f64());
+            events = sim.events();
+            detected = sim.detected();
+            // Peak elements summed over shards ≈ the serial peak; derive
+            // arena bytes from the memory model's element term instead.
+            peak_elements = 0;
+            peak_arena_bytes = 0;
+            memory_bytes = sim.memory_bytes();
+        }
+    }
+    let phases = if threads == 1 {
+        let mut sim = ConcurrentSim::instrumented(circuit, &faults, variant.options());
+        sim.run(patterns);
+        phase_seconds(&sim.snapshot())
+    } else {
+        let mut sim = ParallelSim::instrumented(
+            circuit,
+            &faults,
+            variant.options(),
+            threads,
+            ShardPlan::RoundRobin,
+        );
+        sim.run(patterns);
+        phase_seconds(&sim.snapshot())
+    };
+    PerfRun {
+        circuit: circuit.name().to_owned(),
+        variant: variant.name().to_owned(),
+        threads,
+        patterns: patterns.len(),
+        faults: faults.len(),
+        wall_seconds: wall,
+        events,
+        events_per_pattern: events as f64 / patterns.len().max(1) as f64,
+        detected,
+        peak_elements,
+        peak_arena_bytes,
+        memory_bytes,
+        phase_seconds: phases,
+    }
+}
+
+/// Runs the serial transition simulator on the same pattern set.
+fn run_transition(circuit: &Circuit, patterns: &[Vec<Logic>], repeats: usize) -> PerfRun {
+    let faults = enumerate_transition(circuit);
+    let mut wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut detected = 0usize;
+    let mut peak_elements = 0usize;
+    let mut memory_bytes = 0usize;
+    for _ in 0..repeats.max(1) {
+        let mut sim = TransitionSim::new(circuit, &faults, Default::default());
+        let start = Instant::now();
+        sim.run(patterns);
+        wall = wall.min(start.elapsed().as_secs_f64());
+        events = sim.events();
+        detected = sim.detected();
+        peak_elements = sim.peak_elements();
+        memory_bytes = sim.memory_bytes();
+    }
+    let mut sim = TransitionSim::instrumented(circuit, &faults, Default::default());
+    sim.run(patterns);
+    let phases = phase_seconds(&sim.snapshot());
+    PerfRun {
+        circuit: circuit.name().to_owned(),
+        variant: "csim-T".to_owned(),
+        threads: 1,
+        patterns: patterns.len(),
+        faults: faults.len(),
+        wall_seconds: wall,
+        events,
+        events_per_pattern: events as f64 / patterns.len().max(1) as f64,
+        detected,
+        peak_elements,
+        peak_arena_bytes: peak_elements * cfs_core::Arena::ELEMENT_BYTES,
+        memory_bytes,
+        phase_seconds: phases,
+    }
+}
+
+/// Runs the whole harness: every circuit × the four stuck-at variants ×
+/// every thread count, plus one serial `csim-T` row per circuit.
+pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
+    let mut runs = Vec::new();
+    for name in &config.circuits {
+        let circuit = perf_circuit(name);
+        let patterns = random_patterns(&circuit, config.patterns, config.seed);
+        for variant in CsimVariant::ALL {
+            for &threads in &config.threads {
+                runs.push(run_stuck(
+                    &circuit,
+                    variant,
+                    threads,
+                    &patterns,
+                    config.repeats,
+                ));
+            }
+        }
+        runs.push(run_transition(&circuit, &patterns, config.repeats));
+    }
+    runs
+}
+
+fn write_run(out: &mut String, run: &PerfRun) {
+    out.push_str("    {");
+    out.push_str("\"circuit\": ");
+    write_json_string(out, &run.circuit);
+    out.push_str(", \"variant\": ");
+    write_json_string(out, &run.variant);
+    out.push_str(&format!(
+        ", \"threads\": {}, \"patterns\": {}, \"faults\": {}",
+        run.threads, run.patterns, run.faults
+    ));
+    out.push_str(", \"wall_seconds\": ");
+    write_json_f64(out, run.wall_seconds);
+    out.push_str(&format!(", \"events\": {}", run.events));
+    out.push_str(", \"events_per_pattern\": ");
+    write_json_f64(out, run.events_per_pattern);
+    out.push_str(&format!(
+        ", \"detected\": {}, \"peak_elements\": {}, \"peak_arena_bytes\": {}, \
+         \"memory_bytes\": {}",
+        run.detected, run.peak_elements, run.peak_arena_bytes, run.memory_bytes
+    ));
+    out.push_str(", \"phase_seconds\": {");
+    for (i, (name, secs)) in run.phase_seconds.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_json_string(out, name);
+        out.push_str(": ");
+        write_json_f64(out, *secs);
+    }
+    out.push_str("}}");
+}
+
+/// Renders a harness result (and an optional embedded baseline) as the
+/// `BENCH.json` document.
+pub fn render_bench_json(
+    config: &PerfConfig,
+    runs: &[PerfRun],
+    baseline: Option<(&str, &[PerfRun])>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"cfs-bench/1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"patterns\": {}, \"repeats\": {}, \"seed\": {}, \"threads\": [{}], \
+         \"circuits\": [{}]}},\n",
+        config.patterns,
+        config.repeats,
+        config.seed,
+        config
+            .threads
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        config
+            .circuits
+            .iter()
+            .map(|c| format!("{c:?}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        write_run(&mut out, run);
+        if i + 1 < runs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]");
+    if let Some((source, base_runs)) = baseline {
+        out.push_str(",\n  \"baseline\": {\"source\": ");
+        write_json_string(&mut out, source);
+        out.push_str(", \"runs\": [\n");
+        for (i, run) in base_runs.iter().enumerate() {
+            write_run(&mut out, run);
+            if i + 1 < base_runs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]},\n  \"speedups\": [\n");
+        let speedups = speedups_against(runs, base_runs);
+        for (i, (key, base_wall, wall, ratio)) in speedups.iter().enumerate() {
+            out.push_str("    {\"run\": ");
+            write_json_string(&mut out, key);
+            out.push_str(", \"baseline_wall_seconds\": ");
+            write_json_f64(&mut out, *base_wall);
+            out.push_str(", \"wall_seconds\": ");
+            write_json_f64(&mut out, *wall);
+            out.push_str(", \"speedup\": ");
+            write_json_f64(&mut out, *ratio);
+            out.push('}');
+            if i + 1 < speedups.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Pairs current runs with baseline runs by key and computes wall-time
+/// speedups (`baseline / current`; above 1.0 means the current engine is
+/// faster).
+pub fn speedups_against(runs: &[PerfRun], baseline: &[PerfRun]) -> Vec<(String, f64, f64, f64)> {
+    runs.iter()
+        .filter_map(|run| {
+            let key = run.key();
+            let base = baseline.iter().find(|b| b.key() == key)?;
+            let ratio = if run.wall_seconds > 0.0 {
+                base.wall_seconds / run.wall_seconds
+            } else {
+                0.0
+            };
+            Some((key, base.wall_seconds, run.wall_seconds, ratio))
+        })
+        .collect()
+}
+
+/// Reads the `runs` array of a previously written `BENCH.json` (top-level
+/// runs, not the embedded baseline). Wall times load as recorded; phase
+/// breakdowns are not needed for comparisons and load empty.
+///
+/// # Errors
+///
+/// Returns a description when the file is not a harness document.
+pub fn parse_bench_json(input: &str) -> Result<Vec<PerfRun>, String> {
+    let doc = JsonValue::parse(input)?;
+    let runs = doc
+        .get("runs")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| "missing \"runs\" array".to_owned())?;
+    let str_field = |v: &JsonValue, k: &str| -> Result<String, String> {
+        v.get(k)
+            .and_then(JsonValue::as_str)
+            .map(ToOwned::to_owned)
+            .ok_or_else(|| format!("run missing {k:?}"))
+    };
+    let num_field = |v: &JsonValue, k: &str| -> Result<f64, String> {
+        v.get(k)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("run missing {k:?}"))
+    };
+    runs.iter()
+        .map(|v| {
+            Ok(PerfRun {
+                circuit: str_field(v, "circuit")?,
+                variant: str_field(v, "variant")?,
+                threads: num_field(v, "threads")? as usize,
+                patterns: num_field(v, "patterns")? as usize,
+                faults: num_field(v, "faults")? as usize,
+                wall_seconds: num_field(v, "wall_seconds")?,
+                events: num_field(v, "events")? as u64,
+                events_per_pattern: num_field(v, "events_per_pattern")?,
+                detected: num_field(v, "detected")? as usize,
+                peak_elements: num_field(v, "peak_elements")? as usize,
+                peak_arena_bytes: num_field(v, "peak_arena_bytes")? as usize,
+                memory_bytes: num_field(v, "memory_bytes")? as usize,
+                phase_seconds: Vec::new(),
+            })
+        })
+        .collect()
+}
+
+/// Compares a fresh harness result against a checked-in baseline file's
+/// runs: the deterministic work counters (`events_per_pattern`, `events`)
+/// and detection counts must match exactly for every configuration present
+/// in both; timing differences are advisory. Returns human-readable drift
+/// descriptions (empty = pass).
+pub fn check_against(runs: &[PerfRun], baseline: &[PerfRun]) -> Vec<String> {
+    let mut drifts = Vec::new();
+    for base in baseline {
+        let key = base.key();
+        let Some(run) = runs.iter().find(|r| r.key() == key) else {
+            drifts.push(format!("{key}: configuration missing from this run"));
+            continue;
+        };
+        if run.events != base.events {
+            drifts.push(format!(
+                "{key}: events drifted {} -> {}",
+                base.events, run.events
+            ));
+        }
+        if run.detected != base.detected {
+            drifts.push(format!(
+                "{key}: detections drifted {} -> {}",
+                base.detected, run.detected
+            ));
+        }
+        if run.patterns != base.patterns || run.faults != base.faults {
+            drifts.push(format!(
+                "{key}: workload drifted (patterns {} -> {}, faults {} -> {})",
+                base.patterns, run.patterns, base.faults, run.faults
+            ));
+        }
+    }
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PerfConfig {
+        PerfConfig {
+            circuits: vec!["s27".to_owned()],
+            patterns: 8,
+            threads: vec![1],
+            repeats: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn harness_round_trips_through_json() {
+        let config = tiny_config();
+        let runs = run_perf(&config);
+        // 4 stuck-at variants × 1 thread count + csim-T.
+        assert_eq!(runs.len(), 5);
+        let json = render_bench_json(&config, &runs, None);
+        let parsed = parse_bench_json(&json).expect("own output parses");
+        assert_eq!(parsed.len(), runs.len());
+        for (a, b) in runs.iter().zip(&parsed) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.detected, b.detected);
+        }
+        assert!(check_against(&parsed, &runs).is_empty(), "self-check clean");
+    }
+
+    #[test]
+    fn drift_is_reported() {
+        let config = tiny_config();
+        let runs = run_perf(&config);
+        let mut tampered = runs.clone();
+        tampered[0].events += 1;
+        tampered[1].detected += 1;
+        let drifts = check_against(&tampered, &runs);
+        assert_eq!(drifts.len(), 2, "{drifts:?}");
+    }
+
+    #[test]
+    fn speedups_pair_by_key() {
+        let config = tiny_config();
+        let runs = run_perf(&config);
+        let mut slower = runs.clone();
+        for r in &mut slower {
+            r.wall_seconds *= 2.0;
+        }
+        for (_, base, wall, ratio) in speedups_against(&runs, &slower) {
+            assert!((base - 2.0 * wall).abs() < 1e-12);
+            assert!((ratio - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_counters_are_stable_across_runs() {
+        let config = tiny_config();
+        let a = run_perf(&config);
+        let b = run_perf(&config);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.events, y.events, "{}", x.key());
+            assert_eq!(x.detected, y.detected, "{}", x.key());
+        }
+    }
+}

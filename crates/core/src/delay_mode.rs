@@ -129,7 +129,7 @@ impl<'c> DelayCsim<'c> {
                 b.push(&mut arena, fid, Logic::X);
                 proj_lists[ni].push((fid, Logic::X));
             }
-            heads[ni] = b.finish();
+            heads[ni] = b.finish(&mut arena);
         }
         let mut sim = DelayCsim {
             circuit,
@@ -168,13 +168,16 @@ impl<'c> DelayCsim<'c> {
     /// where the machine is not explicit).
     pub fn faulty_value(&self, id: GateId, fault: usize) -> Logic {
         let mut cur = self.heads[id.index()];
-        while cur != NIL {
-            if self.arena.fault(cur) == fault as u32 {
+        loop {
+            let f = self.arena.fault(cur);
+            if f == fault as u32 {
                 return self.arena.value(cur);
             }
-            cur = self.arena.next(cur);
+            if f == TERMINAL_FAULT {
+                return self.good[id.index()];
+            }
+            cur += 1;
         }
-        self.good[id.index()]
     }
 
     fn mark_pending(&mut self, g: GateId) {
@@ -185,8 +188,8 @@ impl<'c> DelayCsim<'c> {
     }
 
     fn mark_fanouts_pending(&mut self, id: GateId) {
-        let fanouts: Vec<GateId> = self.circuit.gate(id).fanout().to_vec();
-        for f in fanouts {
+        for i in 0..self.circuit.gate(id).fanout().len() {
+            let f = self.circuit.gate(id).fanout()[i];
             self.mark_pending(f);
         }
     }
@@ -229,8 +232,18 @@ impl<'c> DelayCsim<'c> {
     /// posted — a maturing event must not clobber the projection of a
     /// later event still in flight.
     fn commit_list(&mut self, id: GateId, elements: &[(u32, Logic)]) -> bool {
-        let old: Vec<(u32, Logic)> = self.arena.to_vec(self.heads[id.index()]);
-        if old == elements {
+        // Cursor-walk comparison against the stored run: no allocation on
+        // the (frequent) unchanged path.
+        let mut cur = self.heads[id.index()];
+        let mut unchanged = true;
+        for &(fid, v) in elements {
+            if self.arena.fault(cur) != fid || self.arena.value(cur) != v {
+                unchanged = false;
+                break;
+            }
+            cur += 1;
+        }
+        if unchanged && self.arena.fault(cur) == TERMINAL_FAULT {
             return false;
         }
         self.arena.free_list(self.heads[id.index()]);
@@ -238,7 +251,7 @@ impl<'c> DelayCsim<'c> {
         for &(fid, v) in elements {
             b.push(&mut self.arena, fid, v);
         }
-        self.heads[id.index()] = b.finish();
+        self.heads[id.index()] = b.finish(&mut self.arena);
         true
     }
 
@@ -347,6 +360,13 @@ impl<'c> DelayCsim<'c> {
             self.run_phase2();
             last = t;
         }
+        // Reclaim slots retired by the bump arena; only `heads` holds
+        // element indices here (list events store values, not slots), so a
+        // quiet point is safe.
+        if self.arena.slack() > self.arena.live().max(4096) {
+            let mut arrays = [&mut self.heads[..]];
+            self.arena.compact(&mut arrays);
+        }
         Some(last)
     }
 
@@ -357,10 +377,14 @@ impl<'c> DelayCsim<'c> {
         for &po in self.circuit.outputs() {
             let good = self.good[po.index()];
             let mut cur = self.heads[po.index()];
-            while cur != NIL {
-                let fid = self.arena.fault(cur) as usize;
+            loop {
+                let f = self.arena.fault(cur);
+                if f == TERMINAL_FAULT {
+                    break;
+                }
+                let fid = f as usize;
                 let val = self.arena.value(cur);
-                cur = self.arena.next(cur);
+                cur += 1;
                 if self.descriptors[fid].detected_at.is_none() && val.detectably_differs(good) {
                     self.descriptors[fid].detected_at = Some(self.now);
                     found.push(fid);

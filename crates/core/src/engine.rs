@@ -8,6 +8,16 @@
 //! linear pass. Zero-delay levelized scheduling, event-driven fault
 //! dropping, and the visible/invisible list split are implemented exactly as
 //! §2 of the paper describes.
+//!
+//! The hot loop is arranged around three cache-conscious structures: the
+//! struct-of-arrays [`Arena`] whose lists are contiguous terminal-sealed
+//! runs (cursor advance is `idx + 1` over a dense fault-id stream — no
+//! link array, no dependent pointer chase), the network's CSR adjacency
+//! (fanin/fanout walks read contiguous edge arrays and never allocate),
+//! and the dense per-level [`Scheduler`](crate::sched::Scheduler) bitset
+//! (events drain in ascending node order). After each settled pattern the
+//! engine may run an arena compaction pass ([`Engine::pattern_end`]) once
+//! fault dropping has retired more slots than remain live.
 
 use cfs_faults::transition_value;
 use cfs_logic::Logic;
@@ -15,9 +25,14 @@ use cfs_telemetry::{NullProbe, Phase, Probe};
 
 use crate::list::{Arena, ListBuilder, NIL, TERMINAL_FAULT};
 use crate::network::{LocalEffect, Network, NodeEval, NodeId, NodeKind};
+use crate::sched::Scheduler;
 
 /// A newly detected fault: `(fault id, pattern index)`.
 pub(crate) type Detection = (u32, u32);
+
+/// Minimum number of retired slots before a compaction pass is worth the
+/// rebuild (small arenas never accumulate enough slack to matter).
+const COMPACT_MIN_FREE: usize = 4096;
 
 /// Stashed flip-flop update produced by [`Engine::latch_collect`].
 pub(crate) struct LatchStash {
@@ -57,8 +72,10 @@ pub(crate) struct Engine<P: Probe = NullProbe> {
     /// Previous settled faulty pin value per fault (transition model).
     pub prev_pin: Vec<Logic>,
 
-    buckets: Vec<Vec<NodeId>>,
-    queued: Vec<bool>,
+    /// Dense per-level event worklist.
+    sched: Scheduler,
+    /// Reusable drain buffer for one level's events.
+    drain_buf: Vec<NodeId>,
 
     /// Node activations processed.
     pub events: u64,
@@ -76,11 +93,18 @@ pub(crate) struct Engine<P: Probe = NullProbe> {
     /// bookkeeping; maintained only while `verify` is set).
     touched: Vec<bool>,
 
-    // Reusable scratch buffers for the merge loop.
-    src_scratch: Vec<NodeId>,
+    // Reusable scratch buffers for the merge loop. `cur_faults[k]` caches
+    // `arena.fault(cursors[k])` so the min-scan reads a hot contiguous
+    // array instead of chasing the arena once per cursor per iteration.
     cursors: Vec<u32>,
+    cur_faults: Vec<u32>,
     good_in: Vec<Logic>,
     faulty_in: Vec<Logic>,
+    /// Invisible entries buffered during the merge: the arena's contiguous
+    /// runs allow only one open builder at a time, so the (rare, local-only)
+    /// invisible list is collected here and built after the visible run is
+    /// sealed.
+    inv_buf: Vec<(u32, Logic)>,
 
     /// Instrumentation hooks (zero-sized and inert for [`NullProbe`]).
     pub probe: P,
@@ -93,6 +117,7 @@ impl<P: Probe> Engine<P> {
     pub fn with_probe(net: Network, split: bool, drop_detected: bool, probe: P) -> Self {
         let n = net.num_nodes();
         let num_faults = net.descriptors.len();
+        let levels: Vec<u32> = net.levels().collect();
         let mut eng = Engine {
             arena: Arena::new(),
             good: vec![Logic::X; n],
@@ -102,33 +127,33 @@ impl<P: Probe> Engine<P> {
             drop_detected,
             transition_hold: false,
             prev_pin: vec![Logic::X; num_faults],
-            buckets: vec![Vec::new(); net.max_level as usize + 1],
-            queued: vec![false; n],
+            sched: Scheduler::new(&levels),
+            drain_buf: Vec::new(),
             events: 0,
             good_evals: 0,
             fault_evals: 0,
             pattern_index: 0,
             verify: cfg!(debug_assertions),
             touched: vec![false; n],
-            src_scratch: Vec::new(),
             cursors: Vec::new(),
+            cur_faults: Vec::new(),
             good_in: Vec::new(),
             faulty_in: Vec::new(),
+            inv_buf: Vec::new(),
             probe,
             net,
         };
         // Permanent local elements: every fault starts invisible (value X ==
         // good X) at its site.
         for ni in 0..n as NodeId {
-            let locals: Vec<u32> = eng.net.locals_of(ni).to_vec();
-            if locals.is_empty() {
-                continue;
-            }
             let mut b = ListBuilder::new();
-            for fid in locals {
+            for &fid in eng.net.locals_of(ni) {
                 b.push(&mut eng.arena, fid, Logic::X);
             }
-            let head = b.finish();
+            if b.is_empty() {
+                continue;
+            }
+            let head = b.finish(&mut eng.arena);
             if eng.split {
                 eng.inv_head[ni as usize] = head;
             } else {
@@ -139,7 +164,7 @@ impl<P: Probe> Engine<P> {
         // stuck values may already diverge).
         for ni in 0..n as NodeId {
             if matches!(eng.net.nodes[ni as usize].kind, NodeKind::Eval) {
-                eng.schedule(ni);
+                eng.sched.schedule(ni);
             }
         }
         eng
@@ -147,17 +172,14 @@ impl<P: Probe> Engine<P> {
 
     #[inline]
     fn schedule(&mut self, n: NodeId) {
-        if !self.queued[n as usize] {
-            self.queued[n as usize] = true;
-            let level = self.net.nodes[n as usize].level as usize;
-            self.buckets[level].push(n);
-        }
+        self.sched.schedule(n);
     }
 
+    #[inline]
     fn schedule_fanouts(&mut self, n: NodeId) {
-        let fanouts: Vec<NodeId> = self.net.nodes[n as usize].fanout.clone();
-        for f in fanouts {
-            self.schedule(f);
+        let sched = &mut self.sched;
+        for &f in self.net.fanout_of(n) {
+            sched.schedule(f);
         }
     }
 
@@ -182,36 +204,40 @@ impl<P: Probe> Engine<P> {
             let old_inv = std::mem::replace(&mut self.inv_head[q as usize], NIL);
             self.arena.free_list(old_vis);
             self.arena.free_list(old_inv);
-            let locals: Vec<u32> = self.net.locals_of(q).to_vec();
             let good = self.good[q as usize];
-            let mut vis = ListBuilder::new();
-            let mut inv = ListBuilder::new();
-            for fid in locals {
-                let d = &self.net.descriptors[fid as usize];
-                if self.drop_detected && d.is_detected() {
-                    continue;
-                }
-                let v = match d.effect {
-                    // A stuck Q persists through reset.
-                    LocalEffect::OutputStuck(v) => v,
-                    // A stuck D pin re-latches its value only at the next
-                    // clock; the forced reset overrides it for now. Same
-                    // for transition faults at the D pin.
-                    LocalEffect::PinStuck { .. } | LocalEffect::TransitionPin { .. } => good,
-                    LocalEffect::FaultyLut(_) => {
-                        unreachable!("flip-flops host no functional faults")
+            // Two passes — the visible run must be sealed before the
+            // invisible run opens (one contiguous run at a time).
+            for pass in 0..2 {
+                let want_visible = pass == 0;
+                let mut b = ListBuilder::new();
+                for &fid in self.net.locals_of(q) {
+                    let d = &self.net.descriptors[fid as usize];
+                    if self.drop_detected && d.is_detected() {
+                        continue;
                     }
-                };
-                if v != good {
-                    vis.push(&mut self.arena, fid, v);
-                } else if self.split {
-                    inv.push(&mut self.arena, fid, v);
+                    let v = match d.effect {
+                        // A stuck Q persists through reset.
+                        LocalEffect::OutputStuck(v) => v,
+                        // A stuck D pin re-latches its value only at the next
+                        // clock; the forced reset overrides it for now. Same
+                        // for transition faults at the D pin.
+                        LocalEffect::PinStuck { .. } | LocalEffect::TransitionPin { .. } => good,
+                        LocalEffect::FaultyLut(_) => {
+                            unreachable!("flip-flops host no functional faults")
+                        }
+                    };
+                    let visible = v != good || !self.split;
+                    if visible == want_visible {
+                        b.push(&mut self.arena, fid, v);
+                    }
+                }
+                let head = b.finish(&mut self.arena);
+                if want_visible {
+                    self.vis_head[q as usize] = head;
                 } else {
-                    vis.push(&mut self.arena, fid, v);
+                    self.inv_head[q as usize] = head;
                 }
             }
-            self.vis_head[q as usize] = vis.finish();
-            self.inv_head[q as usize] = inv.finish();
         }
     }
 
@@ -239,28 +265,31 @@ impl<P: Probe> Engine<P> {
         self.arena.free_list(old_vis);
         self.arena.free_list(old_inv);
         let good = self.good[n as usize];
-        let locals: Vec<u32> = self.net.locals_of(n).to_vec();
-        let mut vis = ListBuilder::new();
-        let mut inv = ListBuilder::new();
-        for fid in locals {
-            let d = &self.net.descriptors[fid as usize];
-            if self.drop_detected && d.is_detected() {
-                continue;
+        // Two passes: one contiguous run at a time (see `set_dff_state`).
+        for pass in 0..2 {
+            let want_visible = pass == 0;
+            let mut b = ListBuilder::new();
+            for &fid in self.net.locals_of(n) {
+                let d = &self.net.descriptors[fid as usize];
+                if self.drop_detected && d.is_detected() {
+                    continue;
+                }
+                let v = match d.effect {
+                    LocalEffect::OutputStuck(v) => v,
+                    _ => unreachable!("primary inputs host only output-stuck faults"),
+                };
+                let visible = v != good || !self.split;
+                if visible == want_visible {
+                    b.push(&mut self.arena, fid, v);
+                }
             }
-            let v = match d.effect {
-                LocalEffect::OutputStuck(v) => v,
-                _ => unreachable!("primary inputs host only output-stuck faults"),
-            };
-            if v != good {
-                vis.push(&mut self.arena, fid, v);
-            } else if self.split {
-                inv.push(&mut self.arena, fid, v);
+            let head = b.finish(&mut self.arena);
+            if want_visible {
+                self.vis_head[n as usize] = head;
             } else {
-                vis.push(&mut self.arena, fid, v);
+                self.inv_head[n as usize] = head;
             }
         }
-        self.vis_head[n as usize] = vis.finish();
-        self.inv_head[n as usize] = inv.finish();
     }
 
     /// Settles the network: processes scheduled nodes level by level.
@@ -281,102 +310,193 @@ impl<P: Probe> Engine<P> {
     /// settled value.
     pub fn propagate_with(&mut self, shared: Option<&[Logic]>) {
         self.probe.phase_start(Phase::Propagate);
-        for level in 0..self.buckets.len() {
-            if P::ENABLED && !self.buckets[level].is_empty() {
-                self.probe.queue_depth(self.buckets[level].len() as u64);
+        for level in 0..self.sched.num_levels() {
+            // Evaluating a node only schedules strictly higher levels, so
+            // one drain empties this level for good.
+            if self.sched.pending(level) == 0 {
+                continue;
             }
-            let mut i = 0;
-            while i < self.buckets[level].len() {
-                let n = self.buckets[level][i];
-                i += 1;
-                self.queued[n as usize] = false;
+            if P::ENABLED {
+                self.probe.queue_depth(u64::from(self.sched.pending(level)));
+            }
+            let mut buf = std::mem::take(&mut self.drain_buf);
+            self.sched.drain_level(level, &mut buf);
+            for &n in &buf {
                 self.eval_node(n, shared);
             }
-            self.buckets[level].clear();
+            self.drain_buf = buf;
         }
         self.probe.phase_end(Phase::Propagate);
     }
 
     /// Evaluates one node: good machine plus every faulty machine explicit
     /// on its inputs or local to it, with divergence/convergence.
+    ///
+    /// Dispatches on fanin arity: the common small arities run a fully
+    /// register-resident merge (const-size input/cursor arrays, unrolled
+    /// scans, no bounds checks), wider nodes fall back to the reusable
+    /// scratch vectors. Both paths share [`Engine::merge_node`].
     fn eval_node(&mut self, n: NodeId, shared: Option<&[Logic]>) {
         self.events += 1;
         self.probe.node_activated();
         if self.verify {
             self.touched[n as usize] = true;
         }
-        let eval = self.net.nodes[n as usize].eval;
-        let nsrc = self.net.nodes[n as usize].sources.len();
-        self.src_scratch.clear();
-        self.src_scratch
-            .extend_from_slice(&self.net.nodes[n as usize].sources);
-        self.good_in.clear();
-        for k in 0..nsrc {
-            self.good_in.push(self.good[self.src_scratch[k] as usize]);
+        let (s0, s1) = self.net.src_range(n);
+        match s1 - s0 {
+            1 => self.eval_node_arity::<1>(n, s0, shared),
+            2 => self.eval_node_arity::<2>(n, s0, shared),
+            _ => self.eval_node_wide(n, s0, s1, shared),
         }
+    }
+
+    /// Arity-specialized evaluation: every per-fanin array lives on the
+    /// stack with a compile-time length, so the inlined merge loop unrolls
+    /// its scans and keeps the cursor state in registers.
+    fn eval_node_arity<const N: usize>(&mut self, n: NodeId, s0: usize, shared: Option<&[Logic]>) {
+        let mut good_in = [Logic::X; N];
+        let mut faulty_in = [Logic::X; N];
+        let mut cursors = [NIL; N];
+        let mut cur_faults = [TERMINAL_FAULT; N];
+        for k in 0..N {
+            let src = self.net.src_edges[s0 + k] as usize;
+            good_in[k] = self.good[src];
+            let h = self.vis_head[src];
+            cursors[k] = h;
+            cur_faults[k] = self.arena.fault(h);
+        }
+        self.merge_node(
+            n,
+            shared,
+            &good_in,
+            &mut faulty_in,
+            &mut cursors,
+            &mut cur_faults,
+        );
+    }
+
+    /// Fallback for wide fanins: the same merge over the engine's reusable
+    /// scratch vectors.
+    fn eval_node_wide(&mut self, n: NodeId, s0: usize, s1: usize, shared: Option<&[Logic]>) {
+        let mut good_in = std::mem::take(&mut self.good_in);
+        let mut faulty_in = std::mem::take(&mut self.faulty_in);
+        let mut cursors = std::mem::take(&mut self.cursors);
+        let mut cur_faults = std::mem::take(&mut self.cur_faults);
+        good_in.clear();
+        cursors.clear();
+        cur_faults.clear();
+        for &src in &self.net.src_edges[s0..s1] {
+            good_in.push(self.good[src as usize]);
+            let h = self.vis_head[src as usize];
+            cursors.push(h);
+            cur_faults.push(self.arena.fault(h));
+        }
+        faulty_in.clear();
+        faulty_in.resize(s1 - s0, Logic::X);
+        self.merge_node(
+            n,
+            shared,
+            &good_in,
+            &mut faulty_in,
+            &mut cursors,
+            &mut cur_faults,
+        );
+        self.good_in = good_in;
+        self.faulty_in = faulty_in;
+        self.cursors = cursors;
+        self.cur_faults = cur_faults;
+    }
+
+    /// The multi-list merge of one node evaluation. `cur_faults[k]` must
+    /// cache `arena.fault(cursors[k])`; the min-scan then reads only local
+    /// arrays and the arena is touched exactly once per cursor advance.
+    ///
+    /// `inline(always)` is load-bearing: each [`Engine::eval_node_arity`]
+    /// monomorphization passes const-length slices, and only after inlining
+    /// can LLVM fold those lengths, unroll the scans, and drop the bounds
+    /// checks. A shared out-of-line body would erase the specialization.
+    #[allow(clippy::inline_always)]
+    #[inline(always)]
+    fn merge_node(
+        &mut self,
+        n: NodeId,
+        shared: Option<&[Logic]>,
+        good_in: &[Logic],
+        faulty_in: &mut [Logic],
+        cursors: &mut [u32],
+        cur_faults: &mut [u32],
+    ) {
+        let eval = self.net.nodes[n as usize].eval;
         let old_good = self.good[n as usize];
         let new_good = match shared {
             Some(trace) => trace[n as usize],
             None => {
                 self.good_evals += 1;
                 self.probe.good_eval();
-                eval_fn(&self.net, eval, &self.good_in)
+                eval_fn(&self.net, eval, good_in)
             }
         };
 
-        // Cursors over the fanin lists (visible only in split mode; the
-        // combined list otherwise) plus this node's own lists.
-        self.cursors.clear();
-        for k in 0..nsrc {
-            self.cursors
-                .push(self.vis_head[self.src_scratch[k] as usize]);
-        }
         let mut own_vis = std::mem::replace(&mut self.vis_head[n as usize], NIL);
         let mut own_inv = std::mem::replace(&mut self.inv_head[n as usize], NIL);
+        let mut own_vis_fault = self.arena.fault(own_vis);
+        let mut own_inv_fault = self.arena.fault(own_inv);
         let mut new_vis = ListBuilder::new();
-        let mut new_inv = ListBuilder::new();
+        // Invisible entries are buffered and built only after the visible
+        // run is sealed: two builders appending to one bump arena would
+        // interleave and break run contiguity.
+        let mut inv_buf = std::mem::take(&mut self.inv_buf);
+        inv_buf.clear();
         let mut fault_event = false;
         // Merge-loop telemetry; dead code unless the probe records.
         let mut traversed: u64 = 0;
         let mut visible: u64 = 0;
 
-        self.faulty_in.resize(nsrc, Logic::X);
         loop {
             // The terminal element makes the minimum computation safe with
-            // no end-of-list checks.
-            let mut m = self.arena.fault(own_vis).min(self.arena.fault(own_inv));
-            for k in 0..nsrc {
-                m = m.min(self.arena.fault(self.cursors[k]));
+            // no end-of-list checks; the scan reads only the cached fault
+            // ids, never the arena.
+            let mut m = own_vis_fault.min(own_inv_fault);
+            for &cf in cur_faults.iter() {
+                m = m.min(cf);
             }
             if m == TERMINAL_FAULT {
                 break;
             }
             traversed += 1;
             // Gather machine m's input values: explicit fanin elements where
-            // present, good values elsewhere (Figure 1's rule).
-            for k in 0..nsrc {
-                let c = self.cursors[k];
-                if self.arena.fault(c) == m {
-                    self.faulty_in[k] = self.arena.value(c);
-                    self.cursors[k] = self.arena.next(c);
+            // present, good values elsewhere (Figure 1's rule). Only the
+            // cursors that actually advance touch the arena.
+            let mut any_fanin = false;
+            for k in 0..cursors.len() {
+                if cur_faults[k] == m {
+                    let c = cursors[k];
+                    faulty_in[k] = self.arena.value(c);
+                    // Lists are contiguous runs: the successor is the next
+                    // slot, and its fault id is a sequential (prefetched)
+                    // read rather than a dependent pointer chase.
+                    let nx = c + 1;
+                    cursors[k] = nx;
+                    cur_faults[k] = self.arena.fault(nx);
+                    any_fanin = true;
                 } else {
-                    self.faulty_in[k] = self.good_in[k];
+                    faulty_in[k] = good_in[k];
                 }
             }
             // Consume (and free) this node's own element for m, if any.
             let mut old_faulty = old_good;
             let mut had_own = false;
-            if self.arena.fault(own_vis) == m {
+            if own_vis_fault == m {
                 old_faulty = self.arena.value(own_vis);
-                let nx = self.arena.next(own_vis);
                 self.arena.free(own_vis);
-                own_vis = nx;
+                own_vis += 1;
+                own_vis_fault = self.arena.fault(own_vis);
                 had_own = true;
-            } else if self.arena.fault(own_inv) == m {
+            } else if own_inv_fault == m {
                 old_faulty = self.arena.value(own_inv);
-                let nx = self.arena.next(own_inv);
                 self.arena.free(own_inv);
-                own_inv = nx;
+                own_inv += 1;
+                own_inv_fault = self.arena.fault(own_inv);
                 had_own = true;
             }
             let desc = &self.net.descriptors[m as usize];
@@ -391,11 +511,16 @@ impl<P: Probe> Engine<P> {
             let is_local = desc.site == n;
             let new_val = if is_local {
                 let effect = desc.effect;
-                self.eval_local(eval, effect, m)
-            } else {
+                self.eval_local(eval, effect, m, faulty_in)
+            } else if any_fanin {
                 self.fault_evals += 1;
                 self.probe.fault_evals(1);
-                eval_fn(&self.net, eval, &self.faulty_in)
+                eval_fn(&self.net, eval, faulty_in)
+            } else {
+                // No explicit fanin element and no local effect: machine m
+                // sees exactly the good inputs, so it computes exactly the
+                // good value (a convergence) — no evaluation needed.
+                new_good
             };
             // Divergence / convergence.
             if new_val != new_good {
@@ -404,7 +529,7 @@ impl<P: Probe> Engine<P> {
             } else if is_local {
                 // Local faults keep a permanent (invisible) element.
                 if self.split {
-                    new_inv.push(&mut self.arena, m, new_val);
+                    inv_buf.push((m, new_val));
                 } else {
                     new_vis.push(&mut self.arena, m, new_val);
                 }
@@ -426,8 +551,17 @@ impl<P: Probe> Engine<P> {
             self.probe.elements_traversed(traversed);
             self.probe.elements_visible(visible);
         }
-        self.vis_head[n as usize] = new_vis.finish();
-        self.inv_head[n as usize] = new_inv.finish();
+        // The loop consumed every element of the node's old lists; retire
+        // their terminal slots too so compaction can reclaim the runs.
+        self.arena.retire_terminal(own_vis);
+        self.arena.retire_terminal(own_inv);
+        self.vis_head[n as usize] = new_vis.finish(&mut self.arena);
+        let mut new_inv = ListBuilder::new();
+        for &(m, v) in &inv_buf {
+            new_inv.push(&mut self.arena, m, v);
+        }
+        self.inv_head[n as usize] = new_inv.finish(&mut self.arena);
+        self.inv_buf = inv_buf;
         self.good[n as usize] = new_good;
         if new_good != old_good || fault_event {
             self.schedule_fanouts(n);
@@ -435,24 +569,30 @@ impl<P: Probe> Engine<P> {
     }
 
     /// Evaluates machine `m` at its own fault site, applying the local
-    /// effect from the descriptor.
-    fn eval_local(&mut self, eval: NodeEval, effect: LocalEffect, m: u32) -> Logic {
+    /// effect from the descriptor to the gathered `faulty_in` values.
+    fn eval_local(
+        &mut self,
+        eval: NodeEval,
+        effect: LocalEffect,
+        m: u32,
+        faulty_in: &mut [Logic],
+    ) -> Logic {
         self.fault_evals += 1;
         self.probe.fault_evals(1);
         match effect {
             LocalEffect::OutputStuck(v) => v,
             LocalEffect::PinStuck { pin, value } => {
-                self.faulty_in[pin as usize] = value;
-                eval_fn(&self.net, eval, &self.faulty_in)
+                faulty_in[pin as usize] = value;
+                eval_fn(&self.net, eval, faulty_in)
             }
-            LocalEffect::FaultyLut(idx) => eval_fn(&self.net, NodeEval::Lut(idx), &self.faulty_in),
+            LocalEffect::FaultyLut(idx) => eval_fn(&self.net, NodeEval::Lut(idx), faulty_in),
             LocalEffect::TransitionPin { pin, edge } => {
                 if self.transition_hold {
-                    let cv = self.faulty_in[pin as usize];
+                    let cv = faulty_in[pin as usize];
                     let pv = self.prev_pin[m as usize];
-                    self.faulty_in[pin as usize] = transition_value(edge, pv, cv);
+                    faulty_in[pin as usize] = transition_value(edge, pv, cv);
                 }
-                eval_fn(&self.net, eval, &self.faulty_in)
+                eval_fn(&self.net, eval, faulty_in)
             }
         }
     }
@@ -467,10 +607,13 @@ impl<P: Probe> Engine<P> {
             let p = self.net.po_taps[t];
             let good = self.good[p as usize];
             let mut cur = self.vis_head[p as usize];
-            while cur != NIL {
+            loop {
                 let fid = self.arena.fault(cur);
+                if fid == TERMINAL_FAULT {
+                    break;
+                }
                 let val = self.arena.value(cur);
-                cur = self.arena.next(cur);
+                cur += 1;
                 let desc = &mut self.net.descriptors[fid as usize];
                 if desc.detected_at.is_none() && val.detectably_differs(good) {
                     desc.detected_at = Some(self.pattern_index);
@@ -491,7 +634,7 @@ impl<P: Probe> Engine<P> {
         let mut updates = Vec::with_capacity(self.net.dff_nodes.len());
         for di in 0..self.net.dff_nodes.len() {
             let q = self.net.dff_nodes[di];
-            let d = self.net.nodes[q as usize].sources[0];
+            let d = self.net.sources_of(q)[0];
             let old_good_q = self.good[q as usize];
             let good_d = self.good[d as usize];
             let new_good = good_d;
@@ -581,17 +724,21 @@ impl<P: Probe> Engine<P> {
             let old_inv = std::mem::replace(&mut self.inv_head[q as usize], NIL);
             self.arena.free_list(old_vis);
             self.arena.free_list(old_inv);
+            // Two passes: one contiguous run at a time (see `set_dff_state`).
             let mut vis = ListBuilder::new();
-            let mut inv = ListBuilder::new();
-            for (fid, val, visible) in up.elements {
+            for &(fid, val, visible) in &up.elements {
                 if visible || !self.split {
                     vis.push(&mut self.arena, fid, val);
-                } else {
+                }
+            }
+            self.vis_head[q as usize] = vis.finish(&mut self.arena);
+            let mut inv = ListBuilder::new();
+            for &(fid, val, visible) in &up.elements {
+                if !visible && self.split {
                     inv.push(&mut self.arena, fid, val);
                 }
             }
-            self.vis_head[q as usize] = vis.finish();
-            self.inv_head[q as usize] = inv.finish();
+            self.inv_head[q as usize] = inv.finish(&mut self.arena);
             self.good[q as usize] = up.new_good;
             if up.changed {
                 self.schedule_fanouts(q);
@@ -605,9 +752,10 @@ impl<P: Probe> Engine<P> {
         self.probe.begin_pattern(u64::from(self.pattern_index));
     }
 
-    /// Closes the current pattern's telemetry scope. With a recording probe
-    /// this sweeps every node's fault-list length and samples peak memory;
-    /// with [`NullProbe`] the whole body compiles out.
+    /// Closes the current pattern's telemetry scope and runs the arena
+    /// maintenance pass. With a recording probe this sweeps every node's
+    /// fault-list length and samples peak memory; with [`NullProbe`] that
+    /// block compiles out.
     pub fn pattern_end(&mut self) {
         if P::ENABLED {
             for ni in 0..self.net.num_nodes() {
@@ -619,6 +767,25 @@ impl<P: Probe> Engine<P> {
             self.probe.memory_bytes(bytes);
         }
         self.probe.end_pattern();
+        self.maybe_compact();
+    }
+
+    /// Compacts the arena once retired slots outnumber live elements: the
+    /// bump allocator never reuses a slot in place, so this pass is the
+    /// memory reclamation — surviving runs are re-sealed back to back at
+    /// the start of the arrays. Element indices are only held in the head
+    /// tables between patterns, so the pass is safe here and nowhere
+    /// mid-pattern.
+    fn maybe_compact(&mut self) {
+        let free = self.arena.slack();
+        if free < COMPACT_MIN_FREE || free <= self.arena.live() {
+            return;
+        }
+        let moved = {
+            let mut arrays = [&mut self.vis_head[..], &mut self.inv_head[..]];
+            self.arena.compact(&mut arrays)
+        };
+        self.probe.compaction(moved as u64);
     }
 
     /// One stuck-at clock cycle: apply, settle, detect, latch.
@@ -690,16 +857,19 @@ impl<P: Probe> Engine<P> {
             if d.is_detected() {
                 continue;
             }
-            let site = d.site as usize;
-            let driver = self.net.nodes[site].sources[pin as usize];
+            let driver = self.net.sources_of(d.site)[pin as usize];
             let mut v = self.good[driver as usize];
             let mut cur = self.vis_head[driver as usize];
-            while cur != NIL {
-                if self.arena.fault(cur) == fid {
+            loop {
+                let f = self.arena.fault(cur);
+                if f == fid {
                     v = self.arena.value(cur);
                     break;
                 }
-                cur = self.arena.next(cur);
+                if f == TERMINAL_FAULT {
+                    break;
+                }
+                cur += 1;
             }
             self.prev_pin[fid as usize] = v;
         }
@@ -722,9 +892,11 @@ impl<P: Probe> Engine<P> {
                 let mut last: Option<u32> = None;
                 let mut cur = head;
                 let mut hops = 0usize;
-                while cur != NIL {
+                loop {
                     let fid = self.arena.fault(cur);
-                    assert_ne!(fid, TERMINAL_FAULT, "sentinel only terminates");
+                    if fid == TERMINAL_FAULT {
+                        break;
+                    }
                     if let Some(prev) = last {
                         assert!(fid > prev, "node {ni}: list not strictly ascending");
                     }
@@ -834,27 +1006,26 @@ impl<P: Probe> Engine<P> {
         }
     }
 
-    /// Paper-comparable memory model: peak live elements plus descriptor
-    /// and look-up-table overhead, plus every buffer the engine itself
-    /// owns (value/list-head arrays, per-fault transition state, the level
-    /// buckets, and the merge-loop scratch vectors).
+    /// Paper-comparable memory model: peak live elements (at 5 bytes each
+    /// in the link-free struct-of-arrays layout) plus descriptor overhead
+    /// and the compiled model (node records, CSR adjacency, LUT pool),
+    /// plus every buffer the engine itself owns (value/list-head arrays,
+    /// per-fault transition state, the dense scheduler, and the merge-loop
+    /// scratch vectors). Per-list terminal slots (at most one per node per
+    /// head table) are bounded by the head-table term already counted.
     pub fn memory_bytes(&self) -> usize {
         let model = self.arena.peak() * Arena::ELEMENT_BYTES
             + self.net.descriptors.len() * 24
-            + self.net.lut_bytes
-            + self.net.num_nodes() * 48;
+            + self.net.memory_bytes();
         let values = self.good.capacity() * std::mem::size_of::<Logic>()
             + (self.vis_head.capacity() + self.inv_head.capacity()) * std::mem::size_of::<u32>()
             + self.prev_pin.capacity() * std::mem::size_of::<Logic>();
-        let scheduling = self.queued.capacity() * std::mem::size_of::<bool>()
-            + self
-                .buckets
-                .iter()
-                .map(|b| b.capacity() * std::mem::size_of::<NodeId>())
-                .sum::<usize>();
-        let scratch = self.src_scratch.capacity() * std::mem::size_of::<NodeId>()
-            + self.cursors.capacity() * std::mem::size_of::<u32>()
-            + (self.good_in.capacity() + self.faulty_in.capacity()) * std::mem::size_of::<Logic>();
+        let scheduling =
+            self.sched.memory_bytes() + self.drain_buf.capacity() * std::mem::size_of::<NodeId>();
+        let scratch = (self.cursors.capacity() + self.cur_faults.capacity())
+            * std::mem::size_of::<u32>()
+            + (self.good_in.capacity() + self.faulty_in.capacity()) * std::mem::size_of::<Logic>()
+            + self.inv_buf.capacity() * std::mem::size_of::<(u32, Logic)>();
         model + values + scheduling + scratch
     }
 }
@@ -966,5 +1137,25 @@ mod tests {
         // Identical pattern: almost no new work.
         eng.step_stuck(&parse_pattern("11").unwrap());
         assert!(eng.events - e1 <= 2, "quiescent step stays quiet");
+    }
+
+    #[test]
+    fn forced_compaction_preserves_engine_state() {
+        let (_, mut eng) = two_gate_engine(true);
+        eng.step_stuck(&parse_pattern("10").unwrap());
+        let before_live = eng.arena.live();
+        let statuses_before: Vec<_> = eng.net.descriptors.iter().map(|d| d.detected_at).collect();
+        let moved = {
+            let mut arrays = [&mut eng.vis_head[..], &mut eng.inv_head[..]];
+            eng.arena.compact(&mut arrays)
+        };
+        assert_eq!(moved, before_live);
+        assert_eq!(eng.arena.slack(), 0);
+        eng.assert_invariants();
+        // Simulation continues correctly on the compacted arena.
+        eng.step_stuck(&parse_pattern("01").unwrap());
+        eng.assert_invariants();
+        let statuses_after: Vec<_> = eng.net.descriptors.iter().map(|d| d.detected_at).collect();
+        assert_eq!(statuses_before, statuses_after);
     }
 }

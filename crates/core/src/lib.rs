@@ -42,6 +42,7 @@ mod engine;
 mod list;
 mod network;
 mod parallel;
+mod sched;
 mod stuck;
 mod transition;
 

@@ -1,13 +1,28 @@
 //! The paper's Figure 2 data structure: per-gate fault lists with the
 //! simplicity of deductive simulation.
 //!
-//! Each list element is just *(fault identifier, local state, next)*; all
+//! Each list element is just *(fault identifier, local state)*; all
 //! information central to a fault lives in its descriptor, and every list is
-//! terminated by a shared **terminal element** whose fault identifier "lies
-//! in high end memory location to avoid checking end of list during fault
-//! list processing". Elements live in a vector-backed arena with explicit
-//! `u32` links and a free list — the idiomatic Rust rendering of the
-//! paper's pointer-linked lists.
+//! terminated by a **terminal element** whose fault identifier "lies in high
+//! end memory location to avoid checking end of list during fault list
+//! processing".
+//!
+//! The arena stores elements **struct-of-arrays**: two parallel vectors
+//! (`faults`, `values`) indexed by the same `u32` slot. There is no link
+//! array at all, because every list is a **contiguous run**: allocation is a
+//! bump pointer, a [`ListBuilder`] appends its elements to consecutive
+//! slots, and [`ListBuilder::finish`] seals the run with an in-place
+//! terminal element. Advancing a cursor is therefore `idx + 1` — a
+//! sequential, prefetch-friendly read of the fault-id stream instead of a
+//! dependent pointer chase — and the end-of-list test folds into the fault
+//! comparison the merge loop performs anyway.
+//!
+//! [`Arena::free`] merely retires a slot; [`Arena::compact`] reclaims
+//! retired slots by rebuilding the arrays in list order, re-sealing each
+//! surviving run. The simulation engines call `compact` between patterns
+//! once retired slots outnumber live elements, which bounds the arrays at
+//! roughly twice the live size while keeping the hot path free of allocator
+//! bookkeeping.
 
 use cfs_logic::Logic;
 
@@ -16,98 +31,171 @@ use cfs_logic::Logic;
 /// "imaginary fault descriptor" is never dropped.
 pub const TERMINAL_FAULT: u32 = u32::MAX;
 
-/// Arena index of the shared terminal element.
+/// Arena index of the shared terminal element (the head of every empty
+/// list). Slot 0 is permanently sealed, so walking an empty list ends
+/// immediately.
 pub const NIL: u32 = 0;
 
 /// One fault element: the local state of one faulty machine at one gate.
+///
+/// The arena stores the two fields in separate arrays; this struct is the
+/// assembled *view* of one slot (see [`Arena::element`]). There is no
+/// `next` field — the successor of slot `i` is slot `i + 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultElement {
     /// Fault identifier (index into the descriptor table), or
-    /// [`TERMINAL_FAULT`] for the sentinel.
+    /// [`TERMINAL_FAULT`] for a terminal.
     pub fault: u32,
     /// The faulty machine's output value at this gate.
     pub value: Logic,
-    /// Arena index of the next element ([`NIL`] terminates).
-    pub next: u32,
 }
 
-/// Vector-backed arena of fault elements with a free list.
+/// Struct-of-arrays bump arena of fault elements stored as contiguous,
+/// terminal-sealed runs, with copying compaction.
 ///
-/// Index 0 is permanently the shared terminal element; every list head of an
-/// empty list is [`NIL`].
+/// Index 0 is permanently a terminal element; every head of an empty list
+/// is [`NIL`].
 #[derive(Debug, Clone)]
 pub struct Arena {
-    elems: Vec<FaultElement>,
-    free: Vec<u32>,
+    /// Fault id per slot (the merge loop's hot stream).
+    faults: Vec<u32>,
+    /// Local faulty-machine value per slot.
+    values: Vec<Logic>,
     live: usize,
     peak: usize,
+    /// Retired slots (freed elements plus the terminals of freed runs)
+    /// awaiting compaction.
+    dead: usize,
+    /// Ping-pong buffers for [`compact`](Self::compact): reused across
+    /// passes so steady-state compaction allocates nothing.
+    spare_faults: Vec<u32>,
+    spare_values: Vec<Logic>,
+    /// Debug-build slot state: `true` while a slot is allocated. Catches
+    /// double frees and frees of never-allocated slots.
+    #[cfg(debug_assertions)]
+    slot_live: Vec<bool>,
 }
 
 impl Arena {
-    /// Creates an arena containing only the terminal element.
+    /// Creates an arena containing only the permanent terminal slot.
     pub fn new() -> Self {
         Arena {
-            elems: vec![FaultElement {
-                fault: TERMINAL_FAULT,
-                value: Logic::X,
-                next: NIL,
-            }],
-            free: Vec::new(),
+            faults: vec![TERMINAL_FAULT],
+            values: vec![Logic::X],
             live: 0,
             peak: 0,
+            dead: 0,
+            spare_faults: Vec::new(),
+            spare_values: Vec::new(),
+            #[cfg(debug_assertions)]
+            slot_live: vec![true], // the sentinel is always live
         }
     }
 
-    /// Allocates an element, reusing freed slots when possible.
+    /// Allocates an element at the bump tail: two sequential array pushes,
+    /// no free-list traffic. Retired slots are reclaimed only by
+    /// [`Arena::compact`].
     #[inline]
-    pub fn alloc(&mut self, fault: u32, value: Logic, next: u32) -> u32 {
+    pub fn alloc(&mut self, fault: u32, value: Logic) -> u32 {
         self.live += 1;
         self.peak = self.peak.max(self.live);
-        let e = FaultElement { fault, value, next };
-        if let Some(idx) = self.free.pop() {
-            self.elems[idx as usize] = e;
-            idx
-        } else {
-            let idx = self.elems.len() as u32;
-            self.elems.push(e);
-            idx
-        }
+        let idx = self.faults.len() as u32;
+        self.faults.push(fault);
+        self.values.push(value);
+        #[cfg(debug_assertions)]
+        self.slot_live.push(true);
+        idx
     }
 
-    /// Returns an element to the free list.
+    /// Seals the run under construction with an in-place terminal element.
+    /// Terminal slots are storage, not live elements: they do not count
+    /// toward [`live`](Self::live) or [`peak`](Self::peak).
+    #[inline]
+    pub fn seal(&mut self) {
+        self.faults.push(TERMINAL_FAULT);
+        self.values.push(Logic::X);
+        #[cfg(debug_assertions)]
+        self.slot_live.push(true);
+    }
+
+    /// Retires an element. The slot's storage is reclaimed by the next
+    /// [`Arena::compact`] pass; until then it is dead weight counted by
+    /// [`Arena::slack`].
     ///
     /// # Panics
     ///
-    /// Debug-panics when freeing the terminal element.
+    /// Debug-panics when freeing the terminal element or a slot that is not
+    /// currently allocated (double free).
     #[inline]
     pub fn free(&mut self, idx: u32) {
         debug_assert_ne!(idx, NIL, "the terminal element is never freed");
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                self.slot_live[idx as usize],
+                "double free of arena slot {idx}"
+            );
+            self.slot_live[idx as usize] = false;
+        }
         self.live -= 1;
-        self.free.push(idx);
+        self.dead += 1;
+    }
+
+    /// Retires the terminal slot of a fully consumed run. `idx` must point
+    /// at a terminal element (where a cursor lands after consuming every
+    /// element of its run); [`NIL`] — an empty run — is a no-op.
+    #[inline]
+    pub fn retire_terminal(&mut self, idx: u32) {
+        if idx == NIL {
+            return;
+        }
+        debug_assert_eq!(
+            self.faults[idx as usize], TERMINAL_FAULT,
+            "retire_terminal must point at a sealed terminal"
+        );
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                self.slot_live[idx as usize],
+                "double free of terminal slot {idx}"
+            );
+            self.slot_live[idx as usize] = false;
+        }
+        self.dead += 1;
     }
 
     /// The fault id of an element (terminal ⇒ [`TERMINAL_FAULT`]).
     #[inline]
     pub fn fault(&self, idx: u32) -> u32 {
-        self.elems[idx as usize].fault
+        self.faults[idx as usize]
     }
 
     /// The stored value of an element.
     #[inline]
     pub fn value(&self, idx: u32) -> Logic {
-        self.elems[idx as usize].value
+        self.values[idx as usize]
     }
 
-    /// The next link of an element.
+    /// The successor of an element: lists are contiguous runs, so this is
+    /// a plain increment — no link load, no dependent pointer chase. Only
+    /// valid on non-terminal elements (cursors stop at the terminal's
+    /// [`TERMINAL_FAULT`] before ever stepping past it).
     #[inline]
     pub fn next(&self, idx: u32) -> u32 {
-        self.elems[idx as usize].next
+        debug_assert_ne!(
+            self.faults[idx as usize], TERMINAL_FAULT,
+            "cursors stop at the terminal"
+        );
+        idx + 1
     }
 
-    /// Rewrites the next link of an element.
+    /// Assembles one slot into a [`FaultElement`] view.
     #[inline]
-    pub fn set_next(&mut self, idx: u32, next: u32) {
-        self.elems[idx as usize].next = next;
+    pub fn element(&self, idx: u32) -> FaultElement {
+        FaultElement {
+            fault: self.fault(idx),
+            value: self.value(idx),
+        }
     }
 
     /// Number of live (allocated, unfreed) elements.
@@ -123,8 +211,20 @@ impl Arena {
         self.peak
     }
 
-    /// Bytes modeled per element (fault id + value + link, padded).
-    pub const ELEMENT_BYTES: usize = std::mem::size_of::<FaultElement>();
+    /// Number of retired (dead) slots awaiting compaction. Together with
+    /// [`live`](Self::live) this tells the engine when a compaction pass
+    /// pays for itself.
+    #[inline]
+    pub fn slack(&self) -> usize {
+        self.dead
+    }
+
+    /// Bytes modeled per element in the struct-of-arrays layout: a `u32`
+    /// fault id and a one-byte value — no link field (runs are contiguous)
+    /// and no padding (the two fields live in separate arrays). Each
+    /// non-empty list additionally holds one terminal slot of the same
+    /// size.
+    pub const ELEMENT_BYTES: usize = std::mem::size_of::<u32>() + std::mem::size_of::<Logic>();
 
     /// Iterates a list's `(fault, value)` pairs (excluding the terminal).
     pub fn iter_list(&self, head: u32) -> ListIter<'_> {
@@ -144,17 +244,79 @@ impl Arena {
         self.iter_list(head).count()
     }
 
-    /// Frees an entire list, returning its length.
+    /// Retires an entire run — every element plus its terminal slot —
+    /// returning the number of elements (excluding the terminal).
     pub fn free_list(&mut self, head: u32) -> usize {
+        if head == NIL {
+            return 0;
+        }
         let mut cur = head;
         let mut n = 0;
-        while cur != NIL {
-            let next = self.next(cur);
+        while self.faults[cur as usize] != TERMINAL_FAULT {
             self.free(cur);
-            cur = next;
+            cur += 1;
             n += 1;
         }
+        self.retire_terminal(cur);
         n
+    }
+
+    /// Compacts the arena: rebuilds the two arrays by walking every list in
+    /// `head_arrays` slot order, so each surviving run is re-sealed
+    /// contiguously and every retired slot is reclaimed. All list heads are
+    /// rewritten in place; any element index held outside `head_arrays` is
+    /// invalidated.
+    ///
+    /// `head_arrays` is a set of parallel head tables (e.g. the engine's
+    /// visible and invisible heads); tables are interleaved per node index
+    /// so a node's lists from *all* tables end up adjacent.
+    ///
+    /// Returns the number of elements moved (excluding terminals).
+    pub fn compact(&mut self, head_arrays: &mut [&mut [u32]]) -> usize {
+        let nodes = head_arrays.first().map_or(0, |h| h.len());
+        debug_assert!(
+            head_arrays.iter().all(|h| h.len() == nodes),
+            "head tables must be parallel"
+        );
+        let mut faults = std::mem::take(&mut self.spare_faults);
+        let mut values = std::mem::take(&mut self.spare_values);
+        faults.clear();
+        values.clear();
+        faults.reserve(self.live + 1);
+        values.reserve(self.live + 1);
+        faults.push(TERMINAL_FAULT);
+        values.push(Logic::X);
+        let mut moved = 0usize;
+        for i in 0..nodes {
+            for heads in head_arrays.iter_mut() {
+                let mut cur = heads[i] as usize;
+                if cur == NIL as usize {
+                    continue;
+                }
+                heads[i] = faults.len() as u32;
+                while self.faults[cur] != TERMINAL_FAULT {
+                    faults.push(self.faults[cur]);
+                    values.push(self.values[cur]);
+                    cur += 1;
+                    moved += 1;
+                }
+                faults.push(TERMINAL_FAULT);
+                values.push(Logic::X);
+            }
+        }
+        debug_assert_eq!(
+            moved, self.live,
+            "every live element must be reachable from a head table"
+        );
+        self.spare_faults = std::mem::replace(&mut self.faults, faults);
+        self.spare_values = std::mem::replace(&mut self.values, values);
+        self.dead = 0;
+        #[cfg(debug_assertions)]
+        {
+            self.slot_live.clear();
+            self.slot_live.resize(self.faults.len(), true);
+        }
+        moved
     }
 }
 
@@ -175,19 +337,24 @@ impl Iterator for ListIter<'_> {
     type Item = (u32, Logic);
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.cur == NIL {
+        let fault = self.arena.fault(self.cur);
+        if fault == TERMINAL_FAULT {
             return None;
         }
-        let item = (self.arena.fault(self.cur), self.arena.value(self.cur));
-        self.cur = self.arena.next(self.cur);
+        let item = (fault, self.arena.value(self.cur));
+        self.cur += 1;
         Some(item)
     }
 }
 
-/// An append-only builder producing a sorted list during the merge pass.
+/// An append-only builder producing a sorted contiguous run during the
+/// merge pass.
 ///
-/// Elements must be appended in strictly ascending fault-id order; the
-/// resulting list is terminated by the shared sentinel.
+/// Elements must be appended in strictly ascending fault-id order, and the
+/// builder must be the **only** allocator on its arena between the first
+/// `push` and `finish` — interleaved allocation would break run contiguity
+/// (debug builds catch it). [`ListBuilder::finish`] seals the run with its
+/// terminal element.
 #[derive(Debug)]
 pub struct ListBuilder {
     head: u32,
@@ -216,17 +383,26 @@ impl ListBuilder {
             }
             self.last_fault = Some(fault);
         }
-        let idx = arena.alloc(fault, value, NIL);
-        if self.tail == NIL {
+        let idx = arena.alloc(fault, value);
+        if self.head == NIL {
             self.head = idx;
         } else {
-            arena.set_next(self.tail, idx);
+            debug_assert_eq!(
+                idx,
+                self.tail + 1,
+                "interleaved arena allocation breaks run contiguity"
+            );
         }
         self.tail = idx;
     }
 
-    /// Finishes the list, returning its head.
-    pub fn finish(self) -> u32 {
+    /// Finishes the list: seals the run with its terminal element and
+    /// returns the head ([`NIL`] if nothing was appended — empty lists
+    /// share the permanent slot-0 terminal and occupy no storage).
+    pub fn finish(self, arena: &mut Arena) -> u32 {
+        if self.head != NIL {
+            arena.seal();
+        }
         self.head
     }
 
@@ -250,7 +426,6 @@ mod tests {
     fn terminal_element_is_pre_allocated() {
         let a = Arena::new();
         assert_eq!(a.fault(NIL), TERMINAL_FAULT);
-        assert_eq!(a.next(NIL), NIL);
         assert_eq!(a.live(), 0);
     }
 
@@ -262,11 +437,11 @@ mod tests {
         let mut b = ListBuilder::new();
         b.push(&mut a, 4, Logic::One); // fault E
         b.push(&mut a, 6, Logic::Zero); // fault G
-        let head = b.finish();
+        let head = b.finish(&mut a);
         assert_eq!(a.to_vec(head), vec![(4, Logic::One), (6, Logic::Zero)]);
         assert_eq!(a.list_len(head), 2);
         // The merge loop's termination condition needs no length check:
-        // following links always reaches TERMINAL_FAULT.
+        // walking the run always reaches TERMINAL_FAULT.
         let mut cur = head;
         let mut hops = 0;
         while a.fault(cur) != TERMINAL_FAULT {
@@ -277,32 +452,83 @@ mod tests {
     }
 
     #[test]
-    fn free_list_recycles_slots() {
+    fn lists_are_contiguous_runs() {
         let mut a = Arena::new();
-        let i1 = a.alloc(1, Logic::Zero, NIL);
-        let i2 = a.alloc(2, Logic::One, NIL);
+        let mut b = ListBuilder::new();
+        for f in 0..3 {
+            b.push(&mut a, f, Logic::One);
+        }
+        let head = b.finish(&mut a);
+        // Elements occupy consecutive slots immediately after the sentinel,
+        // followed by this run's own terminal.
+        assert_eq!(head, 1);
+        for k in 0..3u32 {
+            assert_eq!(a.fault(head + k), k);
+        }
+        assert_eq!(a.fault(head + 3), TERMINAL_FAULT);
+        // A second list starts right after the first run's terminal.
+        let mut b2 = ListBuilder::new();
+        b2.push(&mut a, 9, Logic::Zero);
+        let head2 = b2.finish(&mut a);
+        assert_eq!(head2, head + 4);
+    }
+
+    #[test]
+    fn element_view_assembles_slot() {
+        let mut a = Arena::new();
+        let i = a.alloc(7, Logic::One);
+        assert_eq!(
+            a.element(i),
+            FaultElement {
+                fault: 7,
+                value: Logic::One,
+            }
+        );
+    }
+
+    #[test]
+    fn freed_slots_become_slack_until_compaction() {
+        let mut a = Arena::new();
+        let i1 = a.alloc(1, Logic::Zero);
+        let i2 = a.alloc(2, Logic::One);
         assert_eq!(a.live(), 2);
         a.free(i1);
-        let i3 = a.alloc(3, Logic::X, NIL);
-        assert_eq!(i3, i1, "slot recycled");
+        assert_eq!(a.slack(), 1);
+        // Bump allocation never reuses a retired slot directly…
+        let i3 = a.alloc(3, Logic::X);
+        assert_ne!(i3, i1, "bump allocator does not recycle in place");
         assert_eq!(a.live(), 2);
         assert_eq!(a.peak(), 2);
         a.free(i2);
         a.free(i3);
         assert_eq!(a.live(), 0);
+        assert_eq!(a.slack(), 3, "…the slots wait for compaction");
         assert_eq!(a.peak(), 2, "peak persists");
     }
 
     #[test]
-    fn free_list_frees_whole_chain() {
+    fn free_list_retires_whole_run() {
         let mut a = Arena::new();
         let mut b = ListBuilder::new();
         for f in 0..5 {
             b.push(&mut a, f, Logic::One);
         }
-        let head = b.finish();
+        let head = b.finish(&mut a);
         assert_eq!(a.free_list(head), 5);
         assert_eq!(a.live(), 0);
+        // Five elements plus the run's terminal slot become slack.
+        assert_eq!(a.slack(), 6);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_caught_in_debug_builds() {
+        let mut a = Arena::new();
+        let i = a.alloc(1, Logic::One);
+        let _ = a.alloc(2, Logic::Zero); // keep `live` > 0 after both frees
+        a.free(i);
+        a.free(i);
     }
 
     #[test]
@@ -316,11 +542,79 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "contiguity")]
+    fn interleaved_builders_are_caught_in_debug_builds() {
+        let mut a = Arena::new();
+        let mut b1 = ListBuilder::new();
+        let mut b2 = ListBuilder::new();
+        b1.push(&mut a, 1, Logic::One);
+        b2.push(&mut a, 2, Logic::One);
+        b1.push(&mut a, 3, Logic::One); // breaks b1's run
+    }
+
+    #[test]
     fn empty_list_iterates_nothing() {
-        let a = Arena::new();
+        let mut a = Arena::new();
         assert_eq!(a.to_vec(NIL), vec![]);
         let b = ListBuilder::new();
         assert!(b.is_empty());
-        assert_eq!(b.finish(), NIL);
+        assert_eq!(b.finish(&mut a), NIL);
+    }
+
+    #[test]
+    fn element_bytes_reflect_soa_layout() {
+        // 4 (fault id) + 1 (value): no link field, no padding across arrays.
+        assert_eq!(Arena::ELEMENT_BYTES, 5);
+    }
+
+    #[test]
+    fn compaction_preserves_lists_and_defragments() {
+        // Build three lists, punch holes by dropping one of them, then
+        // compact and check contents survive and the arrays shrink to
+        // live+terminals+sentinel.
+        let mut a = Arena::new();
+        let mut heads = [NIL; 3];
+        for (n, head) in heads.iter_mut().enumerate() {
+            let mut b = ListBuilder::new();
+            for f in 0..4u32 {
+                b.push(&mut a, 10 * n as u32 + f, Logic::from_bool(f % 2 == 0));
+            }
+            *head = b.finish(&mut a);
+        }
+        let expected0 = a.to_vec(heads[0]);
+        let expected2 = a.to_vec(heads[2]);
+        a.free_list(heads[1]);
+        heads[1] = NIL;
+        assert_eq!(a.slack(), 5, "four elements plus the run's terminal");
+        let moved = {
+            let (h0, rest) = heads.split_at_mut(1);
+            let (h1, h2) = rest.split_at_mut(1);
+            let mut arrays = [&mut h0[..], &mut h1[..], &mut h2[..]];
+            a.compact(&mut arrays)
+        };
+        assert_eq!(moved, 8);
+        assert_eq!(a.slack(), 0);
+        assert_eq!(a.live(), 8);
+        assert_eq!(a.to_vec(heads[0]), expected0);
+        assert_eq!(a.to_vec(heads[1]), vec![]);
+        assert_eq!(a.to_vec(heads[2]), expected2);
+        // Runs are laid out back to back after the pass: list 0 right after
+        // the sentinel, list 2 right after list 0's terminal.
+        assert_eq!(heads[0], 1);
+        assert_eq!(heads[2], heads[0] + 5);
+        // Allocation after compaction bumps straight past the live runs
+        // (8 elements + 2 terminals + sentinel).
+        let fresh = a.alloc(99, Logic::One);
+        assert_eq!(fresh, 11);
+        // A second compaction reuses the ping-pong buffers and still
+        // produces a dense arena.
+        let (h0, rest) = heads.split_at_mut(1);
+        let (h1, h2) = rest.split_at_mut(1);
+        let mut arrays = [&mut h0[..], &mut h1[..], &mut h2[..]];
+        a.free(fresh); // drop the dangling element so every slot is reachable
+        let moved = a.compact(&mut arrays);
+        assert_eq!(moved, 8);
+        assert_eq!(a.slack(), 0);
     }
 }

@@ -1,5 +1,14 @@
 //! The simulation network: the circuit (optionally macro-collapsed) plus the
 //! fault descriptors, compiled into a flat node array for the engine.
+//!
+//! Adjacency is stored in **compressed sparse row** form: one shared edge
+//! array per direction (`src_edges`, `fan_edges`) with per-node offset
+//! tables, instead of a `Vec<NodeId>` inside every node. The propagation
+//! loop walks fanin and fanout for every event, so keeping the edges in two
+//! dense arrays means those walks stream through contiguous memory — and
+//! hands the engine plain slices it can borrow without cloning. Fanout
+//! edges are sorted (and deduplicated) per node, so events are injected
+//! into the scheduler in ascending node order.
 
 use std::collections::HashMap;
 
@@ -77,15 +86,11 @@ impl Descriptor {
     }
 }
 
-/// One compiled node.
+/// One compiled node. Adjacency lives in the [`Network`]'s CSR arrays.
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub kind: NodeKind,
     pub eval: NodeEval,
-    /// Fanin nodes, in pin order (for a DFF: the single D driver).
-    pub sources: Vec<NodeId>,
-    /// Combinational consumers (evaluation nodes only).
-    pub fanout: Vec<NodeId>,
     /// Evaluation level (0 for sources).
     pub level: u32,
     /// Faults sited at this node (ascending fault ids) — slice into
@@ -97,6 +102,16 @@ pub(crate) struct Node {
 #[derive(Debug, Clone)]
 pub(crate) struct Network {
     pub nodes: Vec<Node>,
+    /// CSR offsets into [`src_edges`](Self::src_edges); length `nodes + 1`.
+    pub src_offsets: Vec<u32>,
+    /// Fanin nodes of every node, concatenated in pin order (for a DFF: the
+    /// single D driver).
+    pub src_edges: Vec<NodeId>,
+    /// CSR offsets into [`fan_edges`](Self::fan_edges); length `nodes + 1`.
+    pub fan_offsets: Vec<u32>,
+    /// Combinational consumers of every node, concatenated; sorted and
+    /// deduplicated per node.
+    pub fan_edges: Vec<NodeId>,
     pub pi_nodes: Vec<NodeId>,
     pub dff_nodes: Vec<NodeId>,
     /// Primary-output taps (node ids, tap order preserved).
@@ -105,7 +120,6 @@ pub(crate) struct Network {
     pub descriptors: Vec<Descriptor>,
     /// Fault ids grouped by site node (see [`Node::locals`]).
     pub locals: Vec<u32>,
-    pub max_level: u32,
     /// Bytes of LUT storage (memory model).
     pub lut_bytes: usize,
 }
@@ -118,6 +132,30 @@ impl Network {
         &self.locals[r.start as usize..r.end as usize]
     }
 
+    /// Fanin nodes of `node`, in pin order.
+    #[inline]
+    pub fn sources_of(&self, node: NodeId) -> &[NodeId] {
+        let (a, b) = self.src_range(node);
+        &self.src_edges[a..b]
+    }
+
+    /// Combinational consumers of `node`.
+    #[inline]
+    pub fn fanout_of(&self, node: NodeId) -> &[NodeId] {
+        let i = node as usize;
+        &self.fan_edges[self.fan_offsets[i] as usize..self.fan_offsets[i + 1] as usize]
+    }
+
+    /// Index range of `node`'s fanin within [`src_edges`](Self::src_edges).
+    #[inline]
+    pub fn src_range(&self, node: NodeId) -> (usize, usize) {
+        let i = node as usize;
+        (
+            self.src_offsets[i] as usize,
+            self.src_offsets[i + 1] as usize,
+        )
+    }
+
     #[inline]
     pub fn lut(&self, idx: u32) -> &Lut3 {
         &self.lut_pool[idx as usize]
@@ -126,14 +164,47 @@ impl Network {
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Bytes of compiled-model storage: node records, CSR adjacency,
+    /// locals grouping, and the LUT pool.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + (self.src_offsets.len() + self.fan_offsets.len()) * std::mem::size_of::<u32>()
+            + (self.src_edges.len() + self.fan_edges.len()) * std::mem::size_of::<NodeId>()
+            + self.locals.len() * std::mem::size_of::<u32>()
+            + self.lut_bytes
+    }
+
+    /// Per-node level table (scheduler construction).
+    pub fn levels(&self) -> impl Iterator<Item = u32> + '_ {
+        self.nodes.iter().map(|n| n.level)
+    }
+}
+
+/// Flattens per-node adjacency vectors into a CSR (offsets, edges) pair.
+/// When `sort` is set, each node's edge list is sorted and deduplicated.
+fn flatten_adjacency(per_node: Vec<Vec<NodeId>>, sort: bool) -> (Vec<u32>, Vec<NodeId>) {
+    let mut offsets = Vec::with_capacity(per_node.len() + 1);
+    let mut edges = Vec::with_capacity(per_node.iter().map(Vec::len).sum());
+    offsets.push(0);
+    for mut list in per_node {
+        if sort {
+            list.sort_unstable();
+            list.dedup();
+        }
+        edges.extend_from_slice(&list);
+        offsets.push(edges.len() as u32);
+    }
+    (offsets, edges)
 }
 
 /// Compiles a gate-level network (no macros): one node per circuit node.
 pub(crate) fn build_gate_network(circuit: &Circuit, faults: &[FaultSpec]) -> Network {
     let n = circuit.num_nodes();
     let mut nodes: Vec<Node> = Vec::with_capacity(n);
+    let mut src_tmp: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    let mut fan_tmp: Vec<Vec<NodeId>> = Vec::with_capacity(n);
     for (i, gate) in circuit.gates().iter().enumerate() {
-        let _ = i;
         let (kind, eval, sources) = match gate.kind() {
             GateKind::Input => (NodeKind::Input(0), NodeEval::None, Vec::new()),
             GateKind::Dff => (
@@ -153,11 +224,11 @@ pub(crate) fn build_gate_network(circuit: &Circuit, faults: &[FaultSpec]) -> Net
             .filter(|&&g| circuit.gate(g).kind().is_comb())
             .map(|&g| g.index() as NodeId)
             .collect();
+        src_tmp.push(sources);
+        fan_tmp.push(fanout);
         nodes.push(Node {
             kind,
             eval,
-            sources,
-            fanout,
             level: circuit.level(GateId::from_index(i)),
             locals: 0..0,
         });
@@ -181,9 +252,14 @@ pub(crate) fn build_gate_network(circuit: &Circuit, faults: &[FaultSpec]) -> Net
         .map(|&g| g.index() as NodeId)
         .collect();
 
+    let (src_offsets, src_edges) = flatten_adjacency(src_tmp, false);
+    let (fan_offsets, fan_edges) = flatten_adjacency(fan_tmp, true);
     let mut net = Network {
-        max_level: circuit.max_level(),
         nodes,
+        src_offsets,
+        src_edges,
+        fan_offsets,
+        fan_edges,
         pi_nodes,
         dff_nodes,
         po_taps,
@@ -216,8 +292,6 @@ pub(crate) fn build_macro_network(
         nodes.push(Node {
             kind: NodeKind::Input(k as u32),
             eval: NodeEval::None,
-            sources: Vec::new(),
-            fanout: Vec::new(),
             level: 0,
             locals: 0..0,
         });
@@ -228,8 +302,6 @@ pub(crate) fn build_macro_network(
         nodes.push(Node {
             kind: NodeKind::Dff,
             eval: NodeEval::None,
-            sources: Vec::new(), // driver patched below
-            fanout: Vec::new(),
             level: 0,
             locals: 0..0,
         });
@@ -251,14 +323,14 @@ pub(crate) fn build_macro_network(
         nodes.push(Node {
             kind: NodeKind::Eval,
             eval: NodeEval::Lut(lut_idx),
-            sources: Vec::new(), // patched below (needs all cell nodes placed)
-            fanout: Vec::new(),
-            level: 0,
+            level: 0, // patched below (needs all cell nodes placed)
             locals: 0..0,
         });
     }
-    // Patch sources, fanouts, levels.
-    let mut max_level = 0;
+    // Resolve sources, fanouts, levels; adjacency collects in temporaries
+    // and flattens to CSR once every edge is known.
+    let mut src_tmp: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
+    let mut fan_tmp: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.len()];
     for ci in macros.topo_order() {
         let cell = &macros.cells()[ci];
         let me = cell_node[ci];
@@ -273,17 +345,16 @@ pub(crate) fn build_macro_network(
             .max()
             .unwrap_or(0);
         nodes[me as usize].level = level;
-        max_level = max_level.max(level);
         for &s in &sources {
-            nodes[s as usize].fanout.push(me);
+            fan_tmp[s as usize].push(me);
         }
-        nodes[me as usize].sources = sources;
+        src_tmp[me as usize] = sources;
     }
     for (k, &q) in circuit.dffs().iter().enumerate() {
         let d = circuit.gate(q).fanin()[0];
         let driver = node_of_gate[d.index()].expect("D driver is a source or a cell root");
         let me = dff_nodes[k];
-        nodes[me as usize].sources = vec![driver];
+        src_tmp[me as usize] = vec![driver];
     }
     let po_taps = circuit
         .outputs()
@@ -291,15 +362,20 @@ pub(crate) fn build_macro_network(
         .map(|&g| node_of_gate[g.index()].expect("PO taps are sources or roots"))
         .collect();
 
+    let (src_offsets, src_edges) = flatten_adjacency(src_tmp, false);
+    let (fan_offsets, fan_edges) = flatten_adjacency(fan_tmp, true);
     let mut net = Network {
         nodes,
+        src_offsets,
+        src_edges,
+        fan_offsets,
+        fan_edges,
         pi_nodes,
         dff_nodes,
         po_taps,
         lut_pool,
         descriptors: Vec::new(),
         locals: Vec::new(),
-        max_level,
         lut_bytes: 0,
     };
     // Fault mapping: sources map directly; combinational sites become

@@ -1,0 +1,209 @@
+//! Dense levelized event scheduler.
+//!
+//! The engine's event queue used to be a `Vec<Vec<NodeId>>` of per-level
+//! buckets plus a `queued: Vec<bool>` membership table — every event pushed
+//! into a heap-allocated bucket, and drain order depended on insertion
+//! order. This scheduler replaces both with one bitset over the nodes
+//! sorted by *(level, id)*: scheduling a node sets one bit, draining a
+//! level scans that level's word range with `trailing_zeros`, and events
+//! always come out in ascending node id within the level. Zero-delay
+//! levelized propagation makes within-level order irrelevant for results
+//! (fanouts sit at strictly higher levels), so the dense drain keeps
+//! statuses, detections, and event counts bit-identical while touching a
+//! fraction of the memory the buckets did.
+
+use crate::network::NodeId;
+
+/// A word-packed per-level worklist over the compiled network's nodes.
+#[derive(Debug, Clone)]
+pub(crate) struct Scheduler {
+    /// Slot range of each level within [`level_nodes`](Self::level_nodes);
+    /// length `levels + 1`.
+    level_offsets: Vec<u32>,
+    /// Node ids sorted by *(level, id)*; the bitset indexes this array.
+    level_nodes: Vec<NodeId>,
+    /// Bitset slot of each node (inverse of `level_nodes`).
+    slot_of: Vec<u32>,
+    /// Level of each node (copied out of the node table so scheduling
+    /// never touches it).
+    level_of: Vec<u32>,
+    /// The bitset: one bit per slot, pending when set.
+    words: Vec<u64>,
+    /// Number of pending bits per level.
+    pending: Vec<u32>,
+}
+
+impl Scheduler {
+    /// Builds the scheduler for a network given every node's level.
+    pub fn new(levels: &[u32]) -> Self {
+        let max_level = levels.iter().copied().max().unwrap_or(0) as usize;
+        let mut counts = vec![0u32; max_level + 1];
+        for &l in levels {
+            counts[l as usize] += 1;
+        }
+        let mut level_offsets = Vec::with_capacity(max_level + 2);
+        level_offsets.push(0u32);
+        for &c in &counts {
+            level_offsets.push(level_offsets.last().unwrap() + c);
+        }
+        // Counting sort by level; ascending node id within each level falls
+        // out of the forward scan.
+        let mut cursor: Vec<u32> = level_offsets[..=max_level].to_vec();
+        let mut level_nodes = vec![0 as NodeId; levels.len()];
+        let mut slot_of = vec![0u32; levels.len()];
+        for (n, &l) in levels.iter().enumerate() {
+            let slot = cursor[l as usize];
+            cursor[l as usize] += 1;
+            level_nodes[slot as usize] = n as NodeId;
+            slot_of[n] = slot;
+        }
+        let words = vec![0u64; levels.len().div_ceil(64)];
+        Scheduler {
+            level_offsets,
+            level_nodes,
+            slot_of,
+            level_of: levels.to_vec(),
+            words,
+            pending: vec![0; max_level + 1],
+        }
+    }
+
+    /// Number of levels (including level 0).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Pending event count at `level`.
+    #[inline]
+    pub fn pending(&self, level: usize) -> u32 {
+        self.pending[level]
+    }
+
+    /// Marks `node` pending (idempotent).
+    #[inline]
+    pub fn schedule(&mut self, node: NodeId) {
+        let slot = self.slot_of[node as usize] as usize;
+        let mask = 1u64 << (slot % 64);
+        let word = &mut self.words[slot / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            self.pending[self.level_of[node as usize] as usize] += 1;
+        }
+    }
+
+    /// Drains every pending node of `level` into `buf` in ascending node-id
+    /// order, clearing their bits.
+    pub fn drain_level(&mut self, level: usize, buf: &mut Vec<NodeId>) {
+        buf.clear();
+        if self.pending[level] == 0 {
+            return;
+        }
+        let lo = self.level_offsets[level] as usize;
+        let hi = self.level_offsets[level + 1] as usize;
+        let mut w = lo / 64;
+        let w_end = hi.div_ceil(64);
+        while w < w_end {
+            let base = w * 64;
+            // Mask the word down to the slots belonging to this level.
+            let mut mask = u64::MAX;
+            if lo > base {
+                mask &= u64::MAX << (lo - base);
+            }
+            if hi < base + 64 {
+                mask &= u64::MAX >> (base + 64 - hi);
+            }
+            let mut take = self.words[w] & mask;
+            if take != 0 {
+                self.words[w] &= !take;
+                while take != 0 {
+                    let bit = take.trailing_zeros() as usize;
+                    take &= take - 1;
+                    buf.push(self.level_nodes[base + bit]);
+                }
+            }
+            w += 1;
+        }
+        self.pending[level] -= buf.len() as u32;
+        debug_assert_eq!(self.pending[level], 0, "one drain empties the level");
+    }
+
+    /// Bytes of scheduler storage (memory model).
+    pub fn memory_bytes(&self) -> usize {
+        (self.level_offsets.len() + self.slot_of.len() + self.level_of.len() + self.pending.len())
+            * std::mem::size_of::<u32>()
+            + self.level_nodes.len() * std::mem::size_of::<NodeId>()
+            + self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_ascending_node_order_per_level() {
+        // Levels: node 0..6 -> [1, 0, 1, 2, 0, 1, 2]
+        let levels = [1, 0, 1, 2, 0, 1, 2];
+        let mut s = Scheduler::new(&levels);
+        assert_eq!(s.num_levels(), 3);
+        for n in [6, 5, 3, 0, 4, 2] {
+            s.schedule(n);
+        }
+        // Idempotent: re-scheduling does not inflate pending.
+        s.schedule(5);
+        assert_eq!(s.pending(0), 1);
+        assert_eq!(s.pending(1), 3);
+        assert_eq!(s.pending(2), 2);
+        let mut buf = Vec::new();
+        s.drain_level(0, &mut buf);
+        assert_eq!(buf, vec![4]);
+        s.drain_level(1, &mut buf);
+        assert_eq!(buf, vec![0, 2, 5]);
+        s.drain_level(2, &mut buf);
+        assert_eq!(buf, vec![3, 6]);
+        assert_eq!(s.pending(0) + s.pending(1) + s.pending(2), 0);
+    }
+
+    #[test]
+    fn drain_of_empty_level_clears_buf() {
+        let mut s = Scheduler::new(&[0, 0, 1]);
+        let mut buf = vec![99];
+        s.drain_level(1, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_do_not_leak_between_levels() {
+        // 100 nodes at level 0, 100 at level 1: the level boundary falls
+        // mid-word (slot 100 = word 1, bit 36).
+        let mut levels = vec![0u32; 100];
+        levels.extend(std::iter::repeat_n(1u32, 100));
+        let mut s = Scheduler::new(&levels);
+        for n in 0..200u32 {
+            s.schedule(n);
+        }
+        let mut buf = Vec::new();
+        s.drain_level(0, &mut buf);
+        assert_eq!(buf.len(), 100);
+        assert!(buf.iter().all(|&n| n < 100));
+        assert_eq!(s.pending(1), 100);
+        s.drain_level(1, &mut buf);
+        assert_eq!(buf.len(), 100);
+        assert!(buf.iter().all(|&n| n >= 100));
+        assert!(buf.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rescheduling_after_drain_works() {
+        let mut s = Scheduler::new(&[0, 1, 1]);
+        let mut buf = Vec::new();
+        s.schedule(1);
+        s.drain_level(1, &mut buf);
+        assert_eq!(buf, vec![1]);
+        s.schedule(2);
+        s.schedule(1);
+        s.drain_level(1, &mut buf);
+        assert_eq!(buf, vec![1, 2]);
+    }
+}

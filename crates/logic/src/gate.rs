@@ -101,6 +101,7 @@ impl GateFn {
     /// let out = GateFn::Nand.eval(&[Logic::Zero, Logic::X]);
     /// assert_eq!(out, Logic::One);
     /// ```
+    #[inline]
     pub fn eval(self, inputs: &[Logic]) -> Logic {
         assert!(!inputs.is_empty(), "gate evaluated with no inputs");
         match self {

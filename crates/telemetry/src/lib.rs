@@ -34,7 +34,7 @@ mod snapshot;
 mod timing;
 
 pub use hist::Log2Histogram;
-pub use json::JsonValue;
+pub use json::{write_json_f64, write_json_string, JsonValue};
 pub use metrics::{PatternCounters, PatternRecord, SimMetrics};
 pub use probe::{NullProbe, Probe};
 pub use sink::{render_histogram, render_phase_table, render_summary_table, JsonlWriter};

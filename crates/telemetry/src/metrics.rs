@@ -87,6 +87,8 @@ pub struct SimMetrics {
     phase_started: [Option<Instant>; Phase::COUNT],
     peak_memory: u64,
     patterns_done: u64,
+    compactions: u64,
+    compacted_elements: u64,
 }
 
 impl Default for SimMetrics {
@@ -103,6 +105,8 @@ impl Default for SimMetrics {
             phase_started: [None; Phase::COUNT],
             peak_memory: 0,
             patterns_done: 0,
+            compactions: 0,
+            compacted_elements: 0,
         }
     }
 }
@@ -133,6 +137,11 @@ impl SimMetrics {
         self.peak_memory
     }
 
+    /// Arena compaction passes observed over the whole run.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
     /// Collapses everything recorded so far into aggregate headline metrics.
     pub fn snapshot(&self, simulator: &str, circuit: &str) -> MetricsSnapshot {
         let t = &self.totals;
@@ -159,6 +168,8 @@ impl SimMetrics {
             },
             events_per_pattern: t.activations as f64 / patterns,
             queue_depth_peak: t.queue_peak,
+            compactions: self.compactions,
+            compacted_elements: self.compacted_elements,
             peak_memory_bytes: self.peak_memory,
             cpu_seconds: self.phases.total().as_secs_f64(),
             phases: self.phases,
@@ -239,6 +250,11 @@ impl Probe for SimMetrics {
 
     fn memory_bytes(&mut self, bytes: u64) {
         self.peak_memory = self.peak_memory.max(bytes);
+    }
+
+    fn compaction(&mut self, elements_moved: u64) {
+        self.compactions += 1;
+        self.compacted_elements += elements_moved;
     }
 
     fn phase_start(&mut self, phase: Phase) {

@@ -89,6 +89,11 @@ pub trait Probe {
     #[inline]
     fn memory_bytes(&mut self, _bytes: u64) {}
 
+    /// An arena compaction pass ran, relocating `elements_moved` live
+    /// elements (end-of-pattern maintenance; run-level, not per-pattern).
+    #[inline]
+    fn compaction(&mut self, _elements_moved: u64) {}
+
     /// A timed phase begins.
     #[inline]
     fn phase_start(&mut self, _phase: Phase) {}

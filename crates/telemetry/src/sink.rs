@@ -72,6 +72,8 @@ impl<W: Write> JsonlWriter<W> {
         push_f64(&mut line, "visible_fraction", s.visible_fraction);
         push_f64(&mut line, "events_per_pattern", s.events_per_pattern);
         push_u64(&mut line, "queue_depth_peak", s.queue_depth_peak);
+        push_u64(&mut line, "compactions", s.compactions);
+        push_u64(&mut line, "compacted_elements", s.compacted_elements);
         push_u64(&mut line, "peak_memory_bytes", s.peak_memory_bytes);
         push_f64(&mut line, "cpu_seconds", s.cpu_seconds);
         line.push_str(",\"phases\":{");

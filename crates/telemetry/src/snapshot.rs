@@ -47,6 +47,10 @@ pub struct MetricsSnapshot {
     pub events_per_pattern: f64,
     /// Peak event-queue depth at any level.
     pub queue_depth_peak: u64,
+    /// Arena compaction passes run (end-of-pattern maintenance).
+    pub compactions: u64,
+    /// Live elements relocated by compaction passes.
+    pub compacted_elements: u64,
     /// Peak engine memory in bytes.
     pub peak_memory_bytes: u64,
     /// Total measured CPU seconds (phase sum, or the caller's wall time).
@@ -142,6 +146,8 @@ impl MetricsSnapshot {
             self.events as f64 / self.patterns as f64
         };
         self.queue_depth_peak = self.queue_depth_peak.max(other.queue_depth_peak);
+        self.compactions += other.compactions;
+        self.compacted_elements += other.compacted_elements;
         self.peak_memory_bytes += other.peak_memory_bytes;
         self.cpu_seconds = self.cpu_seconds.max(other.cpu_seconds);
         self.phases.merge(&other.phases);

@@ -58,15 +58,16 @@ fn figure1() {
     );
 }
 
-/// Figure 2: each list element is (fault id, local state, next), lists end
-/// at the terminal element so no end-of-list checks are needed.
+/// Figure 2: each list element is (fault id, local state); lists are
+/// contiguous runs ending at a terminal element so no end-of-list checks
+/// are needed.
 fn figure2() {
     println!("— Figure 2: the fault list data structure —");
     let mut arena = Arena::new();
     let mut list = ListBuilder::new();
     list.push(&mut arena, 4, Logic::One); // "fault E: input 2 of gate e stuck at 0"
     list.push(&mut arena, 6, Logic::Zero); // "fault G: output of gate g stuck at 0"
-    let head = list.finish();
+    let head = list.finish(&mut arena);
     print!("  gate list:");
     for (fault, value) in arena.iter_list(head) {
         print!(" [fault {fault}, value {value}]");

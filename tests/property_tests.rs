@@ -99,7 +99,8 @@ proptest! {
         }
     }
 
-    /// Arena lists preserve their contents and the free list recycles.
+    /// Arena lists preserve their contents; retired runs become slack that
+    /// compaction reclaims.
     #[test]
     fn arena_list_round_trip(
         entries in prop::collection::vec((0u32..1000, arb_logic()), 0..40),
@@ -112,23 +113,30 @@ proptest! {
         for &(f, v) in &sorted {
             b.push(&mut arena, f, v);
         }
-        let head = b.finish();
+        let head = b.finish(&mut arena);
         prop_assert_eq!(arena.to_vec(head), sorted.clone());
         prop_assert_eq!(arena.live(), sorted.len());
         let freed = arena.free_list(head);
         prop_assert_eq!(freed, sorted.len());
         prop_assert_eq!(arena.live(), 0);
-        // Recycling: a fresh list reuses the freed slots.
+        // Bump allocation: a fresh list appends past the retired run, and a
+        // compaction pass reclaims the slack.
         let mut b = ListBuilder::new();
         for &(f, v) in &sorted {
             b.push(&mut arena, f, v);
         }
-        let head2 = b.finish();
-        let _ = head2;
+        let head2 = b.finish(&mut arena);
+        prop_assert_eq!(arena.to_vec(head2), sorted.clone());
         prop_assert_eq!(arena.peak(), sorted.len().max(arena.live()));
         if sorted.is_empty() {
             prop_assert_eq!(head2, NIL);
         }
+        let mut heads = [head2];
+        let mut arrays = [&mut heads[..]];
+        let moved = arena.compact(&mut arrays);
+        prop_assert_eq!(moved, sorted.len());
+        prop_assert_eq!(arena.slack(), 0);
+        prop_assert_eq!(arena.to_vec(heads[0]), sorted);
     }
 }
 
