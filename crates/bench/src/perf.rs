@@ -15,11 +15,22 @@
 //! `--bench-baseline FILE` embeds a previously recorded run and computes
 //! wall-time speedups against it, which is how a perf PR records a real
 //! before/after trajectory.
+//!
+//! Every stuck-at and transition cell has a `-pruned` twin that runs the
+//! statically pruned universe (`cfs_check::prune_stuck_at` /
+//! `prune_transition`) and records both the simulated and the full
+//! uncollapsed fault count, so the trajectory captures how much work the
+//! static analyses remove. Pruned cells report full-universe detection
+//! counts (after expansion), making them comparable to an `--uncollapsed`
+//! run.
 
 use std::time::Instant;
 
+use cfs_check::{analyze_circuit, prune_stuck_at, prune_transition};
 use cfs_core::{ConcurrentSim, CsimVariant, ParallelSim, ShardPlan, TransitionSim};
-use cfs_faults::{collapse_stuck_at, enumerate_transition};
+use cfs_faults::{
+    collapse_stuck_at, enumerate_transition, FaultStatus, PrunedUniverse, StuckAt, TransitionFault,
+};
 use cfs_logic::Logic;
 use cfs_netlist::Circuit;
 use cfs_telemetry::{write_json_f64, write_json_string, JsonValue, MetricsSnapshot, Phase};
@@ -70,8 +81,11 @@ pub struct PerfRun {
     pub threads: usize,
     /// Patterns simulated.
     pub patterns: usize,
-    /// Faults in the universe.
+    /// Faults actually simulated.
     pub faults: usize,
+    /// Full uncollapsed universe behind a `-pruned` cell (`0` for plain
+    /// cells, which simulate classically collapsed representatives).
+    pub faults_full: usize,
     /// Minimum wall time over the configured repeats, in seconds.
     pub wall_seconds: f64,
     /// Node activations (deterministic work measure).
@@ -201,6 +215,96 @@ fn run_stuck(
         threads,
         patterns: patterns.len(),
         faults: faults.len(),
+        faults_full: 0,
+        wall_seconds: wall,
+        events,
+        events_per_pattern: events as f64 / patterns.len().max(1) as f64,
+        detected,
+        peak_elements,
+        peak_arena_bytes,
+        memory_bytes,
+        phase_seconds: phases,
+    }
+}
+
+/// Detections in the full universe after expanding a pruned run's statuses.
+fn expanded_detected<F: Copy>(pruned: &PrunedUniverse<F>, statuses: &[FaultStatus]) -> usize {
+    pruned
+        .expand_statuses(statuses)
+        .iter()
+        .filter(|s| matches!(s, FaultStatus::Detected { .. }))
+        .count()
+}
+
+/// The `-pruned` twin of [`run_stuck`]: simulates only the statically
+/// surviving exact-class representatives and reports full-universe
+/// detection counts.
+fn run_stuck_pruned(
+    circuit: &Circuit,
+    pruned: &PrunedUniverse<StuckAt>,
+    variant: CsimVariant,
+    threads: usize,
+    patterns: &[Vec<Logic>],
+    repeats: usize,
+) -> PerfRun {
+    let faults = &pruned.sim;
+    let mut wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut detected = 0usize;
+    let mut peak_elements = 0usize;
+    let mut peak_arena_bytes = 0usize;
+    let mut memory_bytes = 0usize;
+    for _ in 0..repeats.max(1) {
+        if threads == 1 {
+            let mut sim = ConcurrentSim::new(circuit, faults, variant.options());
+            let start = Instant::now();
+            let report = sim.run(patterns);
+            wall = wall.min(start.elapsed().as_secs_f64());
+            events = sim.events();
+            detected = expanded_detected(pruned, &report.statuses);
+            peak_elements = sim.peak_elements();
+            peak_arena_bytes = peak_elements * cfs_core::Arena::ELEMENT_BYTES;
+            memory_bytes = sim.memory_bytes();
+        } else {
+            let mut sim = ParallelSim::new(
+                circuit,
+                faults,
+                variant.options(),
+                threads,
+                ShardPlan::RoundRobin,
+            );
+            let start = Instant::now();
+            let report = sim.run(patterns);
+            wall = wall.min(start.elapsed().as_secs_f64());
+            events = sim.events();
+            detected = expanded_detected(pruned, &report.statuses);
+            peak_elements = 0;
+            peak_arena_bytes = 0;
+            memory_bytes = sim.memory_bytes();
+        }
+    }
+    let phases = if threads == 1 {
+        let mut sim = ConcurrentSim::instrumented(circuit, faults, variant.options());
+        sim.run(patterns);
+        phase_seconds(&sim.snapshot())
+    } else {
+        let mut sim = ParallelSim::instrumented(
+            circuit,
+            faults,
+            variant.options(),
+            threads,
+            ShardPlan::RoundRobin,
+        );
+        sim.run(patterns);
+        phase_seconds(&sim.snapshot())
+    };
+    PerfRun {
+        circuit: circuit.name().to_owned(),
+        variant: format!("{}-pruned", variant.name()),
+        threads,
+        patterns: patterns.len(),
+        faults: faults.len(),
+        faults_full: pruned.stats.full,
         wall_seconds: wall,
         events,
         events_per_pattern: events as f64 / patterns.len().max(1) as f64,
@@ -239,6 +343,51 @@ fn run_transition(circuit: &Circuit, patterns: &[Vec<Logic>], repeats: usize) ->
         threads: 1,
         patterns: patterns.len(),
         faults: faults.len(),
+        faults_full: 0,
+        wall_seconds: wall,
+        events,
+        events_per_pattern: events as f64 / patterns.len().max(1) as f64,
+        detected,
+        peak_elements,
+        peak_arena_bytes: peak_elements * cfs_core::Arena::ELEMENT_BYTES,
+        memory_bytes,
+        phase_seconds: phases,
+    }
+}
+
+/// The `-pruned` twin of [`run_transition`].
+fn run_transition_pruned(
+    circuit: &Circuit,
+    pruned: &PrunedUniverse<TransitionFault>,
+    patterns: &[Vec<Logic>],
+    repeats: usize,
+) -> PerfRun {
+    let faults = &pruned.sim;
+    let mut wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut detected = 0usize;
+    let mut peak_elements = 0usize;
+    let mut memory_bytes = 0usize;
+    for _ in 0..repeats.max(1) {
+        let mut sim = TransitionSim::new(circuit, faults, Default::default());
+        let start = Instant::now();
+        let report = sim.run(patterns);
+        wall = wall.min(start.elapsed().as_secs_f64());
+        events = sim.events();
+        detected = expanded_detected(pruned, &report.statuses);
+        peak_elements = sim.peak_elements();
+        memory_bytes = sim.memory_bytes();
+    }
+    let mut sim = TransitionSim::instrumented(circuit, faults, Default::default());
+    sim.run(patterns);
+    let phases = phase_seconds(&sim.snapshot());
+    PerfRun {
+        circuit: circuit.name().to_owned(),
+        variant: "csim-T-pruned".to_owned(),
+        threads: 1,
+        patterns: patterns.len(),
+        faults: faults.len(),
+        faults_full: pruned.stats.full,
         wall_seconds: wall,
         events,
         events_per_pattern: events as f64 / patterns.len().max(1) as f64,
@@ -251,12 +400,16 @@ fn run_transition(circuit: &Circuit, patterns: &[Vec<Logic>], repeats: usize) ->
 }
 
 /// Runs the whole harness: every circuit × the four stuck-at variants ×
-/// every thread count, plus one serial `csim-T` row per circuit.
+/// every thread count (each with its `-pruned` twin), plus one serial
+/// `csim-T` row and its twin per circuit.
 pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
     let mut runs = Vec::new();
     for name in &config.circuits {
         let circuit = perf_circuit(name);
         let patterns = random_patterns(&circuit, config.patterns, config.seed);
+        let analysis = analyze_circuit(&circuit);
+        let stuck = prune_stuck_at(&circuit, &analysis);
+        let transition = prune_transition(&circuit, &analysis);
         for variant in CsimVariant::ALL {
             for &threads in &config.threads {
                 runs.push(run_stuck(
@@ -266,9 +419,23 @@ pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
                     &patterns,
                     config.repeats,
                 ));
+                runs.push(run_stuck_pruned(
+                    &circuit,
+                    &stuck,
+                    variant,
+                    threads,
+                    &patterns,
+                    config.repeats,
+                ));
             }
         }
         runs.push(run_transition(&circuit, &patterns, config.repeats));
+        runs.push(run_transition_pruned(
+            &circuit,
+            &transition,
+            &patterns,
+            config.repeats,
+        ));
     }
     runs
 }
@@ -280,8 +447,8 @@ fn write_run(out: &mut String, run: &PerfRun) {
     out.push_str(", \"variant\": ");
     write_json_string(out, &run.variant);
     out.push_str(&format!(
-        ", \"threads\": {}, \"patterns\": {}, \"faults\": {}",
-        run.threads, run.patterns, run.faults
+        ", \"threads\": {}, \"patterns\": {}, \"faults\": {}, \"faults_full\": {}",
+        run.threads, run.patterns, run.faults, run.faults_full
     ));
     out.push_str(", \"wall_seconds\": ");
     write_json_f64(out, run.wall_seconds);
@@ -426,6 +593,11 @@ pub fn parse_bench_json(input: &str) -> Result<Vec<PerfRun>, String> {
                 threads: num_field(v, "threads")? as usize,
                 patterns: num_field(v, "patterns")? as usize,
                 faults: num_field(v, "faults")? as usize,
+                // Absent in documents written before static pruning.
+                faults_full: v
+                    .get("faults_full")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0) as usize,
                 wall_seconds: num_field(v, "wall_seconds")?,
                 events: num_field(v, "events")? as u64,
                 events_per_pattern: num_field(v, "events_per_pattern")?,
@@ -464,10 +636,18 @@ pub fn check_against(runs: &[PerfRun], baseline: &[PerfRun]) -> Vec<String> {
                 base.detected, run.detected
             ));
         }
-        if run.patterns != base.patterns || run.faults != base.faults {
+        if run.patterns != base.patterns
+            || run.faults != base.faults
+            || run.faults_full != base.faults_full
+        {
             drifts.push(format!(
-                "{key}: workload drifted (patterns {} -> {}, faults {} -> {})",
-                base.patterns, run.patterns, base.faults, run.faults
+                "{key}: workload drifted (patterns {} -> {}, faults {} -> {}, full {} -> {})",
+                base.patterns,
+                run.patterns,
+                base.faults,
+                run.faults,
+                base.faults_full,
+                run.faults_full
             ));
         }
     }
@@ -492,8 +672,8 @@ mod tests {
     fn harness_round_trips_through_json() {
         let config = tiny_config();
         let runs = run_perf(&config);
-        // 4 stuck-at variants × 1 thread count + csim-T.
-        assert_eq!(runs.len(), 5);
+        // (4 stuck-at variants × 1 thread count + csim-T) × {plain, pruned}.
+        assert_eq!(runs.len(), 10);
         let json = render_bench_json(&config, &runs, None);
         let parsed = parse_bench_json(&json).expect("own output parses");
         assert_eq!(parsed.len(), runs.len());
@@ -501,8 +681,60 @@ mod tests {
             assert_eq!(a.key(), b.key());
             assert_eq!(a.events, b.events);
             assert_eq!(a.detected, b.detected);
+            assert_eq!(a.faults_full, b.faults_full);
         }
         assert!(check_against(&parsed, &runs).is_empty(), "self-check clean");
+    }
+
+    #[test]
+    fn pruned_twins_shrink_the_simulated_universe() {
+        let runs = run_perf(&tiny_config());
+        let pruned: Vec<_> = runs
+            .iter()
+            .filter(|r| r.variant.ends_with("-pruned"))
+            .collect();
+        assert_eq!(pruned.len(), 5);
+        for r in &pruned {
+            assert!(
+                r.faults_full > 0,
+                "{}: twin records the full universe",
+                r.key()
+            );
+            assert!(r.faults <= r.faults_full, "{}: sim beyond full", r.key());
+            // Stuck-at twins always shrink strictly: exact collapsing alone
+            // merges equivalent faults. Transition faults have no collapse,
+            // so their twin only shrinks when the analyses prune something
+            // (nothing on s27).
+            if !r.variant.starts_with("csim-T") {
+                assert!(
+                    r.faults < r.faults_full,
+                    "{}: simulated {} should be below full {}",
+                    r.key(),
+                    r.faults,
+                    r.faults_full
+                );
+            }
+        }
+        // A pruned stuck-at cell reports full-universe detections: compare
+        // against its plain twin expanded through classical equivalence
+        // (both count the same detected fault classes on s27, where the
+        // analyses prune nothing and collapses agree).
+        let plain = runs.iter().find(|r| r.variant == "csim-MV").unwrap();
+        let twin = runs.iter().find(|r| r.variant == "csim-MV-pruned").unwrap();
+        assert!(twin.detected >= plain.detected);
+    }
+
+    #[test]
+    fn documents_without_faults_full_still_parse() {
+        let json = r#"{"schema": "cfs-bench/1", "runs": [
+            {"circuit": "s27", "variant": "csim", "threads": 1, "patterns": 8,
+             "faults": 32, "wall_seconds": 0.1, "events": 100,
+             "events_per_pattern": 12.5, "detected": 20, "peak_elements": 5,
+             "peak_arena_bytes": 80, "memory_bytes": 1000,
+             "phase_seconds": {}}]}"#;
+        let runs = parse_bench_json(json).expect("legacy document parses");
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].faults_full, 0);
     }
 
     #[test]

@@ -42,11 +42,26 @@ pub enum RuleCode {
     /// `P001` — a shard plan that is not an exact cover of the fault list
     /// or violates the balance bound.
     NonExactCoverShardPlan,
+    /// `N007` — a net proven constant by three-valued constant propagation
+    /// run to a sequential fixpoint (info: legal, but its logic is dead).
+    ConstantNet,
+    /// `N008` — a net that can never settle to one of its binary values
+    /// (or to any binary value at all) from the all-`X` initial state
+    /// under binary primary inputs (info).
+    NeverBinaryNet,
+    /// `F002` — a fault statically proven undetectable: its excitation
+    /// value never appears on the faulted net, or no primary output is
+    /// reachable from its gate (info; `fsim sim --prune` drops it).
+    StaticallyUntestableFault,
+    /// `F003` — the structural `N004` reachability pass and the
+    /// fault-universe observability analysis disagree about a node. This
+    /// is an internal checker inconsistency, never a user error.
+    ObservabilityMismatch,
 }
 
 impl RuleCode {
     /// Every rule code, in display order.
-    pub const ALL: [RuleCode; 12] = [
+    pub const ALL: [RuleCode; 16] = [
         RuleCode::SyntaxError,
         RuleCode::UnknownGate,
         RuleCode::BadArity,
@@ -56,7 +71,11 @@ impl RuleCode {
         RuleCode::UnreachableGate,
         RuleCode::MultiplyDrivenNet,
         RuleCode::MissingIo,
+        RuleCode::ConstantNet,
+        RuleCode::NeverBinaryNet,
         RuleCode::UncollapsibleFault,
+        RuleCode::StaticallyUntestableFault,
+        RuleCode::ObservabilityMismatch,
         RuleCode::IllegalMacroRegion,
         RuleCode::NonExactCoverShardPlan,
     ];
@@ -73,7 +92,11 @@ impl RuleCode {
             RuleCode::UnreachableGate => "N004",
             RuleCode::MultiplyDrivenNet => "N005",
             RuleCode::MissingIo => "N006",
+            RuleCode::ConstantNet => "N007",
+            RuleCode::NeverBinaryNet => "N008",
             RuleCode::UncollapsibleFault => "F001",
+            RuleCode::StaticallyUntestableFault => "F002",
+            RuleCode::ObservabilityMismatch => "F003",
             RuleCode::IllegalMacroRegion => "M001",
             RuleCode::NonExactCoverShardPlan => "P001",
         }
@@ -91,7 +114,11 @@ impl RuleCode {
             RuleCode::UnreachableGate => "unreachable-gate",
             RuleCode::MultiplyDrivenNet => "multiply-driven-net",
             RuleCode::MissingIo => "missing-io",
+            RuleCode::ConstantNet => "constant-net",
+            RuleCode::NeverBinaryNet => "never-binary-net",
             RuleCode::UncollapsibleFault => "uncollapsible-fault",
+            RuleCode::StaticallyUntestableFault => "statically-untestable-fault",
+            RuleCode::ObservabilityMismatch => "observability-mismatch",
             RuleCode::IllegalMacroRegion => "illegal-macro-region",
             RuleCode::NonExactCoverShardPlan => "non-exact-cover-shard-plan",
         }
@@ -102,6 +129,9 @@ impl RuleCode {
     pub fn default_severity(self) -> Severity {
         match self {
             RuleCode::DanglingFanout | RuleCode::UnreachableGate => Severity::Warning,
+            RuleCode::ConstantNet
+            | RuleCode::NeverBinaryNet
+            | RuleCode::StaticallyUntestableFault => Severity::Info,
             _ => Severity::Error,
         }
     }

@@ -18,6 +18,10 @@
 //! * [`check_collapse`] / [`check_macro_cells`] / [`check_shard_partition`]
 //!   — the individual fault-model rules, taking plain data so tests can
 //!   feed corrupted structures.
+//! * [`analyze_circuit`] + [`prune_stuck_at`] / [`prune_transition`] — the
+//!   fault-universe analyses (constant propagation, observability, SCOAP),
+//!   which prove faults undetectable *before* the first pattern and hand
+//!   the simulators a provably equivalent reduced fault set.
 //!
 //! | Code | Rule | Severity |
 //! |------|------|----------|
@@ -30,17 +34,26 @@
 //! | N004 | unreachable-gate | warning |
 //! | N005 | multiply-driven-net | error |
 //! | N006 | missing-io | error |
+//! | N007 | constant-net | info |
+//! | N008 | never-binary-net | info |
 //! | F001 | uncollapsible-fault | error |
+//! | F002 | statically-untestable-fault | info |
+//! | F003 | observability-mismatch | error |
 //! | M001 | illegal-macro-region | error |
 //! | P001 | non-exact-cover-shard-plan | error |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod diag;
 mod model_check;
 mod netlist_check;
 
+pub use analyze::{
+    analysis_findings, analyze_circuit, analyze_circuit_with, observable_nodes, prune_stuck_at,
+    prune_transition, stuck_weights, transition_weights, AnalysisOptions, CircuitAnalysis,
+};
 pub use diag::{Diagnostic, Report, RuleCode, Severity, Span};
 pub use model_check::{
     check_collapse, check_macro_cells, check_macros, check_models, check_shard_partition,

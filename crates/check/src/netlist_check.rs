@@ -12,6 +12,7 @@ use std::collections::{HashMap, HashSet};
 use cfs_logic::GateFn;
 use cfs_netlist::parse_bench_with_provenance;
 
+use crate::analyze::cross_check_observability;
 use crate::diag::{Report, RuleCode, Severity, Span};
 use crate::model_check::check_models;
 
@@ -55,10 +56,21 @@ struct Scan {
 pub fn check_bench_source(name: &str, source: &str) -> Report {
     let mut report = Report::new(name);
     let scan = scan_source(source, &mut report);
-    analyze_structure(&scan, &mut report);
+    let flagged = analyze_structure(&scan, &mut report);
     if !report.has_errors() {
         match parse_bench_with_provenance(name, source) {
-            Ok((circuit, prov)) => check_models(&circuit, Some(&prov), &mut report),
+            Ok((circuit, prov)) => {
+                check_models(&circuit, Some(&prov), &mut report);
+                // F003: the textual N004 pass and the circuit-level
+                // observability analysis must agree fault for fault.
+                cross_check_observability(
+                    &circuit,
+                    Some(&prov),
+                    &flagged.unreachable,
+                    &flagged.dangling,
+                    &mut report,
+                );
+            }
             Err(e) => {
                 // Safety net: the structural pass must be at least as
                 // strict as the parser. Reaching this branch is a checker
@@ -203,7 +215,18 @@ fn strip_directive<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
     Some(rest.trim())
 }
 
-fn analyze_structure(scan: &Scan, report: &mut Report) {
+/// Names flagged by the structural pass, for cross-checking against the
+/// circuit-level analyses after a clean parse.
+#[derive(Debug, Default)]
+struct StructureFlags {
+    /// `N004` unreachable gates/flip-flops.
+    unreachable: Vec<String>,
+    /// `N003` dangling definitions (including unused primary inputs).
+    dangling: Vec<String>,
+}
+
+fn analyze_structure(scan: &Scan, report: &mut Report) -> StructureFlags {
+    let mut flags = StructureFlags::default();
     // First definition of each name; later ones are multiply-driven nets.
     let mut first_def: HashMap<&str, usize> = HashMap::new();
     for (i, d) in scan.defs.iter().enumerate() {
@@ -292,6 +315,7 @@ fn analyze_structure(scan: &Scan, report: &mut Report) {
             continue;
         }
         dangling.insert(d.name.as_str());
+        flags.dangling.push(d.name.clone());
         let span = Some(Span {
             line: d.line,
             col: d.col,
@@ -324,6 +348,7 @@ fn analyze_structure(scan: &Scan, report: &mut Report) {
         {
             continue;
         }
+        flags.unreachable.push(d.name.clone());
         report.add(
             RuleCode::UnreachableGate,
             Some(Span {
@@ -333,6 +358,7 @@ fn analyze_structure(scan: &Scan, report: &mut Report) {
             format!("no primary output is reachable from {:?}", d.name),
         );
     }
+    flags
 }
 
 /// Def indices reachable backwards from the `OUTPUT` taps (through both

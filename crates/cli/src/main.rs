@@ -3,16 +3,17 @@
 //!
 //! ```text
 //! fsim check <circuit> [--format text|json]
+//! fsim analyze <circuit> [--format text|json]
 //! fsim stats <circuit>
 //! fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]
 //!                    [--simulator csim|proofs|serial|deductive] [--uncollapsed]
-//!                    [--threads N] [--shard-plan PLAN] [--detections FILE]
-//!                    [--stats] [--stats-json FILE] [--trace-every N]
-//!                    [--no-check] [--paranoid]
+//!                    [--prune] [--threads N] [--shard-plan PLAN]
+//!                    [--detections FILE] [--stats] [--stats-json FILE]
+//!                    [--trace-every N] [--no-check] [--paranoid]
 //! fsim transition <circuit> [--random N | --patterns FILE]
-//!                    [--threads N] [--shard-plan PLAN] [--detections FILE]
-//!                    [--stats] [--stats-json FILE] [--trace-every N]
-//!                    [--no-check] [--paranoid]
+//!                    [--prune] [--threads N] [--shard-plan PLAN]
+//!                    [--detections FILE] [--stats] [--stats-json FILE]
+//!                    [--trace-every N] [--no-check] [--paranoid]
 //! fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]
 //! fsim generate <name> [--out FILE]
 //! ```
@@ -22,8 +23,9 @@
 //! `--flag value` and `--flag=value`; unknown flags are an error.
 //!
 //! `--threads N` fault-shards the concurrent simulators across `N` worker
-//! threads (`--shard-plan round-robin|contiguous|level-aware` picks the
-//! partition); results are bit-identical for every thread count.
+//! threads (`--shard-plan round-robin|contiguous|level-aware|weight-aware`
+//! picks the partition; `weight-aware` balances shards by SCOAP-derived
+//! fault weights); results are bit-identical for every thread count.
 //! `--detections FILE` writes the deterministic detection list — one
 //! `pattern fault` line per detected fault, sorted by pattern then fault
 //! index — which is the artifact to diff across thread counts.
@@ -34,6 +36,14 @@
 //! `sim` and `transition` run the same analyses as a preflight and refuse
 //! error-ridden netlists unless `--no-check` is given. `--paranoid` turns
 //! on the engine's per-pattern invariant verifier even in release builds.
+//!
+//! `fsim analyze` runs the fault-universe analyses — ternary constant
+//! propagation, structural observability, fault dominance, SCOAP scores —
+//! and reports how far they shrink the stuck-at and transition universes.
+//! `--prune` on `sim`/`transition` applies those proofs: only surviving
+//! exact-class representatives are simulated, and the detection report is
+//! expanded back to the full uncollapsed universe (pruned faults report
+//! as untestable), bit-identical to an `--uncollapsed` run.
 //!
 //! `--stats` attaches the telemetry probe and prints the per-run metric
 //! table (plus phase times and list-length/queue-depth histograms for the
@@ -50,15 +60,22 @@ use std::time::{Duration, Instant};
 
 use cfs_atpg::{generate_tests, random_patterns, AtpgOptions};
 use cfs_baselines::{DeductiveSim, ProofsSim, SerialSim};
+use cfs_check::{
+    analysis_findings, analyze_circuit, prune_stuck_at, prune_transition, stuck_weights,
+    transition_weights,
+};
 use cfs_core::{
     detections_of, ConcurrentSim, CsimVariant, ParallelSim, ParallelTransitionSim, ShardPlan,
     TransitionOptions, TransitionSim,
 };
 use cfs_faults::{
-    collapse_stuck_at, enumerate_stuck_at, enumerate_transition, FaultSimReport, FaultStatus,
+    collapse_stuck_at, dominance_collapse, enumerate_stuck_at, enumerate_transition,
+    FaultSimReport, FaultStatus, PrunedUniverse, StuckAt, TransitionFault,
 };
 use cfs_logic::{format_pattern, parse_pattern, Logic};
-use cfs_netlist::{extract_macros, parse_bench, write_bench, Circuit};
+use cfs_netlist::{
+    extract_macros, parse_bench, parse_bench_with_provenance, write_bench, Circuit, GateId,
+};
 use cfs_telemetry::{
     render_histogram, render_phase_table, render_summary_table, JsonlWriter, Log2Histogram,
     MetricsSnapshot, Phase, SimMetrics,
@@ -98,6 +115,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let rest = &args[1..];
     match command.as_str() {
         "check" => cmd_check(rest),
+        "analyze" => cmd_analyze(rest),
         "stats" => cmd_stats(rest),
         "sim" => cmd_sim(rest),
         "transition" => cmd_transition(rest),
@@ -117,23 +135,26 @@ fn print_usage() {
          \n\
          usage:\n\
          \u{20}  fsim check <circuit> [--format text|json]\n\
+         \u{20}  fsim analyze <circuit> [--format text|json]\n\
          \u{20}  fsim stats <circuit>\n\
          \u{20}  fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]\n\
          \u{20}                     [--simulator csim|proofs|serial|deductive] [--uncollapsed]\n\
-         \u{20}                     [--threads N] [--shard-plan PLAN] [--detections FILE]\n\
-         \u{20}                     [--stats] [--stats-json FILE] [--trace-every N]\n\
-         \u{20}                     [--no-check] [--paranoid]\n\
+         \u{20}                     [--prune] [--threads N] [--shard-plan PLAN]\n\
+         \u{20}                     [--detections FILE] [--stats] [--stats-json FILE]\n\
+         \u{20}                     [--trace-every N] [--no-check] [--paranoid]\n\
          \u{20}  fsim transition <circuit> [--random N | --patterns FILE]\n\
-         \u{20}                     [--threads N] [--shard-plan PLAN] [--detections FILE]\n\
-         \u{20}                     [--stats] [--stats-json FILE] [--trace-every N]\n\
-         \u{20}                     [--no-check] [--paranoid]\n\
+         \u{20}                     [--prune] [--threads N] [--shard-plan PLAN]\n\
+         \u{20}                     [--detections FILE] [--stats] [--stats-json FILE]\n\
+         \u{20}                     [--trace-every N] [--no-check] [--paranoid]\n\
          \u{20}  fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]\n\
          \u{20}  fsim generate <name> [--out FILE]\n\
          \n\
          <circuit>: a .bench file, or @name for a built-in (@s27, @s298g, …)\n\
          flags take either `--flag value` or `--flag=value`\n\
+         --prune       simulate only faults the static analyses cannot prove\n\
+         \u{20}             undetectable; reports expand to the full universe\n\
          --threads     fault-shard the concurrent simulator across N workers\n\
-         --shard-plan  round-robin (default) | contiguous | level-aware\n\
+         --shard-plan  round-robin (default) | contiguous | level-aware | weight-aware\n\
          --detections  write the sorted `pattern fault` detection list\n\
          --stats       print the metric table (plus phase times and histograms)\n\
          --stats-json  write one JSON line per pattern plus a summary record\n\
@@ -170,6 +191,7 @@ type FlagSpec = &'static [(&'static str, bool)];
 
 const STATS_FLAGS: FlagSpec = &[];
 const CHECK_FLAGS: FlagSpec = &[("--format", true)];
+const ANALYZE_FLAGS: FlagSpec = &[("--format", true)];
 const SIM_FLAGS: FlagSpec = &[
     ("--patterns", true),
     ("--random", true),
@@ -177,6 +199,7 @@ const SIM_FLAGS: FlagSpec = &[
     ("--variant", true),
     ("--simulator", true),
     ("--uncollapsed", false),
+    ("--prune", false),
     ("--threads", true),
     ("--shard-plan", true),
     ("--detections", true),
@@ -190,6 +213,7 @@ const TRANSITION_FLAGS: FlagSpec = &[
     ("--patterns", true),
     ("--random", true),
     ("--seed", true),
+    ("--prune", false),
     ("--threads", true),
     ("--shard-plan", true),
     ("--detections", true),
@@ -300,7 +324,7 @@ impl ParallelOpts {
         let plan = match flag_value(args, "--shard-plan") {
             Some(v) => ShardPlan::parse(v).ok_or_else(|| {
                 err(format!(
-                    "unknown shard plan {v:?} (round-robin, contiguous, level-aware)"
+                    "unknown shard plan {v:?} (round-robin, contiguous, level-aware, weight-aware)"
                 ))
             })?,
             None => ShardPlan::RoundRobin,
@@ -329,6 +353,27 @@ fn write_detections(
     fs::write(path, text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
     println!("wrote {} detections to {path}", dets.len());
     Ok(())
+}
+
+/// Expands a `--prune` run's per-representative statuses back to the full
+/// uncollapsed universe, so every report and detection list downstream
+/// speaks in full-universe indices.
+fn expand_report<F: Copy>(report: &mut FaultSimReport, pruned: Option<&PrunedUniverse<F>>) {
+    if let Some(u) = pruned {
+        report.statuses = u.expand_statuses(&report.statuses);
+    }
+}
+
+/// Stamps the universe-reduction counters onto a telemetry snapshot.
+/// Pruning happens before the first pattern, so the probes never see it;
+/// the driver owns these fields.
+fn stamp_prune_counters<F>(snap: &mut MetricsSnapshot, pruned: Option<&PrunedUniverse<F>>) {
+    if let Some(u) = pruned {
+        snap.faults_full = u.stats.full as u64;
+        snap.faults_sim = u.stats.sim as u64;
+        snap.pruned_unexcitable = u.stats.unexcitable as u64;
+        snap.pruned_unobservable = u.stats.unobservable as u64;
+    }
 }
 
 fn load_circuit(spec: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
@@ -402,6 +447,111 @@ fn cmd_check(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "{spec}: {} error(s)",
             report.count(cfs_check::Severity::Error)
         )));
+    }
+    Ok(())
+}
+
+/// `fsim analyze`: run the fault-universe analyses and report how far they
+/// shrink the stuck-at and transition universes, plus the per-net findings.
+fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags("analyze", args, ANALYZE_FLAGS)?;
+    let spec = args
+        .first()
+        .ok_or_else(|| err("analyze: missing circuit"))?;
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(err(format!("unknown format {format:?} (text, json)")));
+    }
+    // Files are analyzed with provenance so findings carry .bench spans;
+    // built-ins have no source file to point at.
+    let (c, prov) = if spec.starts_with('@') {
+        (load_circuit(spec)?, None)
+    } else {
+        let text = fs::read_to_string(spec).map_err(|e| err(format!("cannot read {spec}: {e}")))?;
+        let (c, p) = parse_bench_with_provenance(circuit_name_of(spec), &text)?;
+        (c, Some(p))
+    };
+    let analysis = analyze_circuit(&c);
+    let stuck = prune_stuck_at(&c, &analysis);
+    let transition = prune_transition(&c, &analysis);
+    let dom = dominance_collapse(&c);
+    let mut report = cfs_check::Report::new(c.name());
+    analysis_findings(
+        &c,
+        &analysis,
+        &stuck,
+        &transition,
+        prov.as_ref(),
+        &mut report,
+    );
+    let constant_nets = (0..c.num_nodes())
+        .filter(|&i| analysis.constant_of(GateId::from_index(i)).is_some())
+        .count();
+    let observable = (0..c.num_nodes())
+        .filter(|&i| analysis.is_observable(GateId::from_index(i)))
+        .count();
+    let s = &stuck.stats;
+    let t = &transition.stats;
+    if format == "json" {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"nodes\":{},\"constant_nets\":{constant_nets},\"observable_nodes\":{observable},",
+            c.num_nodes()
+        ));
+        out.push_str(&format!(
+            "\"stuck\":{{\"full\":{},\"classes\":{},\"sim\":{},\"unexcitable\":{},\"unobservable\":{},\"ratio\":{:.4}}},",
+            s.full, s.classes, s.sim, s.unexcitable, s.unobservable, s.ratio()
+        ));
+        out.push_str(&format!(
+            "\"transition\":{{\"full\":{},\"sim\":{},\"unexcitable\":{},\"unobservable\":{},\"ratio\":{:.4}}},",
+            t.full, t.sim, t.unexcitable, t.unobservable, t.ratio()
+        ));
+        out.push_str(&format!(
+            "\"dominance\":{{\"classes\":{},\"edges\":{},\"kept\":{},\"dropped\":{}}},",
+            dom.base.num_classes(),
+            dom.edges.len(),
+            dom.kept.len(),
+            dom.dropped()
+        ));
+        out.push_str(&format!("\"findings\":{}}}", report.render_json()));
+        println!("{out}");
+        return Ok(());
+    }
+    println!("{c}");
+    println!(
+        "value reachability: {constant_nets} constant net(s), {observable}/{} nodes observable",
+        c.num_nodes()
+    );
+    println!(
+        "stuck-at: {} faults, {} exact classes, {} simulated \
+         (pruned {}: {} unexcitable, {} unobservable; {:.1}% of full)",
+        s.full,
+        s.classes,
+        s.sim,
+        s.pruned(),
+        s.unexcitable,
+        s.unobservable,
+        100.0 * s.ratio()
+    );
+    println!(
+        "dominance: {} edge(s), {} of {} classes kept as analysis targets",
+        dom.edges.len(),
+        dom.kept.len(),
+        dom.base.num_classes()
+    );
+    println!(
+        "transition: {} faults, {} simulated \
+         (pruned {}: {} unexcitable, {} unobservable; {:.1}% of full)",
+        t.full,
+        t.sim,
+        t.pruned(),
+        t.unexcitable,
+        t.unobservable,
+        100.0 * t.ratio()
+    );
+    if !report.diagnostics.is_empty() {
+        println!();
+        print!("{}", report.render_text());
     }
     Ok(())
 }
@@ -589,13 +739,16 @@ fn run_stuck_instrumented(
 }
 
 /// `sim --simulator csim`: one variant, or all four under `--variant all`.
+#[allow(clippy::too_many_arguments)]
 fn run_csim_stuck(
     c: &Circuit,
-    faults: &[cfs_faults::StuckAt],
+    faults: &[StuckAt],
     patterns: &[Vec<Logic>],
     variant_name: &str,
     tel: &TelemetryOpts,
     par: &ParallelOpts,
+    pruned: Option<&PrunedUniverse<StuckAt>>,
+    keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let variants: Vec<CsimVariant> = if variant_name == "all" {
         vec![
@@ -617,7 +770,7 @@ fn run_csim_stuck(
         return Err(err("--detections needs a single --variant"));
     }
     if par.threads > 1 {
-        return run_csim_stuck_sharded(c, faults, patterns, &variants, tel, par);
+        return run_csim_stuck_sharded(c, faults, patterns, &variants, tel, par, pruned, keys);
     }
     if !tel.enabled() && variants.len() == 1 {
         // Fast path: no probe attached, zero instrumentation cost.
@@ -625,7 +778,8 @@ fn run_csim_stuck(
         if par.paranoid {
             sim.set_paranoid(true);
         }
-        let report = sim.run(patterns);
+        let mut report = sim.run(patterns);
+        expand_report(&mut report, pruned);
         print_report(&report);
         if let Some(path) = &par.detections {
             write_detections(path, &report.statuses)?;
@@ -639,13 +793,15 @@ fn run_csim_stuck(
         if par.paranoid {
             sim.set_paranoid(true);
         }
-        let report =
+        let mut report =
             run_stuck_instrumented(&mut sim, c.name(), patterns, tel.trace_every, faults.len());
+        expand_report(&mut report, pruned);
         print_report(&report);
         let mut snap = sim.snapshot();
         // Phase spans nest, so the wall clock is the honest total.
         snap.cpu_seconds = report.cpu.as_secs_f64();
         snap.phases.add(Phase::Check, tel.check_time);
+        stamp_prune_counters(&mut snap, pruned);
         if tel.stats {
             print_stats_detail(&snap, sim.metrics());
         }
@@ -668,13 +824,16 @@ fn run_csim_stuck(
 /// machine. Per-pattern tracing and per-pattern JSON records are a serial
 /// concept, so `--trace-every` is ignored here and `--stats-json` carries
 /// only the merged summary record.
+#[allow(clippy::too_many_arguments)]
 fn run_csim_stuck_sharded(
     c: &Circuit,
-    faults: &[cfs_faults::StuckAt],
+    faults: &[StuckAt],
     patterns: &[Vec<Logic>],
     variants: &[CsimVariant],
     tel: &TelemetryOpts,
     par: &ParallelOpts,
+    pruned: Option<&PrunedUniverse<StuckAt>>,
+    keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     if tel.trace_every.is_some() {
         eprintln!("fsim: note: --trace-every is serial-only; ignored with --threads");
@@ -682,9 +841,20 @@ fn run_csim_stuck_sharded(
     let mut jsonl = open_jsonl(&tel.stats_json)?;
     let mut snaps = Vec::new();
     for &variant in variants {
-        let report = if tel.enabled() {
-            let mut sim =
-                ParallelSim::instrumented(c, faults, variant.options(), par.threads, par.plan);
+        let mut report = if tel.enabled() {
+            let mut sim = match keys {
+                Some(k) => ParallelSim::instrumented_with_keys(
+                    c,
+                    faults,
+                    variant.options(),
+                    par.threads,
+                    par.plan,
+                    k,
+                ),
+                None => {
+                    ParallelSim::instrumented(c, faults, variant.options(), par.threads, par.plan)
+                }
+            };
             if par.paranoid {
                 sim.set_paranoid(true);
             }
@@ -692,6 +862,7 @@ fn run_csim_stuck_sharded(
             let mut snap = sim.snapshot();
             snap.cpu_seconds = report.cpu.as_secs_f64();
             snap.phases.add(Phase::Check, tel.check_time);
+            stamp_prune_counters(&mut snap, pruned);
             if tel.stats {
                 print_stats_detail_sharded(&snap, sim.shard_metrics());
             }
@@ -702,12 +873,23 @@ fn run_csim_stuck_sharded(
             snaps.push(snap);
             report
         } else {
-            let mut sim = ParallelSim::new(c, faults, variant.options(), par.threads, par.plan);
+            let mut sim = match keys {
+                Some(k) => ParallelSim::new_with_keys(
+                    c,
+                    faults,
+                    variant.options(),
+                    par.threads,
+                    par.plan,
+                    k,
+                ),
+                None => ParallelSim::new(c, faults, variant.options(), par.threads, par.plan),
+            };
             if par.paranoid {
                 sim.set_paranoid(true);
             }
             sim.run(patterns)
         };
+        expand_report(&mut report, pruned);
         print_report(&report);
         if let Some(path) = &par.detections {
             write_detections(path, &report.statuses)?;
@@ -757,23 +939,75 @@ fn emit_basic_telemetry(
     Ok(())
 }
 
+/// Prints what a `--prune` run is about to simulate.
+fn print_prune_banner(model: &str, stats: &cfs_faults::PruneStats) {
+    println!(
+        "pruned {} of {} {model} faults ({} unexcitable, {} unobservable); \
+         simulating {} class representatives",
+        stats.pruned(),
+        stats.full,
+        stats.unexcitable,
+        stats.unobservable,
+        stats.sim
+    );
+}
+
 fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     validate_flags("sim", args, SIM_FLAGS)?;
     let spec = args.first().ok_or_else(|| err("sim: missing circuit"))?;
-    let (c, check_time) = load_circuit_checked(spec, args)?;
-    let faults = if has_flag(args, "--uncollapsed") {
-        enumerate_stuck_at(&c)
-    } else {
-        collapse_stuck_at(&c).representatives
-    };
-    let patterns = load_patterns(&c, args, 256)?;
     let simulator = flag_value(args, "--simulator").unwrap_or("csim");
-    let variant_name = flag_value(args, "--variant").unwrap_or("mv");
+    let prune = has_flag(args, "--prune");
+    if prune && has_flag(args, "--uncollapsed") {
+        return Err(err(
+            "--prune already reports the full uncollapsed universe (pruned faults \
+             as untestable); drop --uncollapsed",
+        ));
+    }
+    if prune && simulator != "csim" {
+        return Err(err(format!(
+            "--prune needs the concurrent simulator, not {simulator:?}"
+        )));
+    }
+    let (c, check_time) = load_circuit_checked(spec, args)?;
     let mut tel = TelemetryOpts::parse(args)?;
     tel.check_time = check_time;
     let par = ParallelOpts::parse(args)?;
+    // The weight-aware plan and --prune share one static analysis pass.
+    let needs_analysis = prune || (par.plan == ShardPlan::WeightAware && par.threads > 1);
+    let analysis = needs_analysis.then(|| analyze_circuit(&c));
+    let pruned: Option<PrunedUniverse<StuckAt>> = match &analysis {
+        Some(a) if prune => Some(prune_stuck_at(&c, a)),
+        _ => None,
+    };
+    let faults = match &pruned {
+        Some(u) => {
+            print_prune_banner("stuck-at", &u.stats);
+            u.sim.clone()
+        }
+        None if has_flag(args, "--uncollapsed") => enumerate_stuck_at(&c),
+        None => collapse_stuck_at(&c).representatives,
+    };
+    let keys: Option<Vec<u32>> = match &analysis {
+        Some(a) if par.plan == ShardPlan::WeightAware && par.threads > 1 => {
+            Some(stuck_weights(&c, a, &faults))
+        }
+        _ => None,
+    };
+    let patterns = load_patterns(&c, args, 256)?;
+    let variant_name = flag_value(args, "--variant").unwrap_or("mv");
     let report = match simulator {
-        "csim" => return run_csim_stuck(&c, &faults, &patterns, variant_name, &tel, &par),
+        "csim" => {
+            return run_csim_stuck(
+                &c,
+                &faults,
+                &patterns,
+                variant_name,
+                &tel,
+                &par,
+                pruned.as_ref(),
+                keys.as_deref(),
+            )
+        }
         other if par.threads > 1 => {
             return Err(err(format!(
                 "--threads needs the concurrent simulator, not {other:?}"
@@ -832,20 +1066,48 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .first()
         .ok_or_else(|| err("transition: missing circuit"))?;
     let (c, check_time) = load_circuit_checked(spec, args)?;
-    let faults = enumerate_transition(&c);
-    let patterns = load_patterns(&c, args, 256)?;
     let mut tel = TelemetryOpts::parse(args)?;
     tel.check_time = check_time;
     let par = ParallelOpts::parse(args)?;
+    let prune = has_flag(args, "--prune");
+    let needs_analysis = prune || (par.plan == ShardPlan::WeightAware && par.threads > 1);
+    let analysis = needs_analysis.then(|| analyze_circuit(&c));
+    let pruned: Option<PrunedUniverse<TransitionFault>> = match &analysis {
+        Some(a) if prune => Some(prune_transition(&c, a)),
+        _ => None,
+    };
+    let faults = match &pruned {
+        Some(u) => {
+            print_prune_banner("transition", &u.stats);
+            u.sim.clone()
+        }
+        None => enumerate_transition(&c),
+    };
+    let keys: Option<Vec<u32>> = match &analysis {
+        Some(a) if par.plan == ShardPlan::WeightAware && par.threads > 1 => {
+            Some(transition_weights(&c, a, &faults))
+        }
+        _ => None,
+    };
+    let patterns = load_patterns(&c, args, 256)?;
     if par.threads > 1 {
-        return run_transition_sharded(&c, &faults, &patterns, &tel, &par);
+        return run_transition_sharded(
+            &c,
+            &faults,
+            &patterns,
+            &tel,
+            &par,
+            pruned.as_ref(),
+            keys.as_deref(),
+        );
     }
     if !tel.enabled() {
         let mut sim = TransitionSim::new(&c, &faults, TransitionOptions::default());
         if par.paranoid {
             sim.set_paranoid(true);
         }
-        let report = sim.run(&patterns);
+        let mut report = sim.run(&patterns);
+        expand_report(&mut report, pruned.as_ref());
         print_report(&report);
         if let Some(path) = &par.detections {
             write_detections(path, &report.statuses)?;
@@ -857,12 +1119,14 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if par.paranoid {
         sim.set_paranoid(true);
     }
-    let report =
+    let mut report =
         run_transition_instrumented(&mut sim, c.name(), &patterns, tel.trace_every, faults.len());
+    expand_report(&mut report, pruned.as_ref());
     print_report(&report);
     let mut snap = sim.snapshot();
     snap.cpu_seconds = report.cpu.as_secs_f64();
     snap.phases.add(Phase::Check, tel.check_time);
+    stamp_prune_counters(&mut snap, pruned.as_ref());
     if tel.stats {
         print_stats_detail(&snap, sim.metrics());
         println!();
@@ -879,33 +1143,46 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 /// The `transition --threads N > 1` path; mirrors
 /// [`run_csim_stuck_sharded`].
+#[allow(clippy::too_many_arguments)]
 fn run_transition_sharded(
     c: &Circuit,
-    faults: &[cfs_faults::TransitionFault],
+    faults: &[TransitionFault],
     patterns: &[Vec<Logic>],
     tel: &TelemetryOpts,
     par: &ParallelOpts,
+    pruned: Option<&PrunedUniverse<TransitionFault>>,
+    keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     if tel.trace_every.is_some() {
         eprintln!("fsim: note: --trace-every is serial-only; ignored with --threads");
     }
-    let report = if tel.enabled() {
+    let mut report = if tel.enabled() {
         let mut jsonl = open_jsonl(&tel.stats_json)?;
-        let mut sim = ParallelTransitionSim::instrumented(
-            c,
-            faults,
-            TransitionOptions::default(),
-            par.threads,
-            par.plan,
-        );
+        let mut sim = match keys {
+            Some(k) => ParallelTransitionSim::instrumented_with_keys(
+                c,
+                faults,
+                TransitionOptions::default(),
+                par.threads,
+                par.plan,
+                k,
+            ),
+            None => ParallelTransitionSim::instrumented(
+                c,
+                faults,
+                TransitionOptions::default(),
+                par.threads,
+                par.plan,
+            ),
+        };
         if par.paranoid {
             sim.set_paranoid(true);
         }
         let report = sim.run(patterns);
-        print_report(&report);
         let mut snap = sim.snapshot();
         snap.cpu_seconds = report.cpu.as_secs_f64();
         snap.phases.add(Phase::Check, tel.check_time);
+        stamp_prune_counters(&mut snap, pruned);
         if tel.stats {
             print_stats_detail_sharded(&snap, sim.shard_metrics());
             println!();
@@ -918,20 +1195,30 @@ fn run_transition_sharded(
         close_jsonl(jsonl, &tel.stats_json)?;
         report
     } else {
-        let mut sim = ParallelTransitionSim::new(
-            c,
-            faults,
-            TransitionOptions::default(),
-            par.threads,
-            par.plan,
-        );
+        let mut sim = match keys {
+            Some(k) => ParallelTransitionSim::new_with_keys(
+                c,
+                faults,
+                TransitionOptions::default(),
+                par.threads,
+                par.plan,
+                k,
+            ),
+            None => ParallelTransitionSim::new(
+                c,
+                faults,
+                TransitionOptions::default(),
+                par.threads,
+                par.plan,
+            ),
+        };
         if par.paranoid {
             sim.set_paranoid(true);
         }
-        let report = sim.run(patterns);
-        print_report(&report);
-        report
+        sim.run(patterns)
     };
+    expand_report(&mut report, pruned);
+    print_report(&report);
     if let Some(path) = &par.detections {
         write_detections(path, &report.statuses)?;
     }

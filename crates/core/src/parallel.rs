@@ -61,14 +61,23 @@ pub enum ShardPlan {
     /// Faults sorted by their site's logic level, then dealt round-robin,
     /// so each shard receives the same mix of shallow and deep faults.
     LevelAware,
+    /// Faults sorted by a per-fault weight (descending), then snake-dealt
+    /// (`0..P`, `P-1..0`, …) so heavy faults spread evenly *and* each
+    /// shard's total weight stays close. With plain levels as keys this
+    /// degenerates to a level-spread plan; its intended keys are the SCOAP
+    /// detection-difficulty weights from `cfs-check` (see
+    /// [`ParallelSim::new_with_keys`]), which track how long a fault stays
+    /// undetected — and therefore how much list work it causes.
+    WeightAware,
 }
 
 impl ShardPlan {
     /// All plans, for sweeps and tests.
-    pub const ALL: [ShardPlan; 3] = [
+    pub const ALL: [ShardPlan; 4] = [
         ShardPlan::RoundRobin,
         ShardPlan::Contiguous,
         ShardPlan::LevelAware,
+        ShardPlan::WeightAware,
     ];
 
     /// Stable CLI/display name.
@@ -77,6 +86,7 @@ impl ShardPlan {
             ShardPlan::RoundRobin => "round-robin",
             ShardPlan::Contiguous => "contiguous",
             ShardPlan::LevelAware => "level-aware",
+            ShardPlan::WeightAware => "weight-aware",
         }
     }
 
@@ -86,13 +96,16 @@ impl ShardPlan {
             "round-robin" | "rr" => Some(ShardPlan::RoundRobin),
             "contiguous" | "chunk" => Some(ShardPlan::Contiguous),
             "level-aware" | "level" => Some(ShardPlan::LevelAware),
+            "weight-aware" | "weighted" | "scoap" => Some(ShardPlan::WeightAware),
             _ => None,
         }
     }
 
     /// Partitions fault indices `0..levels.len()` into `shards` lists,
-    /// each sorted ascending. `levels[i]` is the logic level of fault
-    /// `i`'s site (only consulted by [`ShardPlan::LevelAware`]).
+    /// each sorted ascending. `levels[i]` is a balance key for fault `i`
+    /// — the site's logic level by default, or an externally supplied
+    /// weight — consulted only by [`ShardPlan::LevelAware`] and
+    /// [`ShardPlan::WeightAware`].
     ///
     /// The result is an exact cover: every index in exactly one shard.
     /// Empty shards are possible when there are fewer faults than shards.
@@ -123,6 +136,30 @@ impl ShardPlan {
                 order.sort_by_key(|&i| (levels[i], i));
                 for (k, &i) in order.iter().enumerate() {
                     out[k % shards].push(i);
+                }
+                for shard in &mut out {
+                    shard.sort_unstable();
+                }
+            }
+            ShardPlan::WeightAware => {
+                // Snake deal by descending weight: the heaviest P faults
+                // land on distinct shards, the next P come back in reverse
+                // order, and so on. Each round gives every shard exactly
+                // one fault before any shard gets a second, so shard sizes
+                // stay within one of each other (the exact-cover balance
+                // bound) while total weights stay close — the classic
+                // LPT-style trick without LPT's size skew.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&i| (std::cmp::Reverse(levels[i]), i));
+                for (k, &i) in order.iter().enumerate() {
+                    let round = k / shards;
+                    let pos = k % shards;
+                    let shard = if round.is_multiple_of(2) {
+                        pos
+                    } else {
+                        shards - 1 - pos
+                    };
+                    out[shard].push(i);
                 }
                 for shard in &mut out {
                     shard.sort_unstable();
@@ -260,7 +297,29 @@ impl ParallelSim {
         threads: usize,
         plan: ShardPlan,
     ) -> Self {
-        Self::with_probes(circuit, faults, options, threads, plan, |_| NullProbe)
+        Self::with_probes(circuit, faults, options, threads, plan, None, |_| NullProbe)
+    }
+
+    /// Like [`ParallelSim::new`], but partitions on caller-supplied balance
+    /// keys (one per fault) instead of site logic levels — the hook for the
+    /// SCOAP detection-difficulty weights computed by `cfs-check`. Only
+    /// key-sensitive plans ([`ShardPlan::LevelAware`],
+    /// [`ShardPlan::WeightAware`]) behave differently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `keys.len() != faults.len()`.
+    pub fn new_with_keys(
+        circuit: &Circuit,
+        faults: &[StuckAt],
+        options: CsimOptions,
+        threads: usize,
+        plan: ShardPlan,
+        keys: &[u32],
+    ) -> Self {
+        Self::with_probes(circuit, faults, options, threads, plan, Some(keys), |_| {
+            NullProbe
+        })
     }
 }
 
@@ -274,7 +333,25 @@ impl ParallelSim<SimMetrics> {
         threads: usize,
         plan: ShardPlan,
     ) -> Self {
-        Self::with_probes(circuit, faults, options, threads, plan, |_| {
+        Self::with_probes(circuit, faults, options, threads, plan, None, |_| {
+            SimMetrics::new()
+        })
+    }
+
+    /// [`ParallelSim::new_with_keys`] with recording probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `keys.len() != faults.len()`.
+    pub fn instrumented_with_keys(
+        circuit: &Circuit,
+        faults: &[StuckAt],
+        options: CsimOptions,
+        threads: usize,
+        plan: ShardPlan,
+        keys: &[u32],
+    ) -> Self {
+        Self::with_probes(circuit, faults, options, threads, plan, Some(keys), |_| {
             SimMetrics::new()
         })
     }
@@ -313,10 +390,17 @@ impl<P: Probe> ParallelSim<P> {
         options: CsimOptions,
         threads: usize,
         plan: ShardPlan,
+        keys: Option<&[u32]>,
         mut probe: impl FnMut(usize) -> P,
     ) -> Self {
         assert!(threads > 0, "at least one thread");
-        let parts = plan.partition(&stuck_levels(circuit, faults), threads);
+        let parts = match keys {
+            Some(keys) => {
+                assert_eq!(keys.len(), faults.len(), "one balance key per fault");
+                plan.partition(keys, threads)
+            }
+            None => plan.partition(&stuck_levels(circuit, faults), threads),
+        };
         let shards = parts
             .into_iter()
             .enumerate()
@@ -525,7 +609,26 @@ impl ParallelTransitionSim {
         threads: usize,
         plan: ShardPlan,
     ) -> Self {
-        Self::with_probes(circuit, faults, options, threads, plan, |_| NullProbe)
+        Self::with_probes(circuit, faults, options, threads, plan, None, |_| NullProbe)
+    }
+
+    /// Like [`ParallelTransitionSim::new`] with caller-supplied balance
+    /// keys (see [`ParallelSim::new_with_keys`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `keys.len() != faults.len()`.
+    pub fn new_with_keys(
+        circuit: &Circuit,
+        faults: &[TransitionFault],
+        options: TransitionOptions,
+        threads: usize,
+        plan: ShardPlan,
+        keys: &[u32],
+    ) -> Self {
+        Self::with_probes(circuit, faults, options, threads, plan, Some(keys), |_| {
+            NullProbe
+        })
     }
 }
 
@@ -538,7 +641,25 @@ impl ParallelTransitionSim<SimMetrics> {
         threads: usize,
         plan: ShardPlan,
     ) -> Self {
-        Self::with_probes(circuit, faults, options, threads, plan, |_| {
+        Self::with_probes(circuit, faults, options, threads, plan, None, |_| {
+            SimMetrics::new()
+        })
+    }
+
+    /// [`ParallelTransitionSim::new_with_keys`] with recording probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `keys.len() != faults.len()`.
+    pub fn instrumented_with_keys(
+        circuit: &Circuit,
+        faults: &[TransitionFault],
+        options: TransitionOptions,
+        threads: usize,
+        plan: ShardPlan,
+        keys: &[u32],
+    ) -> Self {
+        Self::with_probes(circuit, faults, options, threads, plan, Some(keys), |_| {
             SimMetrics::new()
         })
     }
@@ -578,10 +699,17 @@ impl<P: Probe> ParallelTransitionSim<P> {
         options: TransitionOptions,
         threads: usize,
         plan: ShardPlan,
+        keys: Option<&[u32]>,
         mut probe: impl FnMut(usize) -> P,
     ) -> Self {
         assert!(threads > 0, "at least one thread");
-        let parts = plan.partition(&transition_levels(circuit, faults), threads);
+        let parts = match keys {
+            Some(keys) => {
+                assert_eq!(keys.len(), faults.len(), "one balance key per fault");
+                plan.partition(keys, threads)
+            }
+            None => plan.partition(&transition_levels(circuit, faults), threads),
+        };
         let shards = parts
             .into_iter()
             .enumerate()
@@ -754,6 +882,61 @@ mod tests {
                 assert!(seen.iter().all(|&s| s), "{plan}: fault lost");
             }
         }
+    }
+
+    #[test]
+    fn weight_aware_balances_sizes_and_weights() {
+        // Heavily skewed weights: a few expensive faults, many cheap ones.
+        let weights: Vec<u32> = (0..23).map(|i| if i < 3 { 1000 } else { i }).collect();
+        for shards in [2, 3, 4, 7] {
+            let parts = ShardPlan::WeightAware.partition(&weights, shards);
+            let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+            let (smin, smax) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(smax - smin <= 1, "sizes {sizes:?} not within one");
+            let totals: Vec<u32> = parts
+                .iter()
+                .map(|p| p.iter().map(|&i| weights[i]).sum())
+                .collect();
+            // The heavy faults must spread as evenly as arithmetic allows,
+            // never pile onto one shard.
+            let heavy: Vec<usize> = parts
+                .iter()
+                .map(|p| p.iter().filter(|&&i| weights[i] == 1000).count())
+                .collect();
+            let (hmin, hmax) = (heavy.iter().min().unwrap(), heavy.iter().max().unwrap());
+            assert!(
+                hmax - hmin <= 1,
+                "shards={shards} heavies {heavy:?} totals {totals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_partition_matches_serial_results() {
+        let c = s27();
+        let faults = enumerate_stuck_at(&c);
+        let mut serial = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+        let reference = serial.run(&patterns());
+        // Arbitrary keys: results must not depend on the partition.
+        let keys: Vec<u32> = (0..faults.len() as u32).map(|i| (i * 37) % 13).collect();
+        for plan in [ShardPlan::WeightAware, ShardPlan::LevelAware] {
+            let mut par =
+                ParallelSim::new_with_keys(&c, &faults, CsimVariant::Mv.options(), 3, plan, &keys);
+            assert_eq!(par.run(&patterns()).statuses, reference.statuses, "{plan}");
+        }
+        let tfaults = enumerate_transition(&c);
+        let mut tserial = TransitionSim::new(&c, &tfaults, TransitionOptions::default());
+        let treference = tserial.run(&patterns());
+        let tkeys: Vec<u32> = (0..tfaults.len() as u32).map(|i| (i * 31) % 7).collect();
+        let mut tpar = ParallelTransitionSim::new_with_keys(
+            &c,
+            &tfaults,
+            TransitionOptions::default(),
+            3,
+            ShardPlan::WeightAware,
+            &tkeys,
+        );
+        assert_eq!(tpar.run(&patterns()).statuses, treference.statuses);
     }
 
     #[test]

@@ -21,14 +21,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod prune;
 mod sampling;
 mod status;
 mod stuck_at;
 mod transition;
 
+pub use prune::{FaultFate, PruneReason, PruneStats, PrunedUniverse};
 pub use sampling::{all_binary, estimate_coverage, sample_faults, CoverageEstimate};
 pub use status::{FaultSimReport, FaultStatus};
 pub use stuck_at::{
-    collapse_stuck_at, dominance_collapse, enumerate_stuck_at, CollapsedFaults, FaultSite, StuckAt,
+    collapse_stuck_at, collapse_stuck_at_exact, dominance_collapse, enumerate_stuck_at,
+    CollapsedFaults, DominanceCollapse, FaultSite, StuckAt,
 };
 pub use transition::{enumerate_transition, transition_value, Edge, TransitionFault};

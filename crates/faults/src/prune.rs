@@ -1,0 +1,239 @@
+//! Statically pruned fault universes with exact expansion back to the full
+//! uncollapsed fault list.
+//!
+//! A [`PrunedUniverse`] is the contract between the static analyses in
+//! `cfs-check` (which prove faults undetectable before the first pattern)
+//! and the simulators in `cfs-core` (which only ever see the reduced `sim`
+//! list): every fault of the full universe either maps onto a simulated
+//! fault whose per-pattern behaviour is *identical* (exact equivalence), or
+//! carries a [`PruneReason`] proving it undetectable. Expanding a simulated
+//! run's statuses through the universe therefore reproduces, bit for bit,
+//! the detection report a full uncollapsed run would have produced.
+
+use crate::status::FaultStatus;
+
+/// Why a fault was removed from the simulated set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneReason {
+    /// The fault's net can never carry the binary value that excites the
+    /// fault, so the faulty machine never becomes *more* wrong than `X`
+    /// relative to the good machine (three-valued constant propagation).
+    Unexcitable,
+    /// No primary output is reachable from the fault's gate through any
+    /// path of gates and flip-flops, so the divergence can never be
+    /// observed.
+    Unobservable,
+}
+
+impl PruneReason {
+    /// Stable lowercase name used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PruneReason::Unexcitable => "unexcitable",
+            PruneReason::Unobservable => "unobservable",
+        }
+    }
+}
+
+/// Fate of one fault of the full universe under pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFate {
+    /// Behaviourally identical to `sim[idx]` (its exact-equivalence class
+    /// representative): same status, same first-detection pattern.
+    Sim(u32),
+    /// Statically proven undetectable; reported [`FaultStatus::Untestable`].
+    Pruned(PruneReason),
+}
+
+/// Counters describing how a full universe was reduced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Faults in the full uncollapsed universe.
+    pub full: usize,
+    /// Exact-equivalence classes (`== full` for models without collapsing).
+    pub classes: usize,
+    /// Faults actually handed to the simulator.
+    pub sim: usize,
+    /// Full-universe faults pruned by constant propagation.
+    pub unexcitable: usize,
+    /// Full-universe faults pruned by the observability analysis.
+    pub unobservable: usize,
+}
+
+impl PruneStats {
+    /// Total full-universe faults proven undetectable.
+    pub fn pruned(&self) -> usize {
+        self.unexcitable + self.unobservable
+    }
+
+    /// Simulated / full ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.full == 0 {
+            return 1.0;
+        }
+        self.sim as f64 / self.full as f64
+    }
+}
+
+/// A fault universe reduced by exact equivalence collapsing plus static
+/// undetectability proofs, with the map back to full-universe indices.
+#[derive(Debug, Clone)]
+pub struct PrunedUniverse<F> {
+    /// The full uncollapsed universe, in enumeration order.
+    pub full: Vec<F>,
+    /// The faults to simulate (class representatives that survived pruning).
+    pub sim: Vec<F>,
+    /// Fate of each full-universe fault, aligned with `full`.
+    pub fate: Vec<FaultFate>,
+    /// Reduction counters.
+    pub stats: PruneStats,
+}
+
+impl<F: Copy> PrunedUniverse<F> {
+    /// The identity universe: every fault simulated, nothing pruned.
+    pub fn unpruned(full: Vec<F>) -> Self {
+        let fate = (0..full.len()).map(|i| FaultFate::Sim(i as u32)).collect();
+        let stats = PruneStats {
+            full: full.len(),
+            classes: full.len(),
+            sim: full.len(),
+            ..PruneStats::default()
+        };
+        PrunedUniverse {
+            sim: full.clone(),
+            full,
+            fate,
+            stats,
+        }
+    }
+
+    /// Expands per-simulated-fault statuses to the full universe: each
+    /// fault takes its representative's status verbatim (exact equivalence
+    /// preserves first-detection patterns) and pruned faults are reported
+    /// [`FaultStatus::Untestable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim_statuses.len()` differs from the simulated set.
+    pub fn expand_statuses(&self, sim_statuses: &[FaultStatus]) -> Vec<FaultStatus> {
+        assert_eq!(
+            sim_statuses.len(),
+            self.sim.len(),
+            "status vector does not match the simulated fault set"
+        );
+        self.fate
+            .iter()
+            .map(|fate| match *fate {
+                FaultFate::Sim(idx) => sim_statuses[idx as usize],
+                FaultFate::Pruned(_) => FaultStatus::Untestable,
+            })
+            .collect()
+    }
+
+    /// Checks the internal invariants: fate indices in range, `stats`
+    /// consistent with `fate`, and every simulated fault reachable from at
+    /// least one full-universe fault. Used by tests and `cfs-check`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.full.len() != self.fate.len() {
+            return Err("fate vector length differs from the full universe".into());
+        }
+        let mut hit = vec![false; self.sim.len()];
+        let (mut unexcitable, mut unobservable) = (0usize, 0usize);
+        for (i, fate) in self.fate.iter().enumerate() {
+            match *fate {
+                FaultFate::Sim(idx) => {
+                    let Some(slot) = hit.get_mut(idx as usize) else {
+                        return Err(format!("fault {i} maps to out-of-range sim index {idx}"));
+                    };
+                    *slot = true;
+                }
+                FaultFate::Pruned(PruneReason::Unexcitable) => unexcitable += 1,
+                FaultFate::Pruned(PruneReason::Unobservable) => unobservable += 1,
+            }
+        }
+        if let Some(idx) = hit.iter().position(|&h| !h) {
+            return Err(format!("simulated fault {idx} is mapped by no fault"));
+        }
+        let expect = PruneStats {
+            full: self.full.len(),
+            classes: self.stats.classes,
+            sim: self.sim.len(),
+            unexcitable,
+            unobservable,
+        };
+        if expect != self.stats {
+            return Err(format!(
+                "stats {:?} disagree with fates {:?}",
+                self.stats, expect
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> PrunedUniverse<u8> {
+        PrunedUniverse {
+            full: vec![10, 11, 12, 13],
+            sim: vec![10, 12],
+            fate: vec![
+                FaultFate::Sim(0),
+                FaultFate::Pruned(PruneReason::Unexcitable),
+                FaultFate::Sim(1),
+                FaultFate::Sim(0),
+            ],
+            stats: PruneStats {
+                full: 4,
+                classes: 3,
+                sim: 2,
+                unexcitable: 1,
+                unobservable: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn expansion_copies_representative_statuses() {
+        let u = universe();
+        u.validate().unwrap();
+        let expanded = u.expand_statuses(&[
+            FaultStatus::Detected { pattern: 7 },
+            FaultStatus::Undetected,
+        ]);
+        assert_eq!(
+            expanded,
+            vec![
+                FaultStatus::Detected { pattern: 7 },
+                FaultStatus::Untestable,
+                FaultStatus::Undetected,
+                FaultStatus::Detected { pattern: 7 },
+            ]
+        );
+    }
+
+    #[test]
+    fn unpruned_is_the_identity() {
+        let u = PrunedUniverse::unpruned(vec![1u8, 2, 3]);
+        u.validate().unwrap();
+        let s = vec![FaultStatus::Undetected; 3];
+        assert_eq!(u.expand_statuses(&s), s);
+        assert_eq!(u.stats.pruned(), 0);
+        assert!((u.stats.ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_catches_bad_maps() {
+        let mut u = universe();
+        u.fate[2] = FaultFate::Sim(9);
+        assert!(u.validate().is_err());
+        let mut u = universe();
+        u.fate[2] = FaultFate::Sim(0); // sim[1] now unmapped
+        assert!(u.validate().is_err());
+        let mut u = universe();
+        u.stats.unobservable = 5;
+        assert!(u.validate().is_err());
+    }
+}

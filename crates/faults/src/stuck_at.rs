@@ -116,6 +116,29 @@ pub fn enumerate_stuck_at(circuit: &Circuit) -> Vec<StuckAt> {
     faults
 }
 
+/// Per-gate starting offsets of the [`enumerate_stuck_at`] fault blocks,
+/// so the enumeration index of any fault is computable without a hash map.
+fn enumeration_offsets(circuit: &Circuit) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(circuit.num_nodes());
+    let mut acc = 0usize;
+    for gate in circuit.gates() {
+        offsets.push(acc);
+        acc += 2;
+        if matches!(gate.kind(), GateKind::Comb(_) | GateKind::Dff) {
+            acc += 2 * gate.fanin().len();
+        }
+    }
+    offsets
+}
+
+fn enumeration_index(offsets: &[usize], f: StuckAt) -> usize {
+    let base = offsets[f.site.gate().index()];
+    match f.site {
+        FaultSite::Output { .. } => base + usize::from(f.stuck_at_one),
+        FaultSite::Pin { pin, .. } => base + 2 + 2 * pin as usize + usize::from(f.stuck_at_one),
+    }
+}
+
 /// Structural equivalence collapsing of the stuck-at universe.
 ///
 /// Classical rules (Abramovici et al.):
@@ -133,27 +156,34 @@ pub fn enumerate_stuck_at(circuit: &Circuit) -> Vec<StuckAt> {
 /// equivalence class) and the class id of every uncollapsed fault, aligned
 /// with [`enumerate_stuck_at`] order.
 pub fn collapse_stuck_at(circuit: &Circuit) -> CollapsedFaults {
+    collapse_impl(circuit, true)
+}
+
+/// *Exact* equivalence collapsing: the classical rules minus the flip-flop
+/// D-pin ≡ Q-output merge.
+///
+/// Every remaining rule equates faults whose faulty machines have identical
+/// values on every net any observer can see, at every cycle — so members of
+/// one class share the *same first-detection pattern*, not merely the same
+/// detectability. The D ≡ Q merge does not have that property: the Q-output
+/// fault perturbs the present cycle while the D-pin fault perturbs the next,
+/// and with the cycle-0 all-`X` flip-flop state the two machines can first
+/// become visible at different patterns. [`collapse_stuck_at`] keeps the
+/// classical merge (detectability on an indefinitely observed sequence is
+/// unaffected); this variant is for callers that must expand per-pattern
+/// results back to the full universe bit-identically, e.g. `--prune`.
+pub fn collapse_stuck_at_exact(circuit: &Circuit) -> CollapsedFaults {
+    collapse_impl(circuit, false)
+}
+
+fn collapse_impl(circuit: &Circuit, merge_dff_pin: bool) -> CollapsedFaults {
     let all = enumerate_stuck_at(circuit);
-    // Offsets: per gate, the starting index of its fault block, so the
-    // enumeration index of any fault is computable without a hash map.
-    let mut offsets = Vec::with_capacity(circuit.num_nodes());
-    let mut acc = 0usize;
-    for gate in circuit.gates() {
-        offsets.push(acc);
-        acc += 2;
-        if matches!(gate.kind(), GateKind::Comb(_) | GateKind::Dff) {
-            acc += 2 * gate.fanin().len();
-        }
-    }
-    debug_assert_eq!(acc, all.len());
-    let idx = |f: StuckAt| -> usize {
-        let g = f.site.gate();
-        let base = offsets[g.index()];
-        match f.site {
-            FaultSite::Output { .. } => base + usize::from(f.stuck_at_one),
-            FaultSite::Pin { pin, .. } => base + 2 + 2 * pin as usize + usize::from(f.stuck_at_one),
-        }
-    };
+    let offsets = enumeration_offsets(circuit);
+    debug_assert!(all
+        .iter()
+        .enumerate()
+        .all(|(i, &f)| enumeration_index(&offsets, f) == i));
+    let idx = |f: StuckAt| -> usize { enumeration_index(&offsets, f) };
 
     let mut uf = UnionFind::new(all.len());
     for (i, gate) in circuit.gates().iter().enumerate() {
@@ -182,9 +212,13 @@ pub fn collapse_stuck_at(circuit: &Circuit) -> CollapsedFaults {
                 }
             }
             GateKind::Dff => {
-                // D pin faults ≡ Q output faults (one-cycle shift).
-                for v in [false, true] {
-                    uf.union(idx(StuckAt::pin(id, 0, v)), idx(StuckAt::output(id, v)));
+                // D pin faults ≡ Q output faults (one-cycle shift). Omitted
+                // by the exact collapse: the shift changes *when* the fault
+                // is first seen.
+                if merge_dff_pin {
+                    for v in [false, true] {
+                        uf.union(idx(StuckAt::pin(id, 0, v)), idx(StuckAt::output(id, v)));
+                    }
                 }
             }
             GateKind::Input => {}
@@ -287,10 +321,106 @@ impl UnionFind {
     }
 }
 
-/// Keeps only faults a given gate function can distinguish: no-op hook for
-/// future dominance collapsing; currently returns the input unchanged.
-pub fn dominance_collapse(faults: Vec<StuckAt>) -> Vec<StuckAt> {
-    faults
+/// Collapse-by-dominance over the exact equivalence classes.
+///
+/// Fault `f` *dominates* `g` when every test that detects `g` also detects
+/// `f` (`T(g) ⊆ T(f)`). For an n-input gate with controlling value `cv` and
+/// controlled output `co` (AND/NAND/OR/NOR, n ≥ 2), the output stuck-at-co̅
+/// fault dominates each input stuck-at-cv̅ fault: exciting the input fault
+/// sets the input to `cv`, so good and faulty gate outputs are `co` vs `co̅`
+/// — exactly the output fault's effect, propagated identically.
+///
+/// Dominators can therefore be dropped from an ATPG target list: detecting
+/// any dominated fault implies the dominator. Unlike equivalence this is an
+/// *implication*, not an identity — the dominator's first-detection pattern
+/// is not recoverable, and the rule is only sound combinationally (in a
+/// sequential circuit the two faulty machines accumulate different state
+/// histories). It is exposed as an analysis artifact with an explicit
+/// expansion map, and is **not** used by the bit-exact `--prune` path.
+#[derive(Debug, Clone)]
+pub struct DominanceCollapse {
+    /// The exact equivalence collapse the dominance edges are built over.
+    pub base: CollapsedFaults,
+    /// `(dominator, dominated)` pairs of class ids: every test for the
+    /// dominated class detects the dominator class.
+    pub edges: Vec<(u32, u32)>,
+    /// Class ids retained as targets after dropping dominators whose
+    /// detection is implied by at least one dominated class.
+    pub kept: Vec<u32>,
+}
+
+impl DominanceCollapse {
+    /// Expands per-class detection flags: marks every dropped dominator
+    /// detected when any class it dominates is detected (iterated to a
+    /// fixpoint so chains of dominators resolve).
+    ///
+    /// The result is a *lower bound* on the true detected set — a dominator
+    /// may also be detected by tests that detect none of its dominated
+    /// faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detected.len()` differs from the number of classes.
+    pub fn expand_detected(&self, detected: &[bool]) -> Vec<bool> {
+        assert_eq!(detected.len(), self.base.num_classes());
+        let mut out = detected.to_vec();
+        loop {
+            let mut changed = false;
+            for &(dominator, dominated) in &self.edges {
+                if out[dominated as usize] && !out[dominator as usize] {
+                    out[dominator as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Number of dominator classes dropped from the target list.
+    pub fn dropped(&self) -> usize {
+        self.base.num_classes() - self.kept.len()
+    }
+}
+
+/// Builds the dominance collapse of a circuit's stuck-at universe: gate-local
+/// dominance edges over the exact equivalence classes (fanout-free-region
+/// chains compose automatically because the stem ≡ branch merges already
+/// identify the classes along the region).
+pub fn dominance_collapse(circuit: &Circuit) -> DominanceCollapse {
+    let base = collapse_stuck_at_exact(circuit);
+    let offsets = enumeration_offsets(circuit);
+    let class = |f: StuckAt| -> u32 { base.class_of[enumeration_index(&offsets, f)] as u32 };
+    let mut edges = Vec::new();
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let GateKind::Comb(f) = gate.kind() else {
+            continue;
+        };
+        let (Some(cv), Some(co)) = (f.controlling_value(), f.controlled_output()) else {
+            continue;
+        };
+        if gate.fanin().len() < 2 {
+            continue; // single-input gates collapse by equivalence instead
+        }
+        let id = GateId::from_index(i);
+        let dominator = class(StuckAt::output(id, co != Logic::One));
+        for pin in 0..gate.fanin().len() {
+            let dominated = class(StuckAt::pin(id, pin as u8, cv != Logic::One));
+            if dominated != dominator {
+                edges.push((dominator, dominated));
+            }
+        }
+    }
+    let mut droppable = vec![false; base.num_classes()];
+    for &(dominator, _) in &edges {
+        droppable[dominator as usize] = true;
+    }
+    let kept = (0..base.num_classes() as u32)
+        .filter(|&c| !droppable[c as usize])
+        .collect();
+    DominanceCollapse { base, edges, kept }
 }
 
 #[cfg(test)]
@@ -381,6 +511,91 @@ mod tests {
             .position(|f| *f == StuckAt::output(q, false))
             .unwrap();
         assert_eq!(col.class_of[i_d], col.class_of[i_q]);
+    }
+
+    #[test]
+    fn exact_collapse_keeps_dff_pin_distinct_from_q() {
+        let c = parse_bench("t", "INPUT(a)\nOUTPUT(q)\nq = DFF(y)\ny = NOT(a)\n").unwrap();
+        let classical = collapse_stuck_at(&c);
+        let exact = collapse_stuck_at_exact(&c);
+        // Exactly the two D ≡ Q merges are undone; everything else agrees.
+        assert_eq!(exact.num_classes(), classical.num_classes() + 2);
+        let q = c.find("q").unwrap();
+        for v in [false, true] {
+            let i_d = exact
+                .all
+                .iter()
+                .position(|f| *f == StuckAt::pin(q, 0, v))
+                .unwrap();
+            let i_q = exact
+                .all
+                .iter()
+                .position(|f| *f == StuckAt::output(q, v))
+                .unwrap();
+            assert_ne!(exact.class_of[i_d], exact.class_of[i_q]);
+            assert_eq!(classical.class_of[i_d], classical.class_of[i_q]);
+        }
+    }
+
+    #[test]
+    fn exact_collapse_refines_the_classical_partition() {
+        // Every exact class must sit wholly inside one classical class.
+        let c = s27();
+        let classical = collapse_stuck_at(&c);
+        let exact = collapse_stuck_at_exact(&c);
+        assert_eq!(classical.all, exact.all);
+        let mut image = vec![usize::MAX; exact.num_classes()];
+        for i in 0..exact.all.len() {
+            let (e, cl) = (exact.class_of[i], classical.class_of[i]);
+            if image[e] == usize::MAX {
+                image[e] = cl;
+            } else {
+                assert_eq!(image[e], cl, "exact class {e} straddles classical classes");
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_drops_controlling_gate_outputs() {
+        // y = AND(a, b): exact classes are {all sa-0}, a/sa1, b/sa1, y/sa1.
+        // y/sa1 dominates a/sa1 and b/sa1 and is dropped: 3 targets remain.
+        let c = parse_bench("t", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let dom = dominance_collapse(&c);
+        assert_eq!(dom.base.num_classes(), 4);
+        assert_eq!(dom.edges.len(), 2);
+        assert_eq!(dom.kept.len(), 3);
+        assert_eq!(dom.dropped(), 1);
+        let y = c.find("y").unwrap();
+        let y_sa1_class = {
+            let i = dom
+                .base
+                .all
+                .iter()
+                .position(|f| *f == StuckAt::output(y, true))
+                .unwrap();
+            dom.base.class_of[i] as u32
+        };
+        assert!(dom.edges.iter().all(|&(d, _)| d == y_sa1_class));
+        assert!(!dom.kept.contains(&y_sa1_class));
+        // Expansion: detecting either input fault implies the output fault.
+        let mut detected = vec![false; 4];
+        let (_, dominated0) = dom.edges[0];
+        detected[dominated0 as usize] = true;
+        let expanded = dom.expand_detected(&detected);
+        assert!(expanded[y_sa1_class as usize]);
+        assert_eq!(expanded.iter().filter(|&&d| d).count(), 2);
+    }
+
+    #[test]
+    fn dominance_skips_xor_and_unary_gates() {
+        let c = parse_bench(
+            "t",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = XOR(a, b)\ny = NOT(x)\n",
+        )
+        .unwrap();
+        let dom = dominance_collapse(&c);
+        assert!(dom.edges.is_empty());
+        assert_eq!(dom.kept.len(), dom.base.num_classes());
     }
 
     #[test]

@@ -172,6 +172,12 @@ impl SimMetrics {
             compacted_elements: self.compacted_elements,
             peak_memory_bytes: self.peak_memory,
             cpu_seconds: self.phases.total().as_secs_f64(),
+            // Universe-level facts: stamped by the driver after pruning,
+            // never observed by a probe.
+            faults_full: 0,
+            faults_sim: 0,
+            pruned_unexcitable: 0,
+            pruned_unobservable: 0,
             phases: self.phases,
         }
     }

@@ -76,6 +76,14 @@ impl<W: Write> JsonlWriter<W> {
         push_u64(&mut line, "compacted_elements", s.compacted_elements);
         push_u64(&mut line, "peak_memory_bytes", s.peak_memory_bytes);
         push_f64(&mut line, "cpu_seconds", s.cpu_seconds);
+        if s.faults_full > 0 {
+            // Static-pruning counters, present only for pruned runs so
+            // unpruned summaries keep their historical shape.
+            push_u64(&mut line, "faults_full", s.faults_full);
+            push_u64(&mut line, "faults_sim", s.faults_sim);
+            push_u64(&mut line, "pruned_unexcitable", s.pruned_unexcitable);
+            push_u64(&mut line, "pruned_unobservable", s.pruned_unobservable);
+        }
         line.push_str(",\"phases\":{");
         for (i, (phase, d)) in s.phases.nonzero().enumerate() {
             if i > 0 {
@@ -125,6 +133,7 @@ pub fn render_summary_table(rows: &[MetricsSnapshot]) -> String {
     let header = [
         "simulator",
         "patterns",
+        "faults",
         "detected",
         "events/pat",
         "avg |F|",
@@ -135,13 +144,20 @@ pub fn render_summary_table(rows: &[MetricsSnapshot]) -> String {
         "mem MB",
         "cpu s",
     ];
-    let mut table: Vec<[String; 11]> = vec![header.map(String::from)];
+    let mut table: Vec<[String; 12]> = vec![header.map(String::from)];
     for s in rows {
         let detail = s.has_detail();
         let dash = || "-".to_string();
         table.push([
             s.simulator.clone(),
             s.patterns.to_string(),
+            // Simulated vs full universe, for runs that went through the
+            // static pruning pipeline.
+            if s.faults_full > 0 {
+                format!("{}/{}", s.faults_sim, s.faults_full)
+            } else {
+                dash()
+            },
             s.detected.to_string(),
             format!("{:.1}", s.events_per_pattern),
             if detail {
@@ -165,7 +181,7 @@ pub fn render_summary_table(rows: &[MetricsSnapshot]) -> String {
             format!("{:.3}", s.cpu_seconds),
         ]);
     }
-    let mut widths = [0usize; 11];
+    let mut widths = [0usize; 12];
     for row in &table {
         for (w, cell) in widths.iter_mut().zip(row.iter()) {
             *w = (*w).max(cell.len());
@@ -308,6 +324,34 @@ mod tests {
         let prop = phases.get("propagate").and_then(JsonValue::as_f64).unwrap();
         assert!((prop - 0.2).abs() < 1e-9);
         assert!(phases.get("latch_collect").is_none());
+    }
+
+    #[test]
+    fn summary_line_carries_pruning_counters_only_when_pruned() {
+        let mut s = MetricsSnapshot::from_basic("csim", "s27", 8, 20, 160, 500, 4096, 0.25);
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write_summary(&s).unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let v = JsonValue::parse(text.trim()).unwrap();
+        assert!(v.get("faults_full").is_none(), "unpruned shape unchanged");
+        s.faults_full = 100;
+        s.faults_sim = 60;
+        s.pruned_unexcitable = 5;
+        s.pruned_unobservable = 3;
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write_summary(&s).unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let v = JsonValue::parse(text.trim()).unwrap();
+        assert_eq!(v.get("faults_full").and_then(JsonValue::as_u64), Some(100));
+        assert_eq!(v.get("faults_sim").and_then(JsonValue::as_u64), Some(60));
+        assert_eq!(
+            v.get("pruned_unexcitable").and_then(JsonValue::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            v.get("pruned_unobservable").and_then(JsonValue::as_u64),
+            Some(3)
+        );
     }
 
     #[test]

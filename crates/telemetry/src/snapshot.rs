@@ -55,6 +55,18 @@ pub struct MetricsSnapshot {
     pub peak_memory_bytes: u64,
     /// Total measured CPU seconds (phase sum, or the caller's wall time).
     pub cpu_seconds: f64,
+    /// Full uncollapsed fault-universe size, when the run went through the
+    /// static pruning pipeline (`0` otherwise). Set by the driver, not the
+    /// probes: pruning happens before the first pattern.
+    pub faults_full: u64,
+    /// Faults actually simulated after exact collapsing plus static
+    /// pruning (`0` when pruning was not used).
+    pub faults_sim: u64,
+    /// Full-universe faults proven unexcitable by constant propagation.
+    pub pruned_unexcitable: u64,
+    /// Full-universe faults proven unobservable by the reachability
+    /// analysis.
+    pub pruned_unobservable: u64,
     /// Per-phase wall times (all zero for basic snapshots).
     pub phases: PhaseTimes,
 }
@@ -150,6 +162,13 @@ impl MetricsSnapshot {
         self.compacted_elements += other.compacted_elements;
         self.peak_memory_bytes += other.peak_memory_bytes;
         self.cpu_seconds = self.cpu_seconds.max(other.cpu_seconds);
+        // Universe-level facts, identical on every shard of a run: max
+        // keeps them stable whether the driver stamps them before or after
+        // the merge.
+        self.faults_full = self.faults_full.max(other.faults_full);
+        self.faults_sim = self.faults_sim.max(other.faults_sim);
+        self.pruned_unexcitable = self.pruned_unexcitable.max(other.pruned_unexcitable);
+        self.pruned_unobservable = self.pruned_unobservable.max(other.pruned_unobservable);
         self.phases.merge(&other.phases);
     }
 }

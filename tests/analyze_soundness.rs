@@ -1,0 +1,267 @@
+//! Soundness of the static fault-universe analyses, checked against
+//! brute-force simulation on small random circuits:
+//!
+//! - every statically pruned fault is truly undetectable (exhaustively for
+//!   combinational circuits, over long random sequences for sequential
+//!   ones), simulated by the *serial baseline*, not the concurrent engine
+//!   the analyses were built alongside;
+//! - every dominance edge holds: on combinational circuits, the set of
+//!   patterns detecting the dominated class is contained in the set
+//!   detecting the dominator class;
+//! - the observability analysis agrees with the `N004` unreachable-gate
+//!   rule: every fault at an unobservable gate is pruned, and the `F003`
+//!   cross-check stays silent on netlists where both passes ran.
+
+use proptest::prelude::*;
+
+use cfs_baselines::SerialSim;
+use cfs_check::{analyze_circuit, observable_nodes, prune_stuck_at, prune_transition, RuleCode};
+use cfs_core::{TransitionOptions, TransitionSim};
+use cfs_faults::{collapse_stuck_at_exact, dominance_collapse, FaultFate, FaultStatus, StuckAt};
+use cfs_logic::Logic;
+use cfs_netlist::generate::{generate, CircuitSpec};
+use cfs_netlist::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_patterns(circuit: &Circuit, count: usize, seed: u64) -> Vec<Vec<Logic>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (0..circuit.num_inputs())
+                .map(|_| Logic::from_bool(rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+/// All `2^n` binary input vectors, for exhaustive combinational proofs.
+fn exhaustive_patterns(circuit: &Circuit) -> Vec<Vec<Logic>> {
+    let n = circuit.num_inputs();
+    assert!(n <= 10, "exhaustive enumeration wants few inputs");
+    (0..1usize << n)
+        .map(|bits| {
+            (0..n)
+                .map(|i| Logic::from_bool(bits >> i & 1 != 0))
+                .collect()
+        })
+        .collect()
+}
+
+fn arb_spec() -> impl Strategy<Value = CircuitSpec> {
+    (3usize..6, 1usize..4, 0usize..4, 12usize..40, any::<u64>()).prop_map(
+        |(inputs, outputs, dffs, gates, seed)| {
+            CircuitSpec::new("soundness", inputs, outputs, dffs, gates, seed)
+        },
+    )
+}
+
+/// Faults of the full universe that the analyses proved undetectable.
+fn pruned_faults(circuit: &Circuit) -> Vec<StuckAt> {
+    let analysis = analyze_circuit(circuit);
+    let pruned = prune_stuck_at(circuit, &analysis);
+    pruned
+        .fate
+        .iter()
+        .zip(&pruned.full)
+        .filter(|(fate, _)| matches!(fate, FaultFate::Pruned(_)))
+        .map(|(_, &f)| f)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Brute force: a pruned fault is never detected by the serial
+    /// baseline — exhaustively on combinational circuits, over a long
+    /// random sequence on sequential ones.
+    #[test]
+    fn pruned_stuck_faults_are_undetectable(spec in arb_spec(), seed in any::<u64>()) {
+        let circuit = generate(&spec);
+        let victims = pruned_faults(&circuit);
+        prop_assume!(!victims.is_empty());
+        let patterns = if circuit.num_dffs() == 0 {
+            exhaustive_patterns(&circuit)
+        } else {
+            random_patterns(&circuit, 192, seed)
+        };
+        let report = SerialSim::new(&circuit, &victims).run(&patterns);
+        for (f, status) in victims.iter().zip(&report.statuses) {
+            prop_assert!(
+                !matches!(status, FaultStatus::Detected { .. }),
+                "{}: statically pruned but detected",
+                f.describe(&circuit)
+            );
+        }
+    }
+
+    /// Pruned transition faults are never detected either.
+    #[test]
+    fn pruned_transition_faults_are_undetectable(spec in arb_spec(), seed in any::<u64>()) {
+        let circuit = generate(&spec);
+        let analysis = analyze_circuit(&circuit);
+        let pruned = prune_transition(&circuit, &analysis);
+        let victims: Vec<_> = pruned
+            .fate
+            .iter()
+            .zip(&pruned.full)
+            .filter(|(fate, _)| matches!(fate, FaultFate::Pruned(_)))
+            .map(|(_, &f)| f)
+            .collect();
+        prop_assume!(!victims.is_empty());
+        let patterns = if circuit.num_dffs() == 0 {
+            exhaustive_patterns(&circuit)
+        } else {
+            random_patterns(&circuit, 192, seed)
+        };
+        let report =
+            TransitionSim::new(&circuit, &victims, TransitionOptions::default()).run(&patterns);
+        for (f, status) in victims.iter().zip(&report.statuses) {
+            prop_assert!(
+                !matches!(status, FaultStatus::Detected { .. }),
+                "{}: statically pruned but detected",
+                f.describe(&circuit)
+            );
+        }
+    }
+
+    /// Every dominance edge holds on combinational circuits: exhaustively,
+    /// each pattern detecting the dominated class also detects the
+    /// dominator class.
+    #[test]
+    fn dominance_edges_hold_exhaustively(spec in arb_spec()) {
+        let mut spec = spec;
+        spec.dffs = 0;
+        let circuit = generate(&spec);
+        let dom = dominance_collapse(&circuit);
+        prop_assume!(!dom.edges.is_empty());
+        let patterns = exhaustive_patterns(&circuit);
+        let reps = &dom.base.representatives;
+        // Per-pattern detection sets: one single-pattern run per pattern
+        // (combinational, so patterns are independent).
+        let mut detects: Vec<Vec<bool>> = vec![Vec::new(); reps.len()];
+        for p in &patterns {
+            let report = SerialSim::new(&circuit, reps).run(std::slice::from_ref(p));
+            for (class, status) in report.statuses.iter().enumerate() {
+                detects[class].push(matches!(status, FaultStatus::Detected { .. }));
+            }
+        }
+        for &(dominator, dominated) in &dom.edges {
+            for (pattern, detected) in detects[dominated as usize].iter().enumerate() {
+                if *detected {
+                    prop_assert!(
+                        detects[dominator as usize][pattern],
+                        "pattern {pattern} detects dominated class {dominated} but not \
+                         dominator {dominator}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Unified observability: every fault at a gate the reachability pass
+    /// calls unobservable is pruned from both universes.
+    #[test]
+    fn unobservable_gates_lose_all_their_faults(spec in arb_spec()) {
+        let circuit = generate(&spec);
+        let observable = observable_nodes(&circuit);
+        let analysis = analyze_circuit(&circuit);
+        let stuck = prune_stuck_at(&circuit, &analysis);
+        for (fate, f) in stuck.fate.iter().zip(&stuck.full) {
+            let site = match f.site {
+                cfs_faults::FaultSite::Output { gate } => gate,
+                cfs_faults::FaultSite::Pin { gate, .. } => gate,
+            };
+            if !observable[site.index()] {
+                prop_assert!(
+                    matches!(fate, FaultFate::Pruned(_)),
+                    "{}: at unobservable gate but kept",
+                    f.describe(&circuit)
+                );
+            }
+        }
+        let transition = prune_transition(&circuit, &analysis);
+        for (fate, f) in transition.fate.iter().zip(&transition.full) {
+            if !observable[f.gate.index()] {
+                prop_assert!(
+                    matches!(fate, FaultFate::Pruned(_)),
+                    "{}: at unobservable gate but kept",
+                    f.describe(&circuit)
+                );
+            }
+        }
+    }
+}
+
+/// The textual `N004` (unreachable gate) rule and the observability
+/// analysis agree on a fixture built to trigger both: `mid` and `dead`
+/// form a cone with no path to the output. The `F003` cross-check runs as
+/// part of `check_bench_source` and must stay silent, and every fault in
+/// the dead cone is pruned unobservable.
+#[test]
+fn n004_gates_are_unobservable_and_their_faults_pruned() {
+    let source = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\nmid = NOT(a)\ndead = AND(mid, b)\n";
+    let report = cfs_check::check_bench_source("dead_cone", source);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == RuleCode::UnreachableGate),
+        "fixture must trigger N004:\n{}",
+        report.render_text()
+    );
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == RuleCode::ObservabilityMismatch),
+        "the two observability passes disagree:\n{}",
+        report.render_text()
+    );
+    let circuit = cfs_netlist::parse_bench("dead_cone", source).expect("fixture parses");
+    let observable = observable_nodes(&circuit);
+    let analysis = analyze_circuit(&circuit);
+    let pruned = prune_stuck_at(&circuit, &analysis);
+    let mut dead_faults = 0usize;
+    for (fate, f) in pruned.fate.iter().zip(&pruned.full) {
+        let site = match f.site {
+            cfs_faults::FaultSite::Output { gate } => gate,
+            cfs_faults::FaultSite::Pin { gate, .. } => gate,
+        };
+        if !observable[site.index()] {
+            dead_faults += 1;
+            assert!(
+                matches!(fate, FaultFate::Pruned(_)),
+                "{}: in the dead cone but kept",
+                f.describe(&circuit)
+            );
+        }
+    }
+    assert!(dead_faults > 0, "fixture must put faults in the dead cone");
+}
+
+/// Exact collapsing (the `--prune` base) only merges faults with identical
+/// behaviour: spot-check that every class member has the same detection
+/// status as its representative on a random sequential circuit.
+#[test]
+fn exact_classes_share_detection_behaviour() {
+    let spec = CircuitSpec::new("exact_classes", 5, 3, 2, 35, 0x5EED);
+    let circuit = generate(&spec);
+    let col = collapse_stuck_at_exact(&circuit);
+    let patterns = random_patterns(&circuit, 96, 9);
+    let report = SerialSim::new(&circuit, &col.all).run(&patterns);
+    for (i, &class) in col.class_of.iter().enumerate() {
+        let rep_fault = col.representatives[class];
+        let rep_index = col
+            .all
+            .iter()
+            .position(|&f| f == rep_fault)
+            .expect("representative is in the universe");
+        assert_eq!(
+            report.statuses[i],
+            report.statuses[rep_index],
+            "{}: differs from its class representative",
+            col.all[i].describe(&circuit)
+        );
+    }
+}
