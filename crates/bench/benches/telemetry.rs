@@ -1,17 +1,22 @@
 //! Telemetry overhead bench: the same csim-MV workload with the probe
-//! absent (`NullProbe`, the default) and with the recording `SimMetrics`
-//! probe attached.
+//! absent (`NullProbe`, the default), with the recording `SimMetrics`
+//! probe attached, and with the event-level `TraceRecorder` attached.
 //!
 //! The `off` timing is the acceptance check for the zero-cost claim: the
 //! probe-free engine is monomorphized over `NullProbe`, whose methods are
 //! empty `#[inline]` bodies, and every costful sweep is gated behind
 //! `P::ENABLED`, so `telemetry/off` must match the pre-instrumentation
-//! engine (within noise; the `on` row shows what the probe itself costs).
+//! engine (within noise; the `on` and `trace` rows show what each probe
+//! itself costs — `trace` is the full `--trace-out` recorder with its
+//! default 1 Mi-event ring).
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cfs_bench::workloads::{circuit, deterministic_tests, fault_universe, WorkloadConfig};
 use cfs_core::{ConcurrentSim, CsimVariant};
+use cfs_trace::{TraceConfig, TraceRecorder};
 
 const CIRCUITS: &[&str] = &["s298g", "s1196g"];
 
@@ -44,9 +49,66 @@ fn bench_overhead(c: &mut Criterion) {
                 })
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new("trace", name),
+            &(&ckt, &faults, &tests),
+            |b, (ckt, faults, tests)| {
+                b.iter(|| {
+                    let probe = TraceRecorder::new(Instant::now(), TraceConfig::default());
+                    let mut sim =
+                        ConcurrentSim::with_probe(ckt, faults, CsimVariant::Mv.options(), probe);
+                    sim.run(tests).detected()
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_overhead);
+/// Advisory ceiling on the full-recorder slowdown: tracing is expected to
+/// cost real time (it writes an event per divergence/convergence/drop),
+/// but a ratio past this means the recorder leaked work onto a path the
+/// probe gating should have kept clean. Advisory only — printed, never
+/// failing — because absolute timings vary too much across CI machines.
+const TRACE_OVERHEAD_ADVISORY: f64 = 2.0;
+
+fn trace_overhead_advisory(_c: &mut Criterion) {
+    let cfg = WorkloadConfig::quick();
+    let ckt = circuit("s298g", &cfg);
+    let faults = fault_universe(&ckt);
+    let tests = deterministic_tests(&ckt, &faults, &cfg);
+    let best_of = |traced: bool| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..10 {
+            let start = Instant::now();
+            if traced {
+                let probe = TraceRecorder::new(Instant::now(), TraceConfig::default());
+                let mut sim =
+                    ConcurrentSim::with_probe(&ckt, &faults, CsimVariant::Mv.options(), probe);
+                sim.run(&tests);
+            } else {
+                let mut sim = ConcurrentSim::new(&ckt, &faults, CsimVariant::Mv.options());
+                sim.run(&tests);
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let off = best_of(false);
+    let on = best_of(true);
+    let ratio = on / off;
+    println!(
+        "telemetry/advisory  trace-on {:.3} ms / probe-off {:.3} ms = {ratio:.2}x (threshold {TRACE_OVERHEAD_ADVISORY:.1}x)",
+        on * 1e3,
+        off * 1e3,
+    );
+    if ratio > TRACE_OVERHEAD_ADVISORY {
+        eprintln!(
+            "# advisory: trace overhead {ratio:.2}x exceeds {TRACE_OVERHEAD_ADVISORY:.1}x — \
+             check that recording stayed off the probe-gated paths"
+        );
+    }
+}
+
+criterion_group!(benches, bench_overhead, trace_overhead_advisory);
 criterion_main!(benches);

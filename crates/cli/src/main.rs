@@ -9,11 +9,17 @@
 //!                    [--simulator csim|proofs|serial|deductive] [--uncollapsed]
 //!                    [--prune] [--threads N] [--shard-plan PLAN]
 //!                    [--detections FILE] [--stats] [--stats-json FILE]
-//!                    [--trace-every N] [--no-check] [--paranoid]
+//!                    [--trace-every N] [--trace-out FILE] [--trace-capacity N]
+//!                    [--trace-window W] [--no-check] [--paranoid]
 //! fsim transition <circuit> [--random N | --patterns FILE]
 //!                    [--prune] [--threads N] [--shard-plan PLAN]
 //!                    [--detections FILE] [--stats] [--stats-json FILE]
-//!                    [--trace-every N] [--no-check] [--paranoid]
+//!                    [--trace-every N] [--trace-out FILE] [--trace-capacity N]
+//!                    [--trace-window W] [--no-check] [--paranoid]
+//! fsim explain <circuit> <fault-id> [--random N | --patterns FILE]
+//!                    [--uncollapsed] [--trace-window W] [--no-check]
+//! fsim heatmap <circuit> [--random N | --patterns FILE] [--uncollapsed]
+//!                    [--top K] [--format text|json] [--no-check]
 //! fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]
 //! fsim generate <name> [--out FILE]
 //! ```
@@ -49,12 +55,30 @@
 //! table (plus phase times and list-length/queue-depth histograms for the
 //! concurrent simulators); `--stats-json FILE` streams one JSON line per
 //! pattern plus a summary record; `--trace-every N` prints a progress line
-//! every N patterns. `--variant all` runs all four concurrent variants and
-//! renders them in one comparison table.
+//! every N patterns (under `--threads N` the per-shard records merge into
+//! one deterministic line per milestone). `--variant all` runs all four
+//! concurrent variants and renders them in one comparison table.
+//!
+//! `--trace-out FILE` attaches the `cfs-trace` event recorder alongside
+//! the metrics probe and writes a Chrome Trace Event / Perfetto JSON
+//! document: one track per shard worker with pattern and phase spans plus
+//! fault-lifecycle instants (divergence, convergence, drop, detection,
+//! quiescence), and a counter track for live fault-list elements and
+//! event-queue depth. `--trace-capacity N` bounds each shard's event ring
+//! (oldest events drop beyond it); `--trace-window W` sets the quiescence
+//! window in patterns (0 disables).
+//!
+//! `fsim explain` replays one fault's recorded lifecycle as a timeline —
+//! first excitation, every divergence/convergence, detection — from a
+//! serial gate-level traced run. Unknown or statically-pruned fault ids
+//! exit with status 2 and a `cfs-check`-style diagnostic. `fsim heatmap`
+//! ranks nodes by fault-list activity (divergences + convergences +
+//! drops), the measured counterpart of the static SCOAP weights.
 
 use std::fmt;
 use std::fs;
 use std::io;
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -69,16 +93,19 @@ use cfs_core::{
     TransitionOptions, TransitionSim,
 };
 use cfs_faults::{
-    collapse_stuck_at, dominance_collapse, enumerate_stuck_at, enumerate_transition,
-    FaultSimReport, FaultStatus, PrunedUniverse, StuckAt, TransitionFault,
+    collapse_stuck_at, dominance_collapse, enumerate_stuck_at, enumerate_transition, FaultFate,
+    FaultSimReport, FaultStatus, PruneReason, PrunedUniverse, StuckAt, TransitionFault,
 };
 use cfs_logic::{format_pattern, parse_pattern, Logic};
 use cfs_netlist::{
     extract_macros, parse_bench, parse_bench_with_provenance, write_bench, Circuit, GateId,
 };
 use cfs_telemetry::{
-    render_histogram, render_phase_table, render_summary_table, JsonlWriter, Log2Histogram,
-    MetricsSnapshot, Phase, SimMetrics,
+    render_histogram, render_phase_table, render_summary_table, write_json_string, JsonlWriter,
+    Log2Histogram, MetricsSnapshot, PairProbe, Phase, SimMetrics,
+};
+use cfs_trace::{
+    write_chrome_trace, FaultTimeline, Heatmap, TraceConfig, TraceEvent, TraceRecorder, TrackTrace,
 };
 
 #[derive(Debug)]
@@ -96,10 +123,32 @@ fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
     Box::new(CliError(msg.into()))
 }
 
+/// An already-rendered `cfs-check`-style diagnostic (`severity: CODE
+/// [slug] message`): printed verbatim, exits with status 2 so scripts can
+/// tell a diagnosed input (2) from an operational failure (1).
+#[derive(Debug)]
+struct DiagnosticError(String);
+
+impl fmt::Display for DiagnosticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DiagnosticError {}
+
+fn diag(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(DiagnosticError(msg.into()))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.is::<DiagnosticError>() => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("fsim: {e}");
             ExitCode::from(1)
@@ -119,6 +168,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "stats" => cmd_stats(rest),
         "sim" => cmd_sim(rest),
         "transition" => cmd_transition(rest),
+        "explain" => cmd_explain(rest),
+        "heatmap" => cmd_heatmap(rest),
         "atpg" => cmd_atpg(rest),
         "generate" => cmd_generate(rest),
         "--help" | "-h" | "help" => {
@@ -141,11 +192,17 @@ fn print_usage() {
          \u{20}                     [--simulator csim|proofs|serial|deductive] [--uncollapsed]\n\
          \u{20}                     [--prune] [--threads N] [--shard-plan PLAN]\n\
          \u{20}                     [--detections FILE] [--stats] [--stats-json FILE]\n\
-         \u{20}                     [--trace-every N] [--no-check] [--paranoid]\n\
+         \u{20}                     [--trace-every N] [--trace-out FILE] [--trace-capacity N]\n\
+         \u{20}                     [--trace-window W] [--no-check] [--paranoid]\n\
          \u{20}  fsim transition <circuit> [--random N | --patterns FILE]\n\
          \u{20}                     [--prune] [--threads N] [--shard-plan PLAN]\n\
          \u{20}                     [--detections FILE] [--stats] [--stats-json FILE]\n\
-         \u{20}                     [--trace-every N] [--no-check] [--paranoid]\n\
+         \u{20}                     [--trace-every N] [--trace-out FILE] [--trace-capacity N]\n\
+         \u{20}                     [--trace-window W] [--no-check] [--paranoid]\n\
+         \u{20}  fsim explain <circuit> <fault-id> [--random N | --patterns FILE]\n\
+         \u{20}                     [--uncollapsed] [--trace-window W] [--no-check]\n\
+         \u{20}  fsim heatmap <circuit> [--random N | --patterns FILE] [--uncollapsed]\n\
+         \u{20}                     [--top K] [--format text|json] [--no-check]\n\
          \u{20}  fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]\n\
          \u{20}  fsim generate <name> [--out FILE]\n\
          \n\
@@ -159,6 +216,9 @@ fn print_usage() {
          --stats       print the metric table (plus phase times and histograms)\n\
          --stats-json  write one JSON line per pattern plus a summary record\n\
          --trace-every print a progress line every N patterns (concurrent sims)\n\
+         --trace-out   write a Chrome Trace / Perfetto JSON event trace\n\
+         --trace-capacity  per-shard trace ring capacity in events (default 1M)\n\
+         --trace-window    quiescence window in patterns, 0 disables (default 32)\n\
          --variant all run all four concurrent variants into one comparison table\n\
          --no-check    skip the cfs-check preflight (sim/transition refuse on errors)\n\
          --paranoid    verify engine invariants after every pattern, even in release\n\
@@ -206,6 +266,9 @@ const SIM_FLAGS: FlagSpec = &[
     ("--stats", false),
     ("--stats-json", true),
     ("--trace-every", true),
+    ("--trace-out", true),
+    ("--trace-capacity", true),
+    ("--trace-window", true),
     ("--no-check", false),
     ("--paranoid", false),
 ];
@@ -220,8 +283,28 @@ const TRANSITION_FLAGS: FlagSpec = &[
     ("--stats", false),
     ("--stats-json", true),
     ("--trace-every", true),
+    ("--trace-out", true),
+    ("--trace-capacity", true),
+    ("--trace-window", true),
     ("--no-check", false),
     ("--paranoid", false),
+];
+const EXPLAIN_FLAGS: FlagSpec = &[
+    ("--patterns", true),
+    ("--random", true),
+    ("--seed", true),
+    ("--uncollapsed", false),
+    ("--trace-window", true),
+    ("--no-check", false),
+];
+const HEATMAP_FLAGS: FlagSpec = &[
+    ("--patterns", true),
+    ("--random", true),
+    ("--seed", true),
+    ("--uncollapsed", false),
+    ("--top", true),
+    ("--format", true),
+    ("--no-check", false),
 ];
 const ATPG_FLAGS: FlagSpec = &[("--max-frames", true), ("--random", true), ("--out", true)];
 const GENERATE_FLAGS: FlagSpec = &[("--out", true)];
@@ -270,6 +353,11 @@ struct TelemetryOpts {
     stats: bool,
     stats_json: Option<String>,
     trace_every: Option<usize>,
+    /// Chrome Trace / Perfetto JSON output path (`--trace-out`).
+    trace_out: Option<String>,
+    /// Per-shard event-recorder tuning (`--trace-capacity`,
+    /// `--trace-window`).
+    trace_cfg: TraceConfig,
     /// Wall time the `cfs-check` preflight took, folded into the phase
     /// table of every snapshot the run emits.
     check_time: Duration,
@@ -287,17 +375,36 @@ impl TelemetryOpts {
             }
             None => None,
         };
+        let mut trace_cfg = TraceConfig::default();
+        if let Some(v) = flag_value(args, "--trace-capacity") {
+            trace_cfg.capacity = v
+                .parse()
+                .map_err(|_| err("--trace-capacity needs a number"))?;
+            if trace_cfg.capacity == 0 {
+                return Err(err("--trace-capacity must be at least 1"));
+            }
+        }
+        if let Some(v) = flag_value(args, "--trace-window") {
+            trace_cfg.quiescence_window = v
+                .parse()
+                .map_err(|_| err("--trace-window needs a number (0 disables)"))?;
+        }
         Ok(TelemetryOpts {
             stats: has_flag(args, "--stats"),
             stats_json: flag_value(args, "--stats-json").map(str::to_owned),
             trace_every,
+            trace_out: flag_value(args, "--trace-out").map(str::to_owned),
+            trace_cfg,
             check_time: Duration::ZERO,
         })
     }
 
     /// Whether the run needs the recording probe attached at all.
     fn enabled(&self) -> bool {
-        self.stats || self.stats_json.is_some() || self.trace_every.is_some()
+        self.stats
+            || self.stats_json.is_some()
+            || self.trace_every.is_some()
+            || self.trace_out.is_some()
     }
 }
 
@@ -674,6 +781,88 @@ fn trace_progress(metrics: &SimMetrics, pattern: usize, detected: usize, total: 
     );
 }
 
+/// Cumulative state behind [`merged_trace_progress`]: how many patterns
+/// were already replayed and the running detection count.
+#[derive(Default)]
+struct ProgressState {
+    cursor: usize,
+    detected: u64,
+}
+
+/// `--trace-every` under `--threads N`: replays the per-shard per-pattern
+/// records up to `done` finished patterns and prints one merged line per
+/// multiple of `every`. The caller invokes this from the `run_with`
+/// after-block hook, when every shard has settled the block, so the merge
+/// reads only finished records — the output is deterministic and identical
+/// for every thread count (per-pattern counters sum across shards; the
+/// mean list length over nodes sums because the shards partition the
+/// fault universe over the same node array).
+fn merged_trace_progress(
+    shards: &[&SimMetrics],
+    state: &mut ProgressState,
+    every: usize,
+    done: usize,
+    total: usize,
+) {
+    while state.cursor < done {
+        let p = state.cursor;
+        let mut avg = 0.0;
+        let mut events = 0u64;
+        for m in shards {
+            if let Some(r) = m.records().get(p) {
+                state.detected += r.counters.detected;
+                avg += r.avg_list_len;
+                events += r.counters.activations;
+            }
+        }
+        state.cursor += 1;
+        if state.cursor.is_multiple_of(every) {
+            println!(
+                "  pattern {:>6}: detected {}/{total}  avg |F| {avg:.1}  events {events}",
+                state.cursor, state.detected
+            );
+        }
+    }
+}
+
+/// The probe attached by `--trace-out`: aggregate metrics and the event
+/// recorder, driven by one engine pass.
+type TraceProbe = PairProbe<SimMetrics, TraceRecorder>;
+
+/// Writes the Chrome Trace / Perfetto JSON document for a finished traced
+/// run: one track per shard (fault ids remapped local→global through each
+/// shard's map) plus the merged counter track.
+fn write_trace_file(
+    path: &str,
+    process_name: &str,
+    shards: &[(Vec<TraceEvent>, &[usize])],
+    recorded: u64,
+    dropped: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let tracks: Vec<TrackTrace<'_>> = shards
+        .iter()
+        .enumerate()
+        .map(|(k, (events, map))| TrackTrace {
+            label: format!("shard {k}"),
+            events,
+            fault_map: Some(map),
+        })
+        .collect();
+    let file = fs::File::create(path).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    let mut out = io::BufWriter::new(file);
+    write_chrome_trace(&mut out, process_name, &tracks)
+        .and_then(|()| out.flush())
+        .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    if dropped > 0 {
+        eprintln!(
+            "fsim: note: trace ring overflowed; {dropped} oldest events were \
+             discarded (raise --trace-capacity)"
+        );
+    }
+    println!("wrote trace to {path} ({recorded} events recorded, {dropped} dropped)");
+    Ok(())
+}
+
 /// The per-run detail blocks behind `--stats`: phase times and the two
 /// engine histograms (only the concurrent simulators have these).
 fn print_stats_detail(snap: &MetricsSnapshot, metrics: &SimMetrics) {
@@ -769,6 +958,12 @@ fn run_csim_stuck(
     if par.detections.is_some() && variants.len() > 1 {
         return Err(err("--detections needs a single --variant"));
     }
+    if tel.trace_out.is_some() {
+        if variants.len() > 1 {
+            return Err(err("--trace-out needs a single --variant"));
+        }
+        return run_csim_stuck_traced(c, faults, patterns, variants[0], tel, par, pruned, keys);
+    }
     if par.threads > 1 {
         return run_csim_stuck_sharded(c, faults, patterns, &variants, tel, par, pruned, keys);
     }
@@ -821,9 +1016,10 @@ fn run_csim_stuck(
 }
 
 /// The `--threads N > 1` path: fault-sharded engines over a shared good
-/// machine. Per-pattern tracing and per-pattern JSON records are a serial
-/// concept, so `--trace-every` is ignored here and `--stats-json` carries
-/// only the merged summary record.
+/// machine. `--trace-every` milestones merge the per-shard records into
+/// one deterministic line per milestone (see [`merged_trace_progress`]);
+/// per-pattern JSON records stay a serial concept, so `--stats-json`
+/// carries only the merged summary record.
 #[allow(clippy::too_many_arguments)]
 fn run_csim_stuck_sharded(
     c: &Circuit,
@@ -835,9 +1031,6 @@ fn run_csim_stuck_sharded(
     pruned: Option<&PrunedUniverse<StuckAt>>,
     keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    if tel.trace_every.is_some() {
-        eprintln!("fsim: note: --trace-every is serial-only; ignored with --threads");
-    }
     let mut jsonl = open_jsonl(&tel.stats_json)?;
     let mut snaps = Vec::new();
     for &variant in variants {
@@ -858,7 +1051,13 @@ fn run_csim_stuck_sharded(
             if par.paranoid {
                 sim.set_paranoid(true);
             }
-            let report = sim.run(patterns);
+            let mut progress = ProgressState::default();
+            let report = sim.run_with(patterns, |s, done| {
+                if let Some(every) = tel.trace_every {
+                    let shards: Vec<&SimMetrics> = s.shard_metrics().collect();
+                    merged_trace_progress(&shards, &mut progress, every, done, faults.len());
+                }
+            });
             let mut snap = sim.snapshot();
             snap.cpu_seconds = report.cpu.as_secs_f64();
             snap.phases.add(Phase::Check, tel.check_time);
@@ -900,6 +1099,107 @@ fn run_csim_stuck_sharded(
         print!("{}", render_summary_table(&snaps));
     }
     close_jsonl(jsonl, &tel.stats_json)
+}
+
+/// The `--trace-out` path: every shard carries a metrics probe *and* an
+/// event recorder ([`TraceProbe`]), for any thread count — one shard runs
+/// the exact serial schedule, so the serial and sharded traced paths are
+/// the same code. After the run the shard event streams become one Chrome
+/// Trace / Perfetto JSON document (fault ids remapped to the global
+/// universe through each shard's map).
+#[allow(clippy::too_many_arguments)]
+fn run_csim_stuck_traced(
+    c: &Circuit,
+    faults: &[StuckAt],
+    patterns: &[Vec<Logic>],
+    variant: CsimVariant,
+    tel: &TelemetryOpts,
+    par: &ParallelOpts,
+    pruned: Option<&PrunedUniverse<StuckAt>>,
+    keys: Option<&[u32]>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    // One epoch for every shard, so cross-track timestamps line up.
+    let epoch = Instant::now();
+    let mut sim = ParallelSim::with_probes(
+        c,
+        faults,
+        variant.options(),
+        par.threads,
+        par.plan,
+        keys,
+        |_| -> TraceProbe {
+            PairProbe(SimMetrics::new(), TraceRecorder::new(epoch, tel.trace_cfg))
+        },
+    );
+    if par.paranoid {
+        sim.set_paranoid(true);
+    }
+    let mut progress = ProgressState::default();
+    let mut report = sim.run_with(patterns, |s, done| {
+        if let Some(every) = tel.trace_every {
+            let shards: Vec<&SimMetrics> = s.shard_probes().map(|(p, _)| &p.0).collect();
+            merged_trace_progress(&shards, &mut progress, every, done, faults.len());
+        }
+    });
+    expand_report(&mut report, pruned);
+    print_report(&report);
+    // Merge the metrics halves into one snapshot, exactly as
+    // `ParallelSim::snapshot` does for plain instrumented shards.
+    let mut merged: Option<MetricsSnapshot> = None;
+    for (p, _) in sim.shard_probes() {
+        let shard_snap = p.0.snapshot("", c.name());
+        match merged.as_mut() {
+            None => merged = Some(shard_snap),
+            Some(m) => m.merge_shard(&shard_snap),
+        }
+    }
+    let mut snap = merged.unwrap_or_default();
+    snap.simulator = report.simulator.clone();
+    snap.circuit = c.name().to_owned();
+    let (good_events, good_evals) = sim.good_engine_work();
+    snap.events += good_events;
+    snap.good_evals += good_evals;
+    snap.cpu_seconds = report.cpu.as_secs_f64();
+    snap.phases.add(Phase::Check, tel.check_time);
+    stamp_prune_counters(&mut snap, pruned);
+    snap.trace_events = sim.shard_probes().map(|(p, _)| p.1.recorded_events()).sum();
+    snap.trace_dropped = sim.shard_probes().map(|(p, _)| p.1.dropped_events()).sum();
+    if tel.stats {
+        print_stats_detail_sharded(&snap, sim.shard_probes().map(|(p, _)| &p.0));
+        println!();
+        print!("{}", render_summary_table(std::slice::from_ref(&snap)));
+    }
+    let mut jsonl = open_jsonl(&tel.stats_json)?;
+    if let Some(w) = jsonl.as_mut() {
+        if par.threads == 1 {
+            // The single shard ran the serial schedule, so its per-pattern
+            // records are the serial records.
+            let (p, _) = sim.shard_probes().next().expect("one shard");
+            emit_jsonl(w, &p.0, &snap)?;
+        } else {
+            w.write_summary(&snap)
+                .map_err(|e| err(format!("cannot write telemetry: {e}")))?;
+        }
+    }
+    close_jsonl(jsonl, &tel.stats_json)?;
+    if let Some(path) = &par.detections {
+        write_detections(path, &report.statuses)?;
+    }
+    let shard_data: Vec<(Vec<TraceEvent>, &[usize])> = sim
+        .shard_probes()
+        .map(|(p, map)| (p.1.events().copied().collect(), map))
+        .collect();
+    let path = tel
+        .trace_out
+        .as_deref()
+        .expect("routed here by --trace-out");
+    write_trace_file(
+        path,
+        &format!("{} · {}", c.name(), report.simulator),
+        &shard_data,
+        snap.trace_events,
+        snap.trace_dropped,
+    )
 }
 
 /// Telemetry output for the baseline simulators, which report only run
@@ -1008,6 +1308,11 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 keys.as_deref(),
             )
         }
+        other if tel.trace_out.is_some() => {
+            return Err(err(format!(
+                "--trace-out needs the concurrent simulator, not {other:?}"
+            )))
+        }
         other if par.threads > 1 => {
             return Err(err(format!(
                 "--threads needs the concurrent simulator, not {other:?}"
@@ -1090,6 +1395,17 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         _ => None,
     };
     let patterns = load_patterns(&c, args, 256)?;
+    if tel.trace_out.is_some() {
+        return run_transition_traced(
+            &c,
+            &faults,
+            &patterns,
+            &tel,
+            &par,
+            pruned.as_ref(),
+            keys.as_deref(),
+        );
+    }
     if par.threads > 1 {
         return run_transition_sharded(
             &c,
@@ -1153,9 +1469,6 @@ fn run_transition_sharded(
     pruned: Option<&PrunedUniverse<TransitionFault>>,
     keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    if tel.trace_every.is_some() {
-        eprintln!("fsim: note: --trace-every is serial-only; ignored with --threads");
-    }
     let mut report = if tel.enabled() {
         let mut jsonl = open_jsonl(&tel.stats_json)?;
         let mut sim = match keys {
@@ -1178,7 +1491,13 @@ fn run_transition_sharded(
         if par.paranoid {
             sim.set_paranoid(true);
         }
-        let report = sim.run(patterns);
+        let mut progress = ProgressState::default();
+        let report = sim.run_with(patterns, |s, done| {
+            if let Some(every) = tel.trace_every {
+                let shards: Vec<&SimMetrics> = s.shard_metrics().collect();
+                merged_trace_progress(&shards, &mut progress, every, done, faults.len());
+            }
+        });
         let mut snap = sim.snapshot();
         snap.cpu_seconds = report.cpu.as_secs_f64();
         snap.phases.add(Phase::Check, tel.check_time);
@@ -1221,6 +1540,380 @@ fn run_transition_sharded(
     print_report(&report);
     if let Some(path) = &par.detections {
         write_detections(path, &report.statuses)?;
+    }
+    Ok(())
+}
+
+/// The `transition --trace-out` path; mirrors [`run_csim_stuck_traced`].
+fn run_transition_traced(
+    c: &Circuit,
+    faults: &[TransitionFault],
+    patterns: &[Vec<Logic>],
+    tel: &TelemetryOpts,
+    par: &ParallelOpts,
+    pruned: Option<&PrunedUniverse<TransitionFault>>,
+    keys: Option<&[u32]>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let epoch = Instant::now();
+    let mut sim = ParallelTransitionSim::with_probes(
+        c,
+        faults,
+        TransitionOptions::default(),
+        par.threads,
+        par.plan,
+        keys,
+        |_| -> TraceProbe {
+            PairProbe(SimMetrics::new(), TraceRecorder::new(epoch, tel.trace_cfg))
+        },
+    );
+    if par.paranoid {
+        sim.set_paranoid(true);
+    }
+    let mut progress = ProgressState::default();
+    let mut report = sim.run_with(patterns, |s, done| {
+        if let Some(every) = tel.trace_every {
+            let shards: Vec<&SimMetrics> = s.shard_probes().map(|(p, _)| &p.0).collect();
+            merged_trace_progress(&shards, &mut progress, every, done, faults.len());
+        }
+    });
+    expand_report(&mut report, pruned);
+    print_report(&report);
+    let mut merged: Option<MetricsSnapshot> = None;
+    for (p, _) in sim.shard_probes() {
+        let shard_snap = p.0.snapshot("", c.name());
+        match merged.as_mut() {
+            None => merged = Some(shard_snap),
+            Some(m) => m.merge_shard(&shard_snap),
+        }
+    }
+    let mut snap = merged.unwrap_or_default();
+    snap.simulator = report.simulator.clone();
+    snap.circuit = c.name().to_owned();
+    let (good_events, good_evals) = sim.good_engine_work();
+    snap.events += good_events;
+    snap.good_evals += good_evals;
+    snap.cpu_seconds = report.cpu.as_secs_f64();
+    snap.phases.add(Phase::Check, tel.check_time);
+    stamp_prune_counters(&mut snap, pruned);
+    snap.trace_events = sim.shard_probes().map(|(p, _)| p.1.recorded_events()).sum();
+    snap.trace_dropped = sim.shard_probes().map(|(p, _)| p.1.dropped_events()).sum();
+    if tel.stats {
+        print_stats_detail_sharded(&snap, sim.shard_probes().map(|(p, _)| &p.0));
+        println!();
+        print!("{}", render_summary_table(std::slice::from_ref(&snap)));
+    }
+    let mut jsonl = open_jsonl(&tel.stats_json)?;
+    if let Some(w) = jsonl.as_mut() {
+        if par.threads == 1 {
+            let (p, _) = sim.shard_probes().next().expect("one shard");
+            emit_jsonl(w, &p.0, &snap)?;
+        } else {
+            w.write_summary(&snap)
+                .map_err(|e| err(format!("cannot write telemetry: {e}")))?;
+        }
+    }
+    close_jsonl(jsonl, &tel.stats_json)?;
+    if let Some(path) = &par.detections {
+        write_detections(path, &report.statuses)?;
+    }
+    let shard_data: Vec<(Vec<TraceEvent>, &[usize])> = sim
+        .shard_probes()
+        .map(|(p, map)| (p.1.events().copied().collect(), map))
+        .collect();
+    let path = tel
+        .trace_out
+        .as_deref()
+        .expect("routed here by --trace-out");
+    write_trace_file(
+        path,
+        &format!("{} · {}", c.name(), report.simulator),
+        &shard_data,
+        snap.trace_events,
+        snap.trace_dropped,
+    )
+}
+
+/// Display name of a gate-level node. Gate-level networks keep node id ==
+/// circuit gate index; `explain` and `heatmap` replay through `csim-V`
+/// (split lists, no macros) for exactly this reason — macro collapsing
+/// renumbers nodes.
+fn node_name(c: &Circuit, node: u32) -> &str {
+    c.gate(GateId::from_index(node as usize)).name()
+}
+
+/// `fsim explain <circuit> <fault-id>`: replay the fault universe through
+/// a serial gate-level traced run and print the one fault's recorded
+/// lifecycle. Unknown and statically-untestable ids exit with status 2
+/// and a `cfs-check`-style diagnostic instead of a timeline.
+fn cmd_explain(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = args
+        .first()
+        .ok_or_else(|| err("explain: missing circuit"))?;
+    let id_arg = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| err("explain: missing fault id (fsim explain <circuit> <fault-id>)"))?;
+    if let Some(stray) = args.get(2).filter(|a| !a.starts_with("--")) {
+        return Err(err(format!(
+            "explain: unexpected argument {stray:?} (the circuit and fault id come first)"
+        )));
+    }
+    validate_flags("explain", &args[2..], EXPLAIN_FLAGS)?;
+    let id: usize = id_arg.parse().map_err(|_| {
+        err(format!(
+            "explain: fault id must be a number, got {id_arg:?}"
+        ))
+    })?;
+    let (c, _check_time) = load_circuit_checked(spec, args)?;
+    let uncollapsed = has_flag(args, "--uncollapsed");
+    let universe = if uncollapsed {
+        enumerate_stuck_at(&c)
+    } else {
+        collapse_stuck_at(&c).representatives
+    };
+    if id >= universe.len() {
+        let kind = if uncollapsed {
+            "uncollapsed"
+        } else {
+            "collapsed"
+        };
+        return Err(diag(format!(
+            "error: E001 [unknown-fault-id] fault {id} is outside the {kind} stuck-at \
+             universe of {} (valid ids: 0..{})",
+            c.name(),
+            universe.len()
+        )));
+    }
+    let fault = universe[id];
+    // A statically-untestable fault has no lifecycle to explain; say why
+    // up front instead of replaying to an empty timeline.
+    let analysis = analyze_circuit(&c);
+    let pu = prune_stuck_at(&c, &analysis);
+    if let Some(pos) = pu.full.iter().position(|&f| f == fault) {
+        if let FaultFate::Pruned(reason) = pu.fate[pos] {
+            let why = match reason {
+                PruneReason::Unexcitable => {
+                    "its site is provably constant at the stuck value, so it can never be excited"
+                }
+                PruneReason::Unobservable => "no primary output can ever observe its site",
+            };
+            return Err(diag(format!(
+                "error: F002 [statically-untestable-fault] fault {id} ({}): {why}; \
+                 no pattern sequence can detect it",
+                fault.describe(&c)
+            )));
+        }
+    }
+    let mut cfg = TraceConfig::default();
+    if let Some(v) = flag_value(args, "--trace-window") {
+        cfg.quiescence_window = v
+            .parse()
+            .map_err(|_| err("--trace-window needs a number (0 disables)"))?;
+    }
+    let patterns = load_patterns(&c, args, 256)?;
+    let mut sim = ConcurrentSim::with_probe(
+        &c,
+        &universe,
+        CsimVariant::V.options(),
+        TraceRecorder::new(Instant::now(), cfg),
+    );
+    for p in &patterns {
+        sim.step(p);
+    }
+    let rec = sim.probe();
+    if rec.dropped_events() > 0 {
+        eprintln!(
+            "fsim: note: trace ring overflowed ({} events dropped); the timeline may be \
+             missing early events (replay fewer patterns)",
+            rec.dropped_events()
+        );
+    }
+    let timeline = FaultTimeline::collect(rec.events(), id as u32);
+    println!("fault {id}: {}", fault.describe(&c));
+    println!(
+        "  replayed {} patterns through csim-V (gate-level, serial)",
+        patterns.len()
+    );
+    println!();
+    const MAX_LINES: usize = 80;
+    for e in timeline.events.iter().take(MAX_LINES) {
+        match *e {
+            TraceEvent::Divergence {
+                pattern, node, ts, ..
+            } => println!(
+                "  pattern {pattern:>6}  +{ts:>9} µs  diverged at {}",
+                node_name(&c, node)
+            ),
+            TraceEvent::Convergence {
+                pattern, node, ts, ..
+            } => println!(
+                "  pattern {pattern:>6}  +{ts:>9} µs  converged at {}",
+                node_name(&c, node)
+            ),
+            TraceEvent::Dropped {
+                pattern, node, ts, ..
+            } => println!(
+                "  pattern {pattern:>6}  +{ts:>9} µs  dropped at {} (detected; element purged)",
+                node_name(&c, node)
+            ),
+            TraceEvent::Detected {
+                pattern,
+                po_node,
+                ts,
+                ..
+            } => println!(
+                "  pattern {pattern:>6}  +{ts:>9} µs  DETECTED at output {}",
+                node_name(&c, po_node)
+            ),
+            TraceEvent::Quiescent {
+                since_pattern,
+                at_pattern,
+                ts,
+                ..
+            } => println!(
+                "  pattern {at_pattern:>6}  +{ts:>9} µs  quiescent since pattern {since_pattern}"
+            ),
+            _ => {}
+        }
+    }
+    if timeline.events.len() > MAX_LINES {
+        println!("  … {} more events", timeline.events.len() - MAX_LINES);
+    }
+    println!();
+    let (div, conv) = timeline.activity_counts();
+    if timeline.is_empty() {
+        println!(
+            "verdict: never excited in {} patterns (no fault effect entered any list)",
+            patterns.len()
+        );
+    } else if let Some((pattern, po, _)) = timeline.detection() {
+        println!(
+            "verdict: detected at pattern {pattern} at output {} \
+             ({div} divergences, {conv} convergences)",
+            node_name(&c, po)
+        );
+    } else {
+        match timeline.first_excitation() {
+            Some((p0, n0, _)) => println!(
+                "verdict: excited but never detected ({div} divergences, {conv} convergences; \
+                 first recorded excitation at pattern {p0} at {})",
+                node_name(&c, n0)
+            ),
+            None => println!(
+                "verdict: active but never detected \
+                 ({div} divergences, {conv} convergences recorded)"
+            ),
+        }
+    }
+    Ok(())
+}
+
+/// `fsim heatmap <circuit>`: rank nodes by recorded fault-list activity
+/// from a serial gate-level traced run — the measured counterpart of the
+/// static SCOAP observability weights `--shard-plan weight-aware` uses.
+fn cmd_heatmap(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags("heatmap", args, HEATMAP_FLAGS)?;
+    let spec = args
+        .first()
+        .ok_or_else(|| err("heatmap: missing circuit"))?;
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(err(format!("unknown format {format:?} (text, json)")));
+    }
+    let top = match flag_value(args, "--top") {
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| err("--top needs a number"))?;
+            if n == 0 {
+                return Err(err("--top must be at least 1"));
+            }
+            n
+        }
+        None => 20,
+    };
+    let (c, _check_time) = load_circuit_checked(spec, args)?;
+    let faults = if has_flag(args, "--uncollapsed") {
+        enumerate_stuck_at(&c)
+    } else {
+        collapse_stuck_at(&c).representatives
+    };
+    let patterns = load_patterns(&c, args, 256)?;
+    // The per-node totals come from the recorder's exact counters, which
+    // ring overflow cannot touch, so the ring itself can be minimal.
+    let cfg = TraceConfig {
+        capacity: 1,
+        quiescence_window: 0,
+    };
+    let mut sim = ConcurrentSim::with_probe(
+        &c,
+        &faults,
+        CsimVariant::V.options(),
+        TraceRecorder::new(Instant::now(), cfg),
+    );
+    for p in &patterns {
+        sim.step(p);
+    }
+    let mut heat = Heatmap::new();
+    heat.add_recorder(sim.probe());
+    let ranked = heat.ranked();
+    let shown = ranked.len().min(top);
+    if format == "json" {
+        let mut out = String::new();
+        out.push_str("{\"circuit\":");
+        write_json_string(&mut out, c.name());
+        out.push_str(&format!(
+            ",\"patterns\":{},\"faults\":{},\"active_nodes\":{},\"total_activity\":{},\"nodes\":[",
+            patterns.len(),
+            faults.len(),
+            ranked.len(),
+            heat.total()
+        ));
+        for (i, (node, act)) in ranked.iter().take(top).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"node\":{node},\"name\":"));
+            write_json_string(&mut out, node_name(&c, *node));
+            out.push_str(&format!(
+                ",\"level\":{},\"divergences\":{},\"convergences\":{},\"drops\":{},\"total\":{}}}",
+                c.level(GateId::from_index(*node as usize)),
+                act.divergences,
+                act.convergences,
+                act.drops,
+                act.total()
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+        return Ok(());
+    }
+    println!(
+        "fault-list activity of {} ({} patterns, {} faults, {} events at {} active nodes)",
+        c.name(),
+        patterns.len(),
+        faults.len(),
+        heat.total(),
+        ranked.len()
+    );
+    println!(
+        "  {:<24} {:>5} {:>10} {:>10} {:>8} {:>10}",
+        "node", "level", "diverge", "converge", "drops", "total"
+    );
+    for (node, act) in ranked.iter().take(top) {
+        println!(
+            "  {:<24} {:>5} {:>10} {:>10} {:>8} {:>10}",
+            node_name(&c, *node),
+            c.level(GateId::from_index(*node as usize)),
+            act.divergences,
+            act.convergences,
+            act.drops,
+            act.total()
+        );
+    }
+    if ranked.len() > shown {
+        println!(
+            "  … {} more active node(s) (raise --top)",
+            ranked.len() - shown
+        );
     }
     Ok(())
 }

@@ -5,12 +5,18 @@ use std::process::Command;
 use cfs_telemetry::JsonValue;
 
 fn fsim(args: &[&str]) -> (bool, String, String) {
+    let (code, out, err) = fsim_code(args);
+    (code == Some(0), out, err)
+}
+
+/// Like [`fsim`], but reporting the raw exit code — diagnostics exit with 2.
+fn fsim_code(args: &[&str]) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_fsim"))
         .args(args)
         .output()
         .expect("fsim binary runs");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -516,4 +522,158 @@ fn stats_phase_table_includes_check_time() {
     let (ok, out, err) = fsim(&["sim", "@s27", "--random", "8", "--stats"]);
     assert!(ok, "{err}");
     assert!(out.contains("check"), "check phase in table: {out}");
+}
+
+/// The ISSUE acceptance scenario: a traced 4-thread run writes valid
+/// Chrome Trace JSON with one track per shard, pattern spans, and at
+/// least one divergence/convergence pair — without touching detections.
+#[test]
+fn trace_out_writes_valid_chrome_trace_without_perturbing_detections() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let plain_det = dir.join("trace-plain-det.txt");
+    let (ok, _, err) = fsim(&[
+        "sim",
+        "@s298g",
+        "--random",
+        "64",
+        "--detections",
+        plain_det.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+
+    let trace = dir.join("run.trace.json");
+    let traced_det = dir.join("trace-traced-det.txt");
+    let (ok, out, err) = fsim(&[
+        "sim",
+        "@s298g",
+        "--random",
+        "64",
+        "--threads",
+        "4",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--detections",
+        traced_det.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("wrote trace to"), "{out}");
+    assert_eq!(
+        std::fs::read_to_string(&traced_det).unwrap(),
+        std::fs::read_to_string(&plain_det).unwrap(),
+        "tracing perturbed the detection dump"
+    );
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let stats = cfs_trace::validate_chrome_trace(&text).expect("valid Chrome Trace JSON");
+    assert_eq!(stats.metadata, 5, "process name + 4 shard tracks");
+    assert!(stats.pattern_spans >= 64 * 4, "{stats:?}");
+    assert!(stats.divergences > 0, "{stats:?}");
+    assert!(stats.convergences > 0, "{stats:?}");
+    assert!(stats.counters > 0, "{stats:?}");
+}
+
+#[test]
+fn trace_out_works_for_transition_faults() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("transition.trace.json");
+    let (ok, out, err) = fsim(&[
+        "transition",
+        "@s27",
+        "--random",
+        "32",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("wrote trace to"), "{out}");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let stats = cfs_trace::validate_chrome_trace(&text).expect("valid Chrome Trace JSON");
+    assert!(stats.pattern_spans >= 32, "{stats:?}");
+}
+
+#[test]
+fn trace_out_rejects_unsupported_modes() {
+    let (ok, _, err) = fsim(&[
+        "sim",
+        "@s27",
+        "--random",
+        "4",
+        "--simulator",
+        "proofs",
+        "--trace-out",
+        "/tmp/never-written.json",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("--trace-out needs the concurrent"), "{err}");
+    let (ok, _, err) = fsim(&[
+        "sim",
+        "@s27",
+        "--random",
+        "4",
+        "--variant",
+        "all",
+        "--trace-out",
+        "/tmp/never-written.json",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("single --variant"), "{err}");
+}
+
+/// The ISSUE acceptance scenario: `fsim explain` prints the excitation →
+/// propagation → detection timeline of one fault.
+#[test]
+fn explain_prints_fault_timeline_with_verdict() {
+    let (code, out, err) = fsim_code(&["explain", "@s298g", "3", "--random", "64", "--seed", "7"]);
+    assert_eq!(code, Some(0), "{err}");
+    assert!(out.contains("fault 3: output of pi1 stuck at 1"), "{out}");
+    assert!(out.contains("replayed 64 patterns"), "{out}");
+    assert!(out.contains("diverged at"), "{out}");
+    assert!(
+        out.contains("verdict: detected at pattern 13 at output tl5"),
+        "{out}"
+    );
+}
+
+#[test]
+fn explain_unknown_fault_id_exits_2_with_diagnostic() {
+    let (code, _, err) = fsim_code(&["explain", "@s298g", "99999"]);
+    assert_eq!(code, Some(2), "diagnostic exit code");
+    assert!(err.contains("E001 [unknown-fault-id]"), "{err}");
+    assert!(err.contains("valid ids: 0..306"), "{err}");
+}
+
+#[test]
+fn explain_statically_untestable_fault_exits_2_with_diagnostic() {
+    // Fault 130 of s298g (output of n34 s-a-1) is provably unexcitable.
+    let (code, _, err) = fsim_code(&["explain", "@s298g", "130", "--random", "4"]);
+    assert_eq!(code, Some(2), "diagnostic exit code");
+    assert!(err.contains("F002 [statically-untestable-fault]"), "{err}");
+    assert!(err.contains("never be excited"), "{err}");
+    assert!(err.contains("no pattern sequence can detect it"), "{err}");
+}
+
+#[test]
+fn heatmap_renders_text_table_and_json() {
+    let (ok, out, err) = fsim(&[
+        "heatmap", "@s298g", "--random", "32", "--seed", "5", "--top", "5",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("fault-list activity of s298g"), "{out}");
+    assert!(out.contains("diverge"), "{out}");
+    assert!(out.contains("more active node(s)"), "{out}");
+
+    let (ok, out, err) = fsim(&[
+        "heatmap", "@s298g", "--random", "32", "--seed", "5", "--format", "json",
+    ]);
+    assert!(ok, "{err}");
+    let v = JsonValue::parse(out.trim()).expect("valid heatmap JSON");
+    assert_eq!(v.get("circuit").and_then(JsonValue::as_str), Some("s298g"));
+    let nodes = v.get("nodes").and_then(JsonValue::as_arr).unwrap();
+    assert!(!nodes.is_empty(), "{out}");
+    for n in nodes {
+        assert!(n.get("name").and_then(JsonValue::as_str).is_some());
+        assert!(n.get("total").and_then(JsonValue::as_u64).is_some());
+    }
 }

@@ -504,7 +504,7 @@ impl<P: Probe> Engine<P> {
             // removed while the list they belong to is traversed.
             if self.drop_detected && desc.is_detected() {
                 if had_own {
-                    self.probe.fault_dropped();
+                    self.probe.fault_dropped(n, m);
                 }
                 continue;
             }
@@ -538,9 +538,9 @@ impl<P: Probe> Engine<P> {
                 let was_visible = had_own && old_faulty != old_good;
                 let is_visible = new_val != new_good;
                 if is_visible && !was_visible {
-                    self.probe.divergence();
+                    self.probe.divergence(n, m);
                 } else if was_visible && !is_visible {
-                    self.probe.convergence();
+                    self.probe.convergence(n, m);
                 }
             }
             if old_faulty != new_val {
@@ -618,7 +618,7 @@ impl<P: Probe> Engine<P> {
                 if desc.detected_at.is_none() && val.detectably_differs(good) {
                     desc.detected_at = Some(self.pattern_index);
                     found.push((fid, self.pattern_index));
-                    self.probe.fault_detected();
+                    self.probe.fault_detected(p, fid);
                 }
             }
         }

@@ -384,7 +384,15 @@ impl ParallelSim<SimMetrics> {
 }
 
 impl<P: Probe> ParallelSim<P> {
-    fn with_probes(
+    /// The fully general constructor: shards `faults` into `threads`
+    /// engines per `plan` (partitioning on `keys` when given, site logic
+    /// levels otherwise), attaching `probe(shard_index)` to each shard —
+    /// the hook for per-shard trace recorders and other custom probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or a key slice has the wrong length.
+    pub fn with_probes(
         circuit: &Circuit,
         faults: &[StuckAt],
         options: CsimOptions,
@@ -479,16 +487,51 @@ impl<P: Probe> ParallelSim<P> {
             shard.sim.set_paranoid(on);
         }
     }
+
+    /// Per-shard probes paired with their global fault maps
+    /// (`map[local id] = global index`), in shard order — what a trace
+    /// exporter needs to merge shard streams onto global fault ids.
+    pub fn shard_probes(&self) -> impl Iterator<Item = (&P, &[usize])> {
+        self.shards
+            .iter()
+            .map(|s| (s.sim.probe(), s.global.as_slice()))
+    }
+
+    /// `(events, good_evals)` of the shared good engine — the
+    /// once-per-pattern work a merged snapshot must fold back in. Zero on
+    /// the single-shard serial path, which never touches the good engine.
+    pub fn good_engine_work(&self) -> (u64, u64) {
+        (self.good.events, self.good.good_evals)
+    }
 }
 
 impl<P: Probe + Send> ParallelSim<P> {
     /// Simulates a pattern sequence and assembles the merged report.
     pub fn run(&mut self, patterns: &[Vec<Logic>]) -> FaultSimReport {
+        self.run_with(patterns, |_, _| {})
+    }
+
+    /// Like [`ParallelSim::run`], but calls `after_block(self, done)` on
+    /// the coordinating thread after each block of patterns settles on
+    /// every shard (`done` = patterns completed so far). The callback sees
+    /// quiescent shards, so it may read per-shard probes and merge them —
+    /// the deterministic hook behind `--trace-every` progress under
+    /// `--threads N`.
+    pub fn run_with(
+        &mut self,
+        patterns: &[Vec<Logic>],
+        mut after_block: impl FnMut(&Self, usize),
+    ) -> FaultSimReport {
         let start = Instant::now();
+        let mut done = 0usize;
         if self.shards.len() == 1 {
             // Serial path: identical to ConcurrentSim::run.
-            for p in patterns {
-                self.shards[0].sim.engine.step_stuck(p);
+            for block in patterns.chunks(BLOCK) {
+                for p in block {
+                    self.shards[0].sim.engine.step_stuck(p);
+                }
+                done += block.len();
+                after_block(self, done);
             }
         } else {
             for block in patterns.chunks(BLOCK) {
@@ -504,6 +547,8 @@ impl<P: Probe + Send> ParallelSim<P> {
                         });
                     }
                 });
+                done += block.len();
+                after_block(self, done);
             }
         }
         let cpu = start.elapsed();
@@ -693,7 +738,13 @@ impl ParallelTransitionSim<SimMetrics> {
 }
 
 impl<P: Probe> ParallelTransitionSim<P> {
-    fn with_probes(
+    /// The fully general constructor with a per-shard probe factory (see
+    /// [`ParallelSim::with_probes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or a key slice has the wrong length.
+    pub fn with_probes(
         circuit: &Circuit,
         faults: &[TransitionFault],
         options: TransitionOptions,
@@ -762,15 +813,44 @@ impl<P: Probe> ParallelTransitionSim<P> {
             shard.sim.set_paranoid(on);
         }
     }
+
+    /// Per-shard probes paired with their global fault maps, in shard
+    /// order (see [`ParallelSim::shard_probes`]).
+    pub fn shard_probes(&self) -> impl Iterator<Item = (&P, &[usize])> {
+        self.shards
+            .iter()
+            .map(|s| (s.sim.probe(), s.global.as_slice()))
+    }
+
+    /// `(events, good_evals)` of the shared good engine (see
+    /// [`ParallelSim::good_engine_work`]).
+    pub fn good_engine_work(&self) -> (u64, u64) {
+        (self.good.events, self.good.good_evals)
+    }
 }
 
 impl<P: Probe + Send> ParallelTransitionSim<P> {
     /// Simulates a pattern sequence and assembles the merged report.
     pub fn run(&mut self, patterns: &[Vec<Logic>]) -> FaultSimReport {
+        self.run_with(patterns, |_, _| {})
+    }
+
+    /// Like [`ParallelTransitionSim::run`], with a per-block callback on
+    /// the coordinating thread (see [`ParallelSim::run_with`]).
+    pub fn run_with(
+        &mut self,
+        patterns: &[Vec<Logic>],
+        mut after_block: impl FnMut(&Self, usize),
+    ) -> FaultSimReport {
         let start = Instant::now();
+        let mut done = 0usize;
         if self.shards.len() == 1 {
-            for p in patterns {
-                self.shards[0].sim.step(p);
+            for block in patterns.chunks(BLOCK) {
+                for p in block {
+                    self.shards[0].sim.step(p);
+                }
+                done += block.len();
+                after_block(self, done);
             }
         } else {
             for block in patterns.chunks(BLOCK) {
@@ -786,6 +866,8 @@ impl<P: Probe + Send> ParallelTransitionSim<P> {
                         });
                     }
                 });
+                done += block.len();
+                after_block(self, done);
             }
         }
         let cpu = start.elapsed();

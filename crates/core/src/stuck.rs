@@ -184,6 +184,16 @@ impl<P: Probe> ConcurrentSim<P> {
         }
     }
 
+    /// The attached probe (e.g. to drain a trace recorder after a run).
+    pub fn probe(&self) -> &P {
+        &self.engine.probe
+    }
+
+    /// Mutable access to the attached probe.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.engine.probe
+    }
+
     /// The simulator's display name (`csim`, `csim-V`, `csim-M`, `csim-MV`).
     pub fn name(&self) -> &'static str {
         match (self.options.split_invisible, self.options.use_macros) {

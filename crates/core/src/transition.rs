@@ -174,6 +174,16 @@ impl<P: Probe> TransitionSim<P> {
         self.engine.verify = on;
     }
 
+    /// The attached probe (e.g. to drain a trace recorder after a run).
+    pub fn probe(&self) -> &P {
+        &self.engine.probe
+    }
+
+    /// Mutable access to the attached probe.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.engine.probe
+    }
+
     /// Simulates a pattern sequence and assembles the report.
     pub fn run(&mut self, patterns: &[Vec<Logic>]) -> FaultSimReport {
         let start = Instant::now();

@@ -244,11 +244,24 @@ impl Parser<'_> {
                         c => return Err(format!("bad escape '\\{}'", c as char)),
                     }
                 }
-                Some(_) => {
-                    // Consume one full UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one full UTF-8 scalar. Validate only the bytes
+                    // of this scalar — validating the whole remaining input
+                    // per character would make parsing quadratic.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err("invalid UTF-8".to_string()),
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let chunk = std::str::from_utf8(&self.bytes[self.pos..end])
                         .map_err(|_| "invalid UTF-8")?;
-                    let c = rest.chars().next().unwrap();
+                    let c = chunk.chars().next().ok_or("invalid UTF-8")?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -36,7 +36,7 @@ mod timing;
 pub use hist::Log2Histogram;
 pub use json::{write_json_f64, write_json_string, JsonValue};
 pub use metrics::{PatternCounters, PatternRecord, SimMetrics};
-pub use probe::{NullProbe, Probe};
+pub use probe::{NullProbe, PairProbe, Probe};
 pub use sink::{render_histogram, render_phase_table, render_summary_table, JsonlWriter};
 pub use snapshot::MetricsSnapshot;
 pub use timing::{Phase, PhaseTimes, Timer};

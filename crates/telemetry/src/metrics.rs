@@ -178,6 +178,8 @@ impl SimMetrics {
             faults_sim: 0,
             pruned_unexcitable: 0,
             pruned_unobservable: 0,
+            trace_events: 0,
+            trace_dropped: 0,
             phases: self.phases,
         }
     }
@@ -224,19 +226,19 @@ impl Probe for SimMetrics {
         self.current.visible += n;
     }
 
-    fn divergence(&mut self) {
+    fn divergence(&mut self, _node: u32, _fault: u32) {
         self.current.divergences += 1;
     }
 
-    fn convergence(&mut self) {
+    fn convergence(&mut self, _node: u32, _fault: u32) {
         self.current.convergences += 1;
     }
 
-    fn fault_dropped(&mut self) {
+    fn fault_dropped(&mut self, _node: u32, _fault: u32) {
         self.current.drops += 1;
     }
 
-    fn fault_detected(&mut self) {
+    fn fault_detected(&mut self, _po_node: u32, _fault: u32) {
         self.current.detected += 1;
     }
 
@@ -287,9 +289,9 @@ mod tests {
         m.fault_evals(3);
         m.elements_traversed(10);
         m.elements_visible(4);
-        m.divergence();
-        m.fault_detected();
-        m.fault_dropped();
+        m.divergence(0, 0);
+        m.fault_detected(9, 0);
+        m.fault_dropped(0, 0);
         m.queue_depth(5);
         m.queue_depth(2);
         m.list_len(4);
@@ -298,7 +300,7 @@ mod tests {
         m.end_pattern();
         m.begin_pattern(1);
         m.node_activated();
-        m.convergence();
+        m.convergence(0, 0);
         m.elements_traversed(2);
         m.list_len(8);
         m.queue_depth(7);

@@ -57,21 +57,23 @@ pub trait Probe {
     #[inline]
     fn elements_visible(&mut self, _n: u64) {}
 
-    /// A faulty machine diverged from the good machine at a node.
+    /// Faulty machine `fault` diverged from the good machine at `node`
+    /// (a list element was inserted where the machines previously agreed).
     #[inline]
-    fn divergence(&mut self) {}
+    fn divergence(&mut self, _node: u32, _fault: u32) {}
 
-    /// A faulty machine converged back to the good machine at a node.
+    /// Faulty machine `fault` converged back to the good machine at `node`
+    /// (its list element was removed).
     #[inline]
-    fn convergence(&mut self) {}
+    fn convergence(&mut self, _node: u32, _fault: u32) {}
 
-    /// A detected fault's list element was purged.
+    /// Detected fault `fault`'s list element was purged at `node`.
     #[inline]
-    fn fault_dropped(&mut self) {}
+    fn fault_dropped(&mut self, _node: u32, _fault: u32) {}
 
-    /// A fault was detected at a primary output.
+    /// Fault `fault` was detected at primary-output tap node `po_node`.
     #[inline]
-    fn fault_detected(&mut self) {}
+    fn fault_detected(&mut self, _po_node: u32, _fault: u32) {}
 
     /// Observed length of one node's fault list (end-of-pattern sweep).
     #[inline]
@@ -112,3 +114,129 @@ pub trait Probe {
 pub struct NullProbe;
 
 impl Probe for NullProbe {}
+
+/// Two probes driven by the same engine: every hook fans out to both.
+///
+/// `ENABLED` is the OR of the halves, so pairing a recorder with
+/// [`NullProbe`] keeps the instrumentation-only sweeps exactly as the
+/// recorder alone would, and pairing two recorders (metrics + tracer)
+/// costs one virtual-free extra call per hook.
+#[derive(Debug, Clone, Default)]
+pub struct PairProbe<A, B>(
+    /// The first (primary) probe.
+    pub A,
+    /// The second probe.
+    pub B,
+);
+
+impl<A: Probe, B: Probe> Probe for PairProbe<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn begin_pattern(&mut self, pattern: u64) {
+        self.0.begin_pattern(pattern);
+        self.1.begin_pattern(pattern);
+    }
+
+    #[inline]
+    fn end_pattern(&mut self) {
+        self.0.end_pattern();
+        self.1.end_pattern();
+    }
+
+    #[inline]
+    fn node_activated(&mut self) {
+        self.0.node_activated();
+        self.1.node_activated();
+    }
+
+    #[inline]
+    fn good_eval(&mut self) {
+        self.0.good_eval();
+        self.1.good_eval();
+    }
+
+    #[inline]
+    fn fault_evals(&mut self, n: u64) {
+        self.0.fault_evals(n);
+        self.1.fault_evals(n);
+    }
+
+    #[inline]
+    fn elements_traversed(&mut self, n: u64) {
+        self.0.elements_traversed(n);
+        self.1.elements_traversed(n);
+    }
+
+    #[inline]
+    fn elements_visible(&mut self, n: u64) {
+        self.0.elements_visible(n);
+        self.1.elements_visible(n);
+    }
+
+    #[inline]
+    fn divergence(&mut self, node: u32, fault: u32) {
+        self.0.divergence(node, fault);
+        self.1.divergence(node, fault);
+    }
+
+    #[inline]
+    fn convergence(&mut self, node: u32, fault: u32) {
+        self.0.convergence(node, fault);
+        self.1.convergence(node, fault);
+    }
+
+    #[inline]
+    fn fault_dropped(&mut self, node: u32, fault: u32) {
+        self.0.fault_dropped(node, fault);
+        self.1.fault_dropped(node, fault);
+    }
+
+    #[inline]
+    fn fault_detected(&mut self, po_node: u32, fault: u32) {
+        self.0.fault_detected(po_node, fault);
+        self.1.fault_detected(po_node, fault);
+    }
+
+    #[inline]
+    fn list_len(&mut self, len: u64) {
+        self.0.list_len(len);
+        self.1.list_len(len);
+    }
+
+    #[inline]
+    fn queue_depth(&mut self, depth: u64) {
+        self.0.queue_depth(depth);
+        self.1.queue_depth(depth);
+    }
+
+    #[inline]
+    fn dff_stash(&mut self, len: u64) {
+        self.0.dff_stash(len);
+        self.1.dff_stash(len);
+    }
+
+    #[inline]
+    fn memory_bytes(&mut self, bytes: u64) {
+        self.0.memory_bytes(bytes);
+        self.1.memory_bytes(bytes);
+    }
+
+    #[inline]
+    fn compaction(&mut self, elements_moved: u64) {
+        self.0.compaction(elements_moved);
+        self.1.compaction(elements_moved);
+    }
+
+    #[inline]
+    fn phase_start(&mut self, phase: Phase) {
+        self.0.phase_start(phase);
+        self.1.phase_start(phase);
+    }
+
+    #[inline]
+    fn phase_end(&mut self, phase: Phase) {
+        self.0.phase_end(phase);
+        self.1.phase_end(phase);
+    }
+}

@@ -84,6 +84,12 @@ impl<W: Write> JsonlWriter<W> {
             push_u64(&mut line, "pruned_unexcitable", s.pruned_unexcitable);
             push_u64(&mut line, "pruned_unobservable", s.pruned_unobservable);
         }
+        if s.trace_events > 0 {
+            // Trace-recorder counters, present only for traced runs so
+            // untraced summaries keep their historical shape.
+            push_u64(&mut line, "trace_events", s.trace_events);
+            push_u64(&mut line, "trace_dropped", s.trace_dropped);
+        }
         line.push_str(",\"phases\":{");
         for (i, (phase, d)) in s.phases.nonzero().enumerate() {
             if i > 0 {

@@ -67,6 +67,13 @@ pub struct MetricsSnapshot {
     /// Full-universe faults proven unobservable by the reachability
     /// analysis.
     pub pruned_unobservable: u64,
+    /// Events captured by an attached trace recorder (`0` when tracing was
+    /// off). Stamped by the driver, like the pruning counters: the
+    /// recorder is drained after the run, outside any probe hook.
+    pub trace_events: u64,
+    /// Events the trace recorder discarded because its ring buffer was
+    /// full (`0` when tracing was off or nothing overflowed).
+    pub trace_dropped: u64,
     /// Per-phase wall times (all zero for basic snapshots).
     pub phases: PhaseTimes,
 }
@@ -169,6 +176,9 @@ impl MetricsSnapshot {
         self.faults_sim = self.faults_sim.max(other.faults_sim);
         self.pruned_unexcitable = self.pruned_unexcitable.max(other.pruned_unexcitable);
         self.pruned_unobservable = self.pruned_unobservable.max(other.pruned_unobservable);
+        // Per-shard recorders capture disjoint event streams: sum.
+        self.trace_events += other.trace_events;
+        self.trace_dropped += other.trace_dropped;
         self.phases.merge(&other.phases);
     }
 }

@@ -1,0 +1,121 @@
+//! Single-fault timeline reconstruction (the data behind `fsim explain`).
+
+use crate::event::{Micros, TraceEvent};
+
+/// The life of one fault, reconstructed from a recorded event stream:
+/// every lifecycle event that names the fault, in recording order.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTimeline {
+    /// The (global) fault id the timeline describes.
+    pub fault: u32,
+    /// Lifecycle events naming the fault, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl FaultTimeline {
+    /// Filters `events` down to the lifecycle of `fault`. Events are taken
+    /// in iteration order, so feed streams oldest-first (per-shard rings
+    /// already are; a single fault lives on exactly one shard, so no
+    /// cross-stream ordering question arises).
+    pub fn collect<'a>(events: impl IntoIterator<Item = &'a TraceEvent>, fault: u32) -> Self {
+        FaultTimeline {
+            fault,
+            events: events
+                .into_iter()
+                .filter(|e| e.fault() == Some(fault))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The fault's first excitation: its first divergence anywhere
+    /// (`(pattern, node, ts)`).
+    pub fn first_excitation(&self) -> Option<(u32, u32, Micros)> {
+        self.events.iter().find_map(|e| match *e {
+            TraceEvent::Divergence {
+                pattern, node, ts, ..
+            } => Some((pattern, node, ts)),
+            _ => None,
+        })
+    }
+
+    /// The detection event, if the fault was detected:
+    /// `(pattern, po_node, ts)`.
+    pub fn detection(&self) -> Option<(u32, u32, Micros)> {
+        self.events.iter().find_map(|e| match *e {
+            TraceEvent::Detected {
+                pattern,
+                po_node,
+                ts,
+                ..
+            } => Some((pattern, po_node, ts)),
+            _ => None,
+        })
+    }
+
+    /// Divergence and convergence totals over the recorded life.
+    pub fn activity_counts(&self) -> (u64, u64) {
+        let mut div = 0;
+        let mut conv = 0;
+        for e in &self.events {
+            match e {
+                TraceEvent::Divergence { .. } => div += 1,
+                TraceEvent::Convergence { .. } => conv += 1,
+                _ => {}
+            }
+        }
+        (div, conv)
+    }
+
+    /// Whether no event names the fault (never excited within the
+    /// recorded window).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_only_the_named_fault() {
+        let events = vec![
+            TraceEvent::Divergence {
+                pattern: 1,
+                node: 4,
+                fault: 7,
+                ts: 10,
+            },
+            TraceEvent::Divergence {
+                pattern: 1,
+                node: 5,
+                fault: 8,
+                ts: 11,
+            },
+            TraceEvent::Convergence {
+                pattern: 2,
+                node: 4,
+                fault: 7,
+                ts: 20,
+            },
+            TraceEvent::PatternSpan {
+                pattern: 2,
+                start: 15,
+                end: 25,
+            },
+            TraceEvent::Detected {
+                pattern: 3,
+                po_node: 9,
+                fault: 7,
+                ts: 30,
+            },
+        ];
+        let t = FaultTimeline::collect(&events, 7);
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.first_excitation(), Some((1, 4, 10)));
+        assert_eq!(t.detection(), Some((3, 9, 30)));
+        assert_eq!(t.activity_counts(), (1, 1));
+        assert!(FaultTimeline::collect(&events, 99).is_empty());
+    }
+}
