@@ -8,11 +8,13 @@
 //! fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]
 //!                    [--simulator csim|proofs|serial|deductive] [--uncollapsed]
 //!                    [--prune] [--threads N] [--shard-plan PLAN]
+//!                    [--batch-windows W] [--steal]
 //!                    [--detections FILE] [--stats] [--stats-json FILE]
 //!                    [--trace-every N] [--trace-out FILE] [--trace-capacity N]
 //!                    [--trace-window W] [--no-check] [--paranoid]
 //! fsim transition <circuit> [--random N | --patterns FILE]
 //!                    [--prune] [--threads N] [--shard-plan PLAN]
+//!                    [--batch-windows W] [--steal]
 //!                    [--detections FILE] [--stats] [--stats-json FILE]
 //!                    [--trace-every N] [--trace-out FILE] [--trace-capacity N]
 //!                    [--trace-window W] [--no-check] [--paranoid]
@@ -35,6 +37,17 @@
 //! `--detections FILE` writes the deterministic detection list — one
 //! `pattern fault` line per detected fault, sorted by pattern then fault
 //! index — which is the artifact to diff across thread counts.
+//!
+//! `--batch-windows W` adds the second parallelism axis: the pattern
+//! sequence splits into windows of `W` patterns (`0` = one whole-run
+//! window), a 64-lane pattern-parallel good machine produces each
+//! window's settled traces, and (shard × window) tasks run under the
+//! work-stealing scheduler — a shard's windows stay in order because the
+//! shard engine carries the sequential DFF state across the boundary.
+//! `--steal` lets idle workers steal runnable shards (and overshards the
+//! fault universe 2× so there is spare work to take). Detections remain
+//! bit-identical to the serial simulator for every window size, thread
+//! count, and steal schedule.
 //!
 //! `fsim check` runs the `cfs-check` static analyses and prints the
 //! diagnostics (stable rule codes, severities, `.bench` line spans; JSON
@@ -89,8 +102,8 @@ use cfs_check::{
     transition_weights,
 };
 use cfs_core::{
-    detections_of, ConcurrentSim, CsimVariant, ParallelSim, ParallelTransitionSim, ShardPlan,
-    TransitionOptions, TransitionSim,
+    detections_of, BatchOptions, ConcurrentSim, CsimVariant, NullProbe, ParallelSim,
+    ParallelTransitionSim, SchedStats, ShardPlan, TransitionOptions, TransitionSim,
 };
 use cfs_faults::{
     collapse_stuck_at, dominance_collapse, enumerate_stuck_at, enumerate_transition, FaultFate,
@@ -105,7 +118,8 @@ use cfs_telemetry::{
     Log2Histogram, MetricsSnapshot, PairProbe, Phase, SimMetrics,
 };
 use cfs_trace::{
-    write_chrome_trace, FaultTimeline, Heatmap, TraceConfig, TraceEvent, TraceRecorder, TrackTrace,
+    write_chrome_trace_with_sched, FaultTimeline, Heatmap, SchedSpan, SchedSteal, SchedTrack,
+    TraceConfig, TraceEvent, TraceRecorder, TrackTrace,
 };
 
 #[derive(Debug)]
@@ -191,11 +205,13 @@ fn print_usage() {
          \u{20}  fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]\n\
          \u{20}                     [--simulator csim|proofs|serial|deductive] [--uncollapsed]\n\
          \u{20}                     [--prune] [--threads N] [--shard-plan PLAN]\n\
+         \u{20}                     [--batch-windows W] [--steal]\n\
          \u{20}                     [--detections FILE] [--stats] [--stats-json FILE]\n\
          \u{20}                     [--trace-every N] [--trace-out FILE] [--trace-capacity N]\n\
          \u{20}                     [--trace-window W] [--no-check] [--paranoid]\n\
          \u{20}  fsim transition <circuit> [--random N | --patterns FILE]\n\
          \u{20}                     [--prune] [--threads N] [--shard-plan PLAN]\n\
+         \u{20}                     [--batch-windows W] [--steal]\n\
          \u{20}                     [--detections FILE] [--stats] [--stats-json FILE]\n\
          \u{20}                     [--trace-every N] [--trace-out FILE] [--trace-capacity N]\n\
          \u{20}                     [--trace-window W] [--no-check] [--paranoid]\n\
@@ -212,6 +228,10 @@ fn print_usage() {
          \u{20}             undetectable; reports expand to the full universe\n\
          --threads     fault-shard the concurrent simulator across N workers\n\
          --shard-plan  round-robin (default) | contiguous | level-aware | weight-aware\n\
+         --batch-windows  pattern-batch axis: windows of W patterns under the\n\
+         \u{20}             work-stealing scheduler (0 = one whole-run window)\n\
+         --steal       let idle workers steal runnable shards (overshards 2×;\n\
+         \u{20}             needs --batch-windows)\n\
          --detections  write the sorted `pattern fault` detection list\n\
          --stats       print the metric table (plus phase times and histograms)\n\
          --stats-json  write one JSON line per pattern plus a summary record\n\
@@ -262,6 +282,8 @@ const SIM_FLAGS: FlagSpec = &[
     ("--prune", false),
     ("--threads", true),
     ("--shard-plan", true),
+    ("--batch-windows", true),
+    ("--steal", false),
     ("--detections", true),
     ("--stats", false),
     ("--stats-json", true),
@@ -279,6 +301,8 @@ const TRANSITION_FLAGS: FlagSpec = &[
     ("--prune", false),
     ("--threads", true),
     ("--shard-plan", true),
+    ("--batch-windows", true),
+    ("--steal", false),
     ("--detections", true),
     ("--stats", false),
     ("--stats-json", true),
@@ -412,6 +436,9 @@ impl TelemetryOpts {
 struct ParallelOpts {
     threads: usize,
     plan: ShardPlan,
+    /// `--batch-windows` turns on the two-dimensional scheduler; `None`
+    /// keeps the historical fault-shard-only dispatch.
+    batch: Option<BatchOptions>,
     detections: Option<String>,
     paranoid: bool,
 }
@@ -436,12 +463,40 @@ impl ParallelOpts {
             })?,
             None => ShardPlan::RoundRobin,
         };
+        let batch = match flag_value(args, "--batch-windows") {
+            Some(v) => {
+                let window: usize = v.parse().map_err(|_| {
+                    err("--batch-windows needs a number (0 = one whole-run window)")
+                })?;
+                Some(BatchOptions {
+                    window,
+                    steal: has_flag(args, "--steal"),
+                    ..BatchOptions::default()
+                })
+            }
+            None => {
+                if has_flag(args, "--steal") {
+                    return Err(err("--steal needs --batch-windows"));
+                }
+                None
+            }
+        };
         Ok(ParallelOpts {
             threads,
             plan,
+            batch,
             detections: flag_value(args, "--detections").map(str::to_owned),
             paranoid: has_flag(args, "--paranoid"),
         })
+    }
+
+    /// Fault-shard count: `--steal` overshards 2× so idle workers have
+    /// spare runnable shards to take; otherwise one shard per worker.
+    fn shards(&self) -> usize {
+        match &self.batch {
+            Some(b) if b.steal => self.threads * 2,
+            _ => self.threads,
+        }
     }
 }
 
@@ -829,13 +884,50 @@ fn merged_trace_progress(
 /// recorder, driven by one engine pass.
 type TraceProbe = PairProbe<SimMetrics, TraceRecorder>;
 
+/// Converts the scheduler's run record into the trace crate's worker
+/// tracks, shifting its task/steal timestamps (microseconds from
+/// scheduler start) onto the recorders' epoch by `offset_micros` so the
+/// tracks line up with the shard events.
+fn sched_track_of(stats: Option<&SchedStats>, offset_micros: u64) -> Option<SchedTrack> {
+    let st = stats?;
+    Some(SchedTrack {
+        workers: st.workers as u32,
+        spans: st
+            .spans
+            .iter()
+            .map(|s| SchedSpan {
+                worker: s.worker,
+                shard: s.shard,
+                window: s.window,
+                patterns: s.patterns,
+                start: s.start_micros + offset_micros,
+                end: s.end_micros + offset_micros,
+            })
+            .collect(),
+        steals: st
+            .steal_events
+            .iter()
+            .map(|e| SchedSteal {
+                worker: e.worker,
+                victim: e.victim,
+                shard: e.shard,
+                window: e.window,
+                ts: e.ts_micros + offset_micros,
+            })
+            .collect(),
+    })
+}
+
 /// Writes the Chrome Trace / Perfetto JSON document for a finished traced
 /// run: one track per shard (fault ids remapped local→global through each
-/// shard's map) plus the merged counter track.
+/// shard's map) plus the merged counter track, and — for batched runs —
+/// one worker track per scheduler thread with task spans and steal
+/// instants.
 fn write_trace_file(
     path: &str,
     process_name: &str,
     shards: &[(Vec<TraceEvent>, &[usize])],
+    sched: Option<&SchedTrack>,
     recorded: u64,
     dropped: u64,
 ) -> Result<(), Box<dyn std::error::Error>> {
@@ -850,7 +942,7 @@ fn write_trace_file(
         .collect();
     let file = fs::File::create(path).map_err(|e| err(format!("cannot write {path}: {e}")))?;
     let mut out = io::BufWriter::new(file);
-    write_chrome_trace(&mut out, process_name, &tracks)
+    write_chrome_trace_with_sched(&mut out, process_name, &tracks, sched)
         .and_then(|()| out.flush())
         .map_err(|e| err(format!("cannot write {path}: {e}")))?;
     if dropped > 0 {
@@ -875,6 +967,21 @@ fn print_stats_detail(snap: &MetricsSnapshot, metrics: &SimMetrics) {
         "{}",
         render_histogram("event-queue depth per level", &metrics.queue_depth_hist)
     );
+}
+
+/// One `--stats` line summarizing the two-dimensional scheduler's run.
+/// Batched runs only: plain `--threads N` output stays byte-identical to
+/// what it always was.
+fn print_sched_line(par: &ParallelOpts, stats: Option<&SchedStats>, shards: usize) {
+    if par.batch.is_none() {
+        return;
+    }
+    if let Some(st) = stats {
+        println!(
+            "  scheduler: {} windows × {shards} shards = {} tasks on {} workers, {} steals",
+            st.windows, st.tasks, st.workers, st.steals
+        );
+    }
 }
 
 /// Like [`print_stats_detail`], with the histograms merged across all
@@ -964,7 +1071,7 @@ fn run_csim_stuck(
         }
         return run_csim_stuck_traced(c, faults, patterns, variants[0], tel, par, pruned, keys);
     }
-    if par.threads > 1 {
+    if par.threads > 1 || par.batch.is_some() {
         return run_csim_stuck_sharded(c, faults, patterns, &variants, tel, par, pruned, keys);
     }
     if !tel.enabled() && variants.len() == 1 {
@@ -1015,8 +1122,9 @@ fn run_csim_stuck(
     close_jsonl(jsonl, &tel.stats_json)
 }
 
-/// The `--threads N > 1` path: fault-sharded engines over a shared good
-/// machine. `--trace-every` milestones merge the per-shard records into
+/// The `--threads N > 1` / `--batch-windows` path: fault-sharded engines
+/// over a shared good machine, optionally under the two-dimensional
+/// scheduler. `--trace-every` milestones merge the per-shard records into
 /// one deterministic line per milestone (see [`merged_trace_progress`]);
 /// per-pattern JSON records stay a serial concept, so `--stats-json`
 /// carries only the merged summary record.
@@ -1035,34 +1143,36 @@ fn run_csim_stuck_sharded(
     let mut snaps = Vec::new();
     for &variant in variants {
         let mut report = if tel.enabled() {
-            let mut sim = match keys {
-                Some(k) => ParallelSim::instrumented_with_keys(
-                    c,
-                    faults,
-                    variant.options(),
-                    par.threads,
-                    par.plan,
-                    k,
-                ),
-                None => {
-                    ParallelSim::instrumented(c, faults, variant.options(), par.threads, par.plan)
-                }
-            };
+            let mut sim = ParallelSim::with_probes_sharded(
+                c,
+                faults,
+                variant.options(),
+                par.threads,
+                par.shards(),
+                par.plan,
+                keys,
+                |_| SimMetrics::new(),
+            );
             if par.paranoid {
                 sim.set_paranoid(true);
             }
             let mut progress = ProgressState::default();
-            let report = sim.run_with(patterns, |s, done| {
+            let after = |s: &ParallelSim<SimMetrics>, done: usize| {
                 if let Some(every) = tel.trace_every {
                     let shards: Vec<&SimMetrics> = s.shard_metrics().collect();
                     merged_trace_progress(&shards, &mut progress, every, done, faults.len());
                 }
-            });
+            };
+            let report = match &par.batch {
+                Some(b) => sim.run_batched_with(patterns, b, after),
+                None => sim.run_with(patterns, after),
+            };
             let mut snap = sim.snapshot();
             snap.cpu_seconds = report.cpu.as_secs_f64();
             snap.phases.add(Phase::Check, tel.check_time);
             stamp_prune_counters(&mut snap, pruned);
             if tel.stats {
+                print_sched_line(par, sim.sched_stats(), sim.num_shards());
                 print_stats_detail_sharded(&snap, sim.shard_metrics());
             }
             if let Some(w) = jsonl.as_mut() {
@@ -1072,21 +1182,23 @@ fn run_csim_stuck_sharded(
             snaps.push(snap);
             report
         } else {
-            let mut sim = match keys {
-                Some(k) => ParallelSim::new_with_keys(
-                    c,
-                    faults,
-                    variant.options(),
-                    par.threads,
-                    par.plan,
-                    k,
-                ),
-                None => ParallelSim::new(c, faults, variant.options(), par.threads, par.plan),
-            };
+            let mut sim = ParallelSim::with_probes_sharded(
+                c,
+                faults,
+                variant.options(),
+                par.threads,
+                par.shards(),
+                par.plan,
+                keys,
+                |_| NullProbe,
+            );
             if par.paranoid {
                 sim.set_paranoid(true);
             }
-            sim.run(patterns)
+            match &par.batch {
+                Some(b) => sim.run_batched(patterns, b),
+                None => sim.run(patterns),
+            }
         };
         expand_report(&mut report, pruned);
         print_report(&report);
@@ -1120,11 +1232,12 @@ fn run_csim_stuck_traced(
 ) -> Result<(), Box<dyn std::error::Error>> {
     // One epoch for every shard, so cross-track timestamps line up.
     let epoch = Instant::now();
-    let mut sim = ParallelSim::with_probes(
+    let mut sim = ParallelSim::with_probes_sharded(
         c,
         faults,
         variant.options(),
         par.threads,
+        par.shards(),
         par.plan,
         keys,
         |_| -> TraceProbe {
@@ -1135,12 +1248,19 @@ fn run_csim_stuck_traced(
         sim.set_paranoid(true);
     }
     let mut progress = ProgressState::default();
-    let mut report = sim.run_with(patterns, |s, done| {
+    let after = |s: &ParallelSim<TraceProbe>, done: usize| {
         if let Some(every) = tel.trace_every {
             let shards: Vec<&SimMetrics> = s.shard_probes().map(|(p, _)| &p.0).collect();
             merged_trace_progress(&shards, &mut progress, every, done, faults.len());
         }
-    });
+    };
+    // Scheduler timestamps count from run start; measure that start on
+    // the recorders' epoch so the worker tracks line up with the shards.
+    let sched_offset = epoch.elapsed().as_micros() as u64;
+    let mut report = match &par.batch {
+        Some(b) => sim.run_batched_with(patterns, b, after),
+        None => sim.run_with(patterns, after),
+    };
     expand_report(&mut report, pruned);
     print_report(&report);
     // Merge the metrics halves into one snapshot, exactly as
@@ -1164,14 +1284,19 @@ fn run_csim_stuck_traced(
     stamp_prune_counters(&mut snap, pruned);
     snap.trace_events = sim.shard_probes().map(|(p, _)| p.1.recorded_events()).sum();
     snap.trace_dropped = sim.shard_probes().map(|(p, _)| p.1.dropped_events()).sum();
+    if let Some(st) = sim.sched_stats() {
+        snap.windows = st.windows as u64;
+        snap.steals = st.steals;
+    }
     if tel.stats {
+        print_sched_line(par, sim.sched_stats(), sim.num_shards());
         print_stats_detail_sharded(&snap, sim.shard_probes().map(|(p, _)| &p.0));
         println!();
         print!("{}", render_summary_table(std::slice::from_ref(&snap)));
     }
     let mut jsonl = open_jsonl(&tel.stats_json)?;
     if let Some(w) = jsonl.as_mut() {
-        if par.threads == 1 {
+        if par.threads == 1 && par.batch.is_none() {
             // The single shard ran the serial schedule, so its per-pattern
             // records are the serial records.
             let (p, _) = sim.shard_probes().next().expect("one shard");
@@ -1189,6 +1314,12 @@ fn run_csim_stuck_traced(
         .shard_probes()
         .map(|(p, map)| (p.1.events().copied().collect(), map))
         .collect();
+    // Worker tracks only for batched runs: the plain sharded document
+    // keeps its historical one-track-per-shard shape.
+    let sched = par
+        .batch
+        .as_ref()
+        .and_then(|_| sched_track_of(sim.sched_stats(), sched_offset));
     let path = tel
         .trace_out
         .as_deref()
@@ -1197,6 +1328,7 @@ fn run_csim_stuck_traced(
         path,
         &format!("{} · {}", c.name(), report.simulator),
         &shard_data,
+        sched.as_ref(),
         snap.trace_events,
         snap.trace_dropped,
     )
@@ -1318,6 +1450,11 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 "--threads needs the concurrent simulator, not {other:?}"
             )))
         }
+        other if par.batch.is_some() => {
+            return Err(err(format!(
+                "--batch-windows needs the concurrent simulator, not {other:?}"
+            )))
+        }
         other if par.paranoid => {
             return Err(err(format!(
                 "--paranoid needs the concurrent simulator, not {other:?}"
@@ -1406,7 +1543,7 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             keys.as_deref(),
         );
     }
-    if par.threads > 1 {
+    if par.threads > 1 || par.batch.is_some() {
         return run_transition_sharded(
             &c,
             &faults,
@@ -1471,38 +1608,36 @@ fn run_transition_sharded(
 ) -> Result<(), Box<dyn std::error::Error>> {
     let mut report = if tel.enabled() {
         let mut jsonl = open_jsonl(&tel.stats_json)?;
-        let mut sim = match keys {
-            Some(k) => ParallelTransitionSim::instrumented_with_keys(
-                c,
-                faults,
-                TransitionOptions::default(),
-                par.threads,
-                par.plan,
-                k,
-            ),
-            None => ParallelTransitionSim::instrumented(
-                c,
-                faults,
-                TransitionOptions::default(),
-                par.threads,
-                par.plan,
-            ),
-        };
+        let mut sim = ParallelTransitionSim::with_probes_sharded(
+            c,
+            faults,
+            TransitionOptions::default(),
+            par.threads,
+            par.shards(),
+            par.plan,
+            keys,
+            |_| SimMetrics::new(),
+        );
         if par.paranoid {
             sim.set_paranoid(true);
         }
         let mut progress = ProgressState::default();
-        let report = sim.run_with(patterns, |s, done| {
+        let after = |s: &ParallelTransitionSim<SimMetrics>, done: usize| {
             if let Some(every) = tel.trace_every {
                 let shards: Vec<&SimMetrics> = s.shard_metrics().collect();
                 merged_trace_progress(&shards, &mut progress, every, done, faults.len());
             }
-        });
+        };
+        let report = match &par.batch {
+            Some(b) => sim.run_batched_with(patterns, b, after),
+            None => sim.run_with(patterns, after),
+        };
         let mut snap = sim.snapshot();
         snap.cpu_seconds = report.cpu.as_secs_f64();
         snap.phases.add(Phase::Check, tel.check_time);
         stamp_prune_counters(&mut snap, pruned);
         if tel.stats {
+            print_sched_line(par, sim.sched_stats(), sim.num_shards());
             print_stats_detail_sharded(&snap, sim.shard_metrics());
             println!();
             print!("{}", render_summary_table(std::slice::from_ref(&snap)));
@@ -1514,27 +1649,23 @@ fn run_transition_sharded(
         close_jsonl(jsonl, &tel.stats_json)?;
         report
     } else {
-        let mut sim = match keys {
-            Some(k) => ParallelTransitionSim::new_with_keys(
-                c,
-                faults,
-                TransitionOptions::default(),
-                par.threads,
-                par.plan,
-                k,
-            ),
-            None => ParallelTransitionSim::new(
-                c,
-                faults,
-                TransitionOptions::default(),
-                par.threads,
-                par.plan,
-            ),
-        };
+        let mut sim = ParallelTransitionSim::with_probes_sharded(
+            c,
+            faults,
+            TransitionOptions::default(),
+            par.threads,
+            par.shards(),
+            par.plan,
+            keys,
+            |_| NullProbe,
+        );
         if par.paranoid {
             sim.set_paranoid(true);
         }
-        sim.run(patterns)
+        match &par.batch {
+            Some(b) => sim.run_batched(patterns, b),
+            None => sim.run(patterns),
+        }
     };
     expand_report(&mut report, pruned);
     print_report(&report);
@@ -1555,11 +1686,12 @@ fn run_transition_traced(
     keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let epoch = Instant::now();
-    let mut sim = ParallelTransitionSim::with_probes(
+    let mut sim = ParallelTransitionSim::with_probes_sharded(
         c,
         faults,
         TransitionOptions::default(),
         par.threads,
+        par.shards(),
         par.plan,
         keys,
         |_| -> TraceProbe {
@@ -1570,12 +1702,17 @@ fn run_transition_traced(
         sim.set_paranoid(true);
     }
     let mut progress = ProgressState::default();
-    let mut report = sim.run_with(patterns, |s, done| {
+    let after = |s: &ParallelTransitionSim<TraceProbe>, done: usize| {
         if let Some(every) = tel.trace_every {
             let shards: Vec<&SimMetrics> = s.shard_probes().map(|(p, _)| &p.0).collect();
             merged_trace_progress(&shards, &mut progress, every, done, faults.len());
         }
-    });
+    };
+    let sched_offset = epoch.elapsed().as_micros() as u64;
+    let mut report = match &par.batch {
+        Some(b) => sim.run_batched_with(patterns, b, after),
+        None => sim.run_with(patterns, after),
+    };
     expand_report(&mut report, pruned);
     print_report(&report);
     let mut merged: Option<MetricsSnapshot> = None;
@@ -1597,14 +1734,19 @@ fn run_transition_traced(
     stamp_prune_counters(&mut snap, pruned);
     snap.trace_events = sim.shard_probes().map(|(p, _)| p.1.recorded_events()).sum();
     snap.trace_dropped = sim.shard_probes().map(|(p, _)| p.1.dropped_events()).sum();
+    if let Some(st) = sim.sched_stats() {
+        snap.windows = st.windows as u64;
+        snap.steals = st.steals;
+    }
     if tel.stats {
+        print_sched_line(par, sim.sched_stats(), sim.num_shards());
         print_stats_detail_sharded(&snap, sim.shard_probes().map(|(p, _)| &p.0));
         println!();
         print!("{}", render_summary_table(std::slice::from_ref(&snap)));
     }
     let mut jsonl = open_jsonl(&tel.stats_json)?;
     if let Some(w) = jsonl.as_mut() {
-        if par.threads == 1 {
+        if par.threads == 1 && par.batch.is_none() {
             let (p, _) = sim.shard_probes().next().expect("one shard");
             emit_jsonl(w, &p.0, &snap)?;
         } else {
@@ -1620,6 +1762,10 @@ fn run_transition_traced(
         .shard_probes()
         .map(|(p, map)| (p.1.events().copied().collect(), map))
         .collect();
+    let sched = par
+        .batch
+        .as_ref()
+        .and_then(|_| sched_track_of(sim.sched_stats(), sched_offset));
     let path = tel
         .trace_out
         .as_deref()
@@ -1628,6 +1774,7 @@ fn run_transition_traced(
         path,
         &format!("{} · {}", c.name(), report.simulator),
         &shard_data,
+        sched.as_ref(),
         snap.trace_events,
         snap.trace_dropped,
     )

@@ -1032,7 +1032,7 @@ impl<P: Probe> Engine<P> {
 
 /// Evaluates a node function over explicit input values.
 #[inline]
-fn eval_fn(net: &Network, eval: NodeEval, inputs: &[Logic]) -> Logic {
+pub(crate) fn eval_fn(net: &Network, eval: NodeEval, inputs: &[Logic]) -> Logic {
     match eval {
         NodeEval::Direct(f) => f.eval(inputs),
         NodeEval::Lut(idx) => net.lut(idx).eval(inputs),

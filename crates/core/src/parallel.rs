@@ -13,35 +13,55 @@
 //!   engine and its settled node values are shared read-only with every
 //!   shard (`Engine::propagate_with`), eliminating the per-shard
 //!   redundancy of re-simulating the identical good machine,
-//! * shards run on scoped `std::thread` workers with no cross-thread
-//!   communication during a block of patterns,
+//! * the pattern sequence is split into **windows**
+//!   ([`BatchOptions::window`]), and (shard × window) tasks run on a
+//!   work-stealing scheduler ([`crate::batch`]): per-worker deques,
+//!   idle workers stealing runnable shards, the caller's thread
+//!   producing good traces with bounded lookahead — so a long-pole
+//!   shard no longer bounds wall time the way the old per-block barrier
+//!   did,
+//! * sequential DFF/arena state hands off at window boundaries by
+//!   construction: each shard's engine carries its own state, and the
+//!   scheduler runs a shard's windows strictly in order,
+//! * [`ParallelSim::run_batched`] additionally swaps the scalar good
+//!   machine for the 64-lane pattern-parallel [`crate::pargood`] good
+//!   machine (PPSFP's DFFs-as-pseudo-inputs trick),
 //! * results merge deterministically — statuses by global fault index,
 //!   detections sorted by `(pattern, fault id)` — so the output is
-//!   bit-identical for any thread count, including `P = 1`, which skips
-//!   the good-trace machinery entirely and runs today's serial path.
+//!   bit-identical for any (window size, thread count, steal schedule),
+//!   including `P = 1`, which skips the good-trace machinery entirely
+//!   and runs today's serial path.
 //!
 //! Determinism needs no locks because fault detection is a per-fault fact:
 //! whether (and at which pattern) fault `f` is detected depends only on
 //! the circuit, the pattern sequence, and `f` itself — never on which
-//! other faults share its engine.
+//! other faults share its engine, which worker runs it, or how its
+//! pattern sequence is windowed (the traces a window consumes are the
+//! same values the serial good machine computes, and the engine state a
+//! window starts from is exactly the state the previous window
+//! committed).
 
 use std::fmt;
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use cfs_faults::{FaultSimReport, FaultStatus, StuckAt, TransitionFault};
 use cfs_logic::Logic;
 use cfs_netlist::Circuit;
 use cfs_telemetry::{MetricsSnapshot, NullProbe, Probe, SimMetrics};
 
+use crate::batch::{run_windows, seeded_schedule, window_bounds, BatchOptions, SchedStats};
 use crate::engine::Engine;
 use crate::network::{build_gate_network, build_macro_network};
+use crate::pargood::PackedGood;
 use crate::stuck::{ConcurrentSim, CsimOptions};
 use crate::transition::{TransitionOptions, TransitionSim};
 
-/// Patterns per good-trace block: the good engine runs a block ahead, then
-/// every shard consumes the block in parallel. Bounds trace memory at
-/// `BLOCK × nodes` bytes while keeping thread launches rare.
-const BLOCK: usize = 128;
+/// Patterns per good-trace window on the default `run` path (also the
+/// serial path's progress-callback granularity). Equal to
+/// [`crate::batch::DEFAULT_WINDOW`]: bounds live trace memory while
+/// keeping scheduling overhead rare.
+const BLOCK: usize = crate::batch::DEFAULT_WINDOW;
 
 /// How the fault list is split across shards.
 ///
@@ -226,6 +246,114 @@ pub fn detections_of(statuses: &[FaultStatus]) -> Vec<GlobalDetection> {
     dets
 }
 
+/// Panics unless `parts` is an exact cover of `0..n` with each part
+/// sorted ascending — the invariant every shard constructor relies on.
+fn assert_exact_cover(parts: &[Vec<usize>], n: usize) {
+    let mut seen = vec![false; n];
+    for part in parts {
+        assert!(
+            part.windows(2).all(|w| w[0] < w[1]),
+            "shard indices must be sorted ascending"
+        );
+        for &i in part {
+            assert!(i < n, "fault index {i} out of range (universe {n})");
+            assert!(
+                !std::mem::replace(&mut seen[i], true),
+                "fault {i} appears in more than one shard"
+            );
+        }
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "partition drops faults: not an exact cover"
+    );
+}
+
+/// Runs every `(shard × window)` task on the work-stealing scheduler.
+///
+/// `good` produces traces on the caller's thread — scalar
+/// [`Engine::good_cycle`] per pattern by default, or the 64-lane
+/// [`PackedGood`] machine when `packed` — while `threads` workers drain
+/// shard deques, calling `step(shard, pattern, trace)` once per pattern of
+/// the task's window. Shards are handed to workers through uncontended
+/// `Mutex` slots: the scheduler runs a shard's windows strictly in order,
+/// so no two workers ever hold the same shard (each lock is a formality
+/// the type system demands, never a wait).
+///
+/// Determinism: per-shard work is identical to a serial walk of that
+/// shard over the full pattern sequence (same engine, same pattern order,
+/// same good traces), so merged results cannot depend on worker count or
+/// steal schedule.
+#[allow(clippy::too_many_arguments)]
+fn schedule_windows<S, F>(
+    threads: usize,
+    good: &mut Engine,
+    shards: &mut [S],
+    patterns: &[Vec<Logic>],
+    bounds: &[(usize, usize)],
+    batch: &BatchOptions,
+    packed: bool,
+    step: F,
+) -> SchedStats
+where
+    S: Send,
+    F: Fn(&mut S, &[Logic], &[Logic]) + Sync,
+{
+    let sizes: Vec<usize> = bounds.iter().map(|&(lo, hi)| hi - lo).collect();
+    let slots: Vec<Mutex<&mut S>> = shards.iter_mut().map(Mutex::new).collect();
+    let run = |s: usize, w: usize, trace: &Vec<Vec<Logic>>| {
+        let mut shard = slots[s].lock().expect("uncontended shard slot");
+        let (lo, hi) = bounds[w];
+        for (p, t) in patterns[lo..hi].iter().zip(trace.iter()) {
+            step(&mut shard, p, t);
+        }
+    };
+    if packed {
+        let state: Vec<Logic> = good
+            .net
+            .dff_nodes
+            .iter()
+            .map(|&q| good.good[q as usize])
+            .collect();
+        let mut pg = PackedGood::new(&good.net, state);
+        let net = &good.net;
+        let stats = run_windows(
+            threads,
+            slots.len(),
+            &sizes,
+            batch.steal,
+            batch.steal_seed,
+            |w| {
+                let (lo, hi) = bounds[w];
+                pg.window_traces(net, &patterns[lo..hi])
+            },
+            run,
+        );
+        // Fold the pattern-parallel good work into the engine's counters
+        // and commit the post-run state so consecutive runs stay
+        // sequentially consistent with the scalar good machine.
+        good.good_evals += pg.scalar_evals + pg.packed_evals;
+        good.set_dff_state(&pg.state);
+        stats
+    } else {
+        run_windows(
+            threads,
+            slots.len(),
+            &sizes,
+            batch.steal,
+            batch.steal_seed,
+            |w| {
+                let (lo, hi) = bounds[w];
+                patterns[lo..hi]
+                    .iter()
+                    .map(|p| good.good_cycle(p))
+                    .collect()
+            },
+            run,
+        )
+    }
+}
+
 struct StuckShard<P: Probe> {
     sim: ConcurrentSim<P>,
     /// Global fault index per local fault id (ascending).
@@ -269,6 +397,11 @@ pub struct ParallelSim<P: Probe = NullProbe> {
     plan: ShardPlan,
     circuit_name: String,
     num_faults: usize,
+    /// Worker threads driving the scheduler (may differ from shard count
+    /// when oversharded for stealing headroom).
+    threads: usize,
+    /// Scheduler statistics of the most recent scheduled run.
+    sched: Option<SchedStats>,
 }
 
 impl<P: Probe> fmt::Debug for ParallelSim<P> {
@@ -276,7 +409,8 @@ impl<P: Probe> fmt::Debug for ParallelSim<P> {
         f.debug_struct("ParallelSim")
             .field("circuit", &self.circuit_name)
             .field("faults", &self.num_faults)
-            .field("threads", &self.shards.len())
+            .field("threads", &self.threads)
+            .field("shards", &self.shards.len())
             .field("plan", &self.plan)
             .field("options", &self.options)
             .finish()
@@ -374,6 +508,10 @@ impl ParallelSim<SimMetrics> {
         snap.circuit = self.circuit_name.clone();
         snap.events += self.good.events;
         snap.good_evals += self.good.good_evals;
+        if let Some(st) = &self.sched {
+            snap.windows = st.windows as u64;
+            snap.steals = st.steals;
+        }
         snap
     }
 
@@ -399,16 +537,86 @@ impl<P: Probe> ParallelSim<P> {
         threads: usize,
         plan: ShardPlan,
         keys: Option<&[u32]>,
-        mut probe: impl FnMut(usize) -> P,
+        probe: impl FnMut(usize) -> P,
     ) -> Self {
-        assert!(threads > 0, "at least one thread");
+        Self::with_probes_sharded(
+            circuit, faults, options, threads, threads, plan, keys, probe,
+        )
+    }
+
+    /// [`ParallelSim::with_probes`] with the two parallelism axes
+    /// decoupled: `shards` fault partitions driven by `threads` workers.
+    /// Oversharding (`shards > threads`) gives the work-stealing
+    /// scheduler spare tasks to migrate, so a long-pole shard no longer
+    /// pins wall time to one worker's pace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, `shards == 0`, or a key slice has the
+    /// wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_probes_sharded(
+        circuit: &Circuit,
+        faults: &[StuckAt],
+        options: CsimOptions,
+        threads: usize,
+        shards: usize,
+        plan: ShardPlan,
+        keys: Option<&[u32]>,
+        probe: impl FnMut(usize) -> P,
+    ) -> Self {
+        assert!(shards > 0, "at least one shard");
         let parts = match keys {
             Some(keys) => {
                 assert_eq!(keys.len(), faults.len(), "one balance key per fault");
-                plan.partition(keys, threads)
+                plan.partition(keys, shards)
             }
-            None => plan.partition(&stuck_levels(circuit, faults), threads),
+            None => plan.partition(&stuck_levels(circuit, faults), shards),
         };
+        Self::from_parts(circuit, faults, options, threads, plan, parts, probe)
+    }
+
+    /// Builds the simulator from an explicit fault partition — the hook
+    /// for adversarial load shapes (one giant shard plus empties) that no
+    /// [`ShardPlan`] would produce. `parts[k]` lists shard `k`'s global
+    /// fault indices; [`ParallelSim::plan`] reports the default plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, `parts` is empty, a part is not sorted
+    /// ascending, or `parts` is not an exact cover of
+    /// `0..faults.len()` (every index in exactly one part).
+    pub fn with_partition(
+        circuit: &Circuit,
+        faults: &[StuckAt],
+        options: CsimOptions,
+        threads: usize,
+        parts: Vec<Vec<usize>>,
+        probe: impl FnMut(usize) -> P,
+    ) -> Self {
+        assert!(!parts.is_empty(), "at least one shard");
+        Self::from_parts(
+            circuit,
+            faults,
+            options,
+            threads,
+            ShardPlan::default(),
+            parts,
+            probe,
+        )
+    }
+
+    fn from_parts(
+        circuit: &Circuit,
+        faults: &[StuckAt],
+        options: CsimOptions,
+        threads: usize,
+        plan: ShardPlan,
+        parts: Vec<Vec<usize>>,
+        mut probe: impl FnMut(usize) -> P,
+    ) -> Self {
+        assert!(threads > 0, "at least one thread");
+        assert_exact_cover(&parts, faults.len());
         let shards = parts
             .into_iter()
             .enumerate()
@@ -440,12 +648,26 @@ impl<P: Probe> ParallelSim<P> {
             plan,
             circuit_name: circuit.name().to_owned(),
             num_faults: faults.len(),
+            threads,
+            sched: None,
         }
     }
 
     /// Worker thread count.
     pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Fault-shard count (equals [`ParallelSim::threads`] unless
+    /// constructed oversharded).
+    pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Scheduler statistics of the most recent scheduled run: task spans,
+    /// steal events, totals. `None` before any run and after serial runs.
+    pub fn sched_stats(&self) -> Option<&SchedStats> {
+        self.sched.as_ref()
     }
 
     /// The sharding plan in use.
@@ -460,10 +682,10 @@ impl<P: Probe> ParallelSim<P> {
             (false, true) => "csim-M",
             (true, true) => "csim-MV",
         };
-        if self.shards.len() == 1 {
+        if self.threads == 1 {
             base.to_owned()
         } else {
-            format!("{base}-p{}", self.shards.len())
+            format!("{base}-p{}", self.threads)
         }
     }
 
@@ -512,20 +734,22 @@ impl<P: Probe + Send> ParallelSim<P> {
     }
 
     /// Like [`ParallelSim::run`], but calls `after_block(self, done)` on
-    /// the coordinating thread after each block of patterns settles on
+    /// the coordinating thread after each window of patterns settles on
     /// every shard (`done` = patterns completed so far). The callback sees
     /// quiescent shards, so it may read per-shard probes and merge them —
     /// the deterministic hook behind `--trace-every` progress under
-    /// `--threads N`.
+    /// `--threads N`. On scheduled runs the callbacks replay after the
+    /// workers finish; because probes record per-pattern, the merged view
+    /// at each boundary is identical to a barriered run's.
     pub fn run_with(
         &mut self,
         patterns: &[Vec<Logic>],
         mut after_block: impl FnMut(&Self, usize),
     ) -> FaultSimReport {
-        let start = Instant::now();
-        let mut done = 0usize;
-        if self.shards.len() == 1 {
+        if self.threads == 1 && self.shards.len() == 1 {
             // Serial path: identical to ConcurrentSim::run.
+            let start = Instant::now();
+            let mut done = 0usize;
             for block in patterns.chunks(BLOCK) {
                 for p in block {
                     self.shards[0].sim.engine.step_stuck(p);
@@ -533,29 +757,128 @@ impl<P: Probe + Send> ParallelSim<P> {
                 done += block.len();
                 after_block(self, done);
             }
+            self.report(patterns.len(), start.elapsed())
         } else {
-            for block in patterns.chunks(BLOCK) {
-                let traces: Vec<Vec<Logic>> =
-                    block.iter().map(|p| self.good.good_cycle(p)).collect();
-                std::thread::scope(|scope| {
-                    for shard in &mut self.shards {
-                        let traces = &traces;
-                        scope.spawn(move || {
-                            for (p, trace) in block.iter().zip(traces) {
-                                shard.sim.engine.step_stuck_with(p, Some(trace));
-                            }
-                        });
-                    }
-                });
-                done += block.len();
-                after_block(self, done);
-            }
+            // Scalar good traces in pattern order keep the good engine's
+            // counters bit-identical to the historical barriered path.
+            self.run_scheduled(patterns, &BatchOptions::default(), false, &mut after_block)
         }
-        let cpu = start.elapsed();
+    }
+
+    /// Runs under explicit [`BatchOptions`] with the 64-lane
+    /// pattern-parallel good machine producing window traces — the
+    /// two-dimensional (pattern-batch × fault-shard) mode. Detections are
+    /// bit-identical to [`ParallelSim::run`] and to the serial simulator
+    /// for any window size, thread count, and steal schedule.
+    pub fn run_batched(&mut self, patterns: &[Vec<Logic>], batch: &BatchOptions) -> FaultSimReport {
+        self.run_batched_with(patterns, batch, |_, _| {})
+    }
+
+    /// [`ParallelSim::run_batched`] with the per-window callback of
+    /// [`ParallelSim::run_with`].
+    pub fn run_batched_with(
+        &mut self,
+        patterns: &[Vec<Logic>],
+        batch: &BatchOptions,
+        mut after_window: impl FnMut(&Self, usize),
+    ) -> FaultSimReport {
+        self.run_scheduled(patterns, batch, true, &mut after_window)
+    }
+
+    /// Single-threaded replay of the deterministic steal interleaving
+    /// [`seeded_schedule`] derives from `schedule_seed` — every
+    /// `(shard × window)` task runs exactly once, shards in window order
+    /// but interleaved across shards according to the seed. Exists so
+    /// tests can prove merge output is independent of task interleaving
+    /// without relying on OS thread timing.
+    pub fn run_seeded(
+        &mut self,
+        patterns: &[Vec<Logic>],
+        batch: &BatchOptions,
+        schedule_seed: u64,
+    ) -> FaultSimReport {
+        let start = Instant::now();
+        let bounds = window_bounds(patterns.len(), batch.window);
+        {
+            let Self { shards, good, .. } = self;
+            let state: Vec<Logic> = good
+                .net
+                .dff_nodes
+                .iter()
+                .map(|&q| good.good[q as usize])
+                .collect();
+            let mut pg = PackedGood::new(&good.net, state);
+            let order = seeded_schedule(shards.len(), bounds.len(), schedule_seed);
+            let mut traces: Vec<Option<Vec<Vec<Logic>>>> = Vec::new();
+            traces.resize_with(bounds.len(), || None);
+            let mut remaining = vec![shards.len(); bounds.len()];
+            let mut produced = 0usize;
+            for (s, w) in order {
+                while produced <= w {
+                    let (lo, hi) = bounds[produced];
+                    traces[produced] = Some(pg.window_traces(&good.net, &patterns[lo..hi]));
+                    produced += 1;
+                }
+                let (lo, hi) = bounds[w];
+                let trace = traces[w].as_ref().expect("windows produce in order");
+                for (p, t) in patterns[lo..hi].iter().zip(trace.iter()) {
+                    shards[s].sim.engine.step_stuck_with(p, Some(t));
+                }
+                remaining[w] -= 1;
+                if remaining[w] == 0 {
+                    traces[w] = None; // same retirement rule as the scheduler
+                }
+            }
+            good.good_evals += pg.scalar_evals + pg.packed_evals;
+            good.set_dff_state(&pg.state);
+        }
+        self.sched = None;
+        self.report(patterns.len(), start.elapsed())
+    }
+
+    fn run_scheduled(
+        &mut self,
+        patterns: &[Vec<Logic>],
+        batch: &BatchOptions,
+        packed: bool,
+        after_window: &mut dyn FnMut(&Self, usize),
+    ) -> FaultSimReport {
+        let start = Instant::now();
+        let bounds = window_bounds(patterns.len(), batch.window);
+        let stats = {
+            let Self {
+                shards,
+                good,
+                threads,
+                ..
+            } = self;
+            schedule_windows(
+                *threads,
+                good,
+                shards,
+                patterns,
+                &bounds,
+                batch,
+                packed,
+                |shard: &mut StuckShard<P>, p, t| {
+                    shard.sim.engine.step_stuck_with(p, Some(t));
+                },
+            )
+        };
+        self.sched = Some(stats);
+        let mut done = 0usize;
+        for &(lo, hi) in &bounds {
+            done += hi - lo;
+            after_window(self, done);
+        }
+        self.report(patterns.len(), start.elapsed())
+    }
+
+    fn report(&self, patterns: usize, cpu: Duration) -> FaultSimReport {
         FaultSimReport {
             simulator: self.name_str(),
             circuit: self.circuit_name.clone(),
-            patterns: patterns.len(),
+            patterns,
             statuses: self.statuses(),
             cpu,
             memory_bytes: self.memory_bytes(),
@@ -599,7 +922,7 @@ impl<P: Probe + Send> ParallelSim<P> {
     /// Paper-comparable memory model summed over shards and the good
     /// engine.
     pub fn memory_bytes(&self) -> usize {
-        let good = if self.shards.len() == 1 {
+        let good = if self.threads == 1 && self.shards.len() == 1 {
             0 // serial path never touches the good engine
         } else {
             self.good.memory_bytes()
@@ -628,6 +951,10 @@ pub struct ParallelTransitionSim<P: Probe = NullProbe> {
     plan: ShardPlan,
     circuit_name: String,
     num_faults: usize,
+    /// Worker threads driving the scheduler (see [`ParallelSim`]).
+    threads: usize,
+    /// Scheduler statistics of the most recent scheduled run.
+    sched: Option<SchedStats>,
 }
 
 impl<P: Probe> fmt::Debug for ParallelTransitionSim<P> {
@@ -635,7 +962,8 @@ impl<P: Probe> fmt::Debug for ParallelTransitionSim<P> {
         f.debug_struct("ParallelTransitionSim")
             .field("circuit", &self.circuit_name)
             .field("faults", &self.num_faults)
-            .field("threads", &self.shards.len())
+            .field("threads", &self.threads)
+            .field("shards", &self.shards.len())
             .field("plan", &self.plan)
             .finish()
     }
@@ -728,6 +1056,10 @@ impl ParallelTransitionSim<SimMetrics> {
         snap.circuit = self.circuit_name.clone();
         snap.events += self.good.events;
         snap.good_evals += self.good.good_evals;
+        if let Some(st) = &self.sched {
+            snap.windows = st.windows as u64;
+            snap.steals = st.steals;
+        }
         snap
     }
 
@@ -751,16 +1083,41 @@ impl<P: Probe> ParallelTransitionSim<P> {
         threads: usize,
         plan: ShardPlan,
         keys: Option<&[u32]>,
+        probe: impl FnMut(usize) -> P,
+    ) -> Self {
+        Self::with_probes_sharded(
+            circuit, faults, options, threads, threads, plan, keys, probe,
+        )
+    }
+
+    /// [`ParallelTransitionSim::with_probes`] with decoupled axes (see
+    /// [`ParallelSim::with_probes_sharded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, `shards == 0`, or a key slice has the
+    /// wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_probes_sharded(
+        circuit: &Circuit,
+        faults: &[TransitionFault],
+        options: TransitionOptions,
+        threads: usize,
+        shards: usize,
+        plan: ShardPlan,
+        keys: Option<&[u32]>,
         mut probe: impl FnMut(usize) -> P,
     ) -> Self {
         assert!(threads > 0, "at least one thread");
+        assert!(shards > 0, "at least one shard");
         let parts = match keys {
             Some(keys) => {
                 assert_eq!(keys.len(), faults.len(), "one balance key per fault");
-                plan.partition(keys, threads)
+                plan.partition(keys, shards)
             }
-            None => plan.partition(&transition_levels(circuit, faults), threads),
+            None => plan.partition(&transition_levels(circuit, faults), shards),
         };
+        assert_exact_cover(&parts, faults.len());
         let shards = parts
             .into_iter()
             .enumerate()
@@ -785,12 +1142,25 @@ impl<P: Probe> ParallelTransitionSim<P> {
             plan,
             circuit_name: circuit.name().to_owned(),
             num_faults: faults.len(),
+            threads,
+            sched: None,
         }
     }
 
     /// Worker thread count.
     pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Fault-shard count (see [`ParallelSim::num_shards`]).
+    pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Scheduler statistics of the most recent scheduled run (see
+    /// [`ParallelSim::sched_stats`]).
+    pub fn sched_stats(&self) -> Option<&SchedStats> {
+        self.sched.as_ref()
     }
 
     /// The sharding plan in use.
@@ -799,10 +1169,10 @@ impl<P: Probe> ParallelTransitionSim<P> {
     }
 
     fn name_str(&self) -> String {
-        if self.shards.len() == 1 {
+        if self.threads == 1 {
             "csim-T".to_owned()
         } else {
-            format!("csim-T-p{}", self.shards.len())
+            format!("csim-T-p{}", self.threads)
         }
     }
 
@@ -835,16 +1205,16 @@ impl<P: Probe + Send> ParallelTransitionSim<P> {
         self.run_with(patterns, |_, _| {})
     }
 
-    /// Like [`ParallelTransitionSim::run`], with a per-block callback on
+    /// Like [`ParallelTransitionSim::run`], with a per-window callback on
     /// the coordinating thread (see [`ParallelSim::run_with`]).
     pub fn run_with(
         &mut self,
         patterns: &[Vec<Logic>],
         mut after_block: impl FnMut(&Self, usize),
     ) -> FaultSimReport {
-        let start = Instant::now();
-        let mut done = 0usize;
-        if self.shards.len() == 1 {
+        if self.threads == 1 && self.shards.len() == 1 {
+            let start = Instant::now();
+            let mut done = 0usize;
             for block in patterns.chunks(BLOCK) {
                 for p in block {
                     self.shards[0].sim.step(p);
@@ -852,29 +1222,121 @@ impl<P: Probe + Send> ParallelTransitionSim<P> {
                 done += block.len();
                 after_block(self, done);
             }
+            self.report(patterns.len(), start.elapsed())
         } else {
-            for block in patterns.chunks(BLOCK) {
-                let traces: Vec<Vec<Logic>> =
-                    block.iter().map(|p| self.good.good_cycle(p)).collect();
-                std::thread::scope(|scope| {
-                    for shard in &mut self.shards {
-                        let traces = &traces;
-                        scope.spawn(move || {
-                            for (p, trace) in block.iter().zip(traces) {
-                                shard.sim.step_with(p, Some(trace));
-                            }
-                        });
-                    }
-                });
-                done += block.len();
-                after_block(self, done);
-            }
+            self.run_scheduled(patterns, &BatchOptions::default(), false, &mut after_block)
         }
-        let cpu = start.elapsed();
+    }
+
+    /// Two-dimensional (pattern-batch × fault-shard) run (see
+    /// [`ParallelSim::run_batched`]). The transition model's two passes
+    /// consume the same settled good trace, so the pattern-parallel good
+    /// machine serves both.
+    pub fn run_batched(&mut self, patterns: &[Vec<Logic>], batch: &BatchOptions) -> FaultSimReport {
+        self.run_batched_with(patterns, batch, |_, _| {})
+    }
+
+    /// [`ParallelTransitionSim::run_batched`] with the per-window
+    /// callback of [`ParallelTransitionSim::run_with`].
+    pub fn run_batched_with(
+        &mut self,
+        patterns: &[Vec<Logic>],
+        batch: &BatchOptions,
+        mut after_window: impl FnMut(&Self, usize),
+    ) -> FaultSimReport {
+        self.run_scheduled(patterns, batch, true, &mut after_window)
+    }
+
+    /// Deterministic single-threaded replay of a seeded steal
+    /// interleaving (see [`ParallelSim::run_seeded`]).
+    pub fn run_seeded(
+        &mut self,
+        patterns: &[Vec<Logic>],
+        batch: &BatchOptions,
+        schedule_seed: u64,
+    ) -> FaultSimReport {
+        let start = Instant::now();
+        let bounds = window_bounds(patterns.len(), batch.window);
+        {
+            let Self { shards, good, .. } = self;
+            let state: Vec<Logic> = good
+                .net
+                .dff_nodes
+                .iter()
+                .map(|&q| good.good[q as usize])
+                .collect();
+            let mut pg = PackedGood::new(&good.net, state);
+            let order = seeded_schedule(shards.len(), bounds.len(), schedule_seed);
+            let mut traces: Vec<Option<Vec<Vec<Logic>>>> = Vec::new();
+            traces.resize_with(bounds.len(), || None);
+            let mut remaining = vec![shards.len(); bounds.len()];
+            let mut produced = 0usize;
+            for (s, w) in order {
+                while produced <= w {
+                    let (lo, hi) = bounds[produced];
+                    traces[produced] = Some(pg.window_traces(&good.net, &patterns[lo..hi]));
+                    produced += 1;
+                }
+                let (lo, hi) = bounds[w];
+                let trace = traces[w].as_ref().expect("windows produce in order");
+                for (p, t) in patterns[lo..hi].iter().zip(trace.iter()) {
+                    shards[s].sim.step_with(p, Some(t));
+                }
+                remaining[w] -= 1;
+                if remaining[w] == 0 {
+                    traces[w] = None;
+                }
+            }
+            good.good_evals += pg.scalar_evals + pg.packed_evals;
+            good.set_dff_state(&pg.state);
+        }
+        self.sched = None;
+        self.report(patterns.len(), start.elapsed())
+    }
+
+    fn run_scheduled(
+        &mut self,
+        patterns: &[Vec<Logic>],
+        batch: &BatchOptions,
+        packed: bool,
+        after_window: &mut dyn FnMut(&Self, usize),
+    ) -> FaultSimReport {
+        let start = Instant::now();
+        let bounds = window_bounds(patterns.len(), batch.window);
+        let stats = {
+            let Self {
+                shards,
+                good,
+                threads,
+                ..
+            } = self;
+            schedule_windows(
+                *threads,
+                good,
+                shards,
+                patterns,
+                &bounds,
+                batch,
+                packed,
+                |shard: &mut TransitionShard<P>, p, t| {
+                    shard.sim.step_with(p, Some(t));
+                },
+            )
+        };
+        self.sched = Some(stats);
+        let mut done = 0usize;
+        for &(lo, hi) in &bounds {
+            done += hi - lo;
+            after_window(self, done);
+        }
+        self.report(patterns.len(), start.elapsed())
+    }
+
+    fn report(&self, patterns: usize, cpu: Duration) -> FaultSimReport {
         FaultSimReport {
             simulator: self.name_str(),
             circuit: self.circuit_name.clone(),
-            patterns: patterns.len(),
+            patterns,
             statuses: self.statuses(),
             cpu,
             memory_bytes: self.memory_bytes(),
@@ -916,7 +1378,7 @@ impl<P: Probe + Send> ParallelTransitionSim<P> {
     /// Paper-comparable memory model summed over shards and the good
     /// engine.
     pub fn memory_bytes(&self) -> usize {
-        let good = if self.shards.len() == 1 {
+        let good = if self.threads == 1 && self.shards.len() == 1 {
             0
         } else {
             self.good.memory_bytes()

@@ -1,0 +1,266 @@
+//! Pattern-parallel good machine: 64 patterns per machine word.
+//!
+//! The batched scheduler needs one good-machine trace per pattern, and
+//! the good machine is sequential — pattern `p+1`'s trace depends on the
+//! DFF state pattern `p` latches. PPSFP's classic trick breaks that
+//! chain: once the per-pattern DFF states are known, every pattern's
+//! combinational settle is independent, so they pack into the 64-lane
+//! [`PackedLogic`] machinery (one pattern per bit plane lane).
+//!
+//! [`PackedGood`] therefore runs two passes per window:
+//!
+//! 1. **State pass (scalar, cone-only).** Walk the patterns in order,
+//!    evaluating only the *state cone* — nodes reverse-reachable from
+//!    the flip-flop D inputs — to advance the DFF state vector one
+//!    pattern at a time. On circuits where the next-state logic is a
+//!    fraction of the whole netlist this is the only sequential work.
+//! 2. **Trace pass (packed, whole netlist).** For each chunk of up to 64
+//!    patterns: load PI lanes from the patterns and DFF lanes from the
+//!    recorded per-pattern states, evaluate every node once in level
+//!    order with [`PackedLogic::eval_gate`] (LUT macros fall back to
+//!    per-lane scalar evaluation), and unpack per-pattern traces.
+//!
+//! The trace equals [`Engine::good_cycle`]'s settled vector exactly: a
+//! full levelized evaluation computes the unique zero-delay fixpoint of
+//! the acyclic combinational logic, which is what the event-driven
+//! engine converges to — same three-valued algebra, same values, bit for
+//! bit (`traces_match_the_scalar_good_engine` pins this differentially).
+
+use cfs_logic::{Logic, PackedLogic, LANES};
+
+use crate::engine::eval_fn;
+use crate::network::{Network, NodeEval, NodeId};
+
+/// Pattern-parallel good-trace producer over a compiled [`Network`].
+///
+/// Holds the running DFF state: windows must be supplied in pattern
+/// order, and the state after a window is the committed handoff into the
+/// next (exactly the scheduler's coordinator contract).
+pub(crate) struct PackedGood {
+    /// Evaluation nodes in ascending level order (trace pass).
+    eval_order: Vec<NodeId>,
+    /// Evaluation nodes in the DFF state cone, ascending level (state pass).
+    cone_order: Vec<NodeId>,
+    /// Current DFF state, one value per flip-flop, advanced per pattern.
+    pub state: Vec<Logic>,
+    /// Scalar node values (state pass scratch).
+    vals: Vec<Logic>,
+    /// Packed node values (trace pass scratch).
+    packed: Vec<PackedLogic>,
+    /// Fanin gather scratch.
+    in_scalar: Vec<Logic>,
+    in_packed: Vec<PackedLogic>,
+    /// Scalar cone evaluations performed (state pass).
+    pub scalar_evals: u64,
+    /// Packed node evaluations performed (trace pass; one per node per
+    /// ≤64-pattern chunk).
+    pub packed_evals: u64,
+}
+
+impl PackedGood {
+    /// Builds the producer for `net`, starting from `state` (one value
+    /// per flip-flop — the committed good-machine state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the flip-flop count.
+    pub fn new(net: &Network, state: Vec<Logic>) -> Self {
+        assert_eq!(state.len(), net.dff_nodes.len(), "state width");
+        let n = net.num_nodes();
+        // Reverse-reachable closure from every D driver: the nodes whose
+        // values can influence the next DFF state.
+        let mut in_cone = vec![false; n];
+        let mut stack: Vec<NodeId> = net
+            .dff_nodes
+            .iter()
+            .map(|&q| net.sources_of(q)[0])
+            .collect();
+        while let Some(v) = stack.pop() {
+            if std::mem::replace(&mut in_cone[v as usize], true) {
+                continue;
+            }
+            stack.extend_from_slice(net.sources_of(v));
+        }
+        let mut eval_order: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| !matches!(net.nodes[v as usize].eval, NodeEval::None))
+            .collect();
+        eval_order.sort_by_key(|&v| (net.nodes[v as usize].level, v));
+        let cone_order: Vec<NodeId> = eval_order
+            .iter()
+            .copied()
+            .filter(|&v| in_cone[v as usize])
+            .collect();
+        PackedGood {
+            eval_order,
+            cone_order,
+            state,
+            vals: vec![Logic::X; n],
+            packed: vec![PackedLogic::ALL_X; n],
+            in_scalar: Vec::new(),
+            in_packed: Vec::new(),
+            scalar_evals: 0,
+            packed_evals: 0,
+        }
+    }
+
+    /// Produces the settled good trace of every pattern in the window
+    /// (`traces[i][node]` = node's value under `patterns[i]`, identical
+    /// to [`Engine::good_cycle`]) and advances the DFF state past the
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's width differs from the primary-input count.
+    pub fn window_traces(&mut self, net: &Network, patterns: &[Vec<Logic>]) -> Vec<Vec<Logic>> {
+        let n = net.num_nodes();
+        // State pass: per-pattern DFF states, sequentially.
+        let mut states: Vec<Vec<Logic>> = Vec::with_capacity(patterns.len());
+        for p in patterns {
+            assert_eq!(p.len(), net.pi_nodes.len(), "input width");
+            states.push(self.state.clone());
+            for (k, &pi) in net.pi_nodes.iter().enumerate() {
+                self.vals[pi as usize] = p[k];
+            }
+            for (k, &q) in net.dff_nodes.iter().enumerate() {
+                self.vals[q as usize] = self.state[k];
+            }
+            for &v in &self.cone_order {
+                self.in_scalar.clear();
+                for &src in net.sources_of(v) {
+                    self.in_scalar.push(self.vals[src as usize]);
+                }
+                self.vals[v as usize] = eval_fn(net, net.nodes[v as usize].eval, &self.in_scalar);
+                self.scalar_evals += 1;
+            }
+            for (k, &q) in net.dff_nodes.iter().enumerate() {
+                self.state[k] = self.vals[net.sources_of(q)[0] as usize];
+            }
+        }
+        // Trace pass: chunks of up to 64 patterns in lanes.
+        let mut traces: Vec<Vec<Logic>> = Vec::with_capacity(patterns.len());
+        for (chunk, state_chunk) in patterns.chunks(LANES).zip(states.chunks(LANES)) {
+            let lanes = chunk.len();
+            for (k, &pi) in net.pi_nodes.iter().enumerate() {
+                self.packed[pi as usize] = PackedLogic::from_lanes(chunk.iter().map(|p| p[k]));
+            }
+            for (k, &q) in net.dff_nodes.iter().enumerate() {
+                self.packed[q as usize] = PackedLogic::from_lanes(state_chunk.iter().map(|s| s[k]));
+            }
+            for &v in &self.eval_order {
+                self.in_packed.clear();
+                for &src in net.sources_of(v) {
+                    self.in_packed.push(self.packed[src as usize]);
+                }
+                self.packed[v as usize] = match net.nodes[v as usize].eval {
+                    NodeEval::Direct(f) => PackedLogic::eval_gate(f, &self.in_packed),
+                    NodeEval::Lut(idx) => {
+                        // Macro LUTs evaluate per lane: exactness over
+                        // speed (Direct gates carry the packed win).
+                        let mut w = PackedLogic::ALL_X;
+                        for l in 0..lanes {
+                            self.in_scalar.clear();
+                            self.in_scalar
+                                .extend(self.in_packed.iter().map(|pw| pw.lane(l)));
+                            w.set(l, net.lut(idx).eval(&self.in_scalar));
+                        }
+                        w
+                    }
+                    NodeEval::None => unreachable!("source nodes are not evaluated"),
+                };
+                self.packed_evals += 1;
+            }
+            for l in 0..lanes {
+                traces.push((0..n).map(|v| self.packed[v].lane(l)).collect());
+            }
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::network::{build_gate_network, build_macro_network};
+    use cfs_telemetry::NullProbe;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_patterns(inputs: usize, count: usize, seed: u64) -> Vec<Vec<Logic>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                (0..inputs)
+                    .map(|_| match rng.gen_range(0..10) {
+                        0 => Logic::X, // keep some unknowns in play
+                        k => Logic::from_bool(k % 2 == 0),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn traces_match_the_scalar_good_engine() {
+        for name in ["s27", "s298g"] {
+            let c = if name == "s27" {
+                cfs_netlist::data::s27()
+            } else {
+                cfs_netlist::generate::benchmark(name).unwrap()
+            };
+            for use_macros in [false, true] {
+                let net = if use_macros {
+                    build_macro_network(&c, &[], 3)
+                } else {
+                    build_gate_network(&c, &[])
+                };
+                let net2 = if use_macros {
+                    build_macro_network(&c, &[], 3)
+                } else {
+                    build_gate_network(&c, &[])
+                };
+                let state = vec![Logic::X; net.dff_nodes.len()];
+                let mut packed = PackedGood::new(&net, state);
+                let mut scalar: Engine = Engine::with_probe(net2, false, true, NullProbe);
+                let patterns = random_patterns(c.num_inputs(), 130, 9);
+                // Uneven windows to cross chunk and window boundaries.
+                for window in [patterns.chunks(7), patterns.chunks(130)] {
+                    // fresh producers per windowing
+                    let mut packed_state = vec![Logic::X; packed.state.len()];
+                    std::mem::swap(&mut packed.state, &mut packed_state);
+                    for w in window {
+                        let traces = packed.window_traces(&net, w);
+                        for (p, trace) in w.iter().zip(&traces) {
+                            let reference = scalar.good_cycle(p);
+                            assert_eq!(
+                                trace, &reference,
+                                "{name} macros={use_macros}: trace diverged"
+                            );
+                        }
+                    }
+                    // Reset the scalar engine for the next windowing by
+                    // rebuilding it (cheap at this size).
+                    let netr = if use_macros {
+                        build_macro_network(&c, &[], 3)
+                    } else {
+                        build_gate_network(&c, &[])
+                    };
+                    scalar = Engine::with_probe(netr, false, true, NullProbe);
+                }
+                assert!(packed.scalar_evals > 0);
+                assert!(packed.packed_evals > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn state_cone_is_a_subset_of_eval_order() {
+        let c = cfs_netlist::generate::benchmark("s298g").unwrap();
+        let net = build_gate_network(&c, &[]);
+        let pg = PackedGood::new(&net, vec![Logic::X; net.dff_nodes.len()]);
+        assert!(!pg.cone_order.is_empty(), "sequential circuit has a cone");
+        assert!(pg.cone_order.len() <= pg.eval_order.len());
+        let evals: std::collections::HashSet<_> = pg.eval_order.iter().collect();
+        assert!(pg.cone_order.iter().all(|v| evals.contains(v)));
+    }
+}

@@ -180,6 +180,10 @@ impl SimMetrics {
             pruned_unobservable: 0,
             trace_events: 0,
             trace_dropped: 0,
+            // Scheduler facts: stamped by the parallel driver, never
+            // observed by a per-shard probe.
+            windows: 0,
+            steals: 0,
             phases: self.phases,
         }
     }

@@ -90,6 +90,12 @@ impl<W: Write> JsonlWriter<W> {
             push_u64(&mut line, "trace_events", s.trace_events);
             push_u64(&mut line, "trace_dropped", s.trace_dropped);
         }
+        if s.windows > 0 {
+            // Scheduler counters, present only for batched/scheduled runs
+            // so serial summaries keep their historical shape.
+            push_u64(&mut line, "windows", s.windows);
+            push_u64(&mut line, "steals", s.steals);
+        }
         line.push_str(",\"phases\":{");
         for (i, (phase, d)) in s.phases.nonzero().enumerate() {
             if i > 0 {
@@ -98,6 +104,18 @@ impl<W: Write> JsonlWriter<W> {
             write_json_string(&mut line, phase.name());
             line.push(':');
             write_json_f64(&mut line, d.as_secs_f64());
+        }
+        // Invocation counts as a sibling object: "phases" keeps its
+        // all-float schema, while the counts give drift gates a
+        // schedule-invariant integer to pin.
+        line.push_str("},\"phase_calls\":{");
+        for (i, (phase, c)) in s.phases.nonzero_counts().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            write_json_string(&mut line, phase.name());
+            line.push(':');
+            line.push_str(&c.to_string());
         }
         line.push_str("}}\n");
         self.out.write_all(line.as_bytes())
@@ -330,6 +348,28 @@ mod tests {
         let prop = phases.get("propagate").and_then(JsonValue::as_f64).unwrap();
         assert!((prop - 0.2).abs() < 1e-9);
         assert!(phases.get("latch_collect").is_none());
+        let calls = v.get("phase_calls").unwrap();
+        assert_eq!(calls.get("propagate").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(calls.get("detect").and_then(JsonValue::as_u64), Some(1));
+        assert!(calls.get("latch_collect").is_none());
+    }
+
+    #[test]
+    fn summary_line_carries_scheduler_counters_only_when_windowed() {
+        let mut s = MetricsSnapshot::from_basic("csim-MV", "s27", 8, 20, 160, 500, 4096, 0.25);
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write_summary(&s).unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let v = JsonValue::parse(text.trim()).unwrap();
+        assert!(v.get("windows").is_none(), "serial shape unchanged");
+        s.windows = 4;
+        s.steals = 7;
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write_summary(&s).unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let v = JsonValue::parse(text.trim()).unwrap();
+        assert_eq!(v.get("windows").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(v.get("steals").and_then(JsonValue::as_u64), Some(7));
     }
 
     #[test]

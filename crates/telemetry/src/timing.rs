@@ -68,10 +68,17 @@ impl Phase {
     }
 }
 
-/// Accumulated wall time per [`Phase`].
+/// Accumulated wall time and invocation counts per [`Phase`].
+///
+/// Wall time is machine- and schedule-dependent; the invocation counts
+/// are not — a phase runs a fixed number of times per (engine, pattern)
+/// regardless of thread count, window size, or steal schedule, which is
+/// what lets merged multi-shard timings be sanity-checked: totals may
+/// wobble, counts must match the serial run exactly.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimes {
     totals: [Duration; Phase::COUNT],
+    counts: [u64; Phase::COUNT],
 }
 
 impl PhaseTimes {
@@ -80,9 +87,10 @@ impl PhaseTimes {
         Self::default()
     }
 
-    /// Adds `elapsed` to `phase`'s total.
+    /// Adds `elapsed` to `phase`'s total and bumps its invocation count.
     pub fn add(&mut self, phase: Phase, elapsed: Duration) {
         self.totals[phase.index()] += elapsed;
+        self.counts[phase.index()] += 1;
     }
 
     /// Total time recorded for `phase`.
@@ -90,15 +98,24 @@ impl PhaseTimes {
         self.totals[phase.index()]
     }
 
+    /// Times `phase` was recorded — invariant under sharding, windowing,
+    /// and steal schedule (unlike the wall-clock totals).
+    pub fn count(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
     /// Sum over all phases.
     pub fn total(&self) -> Duration {
         self.totals.iter().sum()
     }
 
-    /// Folds another table into this one.
+    /// Folds another table into this one (times and counts).
     pub fn merge(&mut self, other: &PhaseTimes) {
         for (t, o) in self.totals.iter_mut().zip(other.totals.iter()) {
             *t += *o;
+        }
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += *o;
         }
     }
 
@@ -108,6 +125,14 @@ impl PhaseTimes {
             .iter()
             .map(|&p| (p, self.get(p)))
             .filter(|&(_, d)| d > Duration::ZERO)
+    }
+
+    /// `(phase, count)` pairs with non-zero counts, in display order.
+    pub fn nonzero_counts(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL
+            .iter()
+            .map(|&p| (p, self.count(p)))
+            .filter(|&(_, c)| c > 0)
     }
 }
 
@@ -169,6 +194,12 @@ mod tests {
         assert_eq!(a.total(), Duration::from_millis(13));
         let nz: Vec<_> = a.nonzero().map(|(p, _)| p).collect();
         assert_eq!(nz, vec![Phase::Propagate, Phase::Detect]);
+        // Counts ride along with every add and merge.
+        assert_eq!(a.count(Phase::Propagate), 2);
+        assert_eq!(a.count(Phase::Detect), 2, "one local + one merged");
+        assert_eq!(a.count(Phase::Check), 0);
+        let nc: Vec<_> = a.nonzero_counts().collect();
+        assert_eq!(nc, vec![(Phase::Propagate, 2), (Phase::Detect, 2)]);
     }
 
     #[test]
