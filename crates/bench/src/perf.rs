@@ -31,19 +31,34 @@
 //! scheduler's determinism: its `events` and `detected` counters must
 //! match the baseline exactly even though the steal schedule varies run
 //! to run.
+//!
+//! Each circuit also carries a `csim-MV-incremental` and a
+//! `csim-T-incremental` cell: a scripted dead-logic edit is applied, the
+//! change-impact analysis splits the edited circuit's uncollapsed
+//! universe into affected and transferred faults, and only the affected
+//! cone is re-simulated (the CLI's `--incremental`); the baseline run
+//! that fates transfer from is untimed. `faults` records the affected
+//! count, `faults_full` the full universe, and `detected` the
+//! full-universe detections after fate transfer, so the cell is directly
+//! comparable to an `--uncollapsed` run and the drift gate pins the
+//! transfer split itself.
 
 use std::time::Instant;
 
-use cfs_check::{analyze_circuit, prune_stuck_at, prune_transition};
+use cfs_check::{
+    analyze_circuit, classify_stuck_at, classify_transition, diff_netlists, impact_analysis,
+    prune_stuck_at, prune_transition,
+};
 use cfs_core::{
     BatchOptions, ConcurrentSim, CsimVariant, NullProbe, ParallelSim, ParallelTransitionSim,
     ShardPlan, TransitionSim,
 };
 use cfs_faults::{
-    collapse_stuck_at, enumerate_transition, FaultStatus, PrunedUniverse, StuckAt, TransitionFault,
+    collapse_stuck_at, enumerate_stuck_at, enumerate_transition, FaultStatus, ImpactUniverse,
+    PrunedUniverse, StuckAt, TransitionFault,
 };
 use cfs_logic::Logic;
-use cfs_netlist::Circuit;
+use cfs_netlist::{apply_edit, BenchEdit, Circuit};
 use cfs_telemetry::{
     write_json_f64, write_json_string, JsonValue, MetricsSnapshot, Phase, SimMetrics,
 };
@@ -554,10 +569,129 @@ fn run_transition_pruned(
     }
 }
 
+/// Detections in the full universe after fate transfer through an
+/// [`ImpactUniverse`] expansion.
+fn impact_detected<F: Copy>(
+    universe: &ImpactUniverse<F>,
+    resim: &[FaultStatus],
+    baseline: &[FaultStatus],
+) -> usize {
+    universe
+        .expand_statuses(resim, baseline)
+        .iter()
+        .filter(|s| matches!(s, FaultStatus::Detected { .. }))
+        .count()
+}
+
+/// The `csim-MV-incremental` cell: applies the scripted dead-logic edit,
+/// records baseline fates over the unedited circuit's full uncollapsed
+/// universe (untimed), then times re-simulation of only the change-impact
+/// affected cone on the edited circuit. `detected` is the full-universe
+/// count after fate transfer — the CLI's `--incremental` path.
+fn run_stuck_incremental(circuit: &Circuit, patterns: &[Vec<Logic>], repeats: usize) -> PerfRun {
+    let applied =
+        apply_edit(circuit, BenchEdit::DeadLogic, 0).expect("dead logic applies to every fixture");
+    let edited = &applied.circuit;
+    let diff = diff_netlists(circuit, edited, None, None);
+    let analysis = impact_analysis(circuit, edited, diff);
+    let universe = classify_stuck_at(circuit, edited, &analysis);
+    let variant = CsimVariant::Mv;
+    let baseline = ConcurrentSim::new(circuit, &enumerate_stuck_at(circuit), variant.options())
+        .run(patterns)
+        .statuses;
+    let mut wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut detected = 0usize;
+    let mut peak_elements = 0usize;
+    let mut memory_bytes = 0usize;
+    for _ in 0..repeats.max(1) {
+        let mut sim = ConcurrentSim::new(edited, &universe.affected, variant.options());
+        let start = Instant::now();
+        let report = sim.run(patterns);
+        wall = wall.min(start.elapsed().as_secs_f64());
+        events = sim.events();
+        detected = impact_detected(&universe, &report.statuses, &baseline);
+        peak_elements = sim.peak_elements();
+        memory_bytes = sim.memory_bytes();
+    }
+    let mut sim = ConcurrentSim::instrumented(edited, &universe.affected, variant.options());
+    sim.run(patterns);
+    let phases = phase_seconds(&sim.snapshot());
+    PerfRun {
+        circuit: circuit.name().to_owned(),
+        variant: format!("{}-incremental", variant.name()),
+        threads: 1,
+        patterns: patterns.len(),
+        faults: universe.affected.len(),
+        faults_full: universe.stats.full,
+        wall_seconds: wall,
+        events,
+        events_per_pattern: events as f64 / patterns.len().max(1) as f64,
+        detected,
+        peak_elements,
+        peak_arena_bytes: peak_elements * cfs_core::Arena::ELEMENT_BYTES,
+        memory_bytes,
+        phase_seconds: phases,
+    }
+}
+
+/// The transition-fault mirror of [`run_stuck_incremental`]
+/// (`csim-T-incremental`).
+fn run_transition_incremental(
+    circuit: &Circuit,
+    patterns: &[Vec<Logic>],
+    repeats: usize,
+) -> PerfRun {
+    let applied =
+        apply_edit(circuit, BenchEdit::DeadLogic, 0).expect("dead logic applies to every fixture");
+    let edited = &applied.circuit;
+    let diff = diff_netlists(circuit, edited, None, None);
+    let analysis = impact_analysis(circuit, edited, diff);
+    let universe = classify_transition(circuit, edited, &analysis);
+    let baseline = TransitionSim::new(circuit, &enumerate_transition(circuit), Default::default())
+        .run(patterns)
+        .statuses;
+    let mut wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut detected = 0usize;
+    let mut peak_elements = 0usize;
+    let mut memory_bytes = 0usize;
+    for _ in 0..repeats.max(1) {
+        let mut sim = TransitionSim::new(edited, &universe.affected, Default::default());
+        let start = Instant::now();
+        let report = sim.run(patterns);
+        wall = wall.min(start.elapsed().as_secs_f64());
+        events = sim.events();
+        detected = impact_detected(&universe, &report.statuses, &baseline);
+        peak_elements = sim.peak_elements();
+        memory_bytes = sim.memory_bytes();
+    }
+    let mut sim = TransitionSim::instrumented(edited, &universe.affected, Default::default());
+    sim.run(patterns);
+    let phases = phase_seconds(&sim.snapshot());
+    PerfRun {
+        circuit: circuit.name().to_owned(),
+        variant: "csim-T-incremental".to_owned(),
+        threads: 1,
+        patterns: patterns.len(),
+        faults: universe.affected.len(),
+        faults_full: universe.stats.full,
+        wall_seconds: wall,
+        events,
+        events_per_pattern: events as f64 / patterns.len().max(1) as f64,
+        detected,
+        peak_elements,
+        peak_arena_bytes: peak_elements * cfs_core::Arena::ELEMENT_BYTES,
+        memory_bytes,
+        phase_seconds: phases,
+    }
+}
+
 /// Runs the whole harness: every circuit × the four stuck-at variants ×
 /// every thread count (each with its `-pruned` twin, and a `-batched`
 /// twin for parallel cells), plus one serial `csim-T` row, its `-pruned`
-/// twin, and one batched transition cell per circuit.
+/// twin, one batched transition cell, and the two `-incremental` cells
+/// per circuit.
 pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
     let mut runs = Vec::new();
     for name in &config.circuits {
@@ -609,6 +743,12 @@ pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
                 config.repeats,
             ));
         }
+        runs.push(run_stuck_incremental(&circuit, &patterns, config.repeats));
+        runs.push(run_transition_incremental(
+            &circuit,
+            &patterns,
+            config.repeats,
+        ));
     }
     runs
 }
@@ -845,8 +985,9 @@ mod tests {
     fn harness_round_trips_through_json() {
         let config = tiny_config();
         let runs = run_perf(&config);
-        // (4 stuck-at variants × 1 thread count + csim-T) × {plain, pruned}.
-        assert_eq!(runs.len(), 10);
+        // (4 stuck-at variants × 1 thread count + csim-T) × {plain, pruned}
+        // plus the two -incremental cells.
+        assert_eq!(runs.len(), 12);
         let json = render_bench_json(&config, &runs, None);
         let parsed = parse_bench_json(&json).expect("own output parses");
         assert_eq!(parsed.len(), runs.len());
@@ -895,6 +1036,52 @@ mod tests {
         let plain = runs.iter().find(|r| r.variant == "csim-MV").unwrap();
         let twin = runs.iter().find(|r| r.variant == "csim-MV-pruned").unwrap();
         assert!(twin.detected >= plain.detected);
+    }
+
+    #[test]
+    fn incremental_twins_match_a_cold_uncollapsed_run() {
+        let config = tiny_config();
+        let runs = run_perf(&config);
+        let circuit = perf_circuit("s27");
+        let patterns = random_patterns(&circuit, config.patterns, config.seed);
+        let applied = apply_edit(&circuit, BenchEdit::DeadLogic, 0).unwrap();
+        let diff = diff_netlists(&circuit, &applied.circuit, None, None);
+        let analysis = impact_analysis(&circuit, &applied.circuit, diff);
+        let stuck = classify_stuck_at(&circuit, &applied.circuit, &analysis);
+        let transition = classify_transition(&circuit, &applied.circuit, &analysis);
+        let cold_stuck =
+            ConcurrentSim::new(&applied.circuit, &stuck.full, CsimVariant::Mv.options())
+                .run(&patterns)
+                .statuses
+                .iter()
+                .filter(|s| matches!(s, FaultStatus::Detected { .. }))
+                .count();
+        let cold_transition =
+            TransitionSim::new(&applied.circuit, &transition.full, Default::default())
+                .run(&patterns)
+                .statuses
+                .iter()
+                .filter(|s| matches!(s, FaultStatus::Detected { .. }))
+                .count();
+        for (variant, stats, cold) in [
+            ("csim-MV-incremental", &stuck.stats, cold_stuck),
+            ("csim-T-incremental", &transition.stats, cold_transition),
+        ] {
+            let cell = runs
+                .iter()
+                .find(|r| r.variant == variant)
+                .unwrap_or_else(|| panic!("{variant}: cell missing"));
+            assert_eq!(cell.faults, stats.affected, "{variant}: simulated count");
+            assert_eq!(cell.faults_full, stats.full, "{variant}: full universe");
+            assert!(
+                cell.faults <= cell.faults_full,
+                "{variant}: sim beyond full"
+            );
+            assert_eq!(
+                cell.detected, cold,
+                "{variant}: fate transfer changed detections"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@ use std::fmt;
 /// configuration and tests key on.
 ///
 /// Codes are grouped by layer: `S` (source text), `N` (netlist structure),
-/// `F` (fault model), `M` (macro extraction), `P` (shard planning).
+/// `F` (fault model), `M` (macro extraction), `P` (shard planning),
+/// `I` (change impact).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuleCode {
     /// `S001` — a line of the `.bench` source cannot be parsed.
@@ -57,11 +58,23 @@ pub enum RuleCode {
     /// fault-universe observability analysis disagree about a node. This
     /// is an internal checker inconsistency, never a user error.
     ObservabilityMismatch,
+    /// `I001` — a netlist edit whose affected cone reaches no primary
+    /// output in either circuit: the diff is non-empty but every fault's
+    /// fate transfers verbatim from the baseline (info).
+    ConeDisconnectedEdit,
+    /// `I002` — a netlist edit that invalidates the baseline report
+    /// (primary inputs changed, or the baseline's pattern count/hash does
+    /// not match the replayed patterns), so no fate may transfer.
+    BaselineInvalidated,
+    /// `I003` — a transferred fault's fate disagrees with a cold full
+    /// re-simulation of the edited circuit. This is an internal
+    /// soundness violation of the impact analysis, never a user error.
+    FateTransferMismatch,
 }
 
 impl RuleCode {
     /// Every rule code, in display order.
-    pub const ALL: [RuleCode; 16] = [
+    pub const ALL: [RuleCode; 19] = [
         RuleCode::SyntaxError,
         RuleCode::UnknownGate,
         RuleCode::BadArity,
@@ -78,6 +91,9 @@ impl RuleCode {
         RuleCode::ObservabilityMismatch,
         RuleCode::IllegalMacroRegion,
         RuleCode::NonExactCoverShardPlan,
+        RuleCode::ConeDisconnectedEdit,
+        RuleCode::BaselineInvalidated,
+        RuleCode::FateTransferMismatch,
     ];
 
     /// The stable code string (`"N001"`).
@@ -99,6 +115,9 @@ impl RuleCode {
             RuleCode::ObservabilityMismatch => "F003",
             RuleCode::IllegalMacroRegion => "M001",
             RuleCode::NonExactCoverShardPlan => "P001",
+            RuleCode::ConeDisconnectedEdit => "I001",
+            RuleCode::BaselineInvalidated => "I002",
+            RuleCode::FateTransferMismatch => "I003",
         }
     }
 
@@ -121,6 +140,9 @@ impl RuleCode {
             RuleCode::ObservabilityMismatch => "observability-mismatch",
             RuleCode::IllegalMacroRegion => "illegal-macro-region",
             RuleCode::NonExactCoverShardPlan => "non-exact-cover-shard-plan",
+            RuleCode::ConeDisconnectedEdit => "cone-disconnected-edit",
+            RuleCode::BaselineInvalidated => "baseline-invalidated",
+            RuleCode::FateTransferMismatch => "fate-transfer-mismatch",
         }
     }
 
@@ -131,7 +153,8 @@ impl RuleCode {
             RuleCode::DanglingFanout | RuleCode::UnreachableGate => Severity::Warning,
             RuleCode::ConstantNet
             | RuleCode::NeverBinaryNet
-            | RuleCode::StaticallyUntestableFault => Severity::Info,
+            | RuleCode::StaticallyUntestableFault
+            | RuleCode::ConeDisconnectedEdit => Severity::Info,
             _ => Severity::Error,
         }
     }
@@ -361,6 +384,17 @@ mod tests {
         assert_eq!(RuleCode::CombinationalCycle.code(), "N001");
         assert_eq!(RuleCode::UncollapsibleFault.code(), "F001");
         assert_eq!(RuleCode::NonExactCoverShardPlan.code(), "P001");
+        assert_eq!(RuleCode::ConeDisconnectedEdit.code(), "I001");
+        assert_eq!(RuleCode::BaselineInvalidated.code(), "I002");
+        assert_eq!(RuleCode::FateTransferMismatch.code(), "I003");
+        assert_eq!(
+            RuleCode::ConeDisconnectedEdit.default_severity(),
+            Severity::Info
+        );
+        assert_eq!(
+            RuleCode::FateTransferMismatch.default_severity(),
+            Severity::Error
+        );
     }
 
     #[test]

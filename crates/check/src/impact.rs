@@ -1,0 +1,787 @@
+//! Static change-impact analysis between two netlists: the structural
+//! diff, the affected-cone fixpoint, and the fault classification behind
+//! `fsim impact` and `--incremental` re-simulation.
+//!
+//! Given a *base* circuit (with a recorded baseline fault report) and an
+//! *edited* circuit, the pass answers: which faults of the edited circuit
+//! could the edit possibly have changed? Everything else provably keeps
+//! its baseline fate — same status, same first-detection pattern — and
+//! need not be re-simulated.
+//!
+//! The argument, in three steps (DESIGN.md has the full version):
+//!
+//! 1. **Seeds.** Every gate named by the structural diff (added, removed,
+//!    retyped, rewired, or an output-tap change) is a seed *in each
+//!    circuit where its name exists*.
+//! 2. **Forward closure `A`.** The set of nodes reachable from a seed
+//!    over fanout edges, crossing DFF boundaries (a DFF is an ordinary
+//!    node of the reachability graph). A node outside `A` has no edited
+//!    gate anywhere in its temporal fanin cone, so its good value is
+//!    identical in both circuits on every cycle.
+//! 3. **Backward closure `B` of the cone `A ∩ observable`.** A fault's
+//!    fate depends only on its detection region — the forward paths from
+//!    its gate to the primary outputs — and the good values feeding that
+//!    region. If a fault's gate is outside `B` in *both* circuits, no
+//!    forward path from it meets a changed node in either, so its whole
+//!    detection region is structurally identical with identical good
+//!    values, and its fate transfers verbatim.
+//!
+//! Computing `B` on both circuits and taking the union is essential, not
+//! defensive: an edit can *disconnect* logic (`y = OR(g, h)` rewired to
+//! `y = OR(h, h)` leaves `g` with no edited gate downstream in the edited
+//! circuit), and only the base-side closure sees the path that used to
+//! exist.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use cfs_faults::{
+    enumerate_stuck_at, enumerate_transition, FaultSite, FaultStatus, ImpactFate, ImpactStats,
+    ImpactUniverse, StuckAt, TransitionFault,
+};
+use cfs_netlist::{BenchProvenance, Circuit, GateId, GateKind};
+
+use crate::analyze::observable_nodes;
+use crate::diag::{Report, RuleCode, Span};
+
+/// What changed about one named signal between the base and edited
+/// netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditKind {
+    /// The gate exists only in the edited circuit.
+    Added,
+    /// The gate exists only in the base circuit.
+    Removed,
+    /// The gate exists in both but its kind (function or role) differs.
+    Retyped {
+        /// Kind in the base circuit.
+        from: GateKind,
+        /// Kind in the edited circuit.
+        to: GateKind,
+    },
+    /// Same kind, different fanin signals (names or pin order).
+    Rewired {
+        /// Fanin signal names in the base circuit, in pin order.
+        from: Vec<String>,
+        /// Fanin signal names in the edited circuit, in pin order.
+        to: Vec<String>,
+    },
+    /// The edited circuit taps this signal as a primary output; the base
+    /// does not.
+    OutputAdded,
+    /// The base circuit taps this signal as a primary output; the edited
+    /// does not.
+    OutputRemoved,
+}
+
+impl EditKind {
+    /// Short kebab-case label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EditKind::Added => "added",
+            EditKind::Removed => "removed",
+            EditKind::Retyped { .. } => "retyped",
+            EditKind::Rewired { .. } => "rewired",
+            EditKind::OutputAdded => "output-added",
+            EditKind::OutputRemoved => "output-removed",
+        }
+    }
+}
+
+/// One entry of the structural diff, keyed by signal name with the
+/// defining source lines on both sides when provenance is available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistEdit {
+    /// The signal the edit is about.
+    pub name: String,
+    /// What changed.
+    pub kind: EditKind,
+    /// 1-based defining line in the base source, if known.
+    pub base_line: Option<usize>,
+    /// 1-based defining line in the edited source, if known.
+    pub edited_line: Option<usize>,
+}
+
+/// The structural diff of two netlists.
+#[derive(Debug, Clone, Default)]
+pub struct NetlistDiff {
+    /// Every edit, one per changed signal (gate edits in base-then-edited
+    /// id order, output-tap edits after, in name order).
+    pub edits: Vec<NetlistEdit>,
+    /// Whether the primary-input name sequence differs. Patterns are
+    /// positional PI vectors, so this invalidates any baseline report.
+    pub inputs_changed: bool,
+}
+
+impl NetlistDiff {
+    /// Whether the two circuits are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty() && !self.inputs_changed
+    }
+}
+
+/// Computes the structural diff of two circuits, keyed by signal name.
+///
+/// Provenance tables (from
+/// [`parse_bench_with_provenance`](cfs_netlist::parse_bench_with_provenance))
+/// attach defining source lines to each edit when available.
+pub fn diff_netlists(
+    base: &Circuit,
+    edited: &Circuit,
+    base_prov: Option<&BenchProvenance>,
+    edited_prov: Option<&BenchProvenance>,
+) -> NetlistDiff {
+    let base_ids: HashMap<&str, GateId> = name_map(base);
+    let edited_ids: HashMap<&str, GateId> = name_map(edited);
+    let line_in = |prov: Option<&BenchProvenance>, id: Option<GateId>| -> Option<usize> {
+        prov.zip(id).and_then(|(p, id)| p.line_of(id))
+    };
+    let mut edits = Vec::new();
+    for (i, g) in base.gates().iter().enumerate() {
+        let bid = GateId::from_index(i);
+        let kind = match edited_ids.get(g.name()) {
+            None => Some((EditKind::Removed, None)),
+            Some(&eid) => {
+                let eg = edited.gate(eid);
+                if g.kind() == eg.kind() {
+                    let from = fanin_names(base, g.fanin());
+                    let to = fanin_names(edited, eg.fanin());
+                    (from != to).then_some((EditKind::Rewired { from, to }, Some(eid)))
+                } else {
+                    Some((
+                        EditKind::Retyped {
+                            from: g.kind(),
+                            to: eg.kind(),
+                        },
+                        Some(eid),
+                    ))
+                }
+            }
+        };
+        if let Some((kind, eid)) = kind {
+            edits.push(NetlistEdit {
+                name: g.name().to_owned(),
+                kind,
+                base_line: line_in(base_prov, Some(bid)),
+                edited_line: line_in(edited_prov, eid),
+            });
+        }
+    }
+    for (i, g) in edited.gates().iter().enumerate() {
+        if !base_ids.contains_key(g.name()) {
+            edits.push(NetlistEdit {
+                name: g.name().to_owned(),
+                kind: EditKind::Added,
+                base_line: None,
+                edited_line: line_in(edited_prov, Some(GateId::from_index(i))),
+            });
+        }
+    }
+    // Output taps as a multiset of tapped signal names: tap order cannot
+    // change any fault's fate, multiplicity and membership can.
+    let mut taps: BTreeMap<&str, i32> = BTreeMap::new();
+    for &id in base.outputs() {
+        *taps.entry(base.gate(id).name()).or_default() += 1;
+    }
+    for &id in edited.outputs() {
+        *taps.entry(edited.gate(id).name()).or_default() -= 1;
+    }
+    for (name, delta) in taps {
+        if delta == 0 {
+            continue;
+        }
+        let kind = if delta > 0 {
+            EditKind::OutputRemoved
+        } else {
+            EditKind::OutputAdded
+        };
+        edits.push(NetlistEdit {
+            name: name.to_owned(),
+            kind,
+            base_line: line_in(base_prov, base_ids.get(name).copied()),
+            edited_line: line_in(edited_prov, edited_ids.get(name).copied()),
+        });
+    }
+    let base_inputs: Vec<&str> = base
+        .inputs()
+        .iter()
+        .map(|&id| base.gate(id).name())
+        .collect();
+    let edited_inputs: Vec<&str> = edited
+        .inputs()
+        .iter()
+        .map(|&id| edited.gate(id).name())
+        .collect();
+    NetlistDiff {
+        edits,
+        inputs_changed: base_inputs != edited_inputs,
+    }
+}
+
+/// The affected-cone result: which gate names must re-simulate, and how
+/// the cones looked on each side.
+#[derive(Debug, Clone)]
+pub struct ImpactAnalysis {
+    /// The structural diff the analysis ran on.
+    pub diff: NetlistDiff,
+    /// Union over both circuits of the backward closure of each affected
+    /// cone, plus every edited gate name. A fault transfers iff its gate
+    /// name is *not* in this set.
+    pub affected_names: BTreeSet<String>,
+    /// Nodes of the base circuit in `A ∩ observable`.
+    pub base_cone_nodes: usize,
+    /// Nodes of the edited circuit in `A ∩ observable`.
+    pub edited_cone_nodes: usize,
+    /// The diff is non-empty but its cone reaches no primary output in
+    /// either circuit (`I001`): every unedited fault transfers.
+    pub disconnected: bool,
+}
+
+/// Runs the affected-cone fixpoint over both circuits for `diff`.
+pub fn impact_analysis(base: &Circuit, edited: &Circuit, diff: NetlistDiff) -> ImpactAnalysis {
+    let (base_cone_nodes, base_names) = affected_in(base, &diff);
+    let (edited_cone_nodes, edited_names) = affected_in(edited, &diff);
+    let mut affected_names = base_names;
+    affected_names.extend(edited_names);
+    // Every edited gate re-simulates unconditionally: added gates have no
+    // baseline fault to transfer from, and removed/retyped/rewired gates
+    // changed the very structure the transfer key relies on.
+    affected_names.extend(diff.edits.iter().map(|e| e.name.clone()));
+    let disconnected = !diff.edits.is_empty() && base_cone_nodes == 0 && edited_cone_nodes == 0;
+    ImpactAnalysis {
+        diff,
+        affected_names,
+        base_cone_nodes,
+        edited_cone_nodes,
+        disconnected,
+    }
+}
+
+/// One circuit's side of the fixpoint: seeds → forward closure `A`
+/// (crossing DFFs) → cone `A ∩ observable` → backward closure `B`.
+/// Returns the cone size and the names of `B`.
+///
+/// Both worklists mark a node at most once before expanding it, so each
+/// terminates after at most `num_nodes` expansions — the DFF-crossing
+/// fixpoint needs no per-cycle iteration because reachability, unlike
+/// value propagation, is monotone over the static edge set.
+fn affected_in(circuit: &Circuit, diff: &NetlistDiff) -> (usize, BTreeSet<String>) {
+    let ids = name_map(circuit);
+    let n = circuit.num_nodes();
+    let mut forward = vec![false; n];
+    let mut stack: Vec<GateId> = diff
+        .edits
+        .iter()
+        .filter_map(|e| ids.get(e.name.as_str()).copied())
+        .collect();
+    while let Some(id) = stack.pop() {
+        if forward[id.index()] {
+            continue;
+        }
+        forward[id.index()] = true;
+        stack.extend(circuit.gate(id).fanout().iter().copied());
+    }
+    let observable = observable_nodes(circuit);
+    let cone: Vec<GateId> = (0..n)
+        .filter(|&i| forward[i] && observable[i])
+        .map(GateId::from_index)
+        .collect();
+    let cone_nodes = cone.len();
+    let mut back = vec![false; n];
+    let mut stack = cone;
+    while let Some(id) = stack.pop() {
+        if back[id.index()] {
+            continue;
+        }
+        back[id.index()] = true;
+        stack.extend(circuit.gate(id).fanin().iter().copied());
+    }
+    let names = (0..n)
+        .filter(|&i| back[i])
+        .map(|i| circuit.gates()[i].name().to_owned())
+        .collect();
+    (cone_nodes, names)
+}
+
+fn name_map(circuit: &Circuit) -> HashMap<&str, GateId> {
+    circuit
+        .gates()
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.name(), GateId::from_index(i)))
+        .collect()
+}
+
+fn fanin_names(circuit: &Circuit, fanin: &[GateId]) -> Vec<String> {
+    fanin
+        .iter()
+        .map(|&id| circuit.gate(id).name().to_owned())
+        .collect()
+}
+
+/// Identity of a fault across circuits: gate *name* (ids shift under
+/// edits), pin (`u16::MAX` for an output-stem fault), and polarity/edge.
+type TransferKey = (String, u16, u8);
+
+fn stuck_key(circuit: &Circuit, f: &StuckAt) -> TransferKey {
+    let (gate, pin) = match f.site {
+        FaultSite::Output { gate } => (gate, u16::MAX),
+        FaultSite::Pin { gate, pin } => (gate, u16::from(pin)),
+    };
+    (
+        circuit.gate(gate).name().to_owned(),
+        pin,
+        u8::from(f.stuck_at_one),
+    )
+}
+
+// By reference to match the `fn(&Circuit, &F)` shape `classify` expects.
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn transition_key(circuit: &Circuit, f: &TransitionFault) -> TransferKey {
+    (
+        circuit.gate(f.gate).name().to_owned(),
+        u16::from(f.pin),
+        u8::from(f.edge == cfs_faults::Edge::Fall),
+    )
+}
+
+/// Splits the edited circuit's full stuck-at universe into affected and
+/// transferred faults under `analysis`.
+pub fn classify_stuck_at(
+    base: &Circuit,
+    edited: &Circuit,
+    analysis: &ImpactAnalysis,
+) -> ImpactUniverse<StuckAt> {
+    classify(
+        base,
+        edited,
+        analysis,
+        enumerate_stuck_at(base),
+        enumerate_stuck_at(edited),
+        stuck_key,
+        |f| f.site.gate(),
+    )
+}
+
+/// Splits the edited circuit's full transition-fault universe into
+/// affected and transferred faults under `analysis`.
+pub fn classify_transition(
+    base: &Circuit,
+    edited: &Circuit,
+    analysis: &ImpactAnalysis,
+) -> ImpactUniverse<TransitionFault> {
+    classify(
+        base,
+        edited,
+        analysis,
+        enumerate_transition(base),
+        enumerate_transition(edited),
+        transition_key,
+        |f| f.gate,
+    )
+}
+
+fn classify<F: Copy>(
+    base: &Circuit,
+    edited: &Circuit,
+    analysis: &ImpactAnalysis,
+    base_faults: Vec<F>,
+    edited_faults: Vec<F>,
+    key: fn(&Circuit, &F) -> TransferKey,
+    gate_of: fn(&F) -> GateId,
+) -> ImpactUniverse<F> {
+    if analysis.diff.inputs_changed {
+        // The baseline patterns do not replay (I002): nothing transfers.
+        return ImpactUniverse::all_affected(edited_faults, base_faults.len());
+    }
+    let baseline: HashMap<TransferKey, u32> = base_faults
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (key(base, f), i as u32))
+        .collect();
+    let mut affected = Vec::new();
+    let mut fate = Vec::with_capacity(edited_faults.len());
+    let mut transferred = 0usize;
+    for f in &edited_faults {
+        let name = edited.gate(gate_of(f)).name();
+        // An unaffected gate is structurally unchanged, so its faults
+        // always resolve in the baseline map; a miss falls back to
+        // re-simulation, which is sound unconditionally.
+        let transfer = if analysis.affected_names.contains(name) {
+            None
+        } else {
+            baseline.get(&key(edited, f)).copied()
+        };
+        match transfer {
+            Some(idx) => {
+                fate.push(ImpactFate::Transfer(idx));
+                transferred += 1;
+            }
+            None => {
+                fate.push(ImpactFate::Resim(affected.len() as u32));
+                affected.push(*f);
+            }
+        }
+    }
+    let stats = ImpactStats {
+        full: edited_faults.len(),
+        affected: affected.len(),
+        transferred,
+        baseline_full: base_faults.len(),
+    };
+    let universe = ImpactUniverse {
+        full: edited_faults,
+        affected,
+        fate,
+        stats,
+    };
+    debug_assert!(universe.validate().is_ok());
+    universe
+}
+
+/// Reports the degenerate-edit findings of an impact analysis: `I002`
+/// when the primary inputs changed (the baseline cannot replay) and
+/// `I001` when a non-empty diff reaches no primary output in either
+/// circuit (every unedited fault transfers).
+pub fn impact_findings(analysis: &ImpactAnalysis, report: &mut Report) {
+    let span_of = |e: &NetlistEdit| -> Option<Span> {
+        e.edited_line
+            .or(e.base_line)
+            .map(|line| Span { line, col: 1 })
+    };
+    if analysis.diff.inputs_changed {
+        report.add(
+            RuleCode::BaselineInvalidated,
+            None,
+            "primary inputs differ between base and edited circuit; baseline patterns \
+             cannot replay, every fault must re-simulate",
+        );
+    }
+    if analysis.disconnected {
+        let span = analysis.diff.edits.first().and_then(span_of);
+        report.add(
+            RuleCode::ConeDisconnectedEdit,
+            span,
+            format!(
+                "{} edit(s) reach no primary output in either circuit; every fault \
+                 outside the edited gates keeps its baseline fate",
+                analysis.diff.edits.len()
+            ),
+        );
+    }
+}
+
+fn status_text(s: FaultStatus) -> String {
+    match s {
+        FaultStatus::Undetected => "undetected".to_owned(),
+        FaultStatus::Untestable => "untestable".to_owned(),
+        FaultStatus::Detected { pattern } => format!("detected at pattern {pattern}"),
+    }
+}
+
+/// Whether two statuses tell the same detection story. `Undetected` and
+/// `Untestable` are interchangeable (both mean "no pattern detected it";
+/// only static analysis distinguishes them); detections must agree on the
+/// first-detection pattern.
+fn statuses_agree(a: FaultStatus, b: FaultStatus) -> bool {
+    match (a, b) {
+        (FaultStatus::Detected { pattern: p }, FaultStatus::Detected { pattern: q }) => p == q,
+        (FaultStatus::Detected { .. }, _) | (_, FaultStatus::Detected { .. }) => false,
+        _ => true,
+    }
+}
+
+/// The `F003`-style internal soundness cross-check (`I003`): compares an
+/// incremental run's expanded statuses against a cold full re-simulation
+/// of the edited circuit and reports every disagreement. A mismatch on a
+/// transferred fault means the affected cone was unsound; on a
+/// re-simulated fault it means the expansion machinery is broken. Either
+/// way it is a checker bug, never a user error.
+///
+/// Returns the number of mismatches.
+pub fn cross_check_fates<F: Copy>(
+    universe: &ImpactUniverse<F>,
+    incremental: &[FaultStatus],
+    cold: &[FaultStatus],
+    report: &mut Report,
+) -> usize {
+    assert_eq!(incremental.len(), universe.full.len());
+    assert_eq!(cold.len(), universe.full.len());
+    let mut mismatches = 0;
+    for (i, (&inc, &full)) in incremental.iter().zip(cold.iter()).enumerate() {
+        if statuses_agree(inc, full) {
+            continue;
+        }
+        mismatches += 1;
+        let provenance = match universe.fate[i] {
+            ImpactFate::Transfer(idx) => format!("transferred from baseline fault #{idx}"),
+            ImpactFate::Resim(idx) => format!("re-simulated as affected fault #{idx}"),
+        };
+        report.add(
+            RuleCode::FateTransferMismatch,
+            None,
+            format!(
+                "fault #{i} ({provenance}) is {} incrementally but {} in a cold full run",
+                status_text(inc),
+                status_text(full)
+            ),
+        );
+    }
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_netlist::{parse_bench, parse_bench_with_provenance};
+
+    fn c(src: &str) -> Circuit {
+        parse_bench("t", src).unwrap()
+    }
+
+    const TWO_CONES: &str =
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(a, b)\n";
+
+    #[test]
+    fn identical_circuits_diff_empty() {
+        let base = c(TWO_CONES);
+        let edited = c(TWO_CONES);
+        let diff = diff_netlists(&base, &edited, None, None);
+        assert!(diff.is_empty());
+        let analysis = impact_analysis(&base, &edited, diff);
+        assert!(analysis.affected_names.is_empty());
+        let u = classify_stuck_at(&base, &edited, &analysis);
+        u.validate().unwrap();
+        assert_eq!(u.stats.affected, 0);
+        assert_eq!(u.stats.transferred, u.stats.full);
+    }
+
+    #[test]
+    fn retype_is_detected_with_provenance() {
+        let (base, bp) = parse_bench_with_provenance("t", TWO_CONES).unwrap();
+        let edited_src = TWO_CONES.replace("y = AND(a, b)", "y = NAND(a, b)");
+        let (edited, ep) = parse_bench_with_provenance("t", &edited_src).unwrap();
+        let diff = diff_netlists(&base, &edited, Some(&bp), Some(&ep));
+        assert_eq!(diff.edits.len(), 1);
+        let e = &diff.edits[0];
+        assert_eq!(e.name, "y");
+        assert!(matches!(e.kind, EditKind::Retyped { .. }));
+        assert_eq!(e.base_line, Some(5));
+        assert_eq!(e.edited_line, Some(5));
+        assert!(!diff.inputs_changed);
+    }
+
+    #[test]
+    fn retype_affects_its_cone_but_not_the_sibling() {
+        let base = c(TWO_CONES);
+        let edited = c(&TWO_CONES.replace("y = AND(a, b)", "y = NAND(a, b)"));
+        let diff = diff_netlists(&base, &edited, None, None);
+        let analysis = impact_analysis(&base, &edited, diff);
+        // Backward closure of {y} pulls in the PIs; the sibling cone z
+        // stays out.
+        assert!(analysis.affected_names.contains("y"));
+        assert!(analysis.affected_names.contains("a"));
+        assert!(analysis.affected_names.contains("b"));
+        assert!(!analysis.affected_names.contains("z"));
+        assert!(!analysis.disconnected);
+
+        let u = classify_stuck_at(&base, &edited, &analysis);
+        u.validate().unwrap();
+        assert!(u.stats.affected > 0);
+        assert!(
+            u.stats.affected < u.stats.full,
+            "z's faults must transfer: {:?}",
+            u.stats
+        );
+        // z's faults transfer onto the matching baseline indices: with an
+        // unchanged universe shape, transfer is the identity map.
+        assert_eq!(u.stats.baseline_full, u.stats.full);
+        for (i, fate) in u.fate.iter().enumerate() {
+            if let ImpactFate::Transfer(idx) = *fate {
+                assert_eq!(idx as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn rewire_and_add_remove_are_detected() {
+        let base = c(TWO_CONES);
+        // z rewired (b -> y), plus a brand-new gate w consuming y.
+        let edited = c(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(w)\ny = AND(a, b)\nz = OR(a, y)\nw = NOT(z)\n",
+        );
+        let diff = diff_netlists(&base, &edited, None, None);
+        let kinds: Vec<(&str, &'static str)> = diff
+            .edits
+            .iter()
+            .map(|e| (e.name.as_str(), e.kind.label()))
+            .collect();
+        assert!(kinds.contains(&("z", "rewired")), "{kinds:?}");
+        assert!(kinds.contains(&("w", "added")), "{kinds:?}");
+        assert!(kinds.contains(&("w", "output-added")), "{kinds:?}");
+        assert!(kinds.contains(&("z", "output-removed")), "{kinds:?}");
+    }
+
+    #[test]
+    fn disconnecting_rewire_keeps_base_side_cone() {
+        // The edit disconnects g from y: only the base-side closure still
+        // sees g feeding an output, so g must re-simulate (its detected
+        // faults become undetectable).
+        let base = c("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ng = NOT(a)\nh = NOT(b)\ny = OR(g, h)\n");
+        let edited = c("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ng = NOT(a)\nh = NOT(b)\ny = OR(h, h)\n");
+        let diff = diff_netlists(&base, &edited, None, None);
+        let analysis = impact_analysis(&base, &edited, diff);
+        assert!(
+            analysis.affected_names.contains("g"),
+            "{:?}",
+            analysis.affected_names
+        );
+        // g survives in the edited universe but may not transfer.
+        let u = classify_stuck_at(&base, &edited, &analysis);
+        let g = edited.find("g").unwrap();
+        for (i, f) in u.full.iter().enumerate() {
+            if f.site.gate() == g {
+                assert!(matches!(u.fate[i], ImpactFate::Resim(_)), "fault {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cone_crosses_dff_boundaries() {
+        // The edited gate g feeds a DFF whose Q feeds the output: the
+        // forward closure must cross the flip-flop, and the backward
+        // closure must pull the DFF's other cone inputs in.
+        let base = c("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ng = NOT(a)\nq = DFF(g)\ny = AND(q, b)\n");
+        let edited = c("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ng = BUF(a)\nq = DFF(g)\ny = AND(q, b)\n");
+        let diff = diff_netlists(&base, &edited, None, None);
+        let analysis = impact_analysis(&base, &edited, diff);
+        for name in ["g", "q", "y", "a", "b"] {
+            assert!(
+                analysis.affected_names.contains(name),
+                "{name} missing from {:?}",
+                analysis.affected_names
+            );
+        }
+        assert!(analysis.base_cone_nodes > 0);
+    }
+
+    #[test]
+    fn dead_logic_insertion_is_disconnected() {
+        let base = c(TWO_CONES);
+        let edited = c(&format!(
+            "{TWO_CONES}dead1 = NOT(a)\ndead2 = AND(dead1, b)\n"
+        ));
+        let diff = diff_netlists(&base, &edited, None, None);
+        let analysis = impact_analysis(&base, &edited, diff);
+        assert!(analysis.disconnected);
+        let mut report = Report::new("t");
+        impact_findings(&analysis, &mut report);
+        assert_eq!(report.with_code(RuleCode::ConeDisconnectedEdit).count(), 1);
+        assert!(!report.has_errors(), "I001 is informational");
+        // Only the dead gates themselves re-simulate.
+        let u = classify_stuck_at(&base, &edited, &analysis);
+        u.validate().unwrap();
+        let dead: usize = u
+            .affected
+            .iter()
+            .map(|f| edited.gate(f.site.gate()).name())
+            .filter(|n| n.starts_with("dead"))
+            .count();
+        assert_eq!(dead, u.stats.affected);
+        assert!(u.stats.transferred > 0);
+    }
+
+    #[test]
+    fn input_change_invalidates_baseline() {
+        let base = c(TWO_CONES);
+        let edited = c("INPUT(b)\nINPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(a, b)\n");
+        let diff = diff_netlists(&base, &edited, None, None);
+        assert!(diff.inputs_changed);
+        let analysis = impact_analysis(&base, &edited, diff);
+        let mut report = Report::new("t");
+        impact_findings(&analysis, &mut report);
+        assert_eq!(report.with_code(RuleCode::BaselineInvalidated).count(), 1);
+        assert!(report.has_errors());
+        let u = classify_stuck_at(&base, &edited, &analysis);
+        u.validate().unwrap();
+        assert_eq!(u.stats.transferred, 0, "nothing may transfer under I002");
+        assert_eq!(u.stats.affected, u.stats.full);
+    }
+
+    #[test]
+    fn transition_classification_mirrors_stuck() {
+        let base = c(TWO_CONES);
+        let edited = c(&TWO_CONES.replace("y = AND(a, b)", "y = NAND(a, b)"));
+        let diff = diff_netlists(&base, &edited, None, None);
+        let analysis = impact_analysis(&base, &edited, diff);
+        let u = classify_transition(&base, &edited, &analysis);
+        u.validate().unwrap();
+        assert!(u.stats.affected > 0);
+        assert!(u.stats.affected < u.stats.full, "{:?}", u.stats);
+        let z = edited.find("z").unwrap();
+        for (i, f) in u.full.iter().enumerate() {
+            if f.gate == z {
+                assert!(matches!(u.fate[i], ImpactFate::Transfer(_)), "fault {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_check_fires_on_seeded_soundness_violation() {
+        // A universe that (wrongly) transfers a fault whose fate the cold
+        // run contradicts: the I003 cross-check must catch it.
+        let universe = ImpactUniverse {
+            full: vec![0u8, 1, 2],
+            affected: vec![1u8],
+            fate: vec![
+                ImpactFate::Transfer(0),
+                ImpactFate::Resim(0),
+                ImpactFate::Transfer(1),
+            ],
+            stats: ImpactStats {
+                full: 3,
+                affected: 1,
+                transferred: 2,
+                baseline_full: 2,
+            },
+        };
+        universe.validate().unwrap();
+        let incremental = vec![
+            FaultStatus::Detected { pattern: 3 },
+            FaultStatus::Undetected,
+            FaultStatus::Undetected,
+        ];
+        let cold = vec![
+            FaultStatus::Detected { pattern: 3 },
+            FaultStatus::Undetected,
+            FaultStatus::Detected { pattern: 7 },
+        ];
+        let mut report = Report::new("t");
+        let n = cross_check_fates(&universe, &incremental, &cold, &mut report);
+        assert_eq!(n, 1);
+        assert!(report.has_errors());
+        let d = report
+            .with_code(RuleCode::FateTransferMismatch)
+            .next()
+            .unwrap();
+        assert!(d.message.contains("baseline fault #1"), "{}", d.message);
+        assert!(d.message.contains("pattern 7"), "{}", d.message);
+
+        // Agreement (including undetected-vs-untestable) stays silent.
+        let mut report = Report::new("t");
+        let soft = vec![
+            FaultStatus::Detected { pattern: 3 },
+            FaultStatus::Untestable,
+            FaultStatus::Undetected,
+        ];
+        let cold_ok = vec![
+            FaultStatus::Detected { pattern: 3 },
+            FaultStatus::Undetected,
+            FaultStatus::Undetected,
+        ];
+        assert_eq!(
+            cross_check_fates(&universe, &soft, &cold_ok, &mut report),
+            0
+        );
+        assert!(report.diagnostics.is_empty());
+    }
+}

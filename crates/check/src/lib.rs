@@ -22,6 +22,11 @@
 //!   fault-universe analyses (constant propagation, observability, SCOAP),
 //!   which prove faults undetectable *before* the first pattern and hand
 //!   the simulators a provably equivalent reduced fault set.
+//! * [`diff_netlists`] + [`impact_analysis`] + [`classify_stuck_at`] /
+//!   [`classify_transition`] — the change-impact pass behind `fsim impact`
+//!   and `--incremental` re-simulation: structurally diff two netlists,
+//!   run the affected-cone fixpoint over both, and split the edited
+//!   circuit's fault universe into re-simulate vs. transfer-from-baseline.
 //!
 //! | Code | Rule | Severity |
 //! |------|------|----------|
@@ -41,12 +46,16 @@
 //! | F003 | observability-mismatch | error |
 //! | M001 | illegal-macro-region | error |
 //! | P001 | non-exact-cover-shard-plan | error |
+//! | I001 | cone-disconnected-edit | info |
+//! | I002 | baseline-invalidated | error |
+//! | I003 | fate-transfer-mismatch | error |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analyze;
 mod diag;
+mod impact;
 mod model_check;
 mod netlist_check;
 
@@ -55,6 +64,10 @@ pub use analyze::{
     prune_transition, stuck_weights, transition_weights, AnalysisOptions, CircuitAnalysis,
 };
 pub use diag::{Diagnostic, Report, RuleCode, Severity, Span};
+pub use impact::{
+    classify_stuck_at, classify_transition, cross_check_fates, diff_netlists, impact_analysis,
+    impact_findings, EditKind, ImpactAnalysis, NetlistDiff, NetlistEdit,
+};
 pub use model_check::{
     check_collapse, check_macro_cells, check_macros, check_models, check_shard_partition,
     MacroCellView,

@@ -4,17 +4,20 @@
 //! ```text
 //! fsim check <circuit> [--format text|json]
 //! fsim analyze <circuit> [--format text|json]
+//! fsim impact <base> <edited> [--format text|json]
 //! fsim stats <circuit>
 //! fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]
 //!                    [--simulator csim|proofs|serial|deductive] [--uncollapsed]
 //!                    [--prune] [--threads N] [--shard-plan PLAN]
 //!                    [--batch-windows W] [--steal]
+//!                    [--incremental --baseline-report FILE] [--baseline-out FILE]
 //!                    [--detections FILE] [--stats] [--stats-json FILE]
 //!                    [--trace-every N] [--trace-out FILE] [--trace-capacity N]
 //!                    [--trace-window W] [--no-check] [--paranoid]
 //! fsim transition <circuit> [--random N | --patterns FILE]
 //!                    [--prune] [--threads N] [--shard-plan PLAN]
 //!                    [--batch-windows W] [--steal]
+//!                    [--incremental --baseline-report FILE] [--baseline-out FILE]
 //!                    [--detections FILE] [--stats] [--stats-json FILE]
 //!                    [--trace-every N] [--trace-out FILE] [--trace-capacity N]
 //!                    [--trace-window W] [--no-check] [--paranoid]
@@ -24,6 +27,7 @@
 //!                    [--top K] [--format text|json] [--no-check]
 //! fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]
 //! fsim generate <name> [--out FILE]
+//! fsim mutate <circuit> --edit retype|rewire|dead-logic [--choice N] [--out FILE]
 //! ```
 //!
 //! `<circuit>` is a `.bench` file path, or `@name` for a built-in circuit
@@ -81,6 +85,24 @@
 //! (oldest events drop beyond it); `--trace-window W` sets the quiescence
 //! window in patterns (0 disables).
 //!
+//! `fsim impact` runs the static change-impact analysis between two
+//! netlists: the structural diff (added/removed/retyped/rewired gates,
+//! output-tap changes, keyed by signal name), the affected-cone fixpoint
+//! (forward fan-out closure crossing DFF boundaries, intersected with the
+//! observability cone, closed backward over both circuits), and the
+//! resulting split of the stuck-at and transition universes into faults
+//! that must re-simulate and faults whose baseline fate provably
+//! transfers. `--baseline-out FILE` on `sim`/`transition` records a run's
+//! full-universe fates (plus the canonical netlist and a stimulus
+//! fingerprint); `--incremental --baseline-report FILE` then re-simulates
+//! only the affected cone of an edited netlist and expands the report
+//! back over the full universe, bit-identical to a cold full run.
+//! `--paranoid` on an incremental run cold-re-simulates everything and
+//! cross-checks every transferred fate (`I003`, exit 2 on mismatch).
+//! `fsim mutate` applies one deterministic scripted edit (gate retype,
+//! fanin rewire, dead-logic insertion) to a netlist — the workload
+//! generator for incremental-equivalence testing.
+//!
 //! `fsim explain` replays one fault's recorded lifecycle as a timeline —
 //! first excitation, every divergence/convergence, detection — from a
 //! serial gate-level traced run. Unknown or statically-pruned fault ids
@@ -98,8 +120,9 @@ use std::time::{Duration, Instant};
 use cfs_atpg::{generate_tests, random_patterns, AtpgOptions};
 use cfs_baselines::{DeductiveSim, ProofsSim, SerialSim};
 use cfs_check::{
-    analysis_findings, analyze_circuit, prune_stuck_at, prune_transition, stuck_weights,
-    transition_weights,
+    analysis_findings, analyze_circuit, classify_stuck_at, classify_transition, cross_check_fates,
+    diff_netlists, impact_analysis, impact_findings, prune_stuck_at, prune_transition,
+    stuck_weights, transition_weights, EditKind, ImpactAnalysis,
 };
 use cfs_core::{
     detections_of, BatchOptions, ConcurrentSim, CsimVariant, NullProbe, ParallelSim,
@@ -107,15 +130,17 @@ use cfs_core::{
 };
 use cfs_faults::{
     collapse_stuck_at, dominance_collapse, enumerate_stuck_at, enumerate_transition, FaultFate,
-    FaultSimReport, FaultStatus, PruneReason, PrunedUniverse, StuckAt, TransitionFault,
+    FaultSimReport, FaultStatus, ImpactStats, ImpactUniverse, PruneReason, PrunedUniverse, StuckAt,
+    TransitionFault,
 };
 use cfs_logic::{format_pattern, parse_pattern, Logic};
 use cfs_netlist::{
-    extract_macros, parse_bench, parse_bench_with_provenance, write_bench, Circuit, GateId,
+    apply_edit, edit_candidates, extract_macros, parse_bench, parse_bench_with_provenance,
+    write_bench, BenchEdit, BenchProvenance, Circuit, GateId,
 };
 use cfs_telemetry::{
-    render_histogram, render_phase_table, render_summary_table, write_json_string, JsonlWriter,
-    Log2Histogram, MetricsSnapshot, PairProbe, Phase, SimMetrics,
+    render_histogram, render_phase_table, render_summary_table, write_json_string, JsonValue,
+    JsonlWriter, Log2Histogram, MetricsSnapshot, PairProbe, Phase, SimMetrics,
 };
 use cfs_trace::{
     write_chrome_trace_with_sched, FaultTimeline, Heatmap, SchedSpan, SchedSteal, SchedTrack,
@@ -179,7 +204,9 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     match command.as_str() {
         "check" => cmd_check(rest),
         "analyze" => cmd_analyze(rest),
+        "impact" => cmd_impact(rest),
         "stats" => cmd_stats(rest),
+        "mutate" => cmd_mutate(rest),
         "sim" => cmd_sim(rest),
         "transition" => cmd_transition(rest),
         "explain" => cmd_explain(rest),
@@ -201,17 +228,20 @@ fn print_usage() {
          usage:\n\
          \u{20}  fsim check <circuit> [--format text|json]\n\
          \u{20}  fsim analyze <circuit> [--format text|json]\n\
+         \u{20}  fsim impact <base> <edited> [--format text|json]\n\
          \u{20}  fsim stats <circuit>\n\
          \u{20}  fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]\n\
          \u{20}                     [--simulator csim|proofs|serial|deductive] [--uncollapsed]\n\
          \u{20}                     [--prune] [--threads N] [--shard-plan PLAN]\n\
          \u{20}                     [--batch-windows W] [--steal]\n\
+         \u{20}                     [--incremental --baseline-report FILE] [--baseline-out FILE]\n\
          \u{20}                     [--detections FILE] [--stats] [--stats-json FILE]\n\
          \u{20}                     [--trace-every N] [--trace-out FILE] [--trace-capacity N]\n\
          \u{20}                     [--trace-window W] [--no-check] [--paranoid]\n\
          \u{20}  fsim transition <circuit> [--random N | --patterns FILE]\n\
          \u{20}                     [--prune] [--threads N] [--shard-plan PLAN]\n\
          \u{20}                     [--batch-windows W] [--steal]\n\
+         \u{20}                     [--incremental --baseline-report FILE] [--baseline-out FILE]\n\
          \u{20}                     [--detections FILE] [--stats] [--stats-json FILE]\n\
          \u{20}                     [--trace-every N] [--trace-out FILE] [--trace-capacity N]\n\
          \u{20}                     [--trace-window W] [--no-check] [--paranoid]\n\
@@ -221,11 +251,16 @@ fn print_usage() {
          \u{20}                     [--top K] [--format text|json] [--no-check]\n\
          \u{20}  fsim atpg <circuit> [--max-frames K] [--random N] [--out FILE]\n\
          \u{20}  fsim generate <name> [--out FILE]\n\
+         \u{20}  fsim mutate <circuit> --edit retype|rewire|dead-logic [--choice N] [--out FILE]\n\
          \n\
          <circuit>: a .bench file, or @name for a built-in (@s27, @s298g, …)\n\
          flags take either `--flag value` or `--flag=value`\n\
          --prune       simulate only faults the static analyses cannot prove\n\
          \u{20}             undetectable; reports expand to the full universe\n\
+         --baseline-out    record the run's full-universe fates for later\n\
+         \u{20}             --incremental runs (needs --uncollapsed on sim)\n\
+         --incremental     re-simulate only the faults a netlist edit could\n\
+         \u{20}             affect; the rest transfer from --baseline-report\n\
          --threads     fault-shard the concurrent simulator across N workers\n\
          --shard-plan  round-robin (default) | contiguous | level-aware | weight-aware\n\
          --batch-windows  pattern-batch axis: windows of W patterns under the\n\
@@ -280,6 +315,9 @@ const SIM_FLAGS: FlagSpec = &[
     ("--simulator", true),
     ("--uncollapsed", false),
     ("--prune", false),
+    ("--incremental", false),
+    ("--baseline-report", true),
+    ("--baseline-out", true),
     ("--threads", true),
     ("--shard-plan", true),
     ("--batch-windows", true),
@@ -299,6 +337,9 @@ const TRANSITION_FLAGS: FlagSpec = &[
     ("--random", true),
     ("--seed", true),
     ("--prune", false),
+    ("--incremental", false),
+    ("--baseline-report", true),
+    ("--baseline-out", true),
     ("--threads", true),
     ("--shard-plan", true),
     ("--batch-windows", true),
@@ -332,6 +373,8 @@ const HEATMAP_FLAGS: FlagSpec = &[
 ];
 const ATPG_FLAGS: FlagSpec = &[("--max-frames", true), ("--random", true), ("--out", true)];
 const GENERATE_FLAGS: FlagSpec = &[("--out", true)];
+const IMPACT_FLAGS: FlagSpec = &[("--format", true)];
+const MUTATE_FLAGS: FlagSpec = &[("--edit", true), ("--choice", true), ("--out", true)];
 
 /// Rejects unknown flags, missing values, values on boolean flags, and
 /// stray positionals. The single positional (circuit or benchmark name)
@@ -440,6 +483,9 @@ struct ParallelOpts {
     /// keeps the historical fault-shard-only dispatch.
     batch: Option<BatchOptions>,
     detections: Option<String>,
+    /// `--baseline-out`: write a fate-baseline report for later
+    /// `--incremental` runs once the run finishes.
+    baseline_out: Option<String>,
     paranoid: bool,
 }
 
@@ -486,6 +532,7 @@ impl ParallelOpts {
             plan,
             batch,
             detections: flag_value(args, "--detections").map(str::to_owned),
+            baseline_out: flag_value(args, "--baseline-out").map(str::to_owned),
             paranoid: has_flag(args, "--paranoid"),
         })
     }
@@ -517,25 +564,318 @@ fn write_detections(
     Ok(())
 }
 
-/// Expands a `--prune` run's per-representative statuses back to the full
-/// uncollapsed universe, so every report and detection list downstream
-/// speaks in full-universe indices.
-fn expand_report<F: Copy>(report: &mut FaultSimReport, pruned: Option<&PrunedUniverse<F>>) {
-    if let Some(u) = pruned {
-        report.statuses = u.expand_statuses(&report.statuses);
+/// How a run's per-simulated-fault statuses map back onto the full
+/// enumeration universe — and which universe-reduction counters the
+/// driver stamps onto the telemetry snapshot. Both rewrites happen
+/// before the first pattern, so the probes never see them.
+#[derive(Clone, Copy)]
+enum Expansion<'a, F> {
+    /// The simulated fault list is the reported universe as-is.
+    Verbatim,
+    /// `--prune`: class representatives expand to the full uncollapsed
+    /// universe; statically-pruned faults report untestable.
+    Pruned(&'a PrunedUniverse<F>),
+    /// `--incremental`: the affected cone expands to the full uncollapsed
+    /// universe; unaffected faults copy their baseline fate verbatim.
+    Incremental {
+        universe: &'a ImpactUniverse<F>,
+        baseline: &'a [FaultStatus],
+    },
+}
+
+impl<F: Copy> Expansion<'_, F> {
+    /// Expands the report's statuses to full-universe indices, so every
+    /// report and detection list downstream speaks one index language.
+    fn expand(&self, report: &mut FaultSimReport) {
+        match self {
+            Expansion::Verbatim => {}
+            Expansion::Pruned(u) => report.statuses = u.expand_statuses(&report.statuses),
+            Expansion::Incremental { universe, baseline } => {
+                report.statuses = universe.expand_statuses(&report.statuses, baseline);
+            }
+        }
+    }
+
+    /// Stamps the universe-reduction counters onto a telemetry snapshot.
+    fn stamp(&self, snap: &mut MetricsSnapshot) {
+        match self {
+            Expansion::Verbatim => {}
+            Expansion::Pruned(u) => {
+                snap.faults_full = u.stats.full as u64;
+                snap.faults_sim = u.stats.sim as u64;
+                snap.pruned_unexcitable = u.stats.unexcitable as u64;
+                snap.pruned_unobservable = u.stats.unobservable as u64;
+            }
+            Expansion::Incremental { universe, .. } => {
+                snap.faults_full = universe.stats.full as u64;
+                snap.faults_sim = universe.stats.affected as u64;
+                snap.faults_affected = universe.stats.affected as u64;
+                snap.faults_transferred = universe.stats.transferred as u64;
+            }
+        }
     }
 }
 
-/// Stamps the universe-reduction counters onto a telemetry snapshot.
-/// Pruning happens before the first pattern, so the probes never see it;
-/// the driver owns these fields.
-fn stamp_prune_counters<F>(snap: &mut MetricsSnapshot, pruned: Option<&PrunedUniverse<F>>) {
-    if let Some(u) = pruned {
-        snap.faults_full = u.stats.full as u64;
-        snap.faults_sim = u.stats.sim as u64;
-        snap.pruned_unexcitable = u.stats.unexcitable as u64;
-        snap.pruned_unobservable = u.stats.unobservable as u64;
+/// `--paranoid` on an `--incremental` run: cold-re-simulates the full
+/// edited universe through `cold_run` and cross-checks every transferred
+/// fate against it. A mismatch means the cone-transfer argument was
+/// violated (`I003`) — diagnostics print and the run exits with status 2.
+fn verify_incremental<F: Copy>(
+    circuit: &str,
+    exp: Expansion<'_, F>,
+    paranoid: bool,
+    incremental: &[FaultStatus],
+    cold_run: impl FnOnce(&[F]) -> Vec<FaultStatus>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let Expansion::Incremental { universe, .. } = exp else {
+        return Ok(());
+    };
+    if !paranoid {
+        return Ok(());
     }
+    let cold = cold_run(&universe.full);
+    let mut report = cfs_check::Report::new(circuit);
+    let mismatches = cross_check_fates(universe, incremental, &cold, &mut report);
+    if mismatches > 0 {
+        return Err(diag(format!(
+            "{}fsim: {mismatches} transferred fate(s) disagree with the cold full re-run",
+            report.render_text()
+        )));
+    }
+    println!(
+        "paranoid: all {} transferred fate(s) agree with a cold full re-run",
+        universe.stats.transferred
+    );
+    Ok(())
+}
+
+/// FNV-1a over the formatted pattern lines, masked to 53 bits so the
+/// fingerprint survives a round trip through JSON's doubles. Guards an
+/// `--incremental` run against replaying a different stimulus than the
+/// baseline recorded — transferred first-detection patterns would be
+/// meaningless.
+fn pattern_fingerprint(patterns: &[Vec<Logic>]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in patterns {
+        for b in format_pattern(p).bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h = (h ^ u64::from(b'\n')).wrapping_mul(PRIME);
+    }
+    h & ((1 << 53) - 1)
+}
+
+/// Baseline status text: one token per full-universe fault — `u`
+/// undetected, `x` untestable, or the 0-based first-detection pattern.
+fn statuses_to_text(statuses: &[FaultStatus]) -> String {
+    let tokens: Vec<String> = statuses
+        .iter()
+        .map(|s| match s {
+            FaultStatus::Undetected => "u".to_owned(),
+            FaultStatus::Untestable => "x".to_owned(),
+            FaultStatus::Detected { pattern } => pattern.to_string(),
+        })
+        .collect();
+    tokens.join(" ")
+}
+
+fn statuses_from_text(text: &str) -> Result<Vec<FaultStatus>, String> {
+    text.split_whitespace()
+        .map(|tok| match tok {
+            "u" => Ok(FaultStatus::Undetected),
+            "x" => Ok(FaultStatus::Untestable),
+            n => n
+                .parse::<usize>()
+                .map(|pattern| FaultStatus::Detected { pattern })
+                .map_err(|_| format!("bad status token {tok:?} (u, x, or a pattern number)")),
+        })
+        .collect()
+}
+
+/// Writes a fate-baseline report (`--baseline-out`): the canonical
+/// `.bench` text, a stimulus fingerprint, and one status per
+/// full-universe fault — everything a later `--incremental` run needs.
+fn write_baseline(
+    path: &str,
+    model: &str,
+    universe: &str,
+    c: &Circuit,
+    patterns: &[Vec<Logic>],
+    statuses: &[FaultStatus],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = String::from("{\"type\":\"fsim-baseline\",\"model\":");
+    write_json_string(&mut out, model);
+    out.push_str(",\"universe\":");
+    write_json_string(&mut out, universe);
+    out.push_str(",\"circuit\":");
+    write_json_string(&mut out, c.name());
+    out.push_str(&format!(
+        ",\"patterns\":{},\"pattern_hash\":{}",
+        patterns.len(),
+        pattern_fingerprint(patterns)
+    ));
+    out.push_str(",\"inputs\":[");
+    for (i, &id) in c.inputs().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(&mut out, c.gate(id).name());
+    }
+    out.push_str(&format!("],\"faults\":{}", statuses.len()));
+    out.push_str(",\"bench\":");
+    write_json_string(&mut out, &write_bench(c));
+    out.push_str(",\"statuses\":");
+    write_json_string(&mut out, &statuses_to_text(statuses));
+    out.push_str("}\n");
+    fs::write(path, out).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    println!(
+        "wrote {model} baseline ({} faults) to {path}",
+        statuses.len()
+    );
+    Ok(())
+}
+
+/// A parsed `--baseline-report` file: the pre-edit circuit (rebuilt from
+/// its recorded canonical text, with provenance for diff spans) and its
+/// full-universe fates.
+struct Baseline {
+    circuit: Circuit,
+    provenance: BenchProvenance,
+    statuses: Vec<FaultStatus>,
+    patterns: usize,
+    pattern_hash: u64,
+}
+
+/// Loads and structurally validates a baseline report. Model or universe
+/// mismatches are `I002` diagnostics (exit 2), not operational errors:
+/// the file is a valid baseline, just not for this run.
+fn load_baseline(
+    path: &str,
+    model: &str,
+    universe: &str,
+) -> Result<Baseline, Box<dyn std::error::Error>> {
+    let text = fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let v = JsonValue::parse(text.trim())
+        .map_err(|e| err(format!("{path}: not a baseline report: {e}")))?;
+    let field = |key: &str| -> Result<&str, Box<dyn std::error::Error>> {
+        v.get(key)
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err(format!("{path}: not a baseline report (missing {key:?})")))
+    };
+    if field("type")? != "fsim-baseline" {
+        return Err(err(format!("{path}: not a baseline report")));
+    }
+    let got_model = field("model")?;
+    if got_model != model {
+        return Err(diag(format!(
+            "error: I002 [baseline-invalidated] {path} records {got_model} fates, \
+             but this is a {model} run"
+        )));
+    }
+    let got_universe = field("universe")?;
+    if got_universe != universe {
+        return Err(diag(format!(
+            "error: I002 [baseline-invalidated] {path} records the {got_universe} \
+             universe, but this run reports the {universe} universe"
+        )));
+    }
+    let name = field("circuit")?.to_owned();
+    let bench = field("bench")?;
+    let (circuit, provenance) = parse_bench_with_provenance(&name, bench)
+        .map_err(|e| err(format!("{path}: embedded bench text does not parse: {e}")))?;
+    let statuses =
+        statuses_from_text(field("statuses")?).map_err(|e| err(format!("{path}: {e}")))?;
+    let faults = v.get("faults").and_then(JsonValue::as_u64).ok_or_else(|| {
+        err(format!(
+            "{path}: not a baseline report (missing \"faults\")"
+        ))
+    })?;
+    if statuses.len() as u64 != faults {
+        return Err(err(format!(
+            "{path}: records {faults} faults but {} statuses",
+            statuses.len()
+        )));
+    }
+    let patterns = v
+        .get("patterns")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| {
+            err(format!(
+                "{path}: not a baseline report (missing \"patterns\")"
+            ))
+        })?;
+    let pattern_hash = v
+        .get("pattern_hash")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| {
+            err(format!(
+                "{path}: not a baseline report (missing \"pattern_hash\")"
+            ))
+        })?;
+    Ok(Baseline {
+        circuit,
+        provenance,
+        statuses,
+        patterns: patterns as usize,
+        pattern_hash,
+    })
+}
+
+/// Diffs the baseline circuit against the edited one, validates that the
+/// baseline's stimulus replays here, prints the impact findings, and
+/// classifies the edited universe. `I002` (changed inputs, different
+/// stimulus) refuses with exit 2 — transferred fates would be unsound.
+fn prepare_incremental<F: Copy>(
+    edited: &Circuit,
+    baseline: Baseline,
+    patterns: &[Vec<Logic>],
+    classify: fn(&Circuit, &Circuit, &ImpactAnalysis) -> ImpactUniverse<F>,
+) -> Result<(ImpactUniverse<F>, Vec<FaultStatus>), Box<dyn std::error::Error>> {
+    if patterns.len() != baseline.patterns || pattern_fingerprint(patterns) != baseline.pattern_hash
+    {
+        return Err(diag(format!(
+            "error: I002 [baseline-invalidated] this run replays {} pattern(s) but the \
+             baseline recorded {} (fingerprint mismatch): first-detection patterns would \
+             not transfer; re-run with the baseline's --patterns/--random/--seed, or \
+             record a new baseline with --baseline-out",
+            patterns.len(),
+            baseline.patterns
+        )));
+    }
+    let diff = diff_netlists(&baseline.circuit, edited, Some(&baseline.provenance), None);
+    let analysis = impact_analysis(&baseline.circuit, edited, diff);
+    let mut report = cfs_check::Report::new(edited.name());
+    impact_findings(&analysis, &mut report);
+    if !report.diagnostics.is_empty() {
+        print!("{}", report.render_text());
+    }
+    if report.has_errors() {
+        return Err(diag(
+            "fsim: the baseline does not apply to this netlist (see I002 above)".to_owned(),
+        ));
+    }
+    let universe = classify(&baseline.circuit, edited, &analysis);
+    if baseline.statuses.len() != universe.stats.baseline_full {
+        return Err(err(format!(
+            "baseline records {} statuses but its bench text enumerates {} faults",
+            baseline.statuses.len(),
+            universe.stats.baseline_full
+        )));
+    }
+    Ok((universe, baseline.statuses))
+}
+
+/// Prints what an `--incremental` run is about to simulate.
+fn print_impact_banner(model: &str, stats: &ImpactStats) {
+    println!(
+        "incremental: {} of {} {model} faults affected, {} fates transfer from the \
+         baseline; re-simulating {:.1}% of the universe",
+        stats.affected,
+        stats.full,
+        stats.transferred,
+        100.0 * stats.ratio()
+    );
 }
 
 fn load_circuit(spec: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
@@ -714,6 +1054,201 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if !report.diagnostics.is_empty() {
         println!();
         print!("{}", report.render_text());
+    }
+    Ok(())
+}
+
+/// Loads a circuit spec together with its source provenance when the spec
+/// is a file; built-ins have no source lines to point at.
+fn load_circuit_with_provenance(
+    spec: &str,
+) -> Result<(Circuit, Option<BenchProvenance>), Box<dyn std::error::Error>> {
+    if spec.starts_with('@') {
+        return Ok((load_circuit(spec)?, None));
+    }
+    let text = fs::read_to_string(spec).map_err(|e| err(format!("cannot read {spec}: {e}")))?;
+    let (c, p) = parse_bench_with_provenance(circuit_name_of(spec), &text)?;
+    Ok((c, Some(p)))
+}
+
+/// One human-readable line per structural edit.
+fn render_edit(e: &cfs_check::NetlistEdit) -> String {
+    let detail = match &e.kind {
+        EditKind::Retyped { from, to } => format!(" ({from} -> {to})"),
+        EditKind::Rewired { from, to } => {
+            format!(" ({} -> {})", from.join(", "), to.join(", "))
+        }
+        _ => String::new(),
+    };
+    let lines = match (e.base_line, e.edited_line) {
+        (Some(b), Some(ed)) => format!("  [base:{b} edited:{ed}]"),
+        (Some(b), None) => format!("  [base:{b}]"),
+        (None, Some(ed)) => format!("  [edited:{ed}]"),
+        (None, None) => String::new(),
+    };
+    format!("  {:<14} {}{detail}{lines}", e.kind.label(), e.name)
+}
+
+/// `fsim impact <base> <edited>`: structural diff, affected-cone sizes,
+/// and the stuck-at/transition transfer split — the static half of an
+/// incremental re-simulation, without running any patterns.
+fn cmd_impact(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let base_spec = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| err("impact: missing circuits (fsim impact <base> <edited>)"))?;
+    let edited_spec = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| err("impact: missing edited circuit (fsim impact <base> <edited>)"))?;
+    if let Some(stray) = args.get(2).filter(|a| !a.starts_with("--")) {
+        return Err(err(format!(
+            "impact: unexpected argument {stray:?} (the two circuits come first)"
+        )));
+    }
+    validate_flags("impact", &args[2..], IMPACT_FLAGS)?;
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(err(format!("unknown format {format:?} (text, json)")));
+    }
+    let (base, base_prov) = load_circuit_with_provenance(base_spec)?;
+    let (edited, edited_prov) = load_circuit_with_provenance(edited_spec)?;
+    let diff = diff_netlists(&base, &edited, base_prov.as_ref(), edited_prov.as_ref());
+    let analysis = impact_analysis(&base, &edited, diff);
+    let stuck = classify_stuck_at(&base, &edited, &analysis);
+    let transition = classify_transition(&base, &edited, &analysis);
+    let mut report = cfs_check::Report::new(edited.name());
+    impact_findings(&analysis, &mut report);
+    if format == "json" {
+        let mut out = String::new();
+        out.push_str("{\"base\":");
+        write_json_string(&mut out, base.name());
+        out.push_str(",\"edited\":");
+        write_json_string(&mut out, edited.name());
+        out.push_str(",\"diff\":{\"edits\":[");
+        for (i, e) in analysis.diff.edits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_json_string(&mut out, &e.name);
+            out.push_str(",\"kind\":");
+            write_json_string(&mut out, e.kind.label());
+            out.push_str(&format!(
+                ",\"base_line\":{},\"edited_line\":{}}}",
+                e.base_line.map_or("null".into(), |l| l.to_string()),
+                e.edited_line.map_or("null".into(), |l| l.to_string())
+            ));
+        }
+        out.push_str(&format!(
+            "],\"inputs_changed\":{}}},",
+            analysis.diff.inputs_changed
+        ));
+        out.push_str(&format!(
+            "\"cone\":{{\"base_nodes\":{},\"edited_nodes\":{},\"affected_names\":{},\"disconnected\":{}}},",
+            analysis.base_cone_nodes,
+            analysis.edited_cone_nodes,
+            analysis.affected_names.len(),
+            analysis.disconnected
+        ));
+        for (key, s) in [("stuck", &stuck.stats), ("transition", &transition.stats)] {
+            out.push_str(&format!(
+                "\"{key}\":{{\"full\":{},\"affected\":{},\"transferred\":{},\"ratio\":{:.4}}},",
+                s.full,
+                s.affected,
+                s.transferred,
+                s.ratio()
+            ));
+        }
+        out.push_str(&format!("\"findings\":{}}}", report.render_json()));
+        println!("{out}");
+        return Ok(());
+    }
+    println!("impact: {} -> {}", base.name(), edited.name());
+    if analysis.diff.is_empty() {
+        println!("no structural differences; every fault's fate transfers");
+    } else {
+        println!(
+            "{} edit(s){}:",
+            analysis.diff.edits.len(),
+            if analysis.diff.inputs_changed {
+                ", primary inputs changed"
+            } else {
+                ""
+            }
+        );
+        const MAX_SHOWN: usize = 20;
+        for e in analysis.diff.edits.iter().take(MAX_SHOWN) {
+            println!("{}", render_edit(e));
+        }
+        if analysis.diff.edits.len() > MAX_SHOWN {
+            println!("  ... {} more", analysis.diff.edits.len() - MAX_SHOWN);
+        }
+    }
+    println!(
+        "affected cone: {} node(s) in base, {} in edited, {} signal name(s){}",
+        analysis.base_cone_nodes,
+        analysis.edited_cone_nodes,
+        analysis.affected_names.len(),
+        if analysis.disconnected {
+            " (includes disconnected logic)"
+        } else {
+            ""
+        }
+    );
+    for (model, s) in [
+        ("stuck-at", &stuck.stats),
+        ("transition", &transition.stats),
+    ] {
+        println!(
+            "{model}: {} of {} faults affected ({} transfer; re-simulate {:.1}%)",
+            s.affected,
+            s.full,
+            s.transferred,
+            100.0 * s.ratio()
+        );
+    }
+    if !report.diagnostics.is_empty() {
+        println!();
+        print!("{}", report.render_text());
+    }
+    Ok(())
+}
+
+/// `fsim mutate <circuit> --edit KIND`: apply one deterministic scripted
+/// edit and emit the mutated `.bench` text, for building incremental test
+/// workloads without hand-editing netlists.
+fn cmd_mutate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags("mutate", args, MUTATE_FLAGS)?;
+    let spec = args.first().ok_or_else(|| err("mutate: missing circuit"))?;
+    let edit_name = flag_value(args, "--edit")
+        .ok_or_else(|| err("mutate: missing --edit (retype, rewire, dead-logic)"))?;
+    let edit = BenchEdit::parse(edit_name).ok_or_else(|| {
+        err(format!(
+            "unknown edit {edit_name:?} (retype, rewire, dead-logic)"
+        ))
+    })?;
+    let choice: usize = match flag_value(args, "--choice") {
+        Some(v) => v.parse().map_err(|_| err("--choice needs a number"))?,
+        None => 0,
+    };
+    let c = load_circuit(spec)?;
+    let candidates = edit_candidates(&c, edit);
+    let applied = apply_edit(&c, edit, choice)?;
+    if let Some(path) = flag_value(args, "--out") {
+        fs::write(path, &applied.text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        println!(
+            "{} (choice {} of {candidates}); wrote {path}",
+            applied.description,
+            choice % candidates.max(1)
+        );
+    } else {
+        eprintln!(
+            "{} (choice {} of {candidates})",
+            applied.description,
+            choice % candidates.max(1)
+        );
+        print!("{}", applied.text);
     }
     Ok(())
 }
@@ -1043,7 +1578,7 @@ fn run_csim_stuck(
     variant_name: &str,
     tel: &TelemetryOpts,
     par: &ParallelOpts,
-    pruned: Option<&PrunedUniverse<StuckAt>>,
+    exp: Expansion<'_, StuckAt>,
     keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let variants: Vec<CsimVariant> = if variant_name == "all" {
@@ -1065,14 +1600,17 @@ fn run_csim_stuck(
     if par.detections.is_some() && variants.len() > 1 {
         return Err(err("--detections needs a single --variant"));
     }
+    if par.baseline_out.is_some() && variants.len() > 1 {
+        return Err(err("--baseline-out needs a single --variant"));
+    }
     if tel.trace_out.is_some() {
         if variants.len() > 1 {
             return Err(err("--trace-out needs a single --variant"));
         }
-        return run_csim_stuck_traced(c, faults, patterns, variants[0], tel, par, pruned, keys);
+        return run_csim_stuck_traced(c, faults, patterns, variants[0], tel, par, exp, keys);
     }
     if par.threads > 1 || par.batch.is_some() {
-        return run_csim_stuck_sharded(c, faults, patterns, &variants, tel, par, pruned, keys);
+        return run_csim_stuck_sharded(c, faults, patterns, &variants, tel, par, exp, keys);
     }
     if !tel.enabled() && variants.len() == 1 {
         // Fast path: no probe attached, zero instrumentation cost.
@@ -1081,10 +1619,18 @@ fn run_csim_stuck(
             sim.set_paranoid(true);
         }
         let mut report = sim.run(patterns);
-        expand_report(&mut report, pruned);
+        exp.expand(&mut report);
         print_report(&report);
+        verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
+            ConcurrentSim::new(c, full, variants[0].options())
+                .run(patterns)
+                .statuses
+        })?;
         if let Some(path) = &par.detections {
             write_detections(path, &report.statuses)?;
+        }
+        if let Some(path) = &par.baseline_out {
+            write_baseline(path, "stuck", "uncollapsed", c, patterns, &report.statuses)?;
         }
         return Ok(());
     }
@@ -1097,13 +1643,18 @@ fn run_csim_stuck(
         }
         let mut report =
             run_stuck_instrumented(&mut sim, c.name(), patterns, tel.trace_every, faults.len());
-        expand_report(&mut report, pruned);
+        exp.expand(&mut report);
         print_report(&report);
+        verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
+            ConcurrentSim::new(c, full, variant.options())
+                .run(patterns)
+                .statuses
+        })?;
         let mut snap = sim.snapshot();
         // Phase spans nest, so the wall clock is the honest total.
         snap.cpu_seconds = report.cpu.as_secs_f64();
         snap.phases.add(Phase::Check, tel.check_time);
-        stamp_prune_counters(&mut snap, pruned);
+        exp.stamp(&mut snap);
         if tel.stats {
             print_stats_detail(&snap, sim.metrics());
         }
@@ -1112,6 +1663,9 @@ fn run_csim_stuck(
         }
         if let Some(path) = &par.detections {
             write_detections(path, &report.statuses)?;
+        }
+        if let Some(path) = &par.baseline_out {
+            write_baseline(path, "stuck", "uncollapsed", c, patterns, &report.statuses)?;
         }
         snaps.push(snap);
     }
@@ -1136,7 +1690,7 @@ fn run_csim_stuck_sharded(
     variants: &[CsimVariant],
     tel: &TelemetryOpts,
     par: &ParallelOpts,
-    pruned: Option<&PrunedUniverse<StuckAt>>,
+    exp: Expansion<'_, StuckAt>,
     keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let mut jsonl = open_jsonl(&tel.stats_json)?;
@@ -1170,7 +1724,7 @@ fn run_csim_stuck_sharded(
             let mut snap = sim.snapshot();
             snap.cpu_seconds = report.cpu.as_secs_f64();
             snap.phases.add(Phase::Check, tel.check_time);
-            stamp_prune_counters(&mut snap, pruned);
+            exp.stamp(&mut snap);
             if tel.stats {
                 print_sched_line(par, sim.sched_stats(), sim.num_shards());
                 print_stats_detail_sharded(&snap, sim.shard_metrics());
@@ -1200,10 +1754,18 @@ fn run_csim_stuck_sharded(
                 None => sim.run(patterns),
             }
         };
-        expand_report(&mut report, pruned);
+        exp.expand(&mut report);
         print_report(&report);
+        verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
+            ConcurrentSim::new(c, full, variant.options())
+                .run(patterns)
+                .statuses
+        })?;
         if let Some(path) = &par.detections {
             write_detections(path, &report.statuses)?;
+        }
+        if let Some(path) = &par.baseline_out {
+            write_baseline(path, "stuck", "uncollapsed", c, patterns, &report.statuses)?;
         }
     }
     if tel.stats || snaps.len() > 1 {
@@ -1227,7 +1789,7 @@ fn run_csim_stuck_traced(
     variant: CsimVariant,
     tel: &TelemetryOpts,
     par: &ParallelOpts,
-    pruned: Option<&PrunedUniverse<StuckAt>>,
+    exp: Expansion<'_, StuckAt>,
     keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     // One epoch for every shard, so cross-track timestamps line up.
@@ -1261,8 +1823,13 @@ fn run_csim_stuck_traced(
         Some(b) => sim.run_batched_with(patterns, b, after),
         None => sim.run_with(patterns, after),
     };
-    expand_report(&mut report, pruned);
+    exp.expand(&mut report);
     print_report(&report);
+    verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
+        ConcurrentSim::new(c, full, variant.options())
+            .run(patterns)
+            .statuses
+    })?;
     // Merge the metrics halves into one snapshot, exactly as
     // `ParallelSim::snapshot` does for plain instrumented shards.
     let mut merged: Option<MetricsSnapshot> = None;
@@ -1281,7 +1848,7 @@ fn run_csim_stuck_traced(
     snap.good_evals += good_evals;
     snap.cpu_seconds = report.cpu.as_secs_f64();
     snap.phases.add(Phase::Check, tel.check_time);
-    stamp_prune_counters(&mut snap, pruned);
+    exp.stamp(&mut snap);
     snap.trace_events = sim.shard_probes().map(|(p, _)| p.1.recorded_events()).sum();
     snap.trace_dropped = sim.shard_probes().map(|(p, _)| p.1.dropped_events()).sum();
     if let Some(st) = sim.sched_stats() {
@@ -1309,6 +1876,9 @@ fn run_csim_stuck_traced(
     close_jsonl(jsonl, &tel.stats_json)?;
     if let Some(path) = &par.detections {
         write_detections(path, &report.statuses)?;
+    }
+    if let Some(path) = &par.baseline_out {
+        write_baseline(path, "stuck", "uncollapsed", c, patterns, &report.statuses)?;
     }
     let shard_data: Vec<(Vec<TraceEvent>, &[usize])> = sim
         .shard_probes()
@@ -1389,6 +1959,7 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let spec = args.first().ok_or_else(|| err("sim: missing circuit"))?;
     let simulator = flag_value(args, "--simulator").unwrap_or("csim");
     let prune = has_flag(args, "--prune");
+    let incremental = has_flag(args, "--incremental");
     if prune && has_flag(args, "--uncollapsed") {
         return Err(err(
             "--prune already reports the full uncollapsed universe (pruned faults \
@@ -1400,10 +1971,40 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--prune needs the concurrent simulator, not {simulator:?}"
         )));
     }
+    if incremental && prune {
+        return Err(err(
+            "--incremental and --prune both rewrite the simulated universe; pick one",
+        ));
+    }
+    if incremental && has_flag(args, "--uncollapsed") {
+        return Err(err(
+            "--incremental already reports the full uncollapsed universe; drop --uncollapsed",
+        ));
+    }
+    if incremental && simulator != "csim" {
+        return Err(err(format!(
+            "--incremental needs the concurrent simulator, not {simulator:?}"
+        )));
+    }
+    if incremental && flag_value(args, "--baseline-report").is_none() {
+        return Err(err("--incremental needs --baseline-report FILE"));
+    }
+    if !incremental && flag_value(args, "--baseline-report").is_some() {
+        return Err(err("--baseline-report needs --incremental"));
+    }
+    if flag_value(args, "--baseline-out").is_some()
+        && !(prune || incremental || has_flag(args, "--uncollapsed"))
+    {
+        return Err(err(
+            "--baseline-out records fates over the full uncollapsed universe; add \
+             --uncollapsed (or --prune / --incremental, which already report it)",
+        ));
+    }
     let (c, check_time) = load_circuit_checked(spec, args)?;
     let mut tel = TelemetryOpts::parse(args)?;
     tel.check_time = check_time;
     let par = ParallelOpts::parse(args)?;
+    let patterns = load_patterns(&c, args, 256)?;
     // The weight-aware plan and --prune share one static analysis pass.
     let needs_analysis = prune || (par.plan == ShardPlan::WeightAware && par.threads > 1);
     let analysis = needs_analysis.then(|| analyze_circuit(&c));
@@ -1411,13 +2012,30 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some(a) if prune => Some(prune_stuck_at(&c, a)),
         _ => None,
     };
-    let faults = match &pruned {
-        Some(u) => {
+    let incr: Option<(ImpactUniverse<StuckAt>, Vec<FaultStatus>)> =
+        match flag_value(args, "--baseline-report") {
+            Some(path) if incremental => {
+                let baseline = load_baseline(path, "stuck", "uncollapsed")?;
+                Some(prepare_incremental(
+                    &c,
+                    baseline,
+                    &patterns,
+                    classify_stuck_at,
+                )?)
+            }
+            _ => None,
+        };
+    let faults = match (&pruned, &incr) {
+        (Some(u), _) => {
             print_prune_banner("stuck-at", &u.stats);
             u.sim.clone()
         }
-        None if has_flag(args, "--uncollapsed") => enumerate_stuck_at(&c),
-        None => collapse_stuck_at(&c).representatives,
+        (None, Some((u, _))) => {
+            print_impact_banner("stuck-at", &u.stats);
+            u.affected.clone()
+        }
+        (None, None) if has_flag(args, "--uncollapsed") => enumerate_stuck_at(&c),
+        (None, None) => collapse_stuck_at(&c).representatives,
     };
     let keys: Option<Vec<u32>> = match &analysis {
         Some(a) if par.plan == ShardPlan::WeightAware && par.threads > 1 => {
@@ -1425,7 +2043,14 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => None,
     };
-    let patterns = load_patterns(&c, args, 256)?;
+    let exp: Expansion<'_, StuckAt> = match (&pruned, &incr) {
+        (Some(u), _) => Expansion::Pruned(u),
+        (None, Some((u, baseline))) => Expansion::Incremental {
+            universe: u,
+            baseline,
+        },
+        _ => Expansion::Verbatim,
+    };
     let variant_name = flag_value(args, "--variant").unwrap_or("mv");
     let report = match simulator {
         "csim" => {
@@ -1436,7 +2061,7 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 variant_name,
                 &tel,
                 &par,
-                pruned.as_ref(),
+                exp,
                 keys.as_deref(),
             )
         }
@@ -1471,6 +2096,16 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     print_report(&report);
     if let Some(path) = &par.detections {
         write_detections(path, &report.statuses)?;
+    }
+    if let Some(path) = &par.baseline_out {
+        write_baseline(
+            path,
+            "stuck",
+            "uncollapsed",
+            &c,
+            &patterns,
+            &report.statuses,
+        )?;
     }
     emit_basic_telemetry(&tel, &report)
 }
@@ -1512,18 +2147,48 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     tel.check_time = check_time;
     let par = ParallelOpts::parse(args)?;
     let prune = has_flag(args, "--prune");
+    let incremental = has_flag(args, "--incremental");
+    if incremental && prune {
+        return Err(err(
+            "--incremental and --prune both rewrite the simulated universe; pick one",
+        ));
+    }
+    if incremental && flag_value(args, "--baseline-report").is_none() {
+        return Err(err("--incremental needs --baseline-report FILE"));
+    }
+    if !incremental && flag_value(args, "--baseline-report").is_some() {
+        return Err(err("--baseline-report needs --incremental"));
+    }
+    let patterns = load_patterns(&c, args, 256)?;
     let needs_analysis = prune || (par.plan == ShardPlan::WeightAware && par.threads > 1);
     let analysis = needs_analysis.then(|| analyze_circuit(&c));
     let pruned: Option<PrunedUniverse<TransitionFault>> = match &analysis {
         Some(a) if prune => Some(prune_transition(&c, a)),
         _ => None,
     };
-    let faults = match &pruned {
-        Some(u) => {
+    let incr: Option<(ImpactUniverse<TransitionFault>, Vec<FaultStatus>)> =
+        match flag_value(args, "--baseline-report") {
+            Some(path) if incremental => {
+                let baseline = load_baseline(path, "transition", "full")?;
+                Some(prepare_incremental(
+                    &c,
+                    baseline,
+                    &patterns,
+                    classify_transition,
+                )?)
+            }
+            _ => None,
+        };
+    let faults = match (&pruned, &incr) {
+        (Some(u), _) => {
             print_prune_banner("transition", &u.stats);
             u.sim.clone()
         }
-        None => enumerate_transition(&c),
+        (None, Some((u, _))) => {
+            print_impact_banner("transition", &u.stats);
+            u.affected.clone()
+        }
+        (None, None) => enumerate_transition(&c),
     };
     let keys: Option<Vec<u32>> = match &analysis {
         Some(a) if par.plan == ShardPlan::WeightAware && par.threads > 1 => {
@@ -1531,28 +2196,19 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => None,
     };
-    let patterns = load_patterns(&c, args, 256)?;
+    let exp: Expansion<'_, TransitionFault> = match (&pruned, &incr) {
+        (Some(u), _) => Expansion::Pruned(u),
+        (None, Some((u, baseline))) => Expansion::Incremental {
+            universe: u,
+            baseline,
+        },
+        _ => Expansion::Verbatim,
+    };
     if tel.trace_out.is_some() {
-        return run_transition_traced(
-            &c,
-            &faults,
-            &patterns,
-            &tel,
-            &par,
-            pruned.as_ref(),
-            keys.as_deref(),
-        );
+        return run_transition_traced(&c, &faults, &patterns, &tel, &par, exp, keys.as_deref());
     }
     if par.threads > 1 || par.batch.is_some() {
-        return run_transition_sharded(
-            &c,
-            &faults,
-            &patterns,
-            &tel,
-            &par,
-            pruned.as_ref(),
-            keys.as_deref(),
-        );
+        return run_transition_sharded(&c, &faults, &patterns, &tel, &par, exp, keys.as_deref());
     }
     if !tel.enabled() {
         let mut sim = TransitionSim::new(&c, &faults, TransitionOptions::default());
@@ -1560,10 +2216,18 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             sim.set_paranoid(true);
         }
         let mut report = sim.run(&patterns);
-        expand_report(&mut report, pruned.as_ref());
+        exp.expand(&mut report);
         print_report(&report);
+        verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
+            TransitionSim::new(&c, full, TransitionOptions::default())
+                .run(&patterns)
+                .statuses
+        })?;
         if let Some(path) = &par.detections {
             write_detections(path, &report.statuses)?;
+        }
+        if let Some(path) = &par.baseline_out {
+            write_baseline(path, "transition", "full", &c, &patterns, &report.statuses)?;
         }
         return Ok(());
     }
@@ -1574,12 +2238,17 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut report =
         run_transition_instrumented(&mut sim, c.name(), &patterns, tel.trace_every, faults.len());
-    expand_report(&mut report, pruned.as_ref());
+    exp.expand(&mut report);
     print_report(&report);
+    verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
+        TransitionSim::new(&c, full, TransitionOptions::default())
+            .run(&patterns)
+            .statuses
+    })?;
     let mut snap = sim.snapshot();
     snap.cpu_seconds = report.cpu.as_secs_f64();
     snap.phases.add(Phase::Check, tel.check_time);
-    stamp_prune_counters(&mut snap, pruned.as_ref());
+    exp.stamp(&mut snap);
     if tel.stats {
         print_stats_detail(&snap, sim.metrics());
         println!();
@@ -1590,6 +2259,9 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(path) = &par.detections {
         write_detections(path, &report.statuses)?;
+    }
+    if let Some(path) = &par.baseline_out {
+        write_baseline(path, "transition", "full", &c, &patterns, &report.statuses)?;
     }
     close_jsonl(jsonl, &tel.stats_json)
 }
@@ -1603,7 +2275,7 @@ fn run_transition_sharded(
     patterns: &[Vec<Logic>],
     tel: &TelemetryOpts,
     par: &ParallelOpts,
-    pruned: Option<&PrunedUniverse<TransitionFault>>,
+    exp: Expansion<'_, TransitionFault>,
     keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let mut report = if tel.enabled() {
@@ -1635,7 +2307,7 @@ fn run_transition_sharded(
         let mut snap = sim.snapshot();
         snap.cpu_seconds = report.cpu.as_secs_f64();
         snap.phases.add(Phase::Check, tel.check_time);
-        stamp_prune_counters(&mut snap, pruned);
+        exp.stamp(&mut snap);
         if tel.stats {
             print_sched_line(par, sim.sched_stats(), sim.num_shards());
             print_stats_detail_sharded(&snap, sim.shard_metrics());
@@ -1667,10 +2339,18 @@ fn run_transition_sharded(
             None => sim.run(patterns),
         }
     };
-    expand_report(&mut report, pruned);
+    exp.expand(&mut report);
     print_report(&report);
+    verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
+        TransitionSim::new(c, full, TransitionOptions::default())
+            .run(patterns)
+            .statuses
+    })?;
     if let Some(path) = &par.detections {
         write_detections(path, &report.statuses)?;
+    }
+    if let Some(path) = &par.baseline_out {
+        write_baseline(path, "transition", "full", c, patterns, &report.statuses)?;
     }
     Ok(())
 }
@@ -1682,7 +2362,7 @@ fn run_transition_traced(
     patterns: &[Vec<Logic>],
     tel: &TelemetryOpts,
     par: &ParallelOpts,
-    pruned: Option<&PrunedUniverse<TransitionFault>>,
+    exp: Expansion<'_, TransitionFault>,
     keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let epoch = Instant::now();
@@ -1713,8 +2393,13 @@ fn run_transition_traced(
         Some(b) => sim.run_batched_with(patterns, b, after),
         None => sim.run_with(patterns, after),
     };
-    expand_report(&mut report, pruned);
+    exp.expand(&mut report);
     print_report(&report);
+    verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
+        TransitionSim::new(c, full, TransitionOptions::default())
+            .run(patterns)
+            .statuses
+    })?;
     let mut merged: Option<MetricsSnapshot> = None;
     for (p, _) in sim.shard_probes() {
         let shard_snap = p.0.snapshot("", c.name());
@@ -1731,7 +2416,7 @@ fn run_transition_traced(
     snap.good_evals += good_evals;
     snap.cpu_seconds = report.cpu.as_secs_f64();
     snap.phases.add(Phase::Check, tel.check_time);
-    stamp_prune_counters(&mut snap, pruned);
+    exp.stamp(&mut snap);
     snap.trace_events = sim.shard_probes().map(|(p, _)| p.1.recorded_events()).sum();
     snap.trace_dropped = sim.shard_probes().map(|(p, _)| p.1.dropped_events()).sum();
     if let Some(st) = sim.sched_stats() {
@@ -1757,6 +2442,9 @@ fn run_transition_traced(
     close_jsonl(jsonl, &tel.stats_json)?;
     if let Some(path) = &par.detections {
         write_detections(path, &report.statuses)?;
+    }
+    if let Some(path) = &par.baseline_out {
+        write_baseline(path, "transition", "full", c, patterns, &report.statuses)?;
     }
     let shard_data: Vec<(Vec<TraceEvent>, &[usize])> = sim
         .shard_probes()

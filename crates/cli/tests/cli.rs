@@ -677,3 +677,185 @@ fn heatmap_renders_text_table_and_json() {
         assert!(n.get("total").and_then(JsonValue::as_u64).is_some());
     }
 }
+
+/// `fsim analyze --format json` must carry the same dominance-collapse
+/// numbers as the text rendering — the JSON path is what CI dashboards
+/// consume, so a field silently dropped there would go unnoticed.
+#[test]
+fn analyze_json_dominance_matches_text() {
+    let (ok, out, err) = fsim(&["analyze", "@s298g", "--format", "json"]);
+    assert!(ok, "{err}");
+    let v = JsonValue::parse(out.trim()).expect("valid analyze JSON");
+    let dom = v.get("dominance").expect("dominance object in JSON");
+    let edges = dom.get("edges").and_then(JsonValue::as_u64).unwrap();
+    let kept = dom.get("kept").and_then(JsonValue::as_u64).unwrap();
+    let classes = dom.get("classes").and_then(JsonValue::as_u64).unwrap();
+    assert!(dom.get("dropped").and_then(JsonValue::as_u64).is_some());
+    assert!(kept <= classes, "{out}");
+
+    let (ok, text, err) = fsim(&["analyze", "@s298g"]);
+    assert!(ok, "{err}");
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("dominance:"))
+        .expect("dominance line in text output");
+    assert!(
+        line.contains(&format!("{edges} edge(s)")),
+        "text {line:?} vs JSON edges {edges}"
+    );
+    assert!(
+        line.contains(&format!("{kept} of {classes} classes kept")),
+        "text {line:?} vs JSON kept {kept}/{classes}"
+    );
+}
+
+#[test]
+fn mutate_applies_deterministic_edit() {
+    let (ok, out, err) = fsim(&["mutate", "@s27", "--edit", "retype", "--choice", "1"]);
+    assert!(ok, "{err}");
+    assert!(err.contains("retyped"), "{err}");
+    let (_, out2, _) = fsim(&["mutate", "@s27", "--edit", "retype", "--choice", "1"]);
+    assert_eq!(out, out2, "same (circuit, choice) must give the same edit");
+    let (ok, _, err) = fsim(&["mutate", "@s27", "--edit", "frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown edit"), "{err}");
+}
+
+#[test]
+fn impact_reports_transfer_split_in_text_and_json() {
+    let dir = std::env::temp_dir().join("fsim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let edited = dir.join("impact-dead.bench");
+    let (ok, _, err) = fsim(&[
+        "mutate",
+        "@s298g",
+        "--edit",
+        "dead-logic",
+        "--out",
+        edited.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = fsim(&["impact", "@s298g", edited.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("added"), "{out}");
+    assert!(out.contains("faults affected"), "{out}");
+    assert!(out.contains("I001 [cone-disconnected-edit]"), "{out}");
+
+    let (ok, out, err) = fsim(&[
+        "impact",
+        "@s298g",
+        edited.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert!(ok, "{err}");
+    let v = JsonValue::parse(out.trim()).expect("valid impact JSON");
+    assert_eq!(v.get("base").and_then(JsonValue::as_str), Some("s298g"));
+    let edits = v
+        .get("diff")
+        .and_then(|d| d.get("edits"))
+        .and_then(JsonValue::as_arr)
+        .unwrap();
+    assert_eq!(edits.len(), 2, "{out}");
+    for model in ["stuck", "transition"] {
+        let m = v.get(model).expect("model stats");
+        let full = m.get("full").and_then(JsonValue::as_u64).unwrap();
+        let affected = m.get("affected").and_then(JsonValue::as_u64).unwrap();
+        let transferred = m.get("transferred").and_then(JsonValue::as_u64).unwrap();
+        assert_eq!(affected + transferred, full, "{model}: {out}");
+        assert!(affected < full, "dead logic affects a strict subset: {out}");
+    }
+    let findings = v.get("findings").expect("findings report");
+    assert_eq!(findings.get("errors").and_then(JsonValue::as_u64), Some(0));
+}
+
+/// The full incremental loop through the binary: record a baseline, apply
+/// a scripted edit, re-simulate incrementally, and require byte-identical
+/// detections against a cold full run — for both fault models, serial and
+/// sharded, with the paranoid cross-check on.
+#[test]
+fn incremental_detections_match_cold_full_run() {
+    let dir = std::env::temp_dir().join("fsim-cli-incr");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_str().unwrap().to_owned();
+    let edited = p("edited.bench");
+    let (ok, _, err) = fsim(&["mutate", "@s298g", "--edit", "dead-logic", "--out", &edited]);
+    assert!(ok, "{err}");
+
+    for (cmd, extra) in [("sim", Some("--uncollapsed")), ("transition", None)] {
+        let baseline = p(&format!("{cmd}-base.json"));
+        let mut args = vec![cmd, "@s298g", "--seed", "7", "--baseline-out", &baseline];
+        if let Some(f) = extra {
+            args.push(f);
+        }
+        let (ok, _, err) = fsim(&args);
+        assert!(ok, "{cmd} baseline: {err}");
+
+        let cold = p(&format!("{cmd}-cold.txt"));
+        let mut args = vec![cmd, edited.as_str(), "--seed", "7", "--detections", &cold];
+        if let Some(f) = extra {
+            args.push(f);
+        }
+        let (ok, _, err) = fsim(&args);
+        assert!(ok, "{cmd} cold: {err}");
+
+        for threads in ["1", "4"] {
+            let incr = p(&format!("{cmd}-incr-{threads}.txt"));
+            let (ok, out, err) = fsim(&[
+                cmd,
+                &edited,
+                "--seed",
+                "7",
+                "--incremental",
+                "--baseline-report",
+                &baseline,
+                "--threads",
+                threads,
+                "--paranoid",
+                "--detections",
+                &incr,
+            ]);
+            assert!(ok, "{cmd} incremental t{threads}: {err}");
+            assert!(out.contains("incremental:"), "{out}");
+            assert!(
+                out.contains("paranoid: all") && out.contains("agree with a cold full re-run"),
+                "{out}"
+            );
+            assert_eq!(
+                std::fs::read(&cold).unwrap(),
+                std::fs::read(&incr).unwrap(),
+                "{cmd} t{threads}: incremental detections must be byte-identical"
+            );
+        }
+    }
+}
+
+/// A baseline recorded under different stimulus must be refused with the
+/// I002 diagnostic (exit 2), not silently transferred.
+#[test]
+fn incremental_rejects_stale_baseline_with_i002() {
+    let dir = std::env::temp_dir().join("fsim-cli-incr");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("stale-base.json");
+    let (ok, _, err) = fsim(&[
+        "sim",
+        "@s27",
+        "--uncollapsed",
+        "--seed",
+        "3",
+        "--baseline-out",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let (code, _, err) = fsim_code(&[
+        "sim",
+        "@s27",
+        "--seed",
+        "4",
+        "--incremental",
+        "--baseline-report",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(2), "diagnostic exit: {err}");
+    assert!(err.contains("I002 [baseline-invalidated]"), "{err}");
+}

@@ -1,0 +1,271 @@
+//! Change-impact fault universes: the contract behind incremental
+//! re-simulation after a netlist edit.
+//!
+//! An [`ImpactUniverse`] splits the edited circuit's full uncollapsed fault
+//! universe into the *affected* faults — those whose detection story the
+//! edit could possibly change, which must be re-simulated — and the
+//! *unaffected* rest, whose fate transfers verbatim from a baseline run of
+//! the pre-edit circuit. It is the incremental twin of
+//! [`PrunedUniverse`](crate::PrunedUniverse): the same machine-checked
+//! expansion guarantee, except that the non-simulated faults copy a
+//! baseline status instead of reporting untestable.
+//!
+//! The classification itself (structural diff, affected-cone fixpoint)
+//! lives in `cfs-check`; this module owns only the split, the expansion,
+//! and the invariants, so the simulators and the CLI never see how the
+//! cone was computed.
+
+use crate::status::FaultStatus;
+
+/// Fate of one fault of the edited circuit's full universe under a
+/// change-impact split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImpactFate {
+    /// Inside the affected cone: re-simulated as `affected[idx]`.
+    Resim(u32),
+    /// Outside the affected cone: behaviourally identical to fault `idx`
+    /// of the *baseline* circuit's full universe, whose recorded status
+    /// transfers verbatim (same status, same first-detection pattern).
+    Transfer(u32),
+}
+
+/// Counters describing a change-impact split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImpactStats {
+    /// Faults in the edited circuit's full uncollapsed universe.
+    pub full: usize,
+    /// Faults inside the affected cone (re-simulated).
+    pub affected: usize,
+    /// Faults whose baseline fate transfers.
+    pub transferred: usize,
+    /// Faults in the baseline circuit's full universe (the length the
+    /// baseline status vector must have).
+    pub baseline_full: usize,
+}
+
+impl ImpactStats {
+    /// Affected / full ratio (the fraction of the universe the edit forces
+    /// back through the simulator).
+    pub fn ratio(&self) -> f64 {
+        if self.full == 0 {
+            return 1.0;
+        }
+        self.affected as f64 / self.full as f64
+    }
+}
+
+/// The edited circuit's fault universe split by a change-impact analysis,
+/// with the map back onto full enumeration order.
+#[derive(Debug, Clone)]
+pub struct ImpactUniverse<F> {
+    /// The edited circuit's full uncollapsed universe, in enumeration
+    /// order.
+    pub full: Vec<F>,
+    /// The affected faults handed to the simulator, in enumeration order.
+    pub affected: Vec<F>,
+    /// Fate of each full-universe fault, aligned with `full`.
+    pub fate: Vec<ImpactFate>,
+    /// Split counters.
+    pub stats: ImpactStats,
+}
+
+impl<F: Copy> ImpactUniverse<F> {
+    /// The all-affected universe: every fault re-simulated, nothing
+    /// transferred (what a diff that invalidates the whole baseline
+    /// degrades to).
+    pub fn all_affected(full: Vec<F>, baseline_full: usize) -> Self {
+        let fate = (0..full.len())
+            .map(|i| ImpactFate::Resim(i as u32))
+            .collect();
+        let stats = ImpactStats {
+            full: full.len(),
+            affected: full.len(),
+            transferred: 0,
+            baseline_full,
+        };
+        ImpactUniverse {
+            affected: full.clone(),
+            full,
+            fate,
+            stats,
+        }
+    }
+
+    /// Expands per-affected-fault statuses onto the full edited universe:
+    /// re-simulated faults take their fresh status, unaffected faults copy
+    /// their baseline fault's status verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resim.len()` differs from the affected set or
+    /// `baseline.len()` from the recorded baseline universe.
+    pub fn expand_statuses(
+        &self,
+        resim: &[FaultStatus],
+        baseline: &[FaultStatus],
+    ) -> Vec<FaultStatus> {
+        assert_eq!(
+            resim.len(),
+            self.affected.len(),
+            "status vector does not match the affected fault set"
+        );
+        assert_eq!(
+            baseline.len(),
+            self.stats.baseline_full,
+            "baseline status vector does not match the baseline universe"
+        );
+        self.fate
+            .iter()
+            .map(|fate| match *fate {
+                ImpactFate::Resim(idx) => resim[idx as usize],
+                ImpactFate::Transfer(idx) => baseline[idx as usize],
+            })
+            .collect()
+    }
+
+    /// Checks the internal invariants: fate aligned with the full
+    /// universe, `Resim` indices an exact in-order cover of the affected
+    /// set, `Transfer` indices inside the baseline universe, and `stats`
+    /// consistent with the fates.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.full.len() != self.fate.len() {
+            return Err("fate vector length differs from the full universe".into());
+        }
+        let mut next_resim = 0u32;
+        let mut transferred = 0usize;
+        for (i, fate) in self.fate.iter().enumerate() {
+            match *fate {
+                ImpactFate::Resim(idx) => {
+                    // Affected faults keep enumeration order, so the resim
+                    // indices must appear as exactly 0, 1, 2, …
+                    if idx != next_resim {
+                        return Err(format!(
+                            "fault {i} re-simulates as {idx}, expected {next_resim} \
+                             (affected set out of enumeration order)"
+                        ));
+                    }
+                    next_resim += 1;
+                }
+                ImpactFate::Transfer(idx) => {
+                    if (idx as usize) >= self.stats.baseline_full {
+                        return Err(format!(
+                            "fault {i} transfers from baseline index {idx}, but the \
+                             baseline universe has {} faults",
+                            self.stats.baseline_full
+                        ));
+                    }
+                    transferred += 1;
+                }
+            }
+        }
+        if next_resim as usize != self.affected.len() {
+            return Err(format!(
+                "{} fates re-simulate but the affected set has {} faults",
+                next_resim,
+                self.affected.len()
+            ));
+        }
+        let expect = ImpactStats {
+            full: self.full.len(),
+            affected: self.affected.len(),
+            transferred,
+            baseline_full: self.stats.baseline_full,
+        };
+        if expect != self.stats {
+            return Err(format!(
+                "stats {:?} disagree with fates {:?}",
+                self.stats, expect
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> ImpactUniverse<u8> {
+        ImpactUniverse {
+            full: vec![20, 21, 22, 23],
+            affected: vec![21, 23],
+            fate: vec![
+                ImpactFate::Transfer(0),
+                ImpactFate::Resim(0),
+                ImpactFate::Transfer(2),
+                ImpactFate::Resim(1),
+            ],
+            stats: ImpactStats {
+                full: 4,
+                affected: 2,
+                transferred: 2,
+                baseline_full: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn expansion_mixes_fresh_and_transferred_statuses() {
+        let u = universe();
+        u.validate().unwrap();
+        let expanded = u.expand_statuses(
+            &[
+                FaultStatus::Detected { pattern: 9 },
+                FaultStatus::Undetected,
+            ],
+            &[
+                FaultStatus::Detected { pattern: 2 },
+                FaultStatus::Undetected,
+                FaultStatus::Untestable,
+            ],
+        );
+        assert_eq!(
+            expanded,
+            vec![
+                FaultStatus::Detected { pattern: 2 },
+                FaultStatus::Detected { pattern: 9 },
+                FaultStatus::Untestable,
+                FaultStatus::Undetected,
+            ]
+        );
+    }
+
+    #[test]
+    fn all_affected_transfers_nothing() {
+        let u = ImpactUniverse::all_affected(vec![1u8, 2, 3], 7);
+        u.validate().unwrap();
+        let s = vec![FaultStatus::Undetected; 3];
+        let baseline = vec![FaultStatus::Detected { pattern: 0 }; 7];
+        assert_eq!(u.expand_statuses(&s, &baseline), s);
+        assert_eq!(u.stats.transferred, 0);
+        assert!((u.stats.ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_catches_bad_maps() {
+        let mut u = universe();
+        u.fate[3] = ImpactFate::Resim(0); // duplicate resim index
+        assert!(u.validate().is_err());
+        let mut u = universe();
+        u.fate[0] = ImpactFate::Transfer(9); // beyond the baseline universe
+        assert!(u.validate().is_err());
+        let mut u = universe();
+        u.stats.transferred = 5;
+        assert!(u.validate().is_err());
+        let mut u = universe();
+        u.fate.pop();
+        assert!(u.validate().is_err());
+    }
+
+    #[test]
+    fn expansion_panics_on_wrong_lengths() {
+        let u = universe();
+        let baseline = vec![FaultStatus::Undetected; 3];
+        let short = std::panic::catch_unwind(|| u.expand_statuses(&[], &baseline));
+        assert!(short.is_err());
+        let bad_base = std::panic::catch_unwind(|| {
+            u.expand_statuses(&[FaultStatus::Undetected; 2], &[FaultStatus::Undetected])
+        });
+        assert!(bad_base.is_err());
+    }
+}

@@ -21,12 +21,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod impact;
 mod prune;
 mod sampling;
 mod status;
 mod stuck_at;
 mod transition;
 
+pub use impact::{ImpactFate, ImpactStats, ImpactUniverse};
 pub use prune::{FaultFate, PruneReason, PruneStats, PrunedUniverse};
 pub use sampling::{all_binary, estimate_coverage, sample_faults, CoverageEstimate};
 pub use status::{FaultSimReport, FaultStatus};

@@ -24,6 +24,7 @@
 mod bench;
 mod circuit;
 pub mod data;
+mod edit;
 pub mod generate;
 mod hierarchy;
 mod macros;
@@ -33,6 +34,10 @@ pub use bench::{
     parse_bench, parse_bench_with_provenance, write_bench, BenchProvenance, ParseBenchError,
 };
 pub use circuit::{Circuit, CircuitBuilder, CircuitError, CircuitStats, Gate, GateId, GateKind};
+pub use edit::{
+    apply_edit, apply_edit_with_base, edit_candidates, retype_swap, AppliedEdit, BenchEdit,
+    EditError,
+};
 pub use generate::{benchmark, benchmark_spec, CircuitSpec, ISCAS89_SPECS};
 pub use hierarchy::{FlattenError, Hierarchy, Module};
 pub use macros::{

@@ -178,6 +178,8 @@ impl SimMetrics {
             faults_sim: 0,
             pruned_unexcitable: 0,
             pruned_unobservable: 0,
+            faults_affected: 0,
+            faults_transferred: 0,
             trace_events: 0,
             trace_dropped: 0,
             // Scheduler facts: stamped by the parallel driver, never

@@ -84,6 +84,12 @@ impl<W: Write> JsonlWriter<W> {
             push_u64(&mut line, "pruned_unexcitable", s.pruned_unexcitable);
             push_u64(&mut line, "pruned_unobservable", s.pruned_unobservable);
         }
+        if s.faults_affected > 0 || s.faults_transferred > 0 {
+            // Change-impact counters, present only for incremental runs so
+            // cold-run summaries keep their historical shape.
+            push_u64(&mut line, "faults_affected", s.faults_affected);
+            push_u64(&mut line, "faults_transferred", s.faults_transferred);
+        }
         if s.trace_events > 0 {
             // Trace-recorder counters, present only for traced runs so
             // untraced summaries keep their historical shape.
@@ -397,6 +403,35 @@ mod tests {
         assert_eq!(
             v.get("pruned_unobservable").and_then(JsonValue::as_u64),
             Some(3)
+        );
+    }
+
+    #[test]
+    fn summary_line_carries_impact_counters_only_when_incremental() {
+        let mut s = MetricsSnapshot::from_basic("csim-MV", "s27", 8, 20, 160, 500, 4096, 0.25);
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write_summary(&s).unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let v = JsonValue::parse(text.trim()).unwrap();
+        assert!(
+            v.get("faults_affected").is_none(),
+            "cold-run shape unchanged"
+        );
+        s.faults_full = 100;
+        s.faults_sim = 30;
+        s.faults_affected = 30;
+        s.faults_transferred = 70;
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write_summary(&s).unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        let v = JsonValue::parse(text.trim()).unwrap();
+        assert_eq!(
+            v.get("faults_affected").and_then(JsonValue::as_u64),
+            Some(30)
+        );
+        assert_eq!(
+            v.get("faults_transferred").and_then(JsonValue::as_u64),
+            Some(70)
         );
     }
 

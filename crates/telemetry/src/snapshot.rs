@@ -67,6 +67,14 @@ pub struct MetricsSnapshot {
     /// Full-universe faults proven unobservable by the reachability
     /// analysis.
     pub pruned_unobservable: u64,
+    /// Faults inside the affected cone of an incremental re-simulation —
+    /// the set actually handed to the simulator (`0` when the run was not
+    /// incremental). Stamped by the driver: the change-impact split
+    /// happens before the first pattern.
+    pub faults_affected: u64,
+    /// Faults whose fate transferred verbatim from the baseline report
+    /// instead of being re-simulated (`0` for non-incremental runs).
+    pub faults_transferred: u64,
     /// Events captured by an attached trace recorder (`0` when tracing was
     /// off). Stamped by the driver, like the pruning counters: the
     /// recorder is drained after the run, outside any probe hook.
@@ -183,6 +191,8 @@ impl MetricsSnapshot {
         self.faults_sim = self.faults_sim.max(other.faults_sim);
         self.pruned_unexcitable = self.pruned_unexcitable.max(other.pruned_unexcitable);
         self.pruned_unobservable = self.pruned_unobservable.max(other.pruned_unobservable);
+        self.faults_affected = self.faults_affected.max(other.faults_affected);
+        self.faults_transferred = self.faults_transferred.max(other.faults_transferred);
         // Per-shard recorders capture disjoint event streams: sum.
         self.trace_events += other.trace_events;
         self.trace_dropped += other.trace_dropped;
@@ -243,6 +253,25 @@ mod tests {
         assert!((a.events_per_pattern - 24.0).abs() < 1e-12);
         // avg_list_len weighted 60:20 → (8*60 + 4*20) / 80 = 7.0
         assert!((a.avg_list_len - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_merge_keeps_universe_facts_stable() {
+        let mut a = MetricsSnapshot::from_basic("csim", "s27", 5, 2, 50, 80, 100, 0.1);
+        a.faults_full = 200;
+        a.faults_affected = 40;
+        a.faults_transferred = 160;
+        let mut b = MetricsSnapshot::from_basic("csim", "s27", 5, 1, 30, 60, 100, 0.2);
+        b.faults_full = 200;
+        b.faults_affected = 40;
+        b.faults_transferred = 160;
+        a.merge_shard(&b);
+        assert_eq!(a.faults_affected, 40, "universe facts max, not sum");
+        assert_eq!(a.faults_transferred, 160);
+        // Stamping only after the merge works too.
+        let mut unstamped = MetricsSnapshot::default();
+        unstamped.merge_shard(&a);
+        assert_eq!(unstamped.faults_affected, 40);
     }
 
     #[test]
