@@ -42,6 +42,18 @@
 //! full-universe detections after fate transfer, so the cell is directly
 //! comparable to an `--uncollapsed` run and the drift gate pins the
 //! transfer split itself.
+//!
+//! Finally each circuit carries the quiescence trio — `csim-MV-hold`,
+//! `csim-MV-quiesce`, and `csim-MV-resume` — serial cells on burst-idle
+//! stimulus (a random vector held 4 cycles, then 12 cycles of the
+//! all-zero idle vector, so the circuit actually goes quiet between
+//! functional bursts). `-hold` is the ungated reference, `-quiesce` the
+//! same run under the engine's quiescence gate (`--quiesce-window 2`;
+//! the harness asserts detections stay bit-identical), and `-resume`
+//! times the second half of the gated run after restoring a
+//! byte-round-tripped mid-run checkpoint into a fresh simulator, with
+//! the full run's counters (the checkpoint restores them) so the drift
+//! gate pins restart determinism too.
 
 use std::time::Instant;
 
@@ -50,8 +62,8 @@ use cfs_check::{
     prune_stuck_at, prune_transition,
 };
 use cfs_core::{
-    BatchOptions, ConcurrentSim, CsimVariant, NullProbe, ParallelSim, ParallelTransitionSim,
-    ShardPlan, TransitionSim,
+    BatchOptions, Checkpoint, ConcurrentSim, CsimOptions, CsimVariant, NullProbe, ParallelSim,
+    ParallelTransitionSim, ShardPlan, TransitionSim,
 };
 use cfs_faults::{
     collapse_stuck_at, enumerate_stuck_at, enumerate_transition, FaultStatus, ImpactUniverse,
@@ -167,6 +179,44 @@ fn random_patterns(circuit: &Circuit, count: usize, seed: u64) -> Vec<Vec<Logic>
         .collect()
 }
 
+/// Shape of the quiescence cells' stimulus: fresh random vectors every
+/// cycle never let the circuit go quiet, so each burst drives
+/// [`QUIESCE_ACTIVE`] cycles of a held random vector (excitation plus
+/// settling) followed by [`QUIESCE_QUIET`] cycles of the all-zero idle
+/// vector — a functional burst separated by the idle spans the gate
+/// targets.
+const QUIESCE_ACTIVE: usize = 4;
+const QUIESCE_QUIET: usize = 12;
+
+/// Gating window for the `-quiesce` and `-resume` cells (the CLI's
+/// `--quiesce-window`).
+const QUIESCE_WINDOW: u32 = 2;
+
+/// Burst-idle stimulus for the quiescence cells (see [`QUIESCE_ACTIVE`]),
+/// truncated to exactly `count` patterns so the cells stay comparable to
+/// the harness's plain cells.
+fn hold_patterns(circuit: &Circuit, count: usize, seed: u64) -> Vec<Vec<Logic>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idle = vec![Logic::Zero; circuit.num_inputs()];
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let p: Vec<Logic> = (0..circuit.num_inputs())
+            .map(|_| Logic::from_bool(rng.gen_bool(0.5)))
+            .collect();
+        for i in 0..QUIESCE_ACTIVE + QUIESCE_QUIET {
+            if out.len() == count {
+                break;
+            }
+            out.push(if i < QUIESCE_ACTIVE {
+                p.clone()
+            } else {
+                idle.clone()
+            });
+        }
+    }
+    out
+}
+
 fn phase_seconds(snap: &MetricsSnapshot) -> Vec<(&'static str, f64)> {
     Phase::ALL
         .iter()
@@ -215,10 +265,11 @@ fn run_stuck(
             wall = wall.min(start.elapsed().as_secs_f64());
             events = sim.events();
             detected = sim.detected();
-            // Peak elements summed over shards ≈ the serial peak; derive
-            // arena bytes from the memory model's element term instead.
-            peak_elements = 0;
-            peak_arena_bytes = 0;
+            // The per-shard maximum: shards partition the fault universe,
+            // so the widest shard bounds the widest per-engine arena a
+            // reader has to provision for.
+            peak_elements = sim.peak_elements();
+            peak_arena_bytes = peak_elements * cfs_core::Arena::ELEMENT_BYTES;
             memory_bytes = sim.memory_bytes();
         }
     }
@@ -282,6 +333,7 @@ fn run_stuck_batched(
     let mut wall = f64::INFINITY;
     let mut events = 0u64;
     let mut detected = 0usize;
+    let mut peak_elements = 0usize;
     let mut memory_bytes = 0usize;
     for _ in 0..repeats.max(1) {
         let mut sim = ParallelSim::with_probes_sharded(
@@ -299,6 +351,7 @@ fn run_stuck_batched(
         wall = wall.min(start.elapsed().as_secs_f64());
         events = sim.events();
         detected = sim.detected();
+        peak_elements = sim.peak_elements();
         memory_bytes = sim.memory_bytes();
     }
     let phases = {
@@ -326,8 +379,8 @@ fn run_stuck_batched(
         events,
         events_per_pattern: events as f64 / patterns.len().max(1) as f64,
         detected,
-        peak_elements: 0,
-        peak_arena_bytes: 0,
+        peak_elements,
+        peak_arena_bytes: peak_elements * cfs_core::Arena::ELEMENT_BYTES,
         memory_bytes,
         phase_seconds: phases,
     }
@@ -346,6 +399,7 @@ fn run_transition_batched(
     let mut wall = f64::INFINITY;
     let mut events = 0u64;
     let mut detected = 0usize;
+    let mut peak_elements = 0usize;
     let mut memory_bytes = 0usize;
     for _ in 0..repeats.max(1) {
         let mut sim = ParallelTransitionSim::with_probes_sharded(
@@ -363,6 +417,7 @@ fn run_transition_batched(
         wall = wall.min(start.elapsed().as_secs_f64());
         events = sim.events();
         detected = sim.detected();
+        peak_elements = sim.peak_elements();
         memory_bytes = sim.memory_bytes();
     }
     let phases = {
@@ -390,8 +445,8 @@ fn run_transition_batched(
         events,
         events_per_pattern: events as f64 / patterns.len().max(1) as f64,
         detected,
-        peak_elements: 0,
-        peak_arena_bytes: 0,
+        peak_elements,
+        peak_arena_bytes: peak_elements * cfs_core::Arena::ELEMENT_BYTES,
         memory_bytes,
         phase_seconds: phases,
     }
@@ -448,8 +503,8 @@ fn run_stuck_pruned(
             wall = wall.min(start.elapsed().as_secs_f64());
             events = sim.events();
             detected = expanded_detected(pruned, &report.statuses);
-            peak_elements = 0;
-            peak_arena_bytes = 0;
+            peak_elements = sim.peak_elements();
+            peak_arena_bytes = peak_elements * cfs_core::Arena::ELEMENT_BYTES;
             memory_bytes = sim.memory_bytes();
         }
     }
@@ -687,11 +742,168 @@ fn run_transition_incremental(
     }
 }
 
+/// `variant.options()` with the harness gating window applied.
+fn gated_options(variant: CsimVariant) -> CsimOptions {
+    CsimOptions {
+        quiesce_window: QUIESCE_WINDOW,
+        ..variant.options()
+    }
+}
+
+/// The quiescence trio: three serial `csim-MV` cells on the burst-hold
+/// stimulus ([`hold_patterns`]).
+///
+/// * `csim-MV-hold` — the ungated reference; what the engine costs when
+///   the stimulus goes quiet but every sweep still walks the whole
+///   circuit.
+/// * `csim-MV-quiesce` — the same run under the engine's quiescence gate
+///   (`--quiesce-window 4`); the wall-time gap against `-hold` is the
+///   headline win of the gate, and the harness asserts its detections are
+///   bit-identical to the ungated reference before recording the cell.
+/// * `csim-MV-resume` — the gated run checkpointed at the halfway
+///   boundary, round-tripped through the checkpoint's byte serialization,
+///   and restored into a fresh simulator; the recorded wall time covers
+///   only the resumed second half, while the work counters are the full
+///   run's (the checkpoint restores them), so the drift gate pins
+///   restart determinism pattern for pattern.
+fn run_quiesce_cells(circuit: &Circuit, count: usize, seed: u64, repeats: usize) -> Vec<PerfRun> {
+    let patterns = hold_patterns(circuit, count, seed);
+    let faults = collapse_stuck_at(circuit).representatives;
+    let variant = CsimVariant::Mv;
+    let cell = |suffix: &str,
+                wall: f64,
+                events: u64,
+                detected: usize,
+                peak_elements: usize,
+                memory_bytes: usize,
+                phases: Vec<(&'static str, f64)>| PerfRun {
+        circuit: circuit.name().to_owned(),
+        variant: format!("{}-{suffix}", variant.name()),
+        threads: 1,
+        patterns: patterns.len(),
+        faults: faults.len(),
+        faults_full: 0,
+        wall_seconds: wall,
+        events,
+        events_per_pattern: events as f64 / patterns.len().max(1) as f64,
+        detected,
+        peak_elements,
+        peak_arena_bytes: peak_elements * cfs_core::Arena::ELEMENT_BYTES,
+        memory_bytes,
+        phase_seconds: phases,
+    };
+
+    let mut hold_statuses = Vec::new();
+    let mut runs = Vec::with_capacity(3);
+    for (suffix, options) in [
+        ("hold", variant.options()),
+        ("quiesce", gated_options(variant)),
+    ] {
+        let mut wall = f64::INFINITY;
+        let mut events = 0u64;
+        let mut detected = 0usize;
+        let mut peak_elements = 0usize;
+        let mut memory_bytes = 0usize;
+        for _ in 0..repeats.max(1) {
+            let mut sim = ConcurrentSim::new(circuit, &faults, options.clone());
+            let start = Instant::now();
+            let report = sim.run(&patterns);
+            wall = wall.min(start.elapsed().as_secs_f64());
+            events = sim.events();
+            detected = sim.detected();
+            peak_elements = sim.peak_elements();
+            memory_bytes = sim.memory_bytes();
+            if suffix == "hold" {
+                hold_statuses = report.statuses;
+            } else {
+                assert_eq!(
+                    report.statuses,
+                    hold_statuses,
+                    "{}: the quiescence gate changed detections",
+                    circuit.name()
+                );
+            }
+        }
+        let mut sim = ConcurrentSim::instrumented(circuit, &faults, options);
+        sim.run(&patterns);
+        let phases = phase_seconds(&sim.snapshot());
+        runs.push(cell(
+            suffix,
+            wall,
+            events,
+            detected,
+            peak_elements,
+            memory_bytes,
+            phases,
+        ));
+    }
+
+    let cut = patterns.len() / 2;
+    let mut wall = f64::INFINITY;
+    let mut events = 0u64;
+    let mut detected = 0usize;
+    let mut peak_elements = 0usize;
+    let mut memory_bytes = 0usize;
+    for _ in 0..repeats.max(1) {
+        let mut first = ConcurrentSim::new(circuit, &faults, gated_options(variant));
+        for p in &patterns[..cut] {
+            first.step(p);
+        }
+        let bytes = first.checkpoint().to_bytes();
+        drop(first);
+        let snap = Checkpoint::from_bytes(&bytes).expect("checkpoint round trip");
+        let mut sim = ConcurrentSim::new(circuit, &faults, gated_options(variant));
+        sim.restore(&snap).expect("checkpoint restore");
+        let start = Instant::now();
+        for p in &patterns[cut..] {
+            sim.step(p);
+        }
+        wall = wall.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            sim.statuses(),
+            hold_statuses,
+            "{}: resume diverged from the cold run",
+            circuit.name()
+        );
+        events = sim.events();
+        detected = sim.detected();
+        peak_elements = sim.peak_elements();
+        memory_bytes = sim.memory_bytes();
+    }
+    let phases = {
+        let first = {
+            let mut sim = ConcurrentSim::new(circuit, &faults, gated_options(variant));
+            for p in &patterns[..cut] {
+                sim.step(p);
+            }
+            sim.checkpoint().to_bytes()
+        };
+        let snap = Checkpoint::from_bytes(&first).expect("checkpoint round trip");
+        let mut sim = ConcurrentSim::instrumented(circuit, &faults, gated_options(variant));
+        sim.restore(&snap).expect("checkpoint restore");
+        for p in &patterns[cut..] {
+            sim.step(p);
+        }
+        phase_seconds(&sim.snapshot())
+    };
+    runs.push(cell(
+        "resume",
+        wall,
+        events,
+        detected,
+        peak_elements,
+        memory_bytes,
+        phases,
+    ));
+    runs
+}
+
 /// Runs the whole harness: every circuit × the four stuck-at variants ×
 /// every thread count (each with its `-pruned` twin, and a `-batched`
 /// twin for parallel cells), plus one serial `csim-T` row, its `-pruned`
-/// twin, one batched transition cell, and the two `-incremental` cells
-/// per circuit.
+/// twin, one batched transition cell, the two `-incremental` cells, and
+/// the quiescence trio (`csim-MV-hold` / `-quiesce` / `-resume`) per
+/// circuit.
 pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
     let mut runs = Vec::new();
     for name in &config.circuits {
@@ -747,6 +959,12 @@ pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
         runs.push(run_transition_incremental(
             &circuit,
             &patterns,
+            config.repeats,
+        ));
+        runs.extend(run_quiesce_cells(
+            &circuit,
+            config.patterns,
+            config.seed,
             config.repeats,
         ));
     }
@@ -986,8 +1204,8 @@ mod tests {
         let config = tiny_config();
         let runs = run_perf(&config);
         // (4 stuck-at variants × 1 thread count + csim-T) × {plain, pruned}
-        // plus the two -incremental cells.
-        assert_eq!(runs.len(), 12);
+        // plus the two -incremental cells and the quiescence trio.
+        assert_eq!(runs.len(), 15);
         let json = render_bench_json(&config, &runs, None);
         let parsed = parse_bench_json(&json).expect("own output parses");
         assert_eq!(parsed.len(), runs.len());
@@ -1128,6 +1346,61 @@ mod tests {
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), runs.len(), "duplicate run keys");
+    }
+
+    #[test]
+    fn quiesce_trio_agrees_on_detections_and_full_run_counters() {
+        let runs = run_perf(&tiny_config());
+        let hold = runs.iter().find(|r| r.variant == "csim-MV-hold").unwrap();
+        let quiesce = runs
+            .iter()
+            .find(|r| r.variant == "csim-MV-quiesce")
+            .unwrap();
+        let resume = runs.iter().find(|r| r.variant == "csim-MV-resume").unwrap();
+        // The gate must never change what is detected (the harness also
+        // asserts full status equality while recording the cells)...
+        assert_eq!(quiesce.detected, hold.detected);
+        // ...and a resumed run carries the full run's deterministic
+        // counters, not just the second half's.
+        assert_eq!(resume.detected, quiesce.detected);
+        assert_eq!(resume.events, quiesce.events);
+        assert_eq!(resume.peak_elements, quiesce.peak_elements);
+        for r in [hold, quiesce, resume] {
+            assert_eq!(r.threads, 1, "{}: trio cells are serial", r.key());
+            assert!(r.peak_elements > 0, "{}: peak recorded", r.key());
+        }
+    }
+
+    #[test]
+    fn parallel_cells_record_the_widest_shard_peak() {
+        let config = PerfConfig {
+            threads: vec![1, 2],
+            ..tiny_config()
+        };
+        let runs = run_perf(&config);
+        for r in &runs {
+            assert!(r.peak_elements > 0, "{}: peak never recorded", r.key());
+            assert_eq!(
+                r.peak_arena_bytes,
+                r.peak_elements * cfs_core::Arena::ELEMENT_BYTES,
+                "{}: arena bytes follow the element term",
+                r.key()
+            );
+        }
+        // A shard holds a subset of the fault universe, so its widest
+        // arena never exceeds the serial engine's.
+        for t2 in runs.iter().filter(|r| r.threads == 2) {
+            let base = t2.variant.trim_end_matches("-batched");
+            if let Some(serial) = runs.iter().find(|r| r.variant == base && r.threads == 1) {
+                assert!(
+                    t2.peak_elements <= serial.peak_elements,
+                    "{}: shard peak {} above serial {}",
+                    t2.key(),
+                    t2.peak_elements,
+                    serial.peak_elements
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,14 +9,16 @@
 //! fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]
 //!                    [--simulator csim|proofs|serial|deductive] [--uncollapsed]
 //!                    [--prune] [--threads N] [--shard-plan PLAN]
-//!                    [--batch-windows W] [--steal]
+//!                    [--batch-windows W] [--steal] [--quiesce-window W]
+//!                    [--checkpoint-every K --checkpoint-out DIR] [--resume-from FILE]
 //!                    [--incremental --baseline-report FILE] [--baseline-out FILE]
 //!                    [--detections FILE] [--stats] [--stats-json FILE]
 //!                    [--trace-every N] [--trace-out FILE] [--trace-capacity N]
 //!                    [--trace-window W] [--no-check] [--paranoid]
 //! fsim transition <circuit> [--random N | --patterns FILE]
 //!                    [--prune] [--threads N] [--shard-plan PLAN]
-//!                    [--batch-windows W] [--steal]
+//!                    [--batch-windows W] [--steal] [--quiesce-window W]
+//!                    [--checkpoint-every K --checkpoint-out DIR] [--resume-from FILE]
 //!                    [--incremental --baseline-report FILE] [--baseline-out FILE]
 //!                    [--detections FILE] [--stats] [--stats-json FILE]
 //!                    [--trace-every N] [--trace-out FILE] [--trace-capacity N]
@@ -85,6 +87,26 @@
 //! (oldest events drop beyond it); `--trace-window W` sets the quiescence
 //! window in patterns (0 disables).
 //!
+//! `--quiesce-window W` turns on the engine's quiescence gate: a node
+//! whose good value and fault list have not changed for more than `W`
+//! consecutive patterns is *dormant*, and the per-pattern sweeps
+//! (primary-input refresh, output detection taps, flip-flop collection,
+//! transition prev-pin recording) fence dormant nodes out instead of
+//! re-walking their lists. Any state change re-activates the node on the
+//! spot, so gated detections are bit-identical to ungated for every
+//! window. When both `--quiesce-window` and `--trace-window` are given
+//! they must agree; with only `--quiesce-window W` (W > 0), the trace
+//! recorder's quiescence window follows it.
+//!
+//! `--checkpoint-every K --checkpoint-out DIR` snapshots the complete
+//! engine state (flip-flop values, fault lists, statuses, scheduler
+//! frontier, gating clocks) every `K` patterns into
+//! `DIR/ckpt-NNNNNN.bin`; `--resume-from FILE` restores one such
+//! snapshot and replays only the remaining patterns, producing the same
+//! report as the uninterrupted run. Checkpointing captures one serial
+//! engine, so it needs `--threads 1`, a single `--variant`, and no
+//! `--batch-windows`/`--trace-out`.
+//!
 //! `fsim impact` runs the static change-impact analysis between two
 //! netlists: the structural diff (added/removed/retyped/rewired gates,
 //! output-tap changes, keyed by signal name), the affected-cone fixpoint
@@ -125,8 +147,8 @@ use cfs_check::{
     stuck_weights, transition_weights, EditKind, ImpactAnalysis,
 };
 use cfs_core::{
-    detections_of, BatchOptions, ConcurrentSim, CsimVariant, NullProbe, ParallelSim,
-    ParallelTransitionSim, SchedStats, ShardPlan, TransitionOptions, TransitionSim,
+    detections_of, BatchOptions, Checkpoint, ConcurrentSim, CsimOptions, CsimVariant, NullProbe,
+    ParallelSim, ParallelTransitionSim, SchedStats, ShardPlan, TransitionOptions, TransitionSim,
 };
 use cfs_faults::{
     collapse_stuck_at, dominance_collapse, enumerate_stuck_at, enumerate_transition, FaultFate,
@@ -233,14 +255,16 @@ fn print_usage() {
          \u{20}  fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]\n\
          \u{20}                     [--simulator csim|proofs|serial|deductive] [--uncollapsed]\n\
          \u{20}                     [--prune] [--threads N] [--shard-plan PLAN]\n\
-         \u{20}                     [--batch-windows W] [--steal]\n\
+         \u{20}                     [--batch-windows W] [--steal] [--quiesce-window W]\n\
+         \u{20}                     [--checkpoint-every K --checkpoint-out DIR] [--resume-from FILE]\n\
          \u{20}                     [--incremental --baseline-report FILE] [--baseline-out FILE]\n\
          \u{20}                     [--detections FILE] [--stats] [--stats-json FILE]\n\
          \u{20}                     [--trace-every N] [--trace-out FILE] [--trace-capacity N]\n\
          \u{20}                     [--trace-window W] [--no-check] [--paranoid]\n\
          \u{20}  fsim transition <circuit> [--random N | --patterns FILE]\n\
          \u{20}                     [--prune] [--threads N] [--shard-plan PLAN]\n\
-         \u{20}                     [--batch-windows W] [--steal]\n\
+         \u{20}                     [--batch-windows W] [--steal] [--quiesce-window W]\n\
+         \u{20}                     [--checkpoint-every K --checkpoint-out DIR] [--resume-from FILE]\n\
          \u{20}                     [--incremental --baseline-report FILE] [--baseline-out FILE]\n\
          \u{20}                     [--detections FILE] [--stats] [--stats-json FILE]\n\
          \u{20}                     [--trace-every N] [--trace-out FILE] [--trace-capacity N]\n\
@@ -267,6 +291,11 @@ fn print_usage() {
          \u{20}             work-stealing scheduler (0 = one whole-run window)\n\
          --steal       let idle workers steal runnable shards (overshards 2×;\n\
          \u{20}             needs --batch-windows)\n\
+         --quiesce-window  fence nodes untouched for more than W patterns out of\n\
+         \u{20}             the per-pattern sweeps (0 = off; detections unchanged)\n\
+         --checkpoint-every  snapshot engine state every K patterns (serial runs;\n\
+         \u{20}             needs --checkpoint-out DIR, writes DIR/ckpt-NNNNNN.bin)\n\
+         --resume-from restore a checkpoint file and replay only the rest\n\
          --detections  write the sorted `pattern fault` detection list\n\
          --stats       print the metric table (plus phase times and histograms)\n\
          --stats-json  write one JSON line per pattern plus a summary record\n\
@@ -322,6 +351,10 @@ const SIM_FLAGS: FlagSpec = &[
     ("--shard-plan", true),
     ("--batch-windows", true),
     ("--steal", false),
+    ("--quiesce-window", true),
+    ("--checkpoint-every", true),
+    ("--checkpoint-out", true),
+    ("--resume-from", true),
     ("--detections", true),
     ("--stats", false),
     ("--stats-json", true),
@@ -344,6 +377,10 @@ const TRANSITION_FLAGS: FlagSpec = &[
     ("--shard-plan", true),
     ("--batch-windows", true),
     ("--steal", false),
+    ("--quiesce-window", true),
+    ("--checkpoint-every", true),
+    ("--checkpoint-out", true),
+    ("--resume-from", true),
     ("--detections", true),
     ("--stats", false),
     ("--stats-json", true),
@@ -451,10 +488,35 @@ impl TelemetryOpts {
                 return Err(err("--trace-capacity must be at least 1"));
             }
         }
+        // One quiescence-window source of truth: the engine gate
+        // (`--quiesce-window`) and the trace recorder (`--trace-window`)
+        // must agree. With only the gate flag set (and nonzero), the
+        // recorder follows it; giving both with different values is an
+        // error rather than a silent disagreement.
+        let gate_window: Option<u32> = match flag_value(args, "--quiesce-window") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| err("--quiesce-window needs a number (0 disables)"))?,
+            ),
+            None => None,
+        };
         if let Some(v) = flag_value(args, "--trace-window") {
-            trace_cfg.quiescence_window = v
+            let w: u32 = v
                 .parse()
                 .map_err(|_| err("--trace-window needs a number (0 disables)"))?;
+            if let Some(g) = gate_window {
+                if g != w {
+                    return Err(err(format!(
+                        "--trace-window {w} disagrees with --quiesce-window {g}; \
+                         give one flag, or the same value to both"
+                    )));
+                }
+            }
+            trace_cfg.quiescence_window = w;
+        } else if let Some(g) = gate_window {
+            if g > 0 {
+                trace_cfg.quiescence_window = g;
+            }
         }
         Ok(TelemetryOpts {
             stats: has_flag(args, "--stats"),
@@ -487,6 +549,10 @@ struct ParallelOpts {
     /// `--incremental` runs once the run finishes.
     baseline_out: Option<String>,
     paranoid: bool,
+    /// `--quiesce-window`: the engine's quiescence-gating window in
+    /// patterns (0 = gating off). Applied to every engine the run
+    /// builds; detections are bit-identical for every window.
+    quiesce_window: u32,
 }
 
 impl ParallelOpts {
@@ -527,6 +593,12 @@ impl ParallelOpts {
                 None
             }
         };
+        let quiesce_window = match flag_value(args, "--quiesce-window") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| err("--quiesce-window needs a number (0 disables)"))?,
+            None => 0,
+        };
         Ok(ParallelOpts {
             threads,
             plan,
@@ -534,6 +606,7 @@ impl ParallelOpts {
             detections: flag_value(args, "--detections").map(str::to_owned),
             baseline_out: flag_value(args, "--baseline-out").map(str::to_owned),
             paranoid: has_flag(args, "--paranoid"),
+            quiesce_window,
         })
     }
 
@@ -545,6 +618,107 @@ impl ParallelOpts {
             _ => self.threads,
         }
     }
+}
+
+/// A concurrent-variant option set with the CLI's gating window applied.
+fn stuck_options(variant: CsimVariant, par: &ParallelOpts) -> CsimOptions {
+    CsimOptions {
+        quiesce_window: par.quiesce_window,
+        ..variant.options()
+    }
+}
+
+/// Transition options with the CLI's gating window applied.
+fn transition_options(par: &ParallelOpts) -> TransitionOptions {
+    TransitionOptions {
+        quiesce_window: par.quiesce_window,
+        ..TransitionOptions::default()
+    }
+}
+
+/// Pattern-granular checkpointing options (`--checkpoint-every`,
+/// `--checkpoint-out`, `--resume-from`). A checkpoint captures one
+/// serial engine at a pattern boundary, so the flags refuse the sharded,
+/// batched, and traced dispatches up front.
+struct CheckpointOpts {
+    /// Snapshot cadence in patterns.
+    every: Option<usize>,
+    /// Directory receiving `ckpt-NNNNNN.bin` snapshots.
+    out: Option<String>,
+    /// Checkpoint file to restore before the first pattern.
+    resume: Option<String>,
+}
+
+impl CheckpointOpts {
+    fn parse(
+        args: &[String],
+        par: &ParallelOpts,
+        tel: &TelemetryOpts,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let every = match flag_value(args, "--checkpoint-every") {
+            Some(v) => {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| err("--checkpoint-every needs a number"))?;
+                if n == 0 {
+                    return Err(err("--checkpoint-every must be at least 1"));
+                }
+                Some(n)
+            }
+            None => None,
+        };
+        let out = flag_value(args, "--checkpoint-out").map(str::to_owned);
+        if every.is_some() != out.is_some() {
+            return Err(err(
+                "--checkpoint-every and --checkpoint-out go together (cadence and directory)",
+            ));
+        }
+        let ck = CheckpointOpts {
+            every,
+            out,
+            resume: flag_value(args, "--resume-from").map(str::to_owned),
+        };
+        if ck.active() {
+            if par.threads > 1 {
+                return Err(err(
+                    "checkpointing captures one serial engine; it needs --threads 1",
+                ));
+            }
+            if par.batch.is_some() {
+                return Err(err("checkpointing cannot combine with --batch-windows"));
+            }
+            if tel.trace_out.is_some() {
+                return Err(err("checkpointing cannot combine with --trace-out"));
+            }
+        }
+        Ok(ck)
+    }
+
+    /// Whether the run writes or restores checkpoints at all.
+    fn active(&self) -> bool {
+        self.every.is_some() || self.resume.is_some()
+    }
+}
+
+/// Loads and deserializes a `--resume-from` checkpoint file. Corrupt or
+/// mismatched files are diagnosed inputs (exit 2), not operational
+/// failures.
+fn load_checkpoint_file(path: &str) -> Result<Checkpoint, Box<dyn std::error::Error>> {
+    let bytes = fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    Checkpoint::from_bytes(&bytes)
+        .map_err(|e| diag(format!("error: K001 [checkpoint-invalid] {path}: {e}")))
+}
+
+/// Serializes one checkpoint into `dir/ckpt-NNNNNN.bin` (the number is
+/// the pattern index the snapshot covers), creating `dir` on first use.
+fn write_checkpoint_file(
+    dir: &str,
+    ckpt: &Checkpoint,
+) -> Result<String, Box<dyn std::error::Error>> {
+    fs::create_dir_all(dir).map_err(|e| err(format!("cannot create {dir}: {e}")))?;
+    let path = format!("{dir}/ckpt-{:06}.bin", ckpt.pattern_index());
+    fs::write(&path, ckpt.to_bytes()).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    Ok(path)
 }
 
 /// Writes the deterministic detection list: one `pattern fault` line per
@@ -1490,9 +1664,21 @@ fn write_trace_file(
     Ok(())
 }
 
+/// One `--stats` line for the quiescence gate. Gated runs only: ungated
+/// output stays byte-identical to what it always was.
+fn print_quiesce_line(snap: &MetricsSnapshot) {
+    if snap.quiesce_skips > 0 || snap.quiesce_wakes > 0 {
+        println!(
+            "  quiescence: {} sweep elements skipped, {} wakes",
+            snap.quiesce_skips, snap.quiesce_wakes
+        );
+    }
+}
+
 /// The per-run detail blocks behind `--stats`: phase times and the two
 /// engine histograms (only the concurrent simulators have these).
 fn print_stats_detail(snap: &MetricsSnapshot, metrics: &SimMetrics) {
+    print_quiesce_line(snap);
     print!("{}", render_phase_table(&snap.phases));
     print!(
         "{}",
@@ -1531,6 +1717,7 @@ fn print_stats_detail_sharded<'a>(
         list_hist.merge(&m.list_len_hist);
         queue_hist.merge(&m.queue_depth_hist);
     }
+    print_quiesce_line(snap);
     print!("{}", render_phase_table(&snap.phases));
     print!(
         "{}",
@@ -1578,6 +1765,7 @@ fn run_csim_stuck(
     variant_name: &str,
     tel: &TelemetryOpts,
     par: &ParallelOpts,
+    ck: &CheckpointOpts,
     exp: Expansion<'_, StuckAt>,
     keys: Option<&[u32]>,
 ) -> Result<(), Box<dyn std::error::Error>> {
@@ -1603,6 +1791,12 @@ fn run_csim_stuck(
     if par.baseline_out.is_some() && variants.len() > 1 {
         return Err(err("--baseline-out needs a single --variant"));
     }
+    if ck.active() {
+        if variants.len() > 1 {
+            return Err(err("checkpointing needs a single --variant"));
+        }
+        return run_csim_stuck_checkpointed(c, faults, patterns, variants[0], tel, par, ck, exp);
+    }
     if tel.trace_out.is_some() {
         if variants.len() > 1 {
             return Err(err("--trace-out needs a single --variant"));
@@ -1614,13 +1808,15 @@ fn run_csim_stuck(
     }
     if !tel.enabled() && variants.len() == 1 {
         // Fast path: no probe attached, zero instrumentation cost.
-        let mut sim = ConcurrentSim::new(c, faults, variants[0].options());
+        let mut sim = ConcurrentSim::new(c, faults, stuck_options(variants[0], par));
         if par.paranoid {
             sim.set_paranoid(true);
         }
         let mut report = sim.run(patterns);
         exp.expand(&mut report);
         print_report(&report);
+        // Cold cross-check re-runs stay ungated on purpose: a gating bug
+        // cannot mask itself from the paranoid comparison.
         verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
             ConcurrentSim::new(c, full, variants[0].options())
                 .run(patterns)
@@ -1637,7 +1833,7 @@ fn run_csim_stuck(
     let mut jsonl = open_jsonl(&tel.stats_json)?;
     let mut snaps = Vec::new();
     for &variant in &variants {
-        let mut sim = ConcurrentSim::instrumented(c, faults, variant.options());
+        let mut sim = ConcurrentSim::instrumented(c, faults, stuck_options(variant, par));
         if par.paranoid {
             sim.set_paranoid(true);
         }
@@ -1676,6 +1872,115 @@ fn run_csim_stuck(
     close_jsonl(jsonl, &tel.stats_json)
 }
 
+/// The `--checkpoint-every` / `--resume-from` path: one serial
+/// instrumented engine stepped pattern by pattern, snapshotting the
+/// complete engine state at checkpoint boundaries. A resumed run
+/// restores its snapshot before the first pattern and replays only the
+/// remainder; the report (statuses, detections, peak memory) is
+/// bit-identical to the uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+fn run_csim_stuck_checkpointed(
+    c: &Circuit,
+    faults: &[StuckAt],
+    patterns: &[Vec<Logic>],
+    variant: CsimVariant,
+    tel: &TelemetryOpts,
+    par: &ParallelOpts,
+    ck: &CheckpointOpts,
+    exp: Expansion<'_, StuckAt>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = ConcurrentSim::instrumented(c, faults, stuck_options(variant, par));
+    if par.paranoid {
+        sim.set_paranoid(true);
+    }
+    let start_at = match &ck.resume {
+        Some(path) => {
+            let snap = load_checkpoint_file(path)?;
+            sim.restore(&snap)
+                .map_err(|e| diag(format!("error: K002 [checkpoint-mismatch] {path}: {e}")))?;
+            let done = snap.pattern_index() as usize;
+            if done > patterns.len() {
+                return Err(err(format!(
+                    "{path} already covers {done} pattern(s) but this run replays only {}",
+                    patterns.len()
+                )));
+            }
+            println!("resumed from {path} at pattern {done}");
+            done
+        }
+        None => 0,
+    };
+    let mut ckpt_time = Duration::ZERO;
+    let mut written = 0u32;
+    let start = Instant::now();
+    for (i, p) in patterns.iter().enumerate().skip(start_at) {
+        sim.step(p);
+        if tel.trace_every.is_some_and(|n| (i + 1) % n == 0) {
+            trace_progress(sim.metrics(), i + 1, sim.detected(), faults.len());
+        }
+        if let (Some(every), Some(dir)) = (ck.every, ck.out.as_deref()) {
+            // The final boundary is the finished report; no snapshot there.
+            if (i + 1) % every == 0 && i + 1 < patterns.len() {
+                let t = Instant::now();
+                let snapshot = sim.checkpoint();
+                write_checkpoint_file(dir, &snapshot)?;
+                ckpt_time += t.elapsed();
+                written += 1;
+            }
+        }
+    }
+    let cpu = start.elapsed();
+    let mut report = FaultSimReport {
+        simulator: sim.name().to_owned(),
+        circuit: c.name().to_owned(),
+        patterns: patterns.len(),
+        statuses: sim.statuses(),
+        cpu,
+        memory_bytes: sim.memory_bytes(),
+        events: sim.events(),
+        evaluations: sim.fault_evaluations(),
+    };
+    if let Some(dir) = ck.out.as_deref() {
+        if written > 0 {
+            println!(
+                "wrote {written} checkpoint(s) to {dir} ({:.1} ms)",
+                ckpt_time.as_secs_f64() * 1e3
+            );
+        }
+    }
+    exp.expand(&mut report);
+    print_report(&report);
+    verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
+        ConcurrentSim::new(c, full, variant.options())
+            .run(patterns)
+            .statuses
+    })?;
+    if tel.enabled() {
+        let mut snap = sim.snapshot();
+        snap.cpu_seconds = report.cpu.as_secs_f64();
+        snap.phases.add(Phase::Check, tel.check_time);
+        snap.phases.add(Phase::Checkpoint, ckpt_time);
+        exp.stamp(&mut snap);
+        if tel.stats {
+            print_stats_detail(&snap, sim.metrics());
+            println!();
+            print!("{}", render_summary_table(std::slice::from_ref(&snap)));
+        }
+        let mut jsonl = open_jsonl(&tel.stats_json)?;
+        if let Some(w) = jsonl.as_mut() {
+            emit_jsonl(w, sim.metrics(), &snap)?;
+        }
+        close_jsonl(jsonl, &tel.stats_json)?;
+    }
+    if let Some(path) = &par.detections {
+        write_detections(path, &report.statuses)?;
+    }
+    if let Some(path) = &par.baseline_out {
+        write_baseline(path, "stuck", "uncollapsed", c, patterns, &report.statuses)?;
+    }
+    Ok(())
+}
+
 /// The `--threads N > 1` / `--batch-windows` path: fault-sharded engines
 /// over a shared good machine, optionally under the two-dimensional
 /// scheduler. `--trace-every` milestones merge the per-shard records into
@@ -1700,7 +2005,7 @@ fn run_csim_stuck_sharded(
             let mut sim = ParallelSim::with_probes_sharded(
                 c,
                 faults,
-                variant.options(),
+                stuck_options(variant, par),
                 par.threads,
                 par.shards(),
                 par.plan,
@@ -1739,7 +2044,7 @@ fn run_csim_stuck_sharded(
             let mut sim = ParallelSim::with_probes_sharded(
                 c,
                 faults,
-                variant.options(),
+                stuck_options(variant, par),
                 par.threads,
                 par.shards(),
                 par.plan,
@@ -1797,7 +2102,7 @@ fn run_csim_stuck_traced(
     let mut sim = ParallelSim::with_probes_sharded(
         c,
         faults,
-        variant.options(),
+        stuck_options(variant, par),
         par.threads,
         par.shards(),
         par.plan,
@@ -2004,6 +2309,12 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut tel = TelemetryOpts::parse(args)?;
     tel.check_time = check_time;
     let par = ParallelOpts::parse(args)?;
+    let ck = CheckpointOpts::parse(args, &par, &tel)?;
+    if ck.active() && simulator != "csim" {
+        return Err(err(format!(
+            "checkpointing needs the concurrent simulator, not {simulator:?}"
+        )));
+    }
     let patterns = load_patterns(&c, args, 256)?;
     // The weight-aware plan and --prune share one static analysis pass.
     let needs_analysis = prune || (par.plan == ShardPlan::WeightAware && par.threads > 1);
@@ -2061,6 +2372,7 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 variant_name,
                 &tel,
                 &par,
+                &ck,
                 exp,
                 keys.as_deref(),
             )
@@ -2083,6 +2395,11 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         other if par.paranoid => {
             return Err(err(format!(
                 "--paranoid needs the concurrent simulator, not {other:?}"
+            )))
+        }
+        other if par.quiesce_window > 0 => {
+            return Err(err(format!(
+                "--quiesce-window needs the concurrent simulator, not {other:?}"
             )))
         }
         "proofs" => ProofsSim::new(&c, &faults).run(&patterns),
@@ -2146,6 +2463,7 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut tel = TelemetryOpts::parse(args)?;
     tel.check_time = check_time;
     let par = ParallelOpts::parse(args)?;
+    let ck = CheckpointOpts::parse(args, &par, &tel)?;
     let prune = has_flag(args, "--prune");
     let incremental = has_flag(args, "--incremental");
     if incremental && prune {
@@ -2204,6 +2522,9 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         },
         _ => Expansion::Verbatim,
     };
+    if ck.active() {
+        return run_transition_checkpointed(&c, &faults, &patterns, &tel, &par, &ck, exp);
+    }
     if tel.trace_out.is_some() {
         return run_transition_traced(&c, &faults, &patterns, &tel, &par, exp, keys.as_deref());
     }
@@ -2211,7 +2532,7 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return run_transition_sharded(&c, &faults, &patterns, &tel, &par, exp, keys.as_deref());
     }
     if !tel.enabled() {
-        let mut sim = TransitionSim::new(&c, &faults, TransitionOptions::default());
+        let mut sim = TransitionSim::new(&c, &faults, transition_options(&par));
         if par.paranoid {
             sim.set_paranoid(true);
         }
@@ -2232,7 +2553,7 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
     let mut jsonl = open_jsonl(&tel.stats_json)?;
-    let mut sim = TransitionSim::instrumented(&c, &faults, TransitionOptions::default());
+    let mut sim = TransitionSim::instrumented(&c, &faults, transition_options(&par));
     if par.paranoid {
         sim.set_paranoid(true);
     }
@@ -2266,6 +2587,108 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     close_jsonl(jsonl, &tel.stats_json)
 }
 
+/// The `transition --checkpoint-every` / `--resume-from` path; mirrors
+/// [`run_csim_stuck_checkpointed`].
+fn run_transition_checkpointed(
+    c: &Circuit,
+    faults: &[TransitionFault],
+    patterns: &[Vec<Logic>],
+    tel: &TelemetryOpts,
+    par: &ParallelOpts,
+    ck: &CheckpointOpts,
+    exp: Expansion<'_, TransitionFault>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = TransitionSim::instrumented(c, faults, transition_options(par));
+    if par.paranoid {
+        sim.set_paranoid(true);
+    }
+    let start_at = match &ck.resume {
+        Some(path) => {
+            let snap = load_checkpoint_file(path)?;
+            sim.restore(&snap)
+                .map_err(|e| diag(format!("error: K002 [checkpoint-mismatch] {path}: {e}")))?;
+            let done = snap.pattern_index() as usize;
+            if done > patterns.len() {
+                return Err(err(format!(
+                    "{path} already covers {done} pattern(s) but this run replays only {}",
+                    patterns.len()
+                )));
+            }
+            println!("resumed from {path} at pattern {done}");
+            done
+        }
+        None => 0,
+    };
+    let mut ckpt_time = Duration::ZERO;
+    let mut written = 0u32;
+    let start = Instant::now();
+    for (i, p) in patterns.iter().enumerate().skip(start_at) {
+        sim.step(p);
+        if tel.trace_every.is_some_and(|n| (i + 1) % n == 0) {
+            trace_progress(sim.metrics(), i + 1, sim.detected(), faults.len());
+        }
+        if let (Some(every), Some(dir)) = (ck.every, ck.out.as_deref()) {
+            if (i + 1) % every == 0 && i + 1 < patterns.len() {
+                let t = Instant::now();
+                let snapshot = sim.checkpoint();
+                write_checkpoint_file(dir, &snapshot)?;
+                ckpt_time += t.elapsed();
+                written += 1;
+            }
+        }
+    }
+    let cpu = start.elapsed();
+    let mut report = FaultSimReport {
+        simulator: "csim-T".to_owned(),
+        circuit: c.name().to_owned(),
+        patterns: patterns.len(),
+        statuses: sim.statuses(),
+        cpu,
+        memory_bytes: sim.memory_bytes(),
+        events: sim.events(),
+        evaluations: sim.fault_evaluations(),
+    };
+    if let Some(dir) = ck.out.as_deref() {
+        if written > 0 {
+            println!(
+                "wrote {written} checkpoint(s) to {dir} ({:.1} ms)",
+                ckpt_time.as_secs_f64() * 1e3
+            );
+        }
+    }
+    exp.expand(&mut report);
+    print_report(&report);
+    verify_incremental(c.name(), exp, par.paranoid, &report.statuses, |full| {
+        TransitionSim::new(c, full, TransitionOptions::default())
+            .run(patterns)
+            .statuses
+    })?;
+    if tel.enabled() {
+        let mut snap = sim.snapshot();
+        snap.cpu_seconds = report.cpu.as_secs_f64();
+        snap.phases.add(Phase::Check, tel.check_time);
+        snap.phases.add(Phase::Checkpoint, ckpt_time);
+        exp.stamp(&mut snap);
+        if tel.stats {
+            print_stats_detail(&snap, sim.metrics());
+            println!();
+            print!("{}", render_summary_table(std::slice::from_ref(&snap)));
+        }
+        let mut jsonl = open_jsonl(&tel.stats_json)?;
+        if let Some(w) = jsonl.as_mut() {
+            emit_jsonl(w, sim.metrics(), &snap)?;
+        }
+        close_jsonl(jsonl, &tel.stats_json)?;
+    }
+    if let Some(path) = &par.detections {
+        write_detections(path, &report.statuses)?;
+    }
+    if let Some(path) = &par.baseline_out {
+        write_baseline(path, "transition", "full", c, patterns, &report.statuses)?;
+    }
+    Ok(())
+}
+
 /// The `transition --threads N > 1` path; mirrors
 /// [`run_csim_stuck_sharded`].
 #[allow(clippy::too_many_arguments)]
@@ -2283,7 +2706,7 @@ fn run_transition_sharded(
         let mut sim = ParallelTransitionSim::with_probes_sharded(
             c,
             faults,
-            TransitionOptions::default(),
+            transition_options(par),
             par.threads,
             par.shards(),
             par.plan,
@@ -2324,7 +2747,7 @@ fn run_transition_sharded(
         let mut sim = ParallelTransitionSim::with_probes_sharded(
             c,
             faults,
-            TransitionOptions::default(),
+            transition_options(par),
             par.threads,
             par.shards(),
             par.plan,
@@ -2369,7 +2792,7 @@ fn run_transition_traced(
     let mut sim = ParallelTransitionSim::with_probes_sharded(
         c,
         faults,
-        TransitionOptions::default(),
+        transition_options(par),
         par.threads,
         par.shards(),
         par.plan,

@@ -1,0 +1,640 @@
+//! Pattern-granular checkpointing of the concurrent engine.
+//!
+//! A [`Checkpoint`] captures everything a simulation carries across a
+//! pattern boundary: flip-flop/good-machine values, every node's fault
+//! lists, per-fault detection state, the transition model's previous pin
+//! values, the scheduler's pending set (non-empty at boundaries — the
+//! latch commit schedules the new state's fanout cone for the next
+//! pattern), the quiescence stamps, and the headline counters. Restoring
+//! into a freshly built, identically configured simulator reproduces the
+//! cold run bit-for-bit from that pattern on: the live-element trajectory
+//! after the boundary is a pure function of the restored state, so
+//! detections, events, and evaluation counts all match.
+//!
+//! Serialization is a hand-rolled versioned little-endian binary format
+//! (the workspace builds without crates.io access, so no serde): magic
+//! `CFSK`, a version word, a configuration fingerprint that
+//! [`Checkpoint::restore_into`] validates against the target engine, then
+//! the state arrays.
+
+use cfs_logic::Logic;
+use cfs_telemetry::Probe;
+
+use crate::engine::Engine;
+use crate::list::{Arena, ListBuilder};
+use crate::network::NodeId;
+
+/// Which simulator model produced a checkpoint. Stuck-at and transition
+/// engines share state layout but interpret it differently (`prev_pin` is
+/// live only for transitions), so cross-model restores are rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Stuck-at simulation ([`crate::ConcurrentSim`]).
+    Stuck,
+    /// Transition-fault simulation ([`crate::TransitionSim`]).
+    Transition,
+}
+
+impl Model {
+    fn code(self) -> u8 {
+        match self {
+            Model::Stuck => 0,
+            Model::Transition => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, CheckpointError> {
+        match code {
+            0 => Ok(Model::Stuck),
+            1 => Ok(Model::Transition),
+            c => Err(CheckpointError::corrupt(format!("unknown model code {c}"))),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Model::Stuck => "stuck",
+            Model::Transition => "transition",
+        }
+    }
+}
+
+/// Why a checkpoint could not be restored or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint's configuration fingerprint does not match the
+    /// target simulator (different circuit, fault universe, or options).
+    Mismatch {
+        /// Which configuration field disagreed.
+        field: &'static str,
+        /// The target simulator's value.
+        expected: String,
+        /// The checkpoint's value.
+        found: String,
+    },
+    /// The byte stream is not a valid checkpoint (bad magic, unsupported
+    /// version, truncation, or out-of-range values).
+    Corrupt(String),
+}
+
+impl CheckpointError {
+    fn corrupt(msg: impl Into<String>) -> Self {
+        CheckpointError::Corrupt(msg.into())
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint does not match this simulator: {field} is \
+                 {found} in the checkpoint but {expected} here"
+            ),
+            CheckpointError::Corrupt(msg) => write!(f, "invalid checkpoint data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Sentinel for "not yet detected" in the serialized detection table.
+const UNDETECTED: u32 = u32::MAX;
+
+const MAGIC: [u8; 4] = *b"CFSK";
+const VERSION: u32 = 1;
+
+/// A complete pattern-boundary snapshot of one engine's simulation state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    model: Model,
+    num_nodes: u32,
+    num_faults: u32,
+    split: bool,
+    drop_detected: bool,
+    quiesce_window: u32,
+
+    pattern_index: u32,
+    events: u64,
+    good_evals: u64,
+    fault_evals: u64,
+    quiesce_skips: u64,
+    quiesce_wakes: u64,
+    peak_elements: u64,
+
+    /// Good-machine value per node, as [`Logic::code`] bytes.
+    good: Vec<u8>,
+    /// Previous settled faulty pin value per fault (transition model).
+    prev_pin: Vec<u8>,
+    /// First-detection pattern per fault; [`UNDETECTED`] when still live.
+    detected_at: Vec<u32>,
+    /// Visible fault list per node: ascending `(fault, value-code)` pairs.
+    vis: Vec<Vec<(u32, u8)>>,
+    /// Invisible fault list per node (split mode only).
+    inv: Vec<Vec<(u32, u8)>>,
+    /// Quiescence stamp: pattern of each node's last state change.
+    last_touch: Vec<u32>,
+    /// Quiescence stamp: pattern of each node's last evaluation.
+    last_eval: Vec<u32>,
+    /// Scheduler worklist: node ids pending for the next pattern.
+    pending: Vec<NodeId>,
+}
+
+impl Checkpoint {
+    /// The pattern index the checkpoint was captured at (patterns already
+    /// simulated; the resumed run starts with this pattern).
+    pub fn pattern_index(&self) -> u32 {
+        self.pattern_index
+    }
+
+    /// Which simulator model captured this checkpoint.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    /// Captures `engine`'s full state. Must be called at a pattern
+    /// boundary (between steps).
+    pub(crate) fn capture<P: Probe>(engine: &Engine<P>, model: Model) -> Checkpoint {
+        let n = engine.net.num_nodes();
+        let dump = |head: u32| -> Vec<(u32, u8)> {
+            engine
+                .arena
+                .iter_list(head)
+                .map(|(fid, v)| (fid, v.code()))
+                .collect()
+        };
+        Checkpoint {
+            model,
+            num_nodes: n as u32,
+            num_faults: engine.net.descriptors.len() as u32,
+            split: engine.split,
+            drop_detected: engine.drop_detected,
+            quiesce_window: engine.quiesce_window,
+            pattern_index: engine.pattern_index,
+            events: engine.events,
+            good_evals: engine.good_evals,
+            fault_evals: engine.fault_evals,
+            quiesce_skips: engine.quiesce_skips,
+            quiesce_wakes: engine.quiesce_wakes,
+            peak_elements: engine.arena.peak() as u64,
+            good: engine.good.iter().map(|v| v.code()).collect(),
+            prev_pin: engine.prev_pin.iter().map(|v| v.code()).collect(),
+            detected_at: engine
+                .net
+                .descriptors
+                .iter()
+                .map(|d| d.detected_at.unwrap_or(UNDETECTED))
+                .collect(),
+            vis: (0..n).map(|ni| dump(engine.vis_head[ni])).collect(),
+            inv: (0..n).map(|ni| dump(engine.inv_head[ni])).collect(),
+            last_touch: engine.last_touch.clone(),
+            last_eval: engine.last_eval.clone(),
+            pending: engine.sched.pending_nodes(),
+        }
+    }
+
+    /// Overwrites `engine`'s state with the checkpoint's, after validating
+    /// that the engine was built with the same configuration.
+    pub(crate) fn restore_into<P: Probe>(
+        &self,
+        engine: &mut Engine<P>,
+        model: Model,
+    ) -> Result<(), CheckpointError> {
+        let check = |field: &'static str, expected: String, found: String| {
+            if expected == found {
+                Ok(())
+            } else {
+                Err(CheckpointError::Mismatch {
+                    field,
+                    expected,
+                    found,
+                })
+            }
+        };
+        check("model", model.name().into(), self.model.name().into())?;
+        check(
+            "node count",
+            engine.net.num_nodes().to_string(),
+            self.num_nodes.to_string(),
+        )?;
+        check(
+            "fault count",
+            engine.net.descriptors.len().to_string(),
+            self.num_faults.to_string(),
+        )?;
+        check(
+            "visible/invisible split",
+            engine.split.to_string(),
+            self.split.to_string(),
+        )?;
+        check(
+            "fault dropping",
+            engine.drop_detected.to_string(),
+            self.drop_detected.to_string(),
+        )?;
+        check(
+            "quiescence window",
+            engine.quiesce_window.to_string(),
+            self.quiesce_window.to_string(),
+        )?;
+        let n = self.num_nodes as usize;
+        for (ni, list) in self.inv.iter().enumerate() {
+            if !self.split && !list.is_empty() {
+                return Err(CheckpointError::corrupt(format!(
+                    "node {ni} has an invisible list in combined mode"
+                )));
+            }
+        }
+        // Rebuild every fault list in a fresh arena (contiguous runs, one
+        // open builder at a time), then carry the captured peak forward so
+        // the resumed run reports the same high-water mark as the cold one.
+        let mut arena = Arena::new();
+        for ni in 0..n {
+            let mut b = ListBuilder::new();
+            for &(fid, code) in &self.vis[ni] {
+                b.push(&mut arena, fid, decode_logic(code)?);
+            }
+            engine.vis_head[ni] = b.finish(&mut arena);
+            let mut b = ListBuilder::new();
+            for &(fid, code) in &self.inv[ni] {
+                b.push(&mut arena, fid, decode_logic(code)?);
+            }
+            engine.inv_head[ni] = b.finish(&mut arena);
+        }
+        arena.raise_peak(self.peak_elements as usize);
+        engine.arena = arena;
+        for (g, &code) in engine.good.iter_mut().zip(self.good.iter()) {
+            *g = decode_logic(code)?;
+        }
+        for (p, &code) in engine.prev_pin.iter_mut().zip(self.prev_pin.iter()) {
+            *p = decode_logic(code)?;
+        }
+        for (d, &at) in engine
+            .net
+            .descriptors
+            .iter_mut()
+            .zip(self.detected_at.iter())
+        {
+            d.detected_at = if at == UNDETECTED { None } else { Some(at) };
+        }
+        engine.pattern_index = self.pattern_index;
+        engine.events = self.events;
+        engine.good_evals = self.good_evals;
+        engine.fault_evals = self.fault_evals;
+        engine.quiesce_skips = self.quiesce_skips;
+        engine.quiesce_wakes = self.quiesce_wakes;
+        engine.last_touch.copy_from_slice(&self.last_touch);
+        engine.last_eval.copy_from_slice(&self.last_eval);
+        engine.transition_hold = false;
+        engine.sched.clear();
+        for &node in &self.pending {
+            if node as usize >= n {
+                return Err(CheckpointError::corrupt(format!(
+                    "pending node {node} out of range (< {n})"
+                )));
+            }
+            engine.sched.schedule(node);
+        }
+        Ok(())
+    }
+
+    /// Serializes the checkpoint into the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, VERSION);
+        out.push(self.model.code());
+        out.push(u8::from(self.split));
+        out.push(u8::from(self.drop_detected));
+        out.push(0); // reserved
+        put_u32(&mut out, self.num_nodes);
+        put_u32(&mut out, self.num_faults);
+        put_u32(&mut out, self.quiesce_window);
+        put_u32(&mut out, self.pattern_index);
+        put_u64(&mut out, self.events);
+        put_u64(&mut out, self.good_evals);
+        put_u64(&mut out, self.fault_evals);
+        put_u64(&mut out, self.quiesce_skips);
+        put_u64(&mut out, self.quiesce_wakes);
+        put_u64(&mut out, self.peak_elements);
+        out.extend_from_slice(&self.good);
+        out.extend_from_slice(&self.prev_pin);
+        for &at in &self.detected_at {
+            put_u32(&mut out, at);
+        }
+        for &t in &self.last_touch {
+            put_u32(&mut out, t);
+        }
+        for &t in &self.last_eval {
+            put_u32(&mut out, t);
+        }
+        for ni in 0..self.num_nodes as usize {
+            for list in [&self.vis[ni], &self.inv[ni]] {
+                put_u32(&mut out, list.len() as u32);
+                for &(fid, code) in list {
+                    put_u32(&mut out, fid);
+                    out.push(code);
+                }
+            }
+        }
+        put_u32(&mut out, self.pending.len() as u32);
+        for &node in &self.pending {
+            put_u32(&mut out, node);
+        }
+        out
+    }
+
+    /// Decodes a checkpoint, validating structure and value ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Corrupt`] on bad magic, an unsupported
+    /// version, truncation, trailing bytes, or out-of-range values.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(CheckpointError::corrupt("bad magic (not a checkpoint)"));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::corrupt(format!(
+                "unsupported version {version} (expected {VERSION})"
+            )));
+        }
+        let model = Model::from_code(r.u8()?)?;
+        let split = r.u8()? != 0;
+        let drop_detected = r.u8()? != 0;
+        let _reserved = r.u8()?;
+        let num_nodes = r.u32()?;
+        let num_faults = r.u32()?;
+        let quiesce_window = r.u32()?;
+        let pattern_index = r.u32()?;
+        let events = r.u64()?;
+        let good_evals = r.u64()?;
+        let fault_evals = r.u64()?;
+        let quiesce_skips = r.u64()?;
+        let quiesce_wakes = r.u64()?;
+        let peak_elements = r.u64()?;
+        let n = num_nodes as usize;
+        let nf = num_faults as usize;
+        let good = r.logic_bytes(n)?;
+        let prev_pin = r.logic_bytes(nf)?;
+        let detected_at = r.u32_vec(nf)?;
+        let last_touch = r.u32_vec(n)?;
+        let last_eval = r.u32_vec(n)?;
+        let mut vis = Vec::with_capacity(n);
+        let mut inv = Vec::with_capacity(n);
+        for _ in 0..n {
+            vis.push(r.list(nf)?);
+            inv.push(r.list(nf)?);
+        }
+        let pending_len = r.u32()? as usize;
+        let mut pending = Vec::with_capacity(pending_len.min(n));
+        for _ in 0..pending_len {
+            let node = r.u32()?;
+            if node as usize >= n {
+                return Err(CheckpointError::corrupt(format!(
+                    "pending node {node} out of range (< {n})"
+                )));
+            }
+            pending.push(node);
+        }
+        if r.pos != bytes.len() {
+            return Err(CheckpointError::corrupt(format!(
+                "{} trailing bytes",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(Checkpoint {
+            model,
+            num_nodes,
+            num_faults,
+            split,
+            drop_detected,
+            quiesce_window,
+            pattern_index,
+            events,
+            good_evals,
+            fault_evals,
+            quiesce_skips,
+            quiesce_wakes,
+            peak_elements,
+            good,
+            prev_pin,
+            detected_at,
+            vis,
+            inv,
+            last_touch,
+            last_eval,
+            pending,
+        })
+    }
+}
+
+fn decode_logic(code: u8) -> Result<Logic, CheckpointError> {
+    if code > 2 {
+        return Err(CheckpointError::corrupt(format!(
+            "logic code {code} out of range"
+        )));
+    }
+    Ok(Logic::from_code(code))
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + len > self.bytes.len() {
+            return Err(CheckpointError::corrupt("truncated checkpoint"));
+        }
+        let s = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn logic_bytes(&mut self, len: usize) -> Result<Vec<u8>, CheckpointError> {
+        let s = self.take(len)?;
+        if let Some(&bad) = s.iter().find(|&&c| c > 2) {
+            return Err(CheckpointError::corrupt(format!(
+                "logic code {bad} out of range"
+            )));
+        }
+        Ok(s.to_vec())
+    }
+
+    fn u32_vec(&mut self, len: usize) -> Result<Vec<u32>, CheckpointError> {
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    /// One fault list: ascending unique fault ids below `num_faults`,
+    /// valid logic codes.
+    fn list(&mut self, num_faults: usize) -> Result<Vec<(u32, u8)>, CheckpointError> {
+        let len = self.u32()? as usize;
+        if len > num_faults {
+            return Err(CheckpointError::corrupt(format!(
+                "list of {len} elements exceeds the fault universe ({num_faults})"
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut prev: Option<u32> = None;
+        for _ in 0..len {
+            let fid = self.u32()?;
+            let code = self.u8()?;
+            if fid as usize >= num_faults {
+                return Err(CheckpointError::corrupt(format!(
+                    "fault id {fid} out of range (< {num_faults})"
+                )));
+            }
+            if let Some(p) = prev {
+                if fid <= p {
+                    return Err(CheckpointError::corrupt(format!(
+                        "fault list not ascending: {fid} after {p}"
+                    )));
+                }
+            }
+            if code > 2 {
+                return Err(CheckpointError::corrupt(format!(
+                    "logic code {code} out of range"
+                )));
+            }
+            prev = Some(fid);
+            out.push((fid, code));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stuck::{ConcurrentSim, CsimVariant};
+    use cfs_faults::collapse_stuck_at;
+    use cfs_logic::Logic;
+    use cfs_netlist::data::s27;
+
+    fn patterns(n: usize) -> Vec<Vec<Logic>> {
+        // Deterministic 4-bit stimulus for s27.
+        (0..n)
+            .map(|i| {
+                (0..4)
+                    .map(|b| Logic::from_bool((i * 7 + 3) >> b & 1 == 1))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_checkpoint() {
+        let c = s27();
+        let faults = collapse_stuck_at(&c).representatives;
+        let mut sim = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+        for p in patterns(8) {
+            sim.step(&p);
+        }
+        let ck = sim.checkpoint();
+        let bytes = ck.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ck, back);
+        assert_eq!(back.pattern_index(), 8);
+    }
+
+    #[test]
+    fn resume_matches_cold_run() {
+        let c = s27();
+        let faults = collapse_stuck_at(&c).representatives;
+        let pats = patterns(24);
+        let mut cold = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+        let cold_report = cold.run(&pats);
+
+        let mut first = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+        for p in &pats[..10] {
+            first.step(p);
+        }
+        let ck = Checkpoint::from_bytes(&first.checkpoint().to_bytes()).unwrap();
+        drop(first);
+
+        let mut resumed = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+        resumed.restore(&ck).unwrap();
+        for p in &pats[10..] {
+            resumed.step(p);
+        }
+        assert_eq!(resumed.statuses(), cold_report.statuses);
+        assert_eq!(resumed.events(), cold.events());
+        assert_eq!(resumed.fault_evaluations(), cold.fault_evaluations());
+        assert_eq!(resumed.peak_elements(), cold.peak_elements());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_configuration() {
+        let c = s27();
+        let faults = collapse_stuck_at(&c).representatives;
+        let mut sim = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+        for p in patterns(4) {
+            sim.step(&p);
+        }
+        let ck = sim.checkpoint();
+        // csim-M compiles the same macro network but differs in the split
+        // flag (the node-count check passes, the split check fires).
+        let mut other = ConcurrentSim::new(&c, &faults, CsimVariant::M.options());
+        let err = other.restore(&ck).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::Mismatch {
+                field: "visible/invisible split",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let c = s27();
+        let faults = collapse_stuck_at(&c).representatives;
+        let mut sim = ConcurrentSim::new(&c, &faults, CsimVariant::Mv.options());
+        for p in patterns(4) {
+            sim.step(&p);
+        }
+        let bytes = sim.checkpoint().to_bytes();
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(Checkpoint::from_bytes(&bad_magic).is_err());
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert!(Checkpoint::from_bytes(&bad_version).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Checkpoint::from_bytes(&trailing).is_err());
+    }
+}

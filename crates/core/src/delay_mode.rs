@@ -89,10 +89,30 @@ pub struct DelayCsim<'c> {
     pending_eval: Vec<GateId>,
     pending_flag: Vec<bool>,
 
+    /// Global commit sequence: bumped once per committed state change.
+    seq: u64,
+    /// Sequence number of each node's last committed change (good value or
+    /// list content). Starts above the `*_seen` stamps so the first strobe
+    /// and clock always scan.
+    commit_seq: Vec<u64>,
+    /// Per primary output: `commit_seq` value at its last strobe scan. A
+    /// strobe skips POs whose committed state is unchanged since then —
+    /// any detectable element there was already marked at that scan.
+    strobe_seen: Vec<u64>,
+    /// Per flip-flop (indexed like `circuit.dffs()`): the largest
+    /// `commit_seq` of its D driver and its own node at the last clock
+    /// walk. The clock skips flip-flops where both are unchanged: the
+    /// latched state is a pure function of the two committed lists, so the
+    /// recomputation would reproduce the projection and post no event.
+    clock_seen: Vec<u64>,
+
     /// List events processed.
     pub events: u64,
     /// Faulty machine evaluations.
     pub evaluations: u64,
+    /// Strobe and clock walks skipped because the committed state of the
+    /// scanned nodes had not changed since the previous walk.
+    pub quiesce_skips: u64,
 }
 
 impl<'c> DelayCsim<'c> {
@@ -145,8 +165,13 @@ impl<'c> DelayCsim<'c> {
             now: 0,
             pending_eval: Vec::new(),
             pending_flag: vec![false; n],
+            seq: 1,
+            commit_seq: vec![1; n],
+            strobe_seen: vec![0; circuit.num_outputs()],
+            clock_seen: vec![0; circuit.dffs().len()],
             events: 0,
             evaluations: 0,
+            quiesce_skips: 0,
         };
         for &g in circuit.topo_order() {
             sim.mark_pending(g);
@@ -178,6 +203,13 @@ impl<'c> DelayCsim<'c> {
             }
             cur += 1;
         }
+    }
+
+    /// Records a committed state change at `id` (drives the strobe/clock
+    /// change gating).
+    fn stamp_commit(&mut self, id: GateId) {
+        self.seq += 1;
+        self.commit_seq[id.index()] = self.seq;
     }
 
     fn mark_pending(&mut self, g: GateId) {
@@ -220,6 +252,7 @@ impl<'c> DelayCsim<'c> {
             // projection tracks the committed state directly.
             self.proj_lists[pi.index()] = elements;
             if changed || list_changed {
+                self.stamp_commit(pi);
                 self.mark_fanouts_pending(pi);
             }
         }
@@ -353,6 +386,7 @@ impl<'c> DelayCsim<'c> {
                 self.good[id.index()] = ev.good;
                 let list_changed = self.commit_list(id, &ev.elements);
                 if good_changed || list_changed {
+                    self.stamp_commit(id);
                     self.mark_fanouts_pending(id);
                 }
             }
@@ -374,7 +408,15 @@ impl<'c> DelayCsim<'c> {
     /// value opposite-binary to the good value) are marked and returned.
     pub fn strobe(&mut self) -> Vec<usize> {
         let mut found = Vec::new();
-        for &po in self.circuit.outputs() {
+        for (oi, &po) in self.circuit.outputs().iter().enumerate() {
+            // Unchanged committed state since the last strobe: every
+            // detectable element here was already marked then — skip the
+            // walk. Always sound, so the gate needs no opt-in.
+            if self.commit_seq[po.index()] <= self.strobe_seen[oi] {
+                self.quiesce_skips += 1;
+                continue;
+            }
+            self.strobe_seen[oi] = self.commit_seq[po.index()];
             let good = self.good[po.index()];
             let mut cur = self.heads[po.index()];
             loop {
@@ -401,6 +443,17 @@ impl<'c> DelayCsim<'c> {
         for qi in 0..self.circuit.dffs().len() {
             let q = self.circuit.dffs()[qi];
             let d = self.circuit.gate(q).fanin()[0];
+            // The latched state is a pure function of the D driver's and
+            // the flip-flop's own committed state; only this walk writes
+            // the flip-flop's projection. With both unchanged since the
+            // last walk, the recomputation would reproduce the projection
+            // exactly and post no event — skip it. Always sound.
+            let newest = self.commit_seq[d.index()].max(self.commit_seq[q.index()]);
+            if newest <= self.clock_seen[qi] {
+                self.quiesce_skips += 1;
+                continue;
+            }
+            self.clock_seen[qi] = newest;
             let good_d = self.good[d.index()];
             // Merge driver list with the DFF's own (for old locals).
             let mut elements: Vec<(u32, Logic)> = Vec::new();
@@ -621,6 +674,29 @@ mod tests {
                 "fault {i}: {}",
                 faults[i].describe(&c)
             );
+        }
+    }
+
+    #[test]
+    fn quiescent_cycles_skip_strobe_and_clock_walks() {
+        // Constant stimulus: after the first cycle settles, nothing commits
+        // again, so every later strobe/clock walk is skipped — with
+        // detections identical to the zero-delay reference.
+        let c = cfs_netlist::data::s27();
+        let faults = cfs_faults::enumerate_stuck_at(&c);
+        let patterns: Vec<Vec<Logic>> =
+            std::iter::repeat_n(cfs_logic::parse_pattern("1010").unwrap(), 10).collect();
+        let delays = DelayModel::unit(&c);
+        let mut dsim = DelayCsim::new(&c, delays, &faults);
+        let dreport = dsim.run_clocked(&patterns, 1000);
+        assert!(
+            dsim.quiesce_skips > 0,
+            "held stimulus must engage the change gate"
+        );
+        let mut zsim = crate::ConcurrentSim::new(&c, &faults, crate::CsimVariant::Base.options());
+        let zreport = zsim.run(&patterns);
+        for (i, (a, b)) in dreport.statuses.iter().zip(&zreport.statuses).enumerate() {
+            assert_eq!(a.is_detected(), b.is_detected(), "fault {i}");
         }
     }
 

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 mod batch;
+mod checkpoint;
 mod delay_mode;
 mod engine;
 mod list;
@@ -51,6 +52,7 @@ mod transition;
 pub use batch::{
     seeded_schedule, window_bounds, BatchOptions, SchedStats, StealEvent, TaskSpan, DEFAULT_WINDOW,
 };
+pub use checkpoint::{Checkpoint, CheckpointError, Model as CheckpointModel};
 pub use delay_mode::DelayCsim;
 pub use list::{Arena, FaultElement, ListBuilder, ListIter, NIL, TERMINAL_FAULT};
 pub use parallel::{

@@ -211,6 +211,18 @@ impl Arena {
         self.peak
     }
 
+    /// Raises the high-water mark to at least `floor` (monotone max).
+    ///
+    /// Checkpoint restore rebuilds the lists in a fresh arena, so without
+    /// this the resumed run would under-report peaks reached before the
+    /// checkpoint; the live-element trajectory after restore is identical
+    /// to the cold run's, so carrying the captured peak forward makes the
+    /// resumed figure equal the cold one.
+    #[inline]
+    pub fn raise_peak(&mut self, floor: usize) {
+        self.peak = self.peak.max(floor);
+    }
+
     /// Number of retired (dead) slots awaiting compaction. Together with
     /// [`live`](Self::live) this tells the engine when a compaction pass
     /// pays for itself.

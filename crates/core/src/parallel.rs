@@ -933,6 +933,18 @@ impl<P: Probe + Send> ParallelSim<P> {
             .map(|s| s.sim.memory_bytes())
             .sum::<usize>()
     }
+
+    /// Peak live fault elements: the maximum over shards. Shards run the
+    /// same pattern sequence concurrently, so the run's high-water mark is
+    /// the largest single arena, not the sum of per-shard peaks (which
+    /// need not coincide in time).
+    pub fn peak_elements(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.sim.peak_elements())
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 struct TransitionShard<P: Probe> {
@@ -1388,6 +1400,16 @@ impl<P: Probe + Send> ParallelTransitionSim<P> {
             .iter()
             .map(|s| s.sim.memory_bytes())
             .sum::<usize>()
+    }
+
+    /// Peak live fault elements: the maximum over shards (see
+    /// [`ParallelSim::peak_elements`]).
+    pub fn peak_elements(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.sim.peak_elements())
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -128,6 +128,28 @@ impl Scheduler {
         debug_assert_eq!(self.pending[level], 0, "one drain empties the level");
     }
 
+    /// Every pending node, in *(level, id)* order, without clearing any
+    /// bits (checkpoint capture).
+    pub fn pending_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut take = word;
+            while take != 0 {
+                let bit = take.trailing_zeros() as usize;
+                take &= take - 1;
+                out.push(self.level_nodes[w * 64 + bit]);
+            }
+        }
+        out
+    }
+
+    /// Clears every pending bit (checkpoint restore resets the worklist
+    /// before re-scheduling the captured pending set).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.pending.iter_mut().for_each(|p| *p = 0);
+    }
+
     /// Bytes of scheduler storage (memory model).
     pub fn memory_bytes(&self) -> usize {
         (self.level_offsets.len() + self.slot_of.len() + self.level_of.len() + self.pending.len())
@@ -192,6 +214,25 @@ mod tests {
         assert_eq!(buf.len(), 100);
         assert!(buf.iter().all(|&n| n >= 100));
         assert!(buf.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pending_nodes_snapshot_and_clear() {
+        let mut s = Scheduler::new(&[1, 0, 1, 2, 0, 1, 2]);
+        for n in [6, 0, 4, 2] {
+            s.schedule(n);
+        }
+        // (level, id) order: level 0 holds {4}, level 1 {0, 2}, level 2 {6}.
+        assert_eq!(s.pending_nodes(), vec![4, 0, 2, 6]);
+        // Snapshot does not consume: pending counts are intact.
+        assert_eq!(s.pending(0), 1);
+        assert_eq!(s.pending(1), 2);
+        s.clear();
+        assert!(s.pending_nodes().is_empty());
+        assert_eq!(s.pending(0) + s.pending(1) + s.pending(2), 0);
+        // Still schedulable after a clear.
+        s.schedule(3);
+        assert_eq!(s.pending_nodes(), vec![3]);
     }
 
     #[test]

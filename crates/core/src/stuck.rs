@@ -26,6 +26,11 @@ pub struct CsimOptions {
     /// Purge elements of detected faults during list traversal
     /// (event-driven fault dropping).
     pub drop_detected: bool,
+    /// Quiescence gating window in patterns (`0` disables): nodes whose
+    /// state is unchanged for strictly more than this many consecutive
+    /// patterns are fenced out of the per-pattern sweeps. Detections are
+    /// bit-identical to the ungated engine for every window.
+    pub quiesce_window: u32,
 }
 
 impl Default for CsimOptions {
@@ -74,6 +79,7 @@ impl CsimVariant {
             use_macros: matches!(self, CsimVariant::M | CsimVariant::Mv),
             macro_max_inputs: DEFAULT_MACRO_MAX_INPUTS,
             drop_detected: true,
+            quiesce_window: 0,
         }
     }
 }
@@ -175,7 +181,9 @@ impl<P: Probe> ConcurrentSim<P> {
         } else {
             build_gate_network(circuit, &specs)
         };
-        let engine = Engine::with_probe(net, options.split_invisible, options.drop_detected, probe);
+        let mut engine =
+            Engine::with_probe(net, options.split_invisible, options.drop_detected, probe);
+        engine.quiesce_window = options.quiesce_window;
         ConcurrentSim {
             engine,
             options,
@@ -328,5 +336,41 @@ impl<P: Probe> ConcurrentSim<P> {
     /// Faulty-machine evaluations performed so far.
     pub fn fault_evaluations(&self) -> u64 {
         self.engine.fault_evals
+    }
+
+    /// Work units skipped by quiescence gating so far.
+    pub fn quiesce_skips(&self) -> u64 {
+        self.engine.quiesce_skips
+    }
+
+    /// Dormant-node wakes observed so far.
+    pub fn quiesce_wakes(&self) -> u64 {
+        self.engine.quiesce_wakes
+    }
+
+    /// The configured options (for checkpoint validation).
+    pub fn options(&self) -> &CsimOptions {
+        &self.options
+    }
+
+    /// Captures a pattern-boundary checkpoint of the full simulation state.
+    ///
+    /// Call only between [`step`](Self::step)/[`run`](Self::run) calls.
+    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint::capture(&self.engine, crate::checkpoint::Model::Stuck)
+    }
+
+    /// Restores a checkpoint captured from an identically configured
+    /// simulator (same circuit, fault universe, and options).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::checkpoint::CheckpointError`] when the checkpoint
+    /// does not match this simulator's configuration.
+    pub fn restore(
+        &mut self,
+        ck: &crate::checkpoint::Checkpoint,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        ck.restore_into(&mut self.engine, crate::checkpoint::Model::Stuck)
     }
 }

@@ -31,6 +31,9 @@ pub struct TransitionOptions {
     pub split_invisible: bool,
     /// Purge elements of detected faults during traversal.
     pub drop_detected: bool,
+    /// Quiescence gating window in patterns (`0` disables); see
+    /// [`crate::CsimOptions::quiesce_window`].
+    pub quiesce_window: u32,
 }
 
 impl Default for TransitionOptions {
@@ -38,6 +41,7 @@ impl Default for TransitionOptions {
         TransitionOptions {
             split_invisible: true,
             drop_detected: true,
+            quiesce_window: 0,
         }
     }
 }
@@ -121,7 +125,9 @@ impl<P: Probe> TransitionSim<P> {
     ) -> Self {
         let specs: Vec<FaultSpec> = faults.iter().map(|&f| FaultSpec::Transition(f)).collect();
         let net = build_gate_network(circuit, &specs);
-        let engine = Engine::with_probe(net, options.split_invisible, options.drop_detected, probe);
+        let mut engine =
+            Engine::with_probe(net, options.split_invisible, options.drop_detected, probe);
+        engine.quiesce_window = options.quiesce_window;
         TransitionSim {
             engine,
             circuit_name: circuit.name().to_owned(),
@@ -247,5 +253,36 @@ impl<P: Probe> TransitionSim<P> {
     /// Paper-comparable memory model in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.engine.memory_bytes()
+    }
+
+    /// Work units skipped by quiescence gating so far.
+    pub fn quiesce_skips(&self) -> u64 {
+        self.engine.quiesce_skips
+    }
+
+    /// Dormant-node wakes observed so far.
+    pub fn quiesce_wakes(&self) -> u64 {
+        self.engine.quiesce_wakes
+    }
+
+    /// Captures a pattern-boundary checkpoint of the full simulation state.
+    ///
+    /// Call only between [`step`](Self::step)/[`run`](Self::run) calls.
+    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint::capture(&self.engine, crate::checkpoint::Model::Transition)
+    }
+
+    /// Restores a checkpoint captured from an identically configured
+    /// simulator (same circuit, fault universe, and options).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::checkpoint::CheckpointError`] when the checkpoint
+    /// does not match this simulator's configuration.
+    pub fn restore(
+        &mut self,
+        ck: &crate::checkpoint::Checkpoint,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        ck.restore_into(&mut self.engine, crate::checkpoint::Model::Transition)
     }
 }

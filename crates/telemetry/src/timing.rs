@@ -24,11 +24,13 @@ pub enum Phase {
     TransitionSecond,
     /// Pre-simulation static analysis (`cfs-check` preflight).
     Check,
+    /// Capturing or serializing a pattern-boundary checkpoint.
+    Checkpoint,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::Propagate,
         Phase::Detect,
         Phase::LatchCollect,
@@ -36,6 +38,7 @@ impl Phase {
         Phase::TransitionFirst,
         Phase::TransitionSecond,
         Phase::Check,
+        Phase::Checkpoint,
     ];
 
     /// Number of phases.
@@ -51,6 +54,7 @@ impl Phase {
             Phase::TransitionFirst => 4,
             Phase::TransitionSecond => 5,
             Phase::Check => 6,
+            Phase::Checkpoint => 7,
         }
     }
 
@@ -64,6 +68,7 @@ impl Phase {
             Phase::TransitionFirst => "transition_first",
             Phase::TransitionSecond => "transition_second",
             Phase::Check => "check",
+            Phase::Checkpoint => "checkpoint",
         }
     }
 }

@@ -31,6 +31,7 @@ fn cross_validate(circuit: &Circuit, patterns: &[Vec<Logic>]) {
             TransitionOptions {
                 split_invisible: split,
                 drop_detected: true,
+                quiesce_window: 0,
             },
         );
         let report = sim.run(patterns);
