@@ -24,6 +24,14 @@
 //! counts (after expansion), making them comparable to an `--uncollapsed`
 //! run.
 //!
+//! Each circuit additionally carries a serial `csim-MV-learned` and a
+//! `csim-T-learned` cell: the `-pruned` twin under implication learning
+//! (`--prune --learn`), simulating the conflict-pruned universe from
+//! `prune_stuck_at_learned` / `prune_transition_learned`. Because
+//! `faults` / `faults_full` are part of the drift gate, these cells pin
+//! the learned-universe sizes — a regression in pruning power shows up
+//! as workload drift in `--bench-check`.
+//!
 //! Every *parallel* cell (`threads > 1`) additionally has a `-batched`
 //! twin that runs the two-dimensional (pattern-window × fault-shard)
 //! work-stealing schedule — window 32, stealing on, 2× oversharded, the
@@ -59,7 +67,8 @@ use std::time::Instant;
 
 use cfs_check::{
     analyze_circuit, classify_stuck_at, classify_transition, diff_netlists, impact_analysis,
-    prune_stuck_at, prune_transition,
+    prune_stuck_at, prune_stuck_at_learned, prune_transition, prune_transition_learned,
+    ImplicationGraph, LearnOptions,
 };
 use cfs_core::{
     BatchOptions, Checkpoint, ConcurrentSim, CsimOptions, CsimVariant, NullProbe, ParallelSim,
@@ -463,7 +472,8 @@ fn expanded_detected<F: Copy>(pruned: &PrunedUniverse<F>, statuses: &[FaultStatu
 
 /// The `-pruned` twin of [`run_stuck`]: simulates only the statically
 /// surviving exact-class representatives and reports full-universe
-/// detection counts.
+/// detection counts. The same machinery measures the `-learned` cells —
+/// only the universe (conflict-pruned) and the variant suffix differ.
 fn run_stuck_pruned(
     circuit: &Circuit,
     pruned: &PrunedUniverse<StuckAt>,
@@ -471,6 +481,7 @@ fn run_stuck_pruned(
     threads: usize,
     patterns: &[Vec<Logic>],
     repeats: usize,
+    suffix: &str,
 ) -> PerfRun {
     let faults = &pruned.sim;
     let mut wall = f64::INFINITY;
@@ -525,7 +536,7 @@ fn run_stuck_pruned(
     };
     PerfRun {
         circuit: circuit.name().to_owned(),
-        variant: format!("{}-pruned", variant.name()),
+        variant: format!("{}{suffix}", variant.name()),
         threads,
         patterns: patterns.len(),
         faults: faults.len(),
@@ -580,12 +591,14 @@ fn run_transition(circuit: &Circuit, patterns: &[Vec<Logic>], repeats: usize) ->
     }
 }
 
-/// The `-pruned` twin of [`run_transition`].
+/// The `-pruned` twin of [`run_transition`]; also measures the
+/// `-learned` cell via `suffix`.
 fn run_transition_pruned(
     circuit: &Circuit,
     pruned: &PrunedUniverse<TransitionFault>,
     patterns: &[Vec<Logic>],
     repeats: usize,
+    suffix: &str,
 ) -> PerfRun {
     let faults = &pruned.sim;
     let mut wall = f64::INFINITY;
@@ -608,7 +621,7 @@ fn run_transition_pruned(
     let phases = phase_seconds(&sim.snapshot());
     PerfRun {
         circuit: circuit.name().to_owned(),
-        variant: "csim-T-pruned".to_owned(),
+        variant: format!("csim-T{suffix}"),
         threads: 1,
         patterns: patterns.len(),
         faults: faults.len(),
@@ -901,8 +914,9 @@ fn run_quiesce_cells(circuit: &Circuit, count: usize, seed: u64, repeats: usize)
 /// Runs the whole harness: every circuit × the four stuck-at variants ×
 /// every thread count (each with its `-pruned` twin, and a `-batched`
 /// twin for parallel cells), plus one serial `csim-T` row, its `-pruned`
-/// twin, one batched transition cell, the two `-incremental` cells, and
-/// the quiescence trio (`csim-MV-hold` / `-quiesce` / `-resume`) per
+/// twin, one batched transition cell, the serial `csim-MV-learned` /
+/// `csim-T-learned` cells, the two `-incremental` cells, and the
+/// quiescence trio (`csim-MV-hold` / `-quiesce` / `-resume`) per
 /// circuit.
 pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
     let mut runs = Vec::new();
@@ -912,6 +926,9 @@ pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
         let analysis = analyze_circuit(&circuit);
         let stuck = prune_stuck_at(&circuit, &analysis);
         let transition = prune_transition(&circuit, &analysis);
+        let graph = ImplicationGraph::build(&circuit, &analysis, LearnOptions::default());
+        let learned_stuck = prune_stuck_at_learned(&circuit, &analysis, &graph).universe;
+        let learned_transition = prune_transition_learned(&circuit, &analysis, &graph);
         for variant in CsimVariant::ALL {
             for &threads in &config.threads {
                 runs.push(run_stuck(
@@ -928,6 +945,7 @@ pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
                     threads,
                     &patterns,
                     config.repeats,
+                    "-pruned",
                 ));
                 if threads > 1 {
                     runs.push(run_stuck_batched(
@@ -940,12 +958,29 @@ pub fn run_perf(config: &PerfConfig) -> Vec<PerfRun> {
                 }
             }
         }
+        runs.push(run_stuck_pruned(
+            &circuit,
+            &learned_stuck,
+            CsimVariant::Mv,
+            1,
+            &patterns,
+            config.repeats,
+            "-learned",
+        ));
         runs.push(run_transition(&circuit, &patterns, config.repeats));
         runs.push(run_transition_pruned(
             &circuit,
             &transition,
             &patterns,
             config.repeats,
+            "-pruned",
+        ));
+        runs.push(run_transition_pruned(
+            &circuit,
+            &learned_transition,
+            &patterns,
+            config.repeats,
+            "-learned",
         ));
         if let Some(&threads) = config.threads.iter().filter(|&&t| t > 1).max() {
             runs.push(run_transition_batched(
@@ -1204,8 +1239,9 @@ mod tests {
         let config = tiny_config();
         let runs = run_perf(&config);
         // (4 stuck-at variants × 1 thread count + csim-T) × {plain, pruned}
-        // plus the two -incremental cells and the quiescence trio.
-        assert_eq!(runs.len(), 15);
+        // plus the two -learned cells, the two -incremental cells, and the
+        // quiescence trio.
+        assert_eq!(runs.len(), 17);
         let json = render_bench_json(&config, &runs, None);
         let parsed = parse_bench_json(&json).expect("own output parses");
         assert_eq!(parsed.len(), runs.len());
@@ -1254,6 +1290,50 @@ mod tests {
         let plain = runs.iter().find(|r| r.variant == "csim-MV").unwrap();
         let twin = runs.iter().find(|r| r.variant == "csim-MV-pruned").unwrap();
         assert!(twin.detected >= plain.detected);
+    }
+
+    #[test]
+    fn learned_twins_never_exceed_their_pruned_twin() {
+        let runs = run_perf(&tiny_config());
+        for (learned, pruned) in [
+            ("csim-MV-learned", "csim-MV-pruned"),
+            ("csim-T-learned", "csim-T-pruned"),
+        ] {
+            let learned = runs
+                .iter()
+                .find(|r| r.variant == learned && r.threads == 1)
+                .unwrap_or_else(|| panic!("{learned}: cell missing"));
+            let pruned = runs
+                .iter()
+                .find(|r| r.variant == pruned && r.threads == 1)
+                .unwrap();
+            assert!(
+                learned.faults_full > 0,
+                "{}: twin records the full universe",
+                learned.key()
+            );
+            assert_eq!(
+                learned.faults_full,
+                pruned.faults_full,
+                "{}: same full universe as the pruned twin",
+                learned.key()
+            );
+            assert!(
+                learned.faults <= pruned.faults,
+                "{}: learning never grows the universe ({} vs {})",
+                learned.key(),
+                learned.faults,
+                pruned.faults
+            );
+            // Both report full-universe detections, so learning must not
+            // change the detection count.
+            assert_eq!(
+                learned.detected,
+                pruned.detected,
+                "{}: conflict pruning changed detections",
+                learned.key()
+            );
+        }
     }
 
     #[test]

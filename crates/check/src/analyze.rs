@@ -45,11 +45,11 @@ use cfs_netlist::{BenchProvenance, Circuit, GateId, GateKind};
 use crate::diag::{Report, RuleCode, Span};
 
 /// Value-set bit for logic 0.
-const B0: u8 = 1;
+pub(crate) const B0: u8 = 1;
 /// Value-set bit for logic 1.
-const B1: u8 = 2;
+pub(crate) const B1: u8 = 2;
 /// Value-set bit for `X`.
-const BX: u8 = 4;
+pub(crate) const BX: u8 = 4;
 /// The full value set.
 const BALL: u8 = B0 | B1 | BX;
 
@@ -61,7 +61,7 @@ const CONE_BOUNDARY_CAP: usize = 8;
 const CONE_GATES_CAP: usize = 48;
 const CONE_COMBOS_CAP: usize = 4096;
 
-const fn mask_of(v: Logic) -> u8 {
+pub(crate) const fn mask_of(v: Logic) -> u8 {
     match v {
         Logic::Zero => B0,
         Logic::One => B1,
@@ -160,7 +160,7 @@ pub fn analyze_circuit_with(circuit: &Circuit, options: AnalysisOptions) -> Circ
 /// Evaluates a gate function over per-input value sets, assuming the inputs
 /// vary independently. Exact under that assumption, a sound
 /// over-approximation otherwise (correlations only shrink the true set).
-fn eval_mask(f: GateFn, ins: &[u8]) -> u8 {
+pub(crate) fn eval_mask(f: GateFn, ins: &[u8]) -> u8 {
     match f {
         GateFn::Buf => ins[0],
         GateFn::Not => not_mask(ins[0]),
@@ -527,7 +527,7 @@ fn pin_sensitization_cost(
 
 /// The net whose good value a fault site sees: the node's own output for a
 /// stem fault, the driving node's output for a branch (pin) fault.
-fn site_net(circuit: &Circuit, site: FaultSite) -> GateId {
+pub(crate) fn site_net(circuit: &Circuit, site: FaultSite) -> GateId {
     match site {
         FaultSite::Output { gate } => gate,
         FaultSite::Pin { gate, pin } => circuit.gate(gate).fanin()[pin as usize],
@@ -609,6 +609,8 @@ pub fn prune_stuck_at(circuit: &Circuit, analysis: &CircuitAnalysis) -> PrunedUn
                     match reason {
                         PruneReason::Unexcitable => stats.unexcitable += 1,
                         PruneReason::Unobservable => stats.unobservable += 1,
+                        // Conflicts are only found by the learn pass.
+                        PruneReason::ConflictUntestable => unreachable!(),
                     }
                     FaultFate::Pruned(reason)
                 }
@@ -648,6 +650,8 @@ pub fn prune_transition(
                 match reason {
                     PruneReason::Unexcitable => stats.unexcitable += 1,
                     PruneReason::Unobservable => stats.unobservable += 1,
+                    // Conflicts are only found by the learn pass.
+                    PruneReason::ConflictUntestable => unreachable!(),
                 }
                 FaultFate::Pruned(reason)
             }
@@ -730,7 +734,7 @@ fn site_observation_cost(circuit: &Circuit, analysis: &CircuitAnalysis, site: Fa
     }
 }
 
-fn span_of(prov: Option<&BenchProvenance>, gate: GateId) -> Option<Span> {
+pub(crate) fn span_of(prov: Option<&BenchProvenance>, gate: GateId) -> Option<Span> {
     prov.and_then(|p| p.line_of(gate))
         .map(|line| Span { line, col: 1 })
 }
@@ -789,7 +793,7 @@ pub fn analysis_findings(
     for (f, fate) in stuck.full.iter().zip(&stuck.fate) {
         if let FaultFate::Pruned(reason) = fate {
             report.add(
-                RuleCode::StaticallyUntestableFault,
+                untestable_code(*reason),
                 span_of(prov, f.site.gate()),
                 format!("{} is {}", f.describe(circuit), reason.name()),
             );
@@ -798,11 +802,20 @@ pub fn analysis_findings(
     for (f, fate) in transition.full.iter().zip(&transition.fate) {
         if let FaultFate::Pruned(reason) = fate {
             report.add(
-                RuleCode::StaticallyUntestableFault,
+                untestable_code(*reason),
                 span_of(prov, f.gate),
                 format!("{} is {}", f.describe(circuit), reason.name()),
             );
         }
+    }
+}
+
+/// Conflict-untestable faults get their own code (`F004`) so `--learn`
+/// findings are distinguishable from plain constant-propagation prunes.
+pub(crate) fn untestable_code(reason: PruneReason) -> RuleCode {
+    match reason {
+        PruneReason::ConflictUntestable => RuleCode::ConflictUntestableFault,
+        _ => RuleCode::StaticallyUntestableFault,
     }
 }
 

@@ -58,6 +58,17 @@ pub enum RuleCode {
     /// fault-universe observability analysis disagree about a node. This
     /// is an internal checker inconsistency, never a user error.
     ObservabilityMismatch,
+    /// `F004` — a fault whose mandatory assignments (excitation plus
+    /// non-controlling side values at every post-dominator toward an
+    /// observable output) are contradictory under the implication closure
+    /// within the unrolled time-frame window (info; `--prune --learn`
+    /// drops it).
+    ConflictUntestableFault,
+    /// `F005` — an implication-implied dominance: whenever one fault is
+    /// excited and propagated, the implication closure forces another
+    /// fault's detection conditions too. Analyze-only — dominance is not
+    /// behaviour-preserving, so it never prunes (info).
+    ImplicationDominance,
     /// `I001` — a netlist edit whose affected cone reaches no primary
     /// output in either circuit: the diff is non-empty but every fault's
     /// fate transfers verbatim from the baseline (info).
@@ -74,7 +85,7 @@ pub enum RuleCode {
 
 impl RuleCode {
     /// Every rule code, in display order.
-    pub const ALL: [RuleCode; 19] = [
+    pub const ALL: [RuleCode; 21] = [
         RuleCode::SyntaxError,
         RuleCode::UnknownGate,
         RuleCode::BadArity,
@@ -89,6 +100,8 @@ impl RuleCode {
         RuleCode::UncollapsibleFault,
         RuleCode::StaticallyUntestableFault,
         RuleCode::ObservabilityMismatch,
+        RuleCode::ConflictUntestableFault,
+        RuleCode::ImplicationDominance,
         RuleCode::IllegalMacroRegion,
         RuleCode::NonExactCoverShardPlan,
         RuleCode::ConeDisconnectedEdit,
@@ -113,6 +126,8 @@ impl RuleCode {
             RuleCode::UncollapsibleFault => "F001",
             RuleCode::StaticallyUntestableFault => "F002",
             RuleCode::ObservabilityMismatch => "F003",
+            RuleCode::ConflictUntestableFault => "F004",
+            RuleCode::ImplicationDominance => "F005",
             RuleCode::IllegalMacroRegion => "M001",
             RuleCode::NonExactCoverShardPlan => "P001",
             RuleCode::ConeDisconnectedEdit => "I001",
@@ -138,6 +153,8 @@ impl RuleCode {
             RuleCode::UncollapsibleFault => "uncollapsible-fault",
             RuleCode::StaticallyUntestableFault => "statically-untestable-fault",
             RuleCode::ObservabilityMismatch => "observability-mismatch",
+            RuleCode::ConflictUntestableFault => "conflict-untestable-fault",
+            RuleCode::ImplicationDominance => "implication-dominance",
             RuleCode::IllegalMacroRegion => "illegal-macro-region",
             RuleCode::NonExactCoverShardPlan => "non-exact-cover-shard-plan",
             RuleCode::ConeDisconnectedEdit => "cone-disconnected-edit",
@@ -154,8 +171,55 @@ impl RuleCode {
             RuleCode::ConstantNet
             | RuleCode::NeverBinaryNet
             | RuleCode::StaticallyUntestableFault
+            | RuleCode::ConflictUntestableFault
+            | RuleCode::ImplicationDominance
             | RuleCode::ConeDisconnectedEdit => Severity::Info,
             _ => Severity::Error,
+        }
+    }
+
+    /// A one-line description of the rule, shown by `fsim rules`. This is
+    /// the single registry the CLI and docs draw from, so descriptions
+    /// cannot drift from the implementation.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleCode::SyntaxError => "a line of the .bench source cannot be parsed",
+            RuleCode::UnknownGate => "unknown gate function name",
+            RuleCode::BadArity => "gate with an illegal input count",
+            RuleCode::CombinationalCycle => "combinational feedback path with no flip-flop",
+            RuleCode::UndrivenNet => "referenced net with no driver",
+            RuleCode::DanglingFanout => "driven net that nothing consumes",
+            RuleCode::UnreachableGate => "gate from which no primary output is reachable",
+            RuleCode::MultiplyDrivenNet => "net with two drivers",
+            RuleCode::MissingIo => "netlist lacks primary inputs or outputs",
+            RuleCode::ConstantNet => "net proven constant by ternary constant propagation",
+            RuleCode::NeverBinaryNet => "net that can never settle to one of its binary values",
+            RuleCode::UncollapsibleFault => "collapsed fault list is structurally unsound",
+            RuleCode::StaticallyUntestableFault => {
+                "fault proven undetectable by constant propagation or observability"
+            }
+            RuleCode::ObservabilityMismatch => {
+                "internal disagreement between the two observability passes"
+            }
+            RuleCode::ConflictUntestableFault => {
+                "fault whose mandatory assignments conflict under the implication closure"
+            }
+            RuleCode::ImplicationDominance => {
+                "implication-implied fault dominance (analyze-only, never prunes)"
+            }
+            RuleCode::IllegalMacroRegion => "macro cell that is not a legal fanout-free region",
+            RuleCode::NonExactCoverShardPlan => {
+                "shard plan that is not an exact balanced cover of the fault list"
+            }
+            RuleCode::ConeDisconnectedEdit => {
+                "netlist edit whose affected cone reaches no primary output"
+            }
+            RuleCode::BaselineInvalidated => {
+                "netlist edit that invalidates the baseline detection report"
+            }
+            RuleCode::FateTransferMismatch => {
+                "internal soundness violation of incremental fate transfer"
+            }
         }
     }
 }
@@ -387,6 +451,19 @@ mod tests {
         assert_eq!(RuleCode::ConeDisconnectedEdit.code(), "I001");
         assert_eq!(RuleCode::BaselineInvalidated.code(), "I002");
         assert_eq!(RuleCode::FateTransferMismatch.code(), "I003");
+        assert_eq!(RuleCode::ConflictUntestableFault.code(), "F004");
+        assert_eq!(RuleCode::ImplicationDominance.code(), "F005");
+        assert_eq!(
+            RuleCode::ConflictUntestableFault.default_severity(),
+            Severity::Info
+        );
+        assert_eq!(
+            RuleCode::ImplicationDominance.default_severity(),
+            Severity::Info
+        );
+        for code in RuleCode::ALL {
+            assert!(!code.description().is_empty());
+        }
         assert_eq!(
             RuleCode::ConeDisconnectedEdit.default_severity(),
             Severity::Info

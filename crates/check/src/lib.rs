@@ -44,6 +44,8 @@
 //! | F001 | uncollapsible-fault | error |
 //! | F002 | statically-untestable-fault | info |
 //! | F003 | observability-mismatch | error |
+//! | F004 | conflict-untestable-fault | info |
+//! | F005 | implication-dominance | info |
 //! | M001 | illegal-macro-region | error |
 //! | P001 | non-exact-cover-shard-plan | error |
 //! | I001 | cone-disconnected-edit | info |
@@ -56,6 +58,7 @@
 mod analyze;
 mod diag;
 mod impact;
+mod learn;
 mod model_check;
 mod netlist_check;
 
@@ -64,6 +67,11 @@ pub use analyze::{
     prune_transition, stuck_weights, transition_weights, AnalysisOptions, CircuitAnalysis,
 };
 pub use diag::{Diagnostic, Report, RuleCode, Severity, Span};
+pub use learn::{
+    learn_findings, prune_stuck_at_learned, prune_transition_learned, DominancePair, Implication,
+    ImplicationGraph, LearnOptions, LearnedStuck, DEFAULT_LEARN_FRAMES,
+};
+
 pub use impact::{
     classify_stuck_at, classify_transition, cross_check_fates, diff_netlists, impact_analysis,
     impact_findings, EditKind, ImpactAnalysis, NetlistDiff, NetlistEdit,

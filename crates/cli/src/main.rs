@@ -143,8 +143,10 @@ use cfs_atpg::{generate_tests, random_patterns, AtpgOptions};
 use cfs_baselines::{DeductiveSim, ProofsSim, SerialSim};
 use cfs_check::{
     analysis_findings, analyze_circuit, classify_stuck_at, classify_transition, cross_check_fates,
-    diff_netlists, impact_analysis, impact_findings, prune_stuck_at, prune_transition,
-    stuck_weights, transition_weights, EditKind, ImpactAnalysis,
+    diff_netlists, impact_analysis, impact_findings, learn_findings, prune_stuck_at,
+    prune_stuck_at_learned, prune_transition, prune_transition_learned, stuck_weights,
+    transition_weights, EditKind, ImpactAnalysis, ImplicationGraph, LearnOptions, RuleCode,
+    Severity,
 };
 use cfs_core::{
     detections_of, BatchOptions, Checkpoint, ConcurrentSim, CsimOptions, CsimVariant, NullProbe,
@@ -226,6 +228,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     match command.as_str() {
         "check" => cmd_check(rest),
         "analyze" => cmd_analyze(rest),
+        "rules" => cmd_rules(rest),
+        "implications" => cmd_implications(rest),
         "impact" => cmd_impact(rest),
         "stats" => cmd_stats(rest),
         "mutate" => cmd_mutate(rest),
@@ -249,7 +253,9 @@ fn print_usage() {
          \n\
          usage:\n\
          \u{20}  fsim check <circuit> [--format text|json]\n\
-         \u{20}  fsim analyze <circuit> [--format text|json]\n\
+         \u{20}  fsim analyze <circuit> [--format text|json] [--learn] [--learn-frames K]\n\
+         \u{20}  fsim rules [CODE] [--format text|json]\n\
+         \u{20}  fsim implications <circuit> <net> [--format text|json] [--learn-frames K]\n\
          \u{20}  fsim impact <base> <edited> [--format text|json]\n\
          \u{20}  fsim stats <circuit>\n\
          \u{20}  fsim sim <circuit> [--random N | --patterns FILE] [--variant base|v|m|mv|all]\n\
@@ -281,6 +287,9 @@ fn print_usage() {
          flags take either `--flag value` or `--flag=value`\n\
          --prune       simulate only faults the static analyses cannot prove\n\
          \u{20}             undetectable; reports expand to the full universe\n\
+         --learn       add implication learning to --prune (and to analyze):\n\
+         \u{20}             conflict-untestable faults (F004) are pruned too\n\
+         --learn-frames  unrolled time frames for --learn (default 2)\n\
          --baseline-out    record the run's full-universe fates for later\n\
          \u{20}             --incremental runs (needs --uncollapsed on sim)\n\
          --incremental     re-simulate only the faults a netlist edit could\n\
@@ -335,7 +344,13 @@ type FlagSpec = &'static [(&'static str, bool)];
 
 const STATS_FLAGS: FlagSpec = &[];
 const CHECK_FLAGS: FlagSpec = &[("--format", true)];
-const ANALYZE_FLAGS: FlagSpec = &[("--format", true)];
+const ANALYZE_FLAGS: FlagSpec = &[
+    ("--format", true),
+    ("--learn", false),
+    ("--learn-frames", true),
+];
+const RULES_FLAGS: FlagSpec = &[("--format", true)];
+const IMPLICATIONS_FLAGS: FlagSpec = &[("--format", true), ("--learn-frames", true)];
 const SIM_FLAGS: FlagSpec = &[
     ("--patterns", true),
     ("--random", true),
@@ -344,6 +359,8 @@ const SIM_FLAGS: FlagSpec = &[
     ("--simulator", true),
     ("--uncollapsed", false),
     ("--prune", false),
+    ("--learn", false),
+    ("--learn-frames", true),
     ("--incremental", false),
     ("--baseline-report", true),
     ("--baseline-out", true),
@@ -370,6 +387,8 @@ const TRANSITION_FLAGS: FlagSpec = &[
     ("--random", true),
     ("--seed", true),
     ("--prune", false),
+    ("--learn", false),
+    ("--learn-frames", true),
     ("--incremental", false),
     ("--baseline-report", true),
     ("--baseline-out", true),
@@ -421,6 +440,17 @@ fn validate_flags(
     args: &[String],
     spec: FlagSpec,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags_n(cmd, args, spec, 1)
+}
+
+/// [`validate_flags`] generalized to commands taking up to `max_pos`
+/// leading positionals (`fsim implications <circuit> <net>`).
+fn validate_flags_n(
+    cmd: &str,
+    args: &[String],
+    spec: FlagSpec,
+    max_pos: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -442,14 +472,41 @@ fn validate_flags(
             } else if inline_value.is_some() {
                 return Err(err(format!("{cmd}: flag {name} does not take a value")));
             }
-        } else if i != 0 {
+        } else if i >= max_pos {
             return Err(err(format!(
-                "{cmd}: unexpected argument {a:?} (the circuit must come first)"
+                "{cmd}: unexpected argument {a:?} (positionals must come first)"
             )));
         }
         i += 1;
     }
     Ok(())
+}
+
+/// Parses `--learn` / `--learn-frames` into [`LearnOptions`]. `None` when
+/// learning is off; `--learn-frames` without `--learn` is rejected.
+fn learn_opts(
+    cmd: &str,
+    args: &[String],
+) -> Result<Option<LearnOptions>, Box<dyn std::error::Error>> {
+    let frames = flag_value(args, "--learn-frames");
+    if !has_flag(args, "--learn") {
+        if frames.is_some() {
+            return Err(err(format!("{cmd}: --learn-frames needs --learn")));
+        }
+        return Ok(None);
+    }
+    let frames = match frames {
+        None => cfs_check::DEFAULT_LEARN_FRAMES,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return Err(err(format!(
+                    "{cmd}: --learn-frames wants a positive frame count, got {s:?}"
+                )))
+            }
+        },
+    };
+    Ok(Some(LearnOptions { frames }))
 }
 
 /// Telemetry-related options shared by `sim` and `transition`.
@@ -779,6 +836,7 @@ impl<F: Copy> Expansion<'_, F> {
                 snap.faults_sim = u.stats.sim as u64;
                 snap.pruned_unexcitable = u.stats.unexcitable as u64;
                 snap.pruned_unobservable = u.stats.unobservable as u64;
+                snap.pruned_conflict = u.stats.conflict as u64;
             }
             Expansion::Incremental { universe, .. } => {
                 snap.faults_full = universe.stats.full as u64;
@@ -1147,9 +1205,19 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let (c, p) = parse_bench_with_provenance(circuit_name_of(spec), &text)?;
         (c, Some(p))
     };
+    let learn = learn_opts("analyze", args)?;
     let analysis = analyze_circuit(&c);
-    let stuck = prune_stuck_at(&c, &analysis);
-    let transition = prune_transition(&c, &analysis);
+    let mut stuck = prune_stuck_at(&c, &analysis);
+    let mut transition = prune_transition(&c, &analysis);
+    // With --learn the reported universes are the learned ones: the F004
+    // fates flow into the findings below exactly as the base prunes do.
+    let learned = learn.map(|options| {
+        let graph = ImplicationGraph::build(&c, &analysis, options);
+        let ls = prune_stuck_at_learned(&c, &analysis, &graph);
+        stuck = ls.universe.clone();
+        transition = prune_transition_learned(&c, &analysis, &graph);
+        (graph, ls)
+    });
     let dom = dominance_collapse(&c);
     let mut report = cfs_check::Report::new(c.name());
     analysis_findings(
@@ -1160,6 +1228,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         prov.as_ref(),
         &mut report,
     );
+    if let Some((_, ls)) = &learned {
+        learn_findings(&c, ls, prov.as_ref(), &mut report);
+    }
     let constant_nets = (0..c.num_nodes())
         .filter(|&i| analysis.constant_of(GateId::from_index(i)).is_some())
         .count();
@@ -1175,13 +1246,22 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             c.num_nodes()
         ));
         out.push_str(&format!(
-            "\"stuck\":{{\"full\":{},\"classes\":{},\"sim\":{},\"unexcitable\":{},\"unobservable\":{},\"ratio\":{:.4}}},",
-            s.full, s.classes, s.sim, s.unexcitable, s.unobservable, s.ratio()
+            "\"stuck\":{{\"full\":{},\"classes\":{},\"sim\":{},\"unexcitable\":{},\"unobservable\":{},\"conflict\":{},\"ratio\":{:.4}}},",
+            s.full, s.classes, s.sim, s.unexcitable, s.unobservable, s.conflict, s.ratio()
         ));
         out.push_str(&format!(
-            "\"transition\":{{\"full\":{},\"sim\":{},\"unexcitable\":{},\"unobservable\":{},\"ratio\":{:.4}}},",
-            t.full, t.sim, t.unexcitable, t.unobservable, t.ratio()
+            "\"transition\":{{\"full\":{},\"sim\":{},\"unexcitable\":{},\"unobservable\":{},\"conflict\":{},\"ratio\":{:.4}}},",
+            t.full, t.sim, t.unexcitable, t.unobservable, t.conflict, t.ratio()
         ));
+        if let Some((graph, ls)) = &learned {
+            out.push_str(&format!(
+                "\"learn\":{{\"frames\":{},\"direct_edges\":{},\"learned_edges\":{},\"dominance_pairs\":{}}},",
+                graph.frames(),
+                graph.num_direct(),
+                graph.num_learned(),
+                ls.dominance.len()
+            ));
+        }
         out.push_str(&format!(
             "\"dominance\":{{\"classes\":{},\"edges\":{},\"kept\":{},\"dropped\":{}}},",
             dom.base.num_classes(),
@@ -1198,15 +1278,33 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "value reachability: {constant_nets} constant net(s), {observable}/{} nodes observable",
         c.num_nodes()
     );
+    if let Some((graph, ls)) = &learned {
+        println!(
+            "implication learning: {} direct + {} learned edge(s) over {} frame(s), \
+             {} dominance pair(s)",
+            graph.num_direct(),
+            graph.num_learned(),
+            graph.frames(),
+            ls.dominance.len()
+        );
+    }
+    let conflict_part = |n: usize| {
+        if learned.is_some() {
+            format!(", {n} conflict-untestable")
+        } else {
+            String::new()
+        }
+    };
     println!(
         "stuck-at: {} faults, {} exact classes, {} simulated \
-         (pruned {}: {} unexcitable, {} unobservable; {:.1}% of full)",
+         (pruned {}: {} unexcitable, {} unobservable{}; {:.1}% of full)",
         s.full,
         s.classes,
         s.sim,
         s.pruned(),
         s.unexcitable,
         s.unobservable,
+        conflict_part(s.conflict),
         100.0 * s.ratio()
     );
     println!(
@@ -1217,17 +1315,213 @@ fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "transition: {} faults, {} simulated \
-         (pruned {}: {} unexcitable, {} unobservable; {:.1}% of full)",
+         (pruned {}: {} unexcitable, {} unobservable{}; {:.1}% of full)",
         t.full,
         t.sim,
         t.pruned(),
         t.unexcitable,
         t.unobservable,
+        conflict_part(t.conflict),
         100.0 * t.ratio()
     );
     if !report.diagnostics.is_empty() {
         println!();
         print!("{}", report.render_text());
+    }
+    Ok(())
+}
+
+/// Diagnostic codes minted by the CLI layer itself (not `cfs-check`
+/// rules): operational inputs the driver rejects with exit 2.
+const CLI_CODES: &[(&str, &str, Severity, &str)] = &[
+    (
+        "K001",
+        "checkpoint-invalid",
+        Severity::Error,
+        "a --resume-from file is corrupt or truncated",
+    ),
+    (
+        "K002",
+        "checkpoint-mismatch",
+        Severity::Error,
+        "a checkpoint does not match the circuit, fault set, or patterns of this run",
+    ),
+    (
+        "E001",
+        "unknown-fault-id",
+        Severity::Error,
+        "an explain fault id is outside the selected fault universe",
+    ),
+    (
+        "E002",
+        "unknown-rule-code",
+        Severity::Error,
+        "a rules query names a diagnostic code that does not exist",
+    ),
+    (
+        "E003",
+        "unknown-net",
+        Severity::Error,
+        "an implications query names a net the circuit does not contain",
+    ),
+];
+
+/// `fsim rules`: the diagnostic-code registry, straight from
+/// [`RuleCode::ALL`] plus the CLI-layer codes — the single source the
+/// docs table is checked against.
+fn cmd_rules(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags("rules", args, RULES_FLAGS)?;
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(err(format!("unknown format {format:?} (text, json)")));
+    }
+    let filter = args.first().filter(|a| !a.starts_with("--"));
+    let rows: Vec<(String, &str, Severity, &str)> = RuleCode::ALL
+        .iter()
+        .map(|&code| {
+            (
+                code.code().to_owned(),
+                code.slug(),
+                code.default_severity(),
+                code.description(),
+            )
+        })
+        .chain(
+            CLI_CODES
+                .iter()
+                .map(|&(code, slug, sev, desc)| (code.to_owned(), slug, sev, desc)),
+        )
+        .collect();
+    let rows: Vec<_> = match filter {
+        None => rows,
+        Some(wanted) => {
+            let hits: Vec<_> = rows
+                .into_iter()
+                .filter(|(code, slug, ..)| code == wanted || *slug == wanted.as_str())
+                .collect();
+            if hits.is_empty() {
+                return Err(diag(format!(
+                    "error: E002 [unknown-rule-code] {wanted:?} names no diagnostic \
+                     (try `fsim rules` for the full list)"
+                )));
+            }
+            hits
+        }
+    };
+    if format == "json" {
+        let mut out = String::from("[");
+        for (i, (code, slug, sev, desc)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{code}\",\"slug\":\"{slug}\",\"severity\":\"{}\",\"description\":\"{desc}\"}}",
+                sev.name()
+            ));
+        }
+        out.push(']');
+        println!("{out}");
+        return Ok(());
+    }
+    for (code, slug, sev, desc) in &rows {
+        println!("{code}  {:<7}  {slug:<32}  {desc}", sev.name());
+    }
+    Ok(())
+}
+
+/// `fsim implications <circuit> <net>`: query the implication graph for
+/// everything a net's binary values force, across time frames.
+fn cmd_implications(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_flags_n("implications", args, IMPLICATIONS_FLAGS, 2)?;
+    let spec = args
+        .first()
+        .ok_or_else(|| err("implications: missing circuit"))?;
+    let net_name = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| err("implications: missing net name (fsim implications <circuit> <net>)"))?;
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(err(format!("unknown format {format:?} (text, json)")));
+    }
+    let frames = match flag_value(args, "--learn-frames") {
+        None => cfs_check::DEFAULT_LEARN_FRAMES,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return Err(err(format!(
+                    "implications: --learn-frames wants a positive frame count, got {s:?}"
+                )))
+            }
+        },
+    };
+    let c = load_circuit(spec)?;
+    let Some(net) = c.find(net_name) else {
+        return Err(diag(format!(
+            "error: E003 [unknown-net] {} has no net {net_name:?}",
+            c.name()
+        )));
+    };
+    let analysis = analyze_circuit(&c);
+    let graph = ImplicationGraph::build(&c, &analysis, LearnOptions { frames });
+    let horizon = 2 * (frames - 1);
+    if format == "json" {
+        let mut out = format!(
+            "{{\"circuit\":\"{}\",\"net\":\"{net_name}\",\"frames\":{frames},\
+             \"valid_from_cycle\":{horizon},\"implications\":[",
+            c.name()
+        );
+        let mut first = true;
+        for value in [false, true] {
+            for imp in graph.implications_of(net, value) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"source_value\":{},\"target\":\"{}\",\"value\":{},\"delta\":{},\"learned\":{}}}",
+                    u8::from(value),
+                    c.gate(imp.target).name(),
+                    u8::from(imp.value),
+                    imp.delta,
+                    imp.learned
+                ));
+            }
+        }
+        out.push_str("]}");
+        println!("{out}");
+        return Ok(());
+    }
+    println!(
+        "implications of {} net {net_name:?} over {frames} frame(s) \
+         ({} direct + {} learned edges in the graph)",
+        c.name(),
+        graph.num_direct(),
+        graph.num_learned()
+    );
+    for value in [false, true] {
+        let imps = graph.implications_of(net, value);
+        println!(
+            "  {net_name}={}: {} implication(s)",
+            u8::from(value),
+            imps.len()
+        );
+        for imp in imps {
+            let frame = match imp.delta {
+                0 => "@t".to_owned(),
+                d if d > 0 => format!("@t+{d}"),
+                d => format!("@t{d}"),
+            };
+            let learned = if imp.learned { "  (learned)" } else { "" };
+            println!(
+                "    -> {}={} {frame}{learned}",
+                c.gate(imp.target).name(),
+                u8::from(imp.value)
+            );
+        }
+    }
+    if horizon > 0 {
+        println!("facts are guaranteed at steady-state cycles t >= {horizon}");
     }
     Ok(())
 }
@@ -2248,8 +2542,13 @@ fn emit_basic_telemetry(
 
 /// Prints what a `--prune` run is about to simulate.
 fn print_prune_banner(model: &str, stats: &cfs_faults::PruneStats) {
+    let conflict = if stats.conflict > 0 {
+        format!(", {} conflict-untestable", stats.conflict)
+    } else {
+        String::new()
+    };
     println!(
-        "pruned {} of {} {model} faults ({} unexcitable, {} unobservable); \
+        "pruned {} of {} {model} faults ({} unexcitable, {} unobservable{conflict}); \
          simulating {} class representatives",
         stats.pruned(),
         stats.full,
@@ -2264,6 +2563,10 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let spec = args.first().ok_or_else(|| err("sim: missing circuit"))?;
     let simulator = flag_value(args, "--simulator").unwrap_or("csim");
     let prune = has_flag(args, "--prune");
+    let learn = learn_opts("sim", args)?;
+    if learn.is_some() && !prune {
+        return Err(err("--learn extends --prune; add --prune"));
+    }
     let incremental = has_flag(args, "--incremental");
     if prune && has_flag(args, "--uncollapsed") {
         return Err(err(
@@ -2320,7 +2623,13 @@ fn cmd_sim(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let needs_analysis = prune || (par.plan == ShardPlan::WeightAware && par.threads > 1);
     let analysis = needs_analysis.then(|| analyze_circuit(&c));
     let pruned: Option<PrunedUniverse<StuckAt>> = match &analysis {
-        Some(a) if prune => Some(prune_stuck_at(&c, a)),
+        Some(a) if prune => Some(match learn {
+            Some(options) => {
+                let graph = ImplicationGraph::build(&c, a, options);
+                prune_stuck_at_learned(&c, a, &graph).universe
+            }
+            None => prune_stuck_at(&c, a),
+        }),
         _ => None,
     };
     let incr: Option<(ImpactUniverse<StuckAt>, Vec<FaultStatus>)> =
@@ -2465,6 +2774,10 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let par = ParallelOpts::parse(args)?;
     let ck = CheckpointOpts::parse(args, &par, &tel)?;
     let prune = has_flag(args, "--prune");
+    let learn = learn_opts("transition", args)?;
+    if learn.is_some() && !prune {
+        return Err(err("--learn extends --prune; add --prune"));
+    }
     let incremental = has_flag(args, "--incremental");
     if incremental && prune {
         return Err(err(
@@ -2481,7 +2794,13 @@ fn cmd_transition(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let needs_analysis = prune || (par.plan == ShardPlan::WeightAware && par.threads > 1);
     let analysis = needs_analysis.then(|| analyze_circuit(&c));
     let pruned: Option<PrunedUniverse<TransitionFault>> = match &analysis {
-        Some(a) if prune => Some(prune_transition(&c, a)),
+        Some(a) if prune => Some(match learn {
+            Some(options) => {
+                let graph = ImplicationGraph::build(&c, a, options);
+                prune_transition_learned(&c, a, &graph)
+            }
+            None => prune_transition(&c, a),
+        }),
         _ => None,
     };
     let incr: Option<(ImpactUniverse<TransitionFault>, Vec<FaultStatus>)> =
@@ -2954,9 +3273,16 @@ fn cmd_explain(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     "its site is provably constant at the stuck value, so it can never be excited"
                 }
                 PruneReason::Unobservable => "no primary output can ever observe its site",
+                PruneReason::ConflictUntestable => {
+                    "its mandatory assignments contradict under the implication closure"
+                }
+            };
+            let code = match reason {
+                PruneReason::ConflictUntestable => "F004 [conflict-untestable-fault]",
+                _ => "F002 [statically-untestable-fault]",
             };
             return Err(diag(format!(
-                "error: F002 [statically-untestable-fault] fault {id} ({}): {why}; \
+                "error: {code} fault {id} ({}): {why}; \
                  no pattern sequence can detect it",
                 fault.describe(&c)
             )));

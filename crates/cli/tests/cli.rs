@@ -710,6 +710,178 @@ fn analyze_json_dominance_matches_text() {
 }
 
 #[test]
+fn rules_lists_the_registry_and_filters_by_code_or_slug() {
+    let (ok, out, err) = fsim(&["rules"]);
+    assert!(ok, "{err}");
+    // Checker, analyzer, and CLI-layer codes all come from one registry.
+    for needle in [
+        "S001",
+        "F004",
+        "F005",
+        "K002",
+        "E003",
+        "conflict-untestable-fault",
+    ] {
+        assert!(out.contains(needle), "{needle} missing from:\n{out}");
+    }
+    let (ok, by_code, err) = fsim(&["rules", "F004"]);
+    assert!(ok, "{err}");
+    assert_eq!(by_code.lines().count(), 1, "{by_code}");
+    assert!(by_code.contains("conflict-untestable-fault"), "{by_code}");
+    let (ok, by_slug, err) = fsim(&["rules", "conflict-untestable-fault"]);
+    assert!(ok, "{err}");
+    assert_eq!(by_code, by_slug, "code and slug filters agree");
+
+    let (ok, json, err) = fsim(&["rules", "--format", "json"]);
+    assert!(ok, "{err}");
+    let v = JsonValue::parse(json.trim()).expect("valid rules JSON");
+    let rows = v.as_arr().expect("rules JSON is an array");
+    assert_eq!(rows.len(), out.lines().count(), "JSON and text row counts");
+    for r in rows {
+        assert!(r.get("code").and_then(JsonValue::as_str).is_some());
+        assert!(r.get("slug").and_then(JsonValue::as_str).is_some());
+        assert!(r.get("severity").and_then(JsonValue::as_str).is_some());
+        assert!(r.get("description").and_then(JsonValue::as_str).is_some());
+    }
+}
+
+#[test]
+fn rules_unknown_code_exits_2_with_e002() {
+    let (code, _, err) = fsim_code(&["rules", "F999"]);
+    assert_eq!(code, Some(2), "diagnostic exit code");
+    assert!(err.contains("E002 [unknown-rule-code]"), "{err}");
+}
+
+#[test]
+fn implications_dumps_cross_frame_facts_in_text_and_json() {
+    let (ok, out, err) = fsim(&["implications", "@s27", "G10"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("implications of s27 net \"G10\""), "{out}");
+    assert!(out.contains("@t+1"), "cross-frame fact expected:\n{out}");
+    assert!(
+        out.contains("facts are guaranteed at steady-state cycles t >= 2"),
+        "{out}"
+    );
+
+    let (ok, json, err) = fsim(&["implications", "@s27", "G10", "--format", "json"]);
+    assert!(ok, "{err}");
+    let v = JsonValue::parse(json.trim()).expect("valid implications JSON");
+    assert_eq!(v.get("circuit").and_then(JsonValue::as_str), Some("s27"));
+    assert_eq!(v.get("net").and_then(JsonValue::as_str), Some("G10"));
+    assert_eq!(v.get("frames").and_then(JsonValue::as_u64), Some(2));
+    assert_eq!(
+        v.get("valid_from_cycle").and_then(JsonValue::as_u64),
+        Some(2)
+    );
+    let imps = v.get("implications").and_then(JsonValue::as_arr).unwrap();
+    assert!(!imps.is_empty(), "{json}");
+    for imp in imps {
+        assert!(imp.get("target").and_then(JsonValue::as_str).is_some());
+        assert!(imp.get("delta").and_then(JsonValue::as_f64).is_some());
+    }
+}
+
+#[test]
+fn implications_unknown_net_exits_2_with_e003() {
+    let (code, _, err) = fsim_code(&["implications", "@s27", "nope"]);
+    assert_eq!(code, Some(2), "diagnostic exit code");
+    assert!(err.contains("E003 [unknown-net]"), "{err}");
+}
+
+#[test]
+fn analyze_learn_reports_conflicts_in_text_and_json() {
+    let (ok, out, err) = fsim(&["analyze", "@s298g", "--learn"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("implication learning:"), "{out}");
+    assert!(out.contains("conflict-untestable"), "{out}");
+    assert!(out.contains("F004 [conflict-untestable-fault]"), "{out}");
+    assert!(out.contains("F005 [implication-dominance]"), "{out}");
+
+    let (ok, json, err) = fsim(&["analyze", "@s298g", "--learn", "--format", "json"]);
+    assert!(ok, "{err}");
+    let v = JsonValue::parse(json.trim()).expect("valid analyze JSON");
+    let learn = v.get("learn").expect("learn object in JSON");
+    assert_eq!(learn.get("frames").and_then(JsonValue::as_u64), Some(2));
+    assert!(
+        learn
+            .get("direct_edges")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert!(
+        learn
+            .get("learned_edges")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert!(learn
+        .get("dominance_pairs")
+        .and_then(JsonValue::as_u64)
+        .is_some());
+    let stuck = v.get("stuck").expect("stuck object");
+    assert!(
+        stuck.get("conflict").and_then(JsonValue::as_u64).unwrap() > 0,
+        "{json}"
+    );
+    let transition = v.get("transition").expect("transition object");
+    assert!(
+        transition
+            .get("conflict")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0,
+        "{json}"
+    );
+}
+
+#[test]
+fn sim_learn_requires_prune() {
+    let (ok, _, err) = fsim(&["sim", "@s27", "--random", "4", "--learn"]);
+    assert!(!ok);
+    assert!(err.contains("--learn extends --prune"), "{err}");
+    let (ok, _, err) = fsim(&["sim", "@s27", "--random", "4", "--learn-frames", "3"]);
+    assert!(!ok);
+    assert!(err.contains("--learn-frames needs --learn"), "{err}");
+}
+
+#[test]
+fn sim_learn_detections_match_full_run() {
+    let dir = std::env::temp_dir().join("fsim-cli-learn-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let full = dir.join("full.txt");
+    let learned = dir.join("learned.txt");
+    let (ok, _, err) = fsim(&[
+        "sim",
+        "@s298g",
+        "--random",
+        "48",
+        "--uncollapsed",
+        "--detections",
+        full.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let (ok, out, err) = fsim(&[
+        "sim",
+        "@s298g",
+        "--random",
+        "48",
+        "--prune",
+        "--learn",
+        "--detections",
+        learned.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("conflict-untestable"), "{out}");
+    assert_eq!(
+        std::fs::read_to_string(&full).unwrap(),
+        std::fs::read_to_string(&learned).unwrap(),
+        "learned detections diverge from the full run"
+    );
+}
+
+#[test]
 fn mutate_applies_deterministic_edit() {
     let (ok, out, err) = fsim(&["mutate", "@s27", "--edit", "retype", "--choice", "1"]);
     assert!(ok, "{err}");

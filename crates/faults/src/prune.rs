@@ -23,6 +23,12 @@ pub enum PruneReason {
     /// path of gates and flip-flops, so the divergence can never be
     /// observed.
     Unobservable,
+    /// The fault's mandatory assignments (excitation plus a non-controlling
+    /// side value at every post-dominator on the way to an observable
+    /// output) are contradictory under the implication closure, so no input
+    /// sequence can both excite the fault and propagate its effect
+    /// (`--learn` static learning).
+    ConflictUntestable,
 }
 
 impl PruneReason {
@@ -31,6 +37,7 @@ impl PruneReason {
         match self {
             PruneReason::Unexcitable => "unexcitable",
             PruneReason::Unobservable => "unobservable",
+            PruneReason::ConflictUntestable => "conflict-untestable",
         }
     }
 }
@@ -58,12 +65,15 @@ pub struct PruneStats {
     pub unexcitable: usize,
     /// Full-universe faults pruned by the observability analysis.
     pub unobservable: usize,
+    /// Full-universe faults pruned by implication learning (`--learn`):
+    /// their mandatory assignments conflict under the implication closure.
+    pub conflict: usize,
 }
 
 impl PruneStats {
     /// Total full-universe faults proven undetectable.
     pub fn pruned(&self) -> usize {
-        self.unexcitable + self.unobservable
+        self.unexcitable + self.unobservable + self.conflict
     }
 
     /// Simulated / full ratio.
@@ -138,7 +148,7 @@ impl<F: Copy> PrunedUniverse<F> {
             return Err("fate vector length differs from the full universe".into());
         }
         let mut hit = vec![false; self.sim.len()];
-        let (mut unexcitable, mut unobservable) = (0usize, 0usize);
+        let (mut unexcitable, mut unobservable, mut conflict) = (0usize, 0usize, 0usize);
         for (i, fate) in self.fate.iter().enumerate() {
             match *fate {
                 FaultFate::Sim(idx) => {
@@ -149,6 +159,7 @@ impl<F: Copy> PrunedUniverse<F> {
                 }
                 FaultFate::Pruned(PruneReason::Unexcitable) => unexcitable += 1,
                 FaultFate::Pruned(PruneReason::Unobservable) => unobservable += 1,
+                FaultFate::Pruned(PruneReason::ConflictUntestable) => conflict += 1,
             }
         }
         if let Some(idx) = hit.iter().position(|&h| !h) {
@@ -160,6 +171,7 @@ impl<F: Copy> PrunedUniverse<F> {
             sim: self.sim.len(),
             unexcitable,
             unobservable,
+            conflict,
         };
         if expect != self.stats {
             return Err(format!(
@@ -177,20 +189,22 @@ mod tests {
 
     fn universe() -> PrunedUniverse<u8> {
         PrunedUniverse {
-            full: vec![10, 11, 12, 13],
+            full: vec![10, 11, 12, 13, 14],
             sim: vec![10, 12],
             fate: vec![
                 FaultFate::Sim(0),
                 FaultFate::Pruned(PruneReason::Unexcitable),
                 FaultFate::Sim(1),
                 FaultFate::Sim(0),
+                FaultFate::Pruned(PruneReason::ConflictUntestable),
             ],
             stats: PruneStats {
-                full: 4,
-                classes: 3,
+                full: 5,
+                classes: 4,
                 sim: 2,
                 unexcitable: 1,
                 unobservable: 0,
+                conflict: 1,
             },
         }
     }
@@ -210,8 +224,10 @@ mod tests {
                 FaultStatus::Untestable,
                 FaultStatus::Undetected,
                 FaultStatus::Detected { pattern: 7 },
+                FaultStatus::Untestable,
             ]
         );
+        assert_eq!(u.stats.pruned(), 2, "conflict counts as pruned");
     }
 
     #[test]

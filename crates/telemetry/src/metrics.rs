@@ -194,6 +194,7 @@ impl SimMetrics {
             faults_sim: 0,
             pruned_unexcitable: 0,
             pruned_unobservable: 0,
+            pruned_conflict: 0,
             faults_affected: 0,
             faults_transferred: 0,
             trace_events: 0,

@@ -83,6 +83,7 @@ impl<W: Write> JsonlWriter<W> {
             push_u64(&mut line, "faults_sim", s.faults_sim);
             push_u64(&mut line, "pruned_unexcitable", s.pruned_unexcitable);
             push_u64(&mut line, "pruned_unobservable", s.pruned_unobservable);
+            push_u64(&mut line, "pruned_conflict", s.pruned_conflict);
         }
         if s.faults_affected > 0 || s.faults_transferred > 0 {
             // Change-impact counters, present only for incremental runs so
@@ -396,6 +397,7 @@ mod tests {
         s.faults_sim = 60;
         s.pruned_unexcitable = 5;
         s.pruned_unobservable = 3;
+        s.pruned_conflict = 2;
         let mut w = JsonlWriter::new(Vec::new());
         w.write_summary(&s).unwrap();
         let text = String::from_utf8(w.into_inner()).unwrap();
@@ -409,6 +411,10 @@ mod tests {
         assert_eq!(
             v.get("pruned_unobservable").and_then(JsonValue::as_u64),
             Some(3)
+        );
+        assert_eq!(
+            v.get("pruned_conflict").and_then(JsonValue::as_u64),
+            Some(2)
         );
     }
 

@@ -72,6 +72,9 @@ pub struct MetricsSnapshot {
     /// Full-universe faults proven unobservable by the reachability
     /// analysis.
     pub pruned_unobservable: u64,
+    /// Full-universe faults proven conflict-untestable by implication
+    /// learning (`--learn`): their mandatory assignments contradict.
+    pub pruned_conflict: u64,
     /// Faults inside the affected cone of an incremental re-simulation —
     /// the set actually handed to the simulator (`0` when the run was not
     /// incremental). Stamped by the driver: the change-impact split
@@ -198,6 +201,7 @@ impl MetricsSnapshot {
         self.faults_sim = self.faults_sim.max(other.faults_sim);
         self.pruned_unexcitable = self.pruned_unexcitable.max(other.pruned_unexcitable);
         self.pruned_unobservable = self.pruned_unobservable.max(other.pruned_unobservable);
+        self.pruned_conflict = self.pruned_conflict.max(other.pruned_conflict);
         self.faults_affected = self.faults_affected.max(other.faults_affected);
         self.faults_transferred = self.faults_transferred.max(other.faults_transferred);
         // Per-shard recorders capture disjoint event streams: sum.

@@ -15,12 +15,17 @@
 use proptest::prelude::*;
 
 use cfs_baselines::SerialSim;
-use cfs_check::{analyze_circuit, observable_nodes, prune_stuck_at, prune_transition, RuleCode};
+use cfs_check::{
+    analyze_circuit, observable_nodes, prune_stuck_at, prune_stuck_at_learned, prune_transition,
+    ImplicationGraph, LearnOptions, RuleCode,
+};
 use cfs_core::{TransitionOptions, TransitionSim};
-use cfs_faults::{collapse_stuck_at_exact, dominance_collapse, FaultFate, FaultStatus, StuckAt};
+use cfs_faults::{
+    collapse_stuck_at_exact, dominance_collapse, FaultFate, FaultStatus, PruneReason, StuckAt,
+};
 use cfs_logic::Logic;
 use cfs_netlist::generate::{generate, CircuitSpec};
-use cfs_netlist::Circuit;
+use cfs_netlist::{Circuit, GateKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -190,6 +195,186 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+/// All binary input *sequences* of the given length, for exhaustive
+/// sequential proofs. `(2^inputs)^len` sequences — keep both small.
+fn exhaustive_sequences(circuit: &Circuit, len: usize) -> Vec<Vec<Vec<Logic>>> {
+    let n = circuit.num_inputs();
+    let per_cycle = 1usize << n;
+    let total = per_cycle.pow(len as u32);
+    assert!(total <= 1 << 13, "sequence space too large to enumerate");
+    (0..total)
+        .map(|mut code| {
+            (0..len)
+                .map(|_| {
+                    let bits = code % per_cycle;
+                    code /= per_cycle;
+                    (0..n)
+                        .map(|i| Logic::from_bool(bits >> i & 1 != 0))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Ternary good-machine reference: per cycle, the settled value of every
+/// net (flip-flops start all-`X` and latch their D input at cycle ends).
+fn ternary_trace(circuit: &Circuit, patterns: &[Vec<Logic>]) -> Vec<Vec<Logic>> {
+    let mut state = vec![Logic::X; circuit.num_nodes()];
+    let mut trace = Vec::with_capacity(patterns.len());
+    for p in patterns {
+        for (i, &inp) in circuit.inputs().iter().enumerate() {
+            state[inp.index()] = p[i];
+        }
+        for &g in circuit.topo_order() {
+            let gate = circuit.gate(g);
+            let GateKind::Comb(f) = gate.kind() else {
+                unreachable!("topo order is combinational")
+            };
+            let ins: Vec<Logic> = gate.fanin().iter().map(|s| state[s.index()]).collect();
+            state[g.index()] = f.eval(&ins);
+        }
+        trace.push(state.clone());
+        let latched: Vec<(usize, Logic)> = circuit
+            .dffs()
+            .iter()
+            .map(|&q| (q.index(), state[circuit.gate(q).fanin()[0].index()]))
+            .collect();
+        for (q, v) in latched {
+            state[q] = v;
+        }
+    }
+    trace
+}
+
+/// Small sequential circuits whose full sequence space stays enumerable:
+/// exactly 3 inputs so `8^4 = 4096` length-4 sequences cover every
+/// behaviour up to (and past) the default unroll depth.
+fn arb_learn_spec() -> impl Strategy<Value = CircuitSpec> {
+    (1usize..3, 1usize..4, 10usize..25, any::<u64>()).prop_map(|(outputs, dffs, gates, seed)| {
+        CircuitSpec::new("learn_soundness", 3, outputs, dffs, gates, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Brute force over the *entire* sequence space: a fault pruned as
+    /// `F004` conflict-untestable is not detected by any binary input
+    /// sequence of length 4 (twice the default unroll depth), simulated
+    /// by the serial baseline. This is the strongest soundness evidence
+    /// the suite has — no sampling, no reliance on the engine under test.
+    #[test]
+    fn f004_faults_are_exhaustively_undetectable(spec in arb_learn_spec()) {
+        let circuit = generate(&spec);
+        let analysis = analyze_circuit(&circuit);
+        let graph = ImplicationGraph::build(&circuit, &analysis, LearnOptions::default());
+        let learned = prune_stuck_at_learned(&circuit, &analysis, &graph);
+        learned.universe.validate().expect("learned universe invariants");
+        let victims: Vec<StuckAt> = learned
+            .universe
+            .fate
+            .iter()
+            .zip(&learned.universe.full)
+            .filter(|(fate, _)| {
+                matches!(fate, FaultFate::Pruned(PruneReason::ConflictUntestable))
+            })
+            .map(|(_, &f)| f)
+            .collect();
+        for sequence in exhaustive_sequences(&circuit, 4) {
+            if victims.is_empty() {
+                break; // vacuous pass is fine; the fixture test is not
+            }
+            let report = SerialSim::new(&circuit, &victims).run(&sequence);
+            for (f, status) in victims.iter().zip(&report.statuses) {
+                prop_assert!(
+                    !matches!(status, FaultStatus::Detected { .. }),
+                    "{}: F004-pruned but detected",
+                    f.describe(&circuit)
+                );
+            }
+        }
+    }
+
+    /// The implication closure is consistent with reality: on any ternary
+    /// good-machine trace, once a net holds a binary value at a steady
+    /// cycle (`t ≥ 2·(frames−1)`, past the learning horizon), every fact
+    /// in `implications_of` holds at its frame offset. In particular the
+    /// closure never derives both `ℓ` and `¬ℓ` from a satisfied literal —
+    /// the trace would have to violate one of them.
+    #[test]
+    fn implication_closure_is_consistent(spec in arb_spec(), seed in any::<u64>()) {
+        let circuit = generate(&spec);
+        let analysis = analyze_circuit(&circuit);
+        let options = LearnOptions::default();
+        let graph = ImplicationGraph::build(&circuit, &analysis, options);
+        let patterns = random_patterns(&circuit, 48, seed);
+        let trace = ternary_trace(&circuit, &patterns);
+        let horizon = 2 * (options.frames - 1);
+        for t in horizon..trace.len() {
+            for node in 0..circuit.num_nodes() {
+                let v = trace[t][node];
+                if !v.is_binary() {
+                    continue;
+                }
+                let id = cfs_netlist::GateId::from_index(node);
+                for imp in graph.implications_of(id, v == Logic::One) {
+                    let Some(at) = t.checked_add_signed(imp.delta as isize) else {
+                        continue;
+                    };
+                    if at >= trace.len() {
+                        continue;
+                    }
+                    let actual = trace[at][imp.target.index()];
+                    prop_assert_eq!(
+                        actual,
+                        Logic::from_bool(imp.value),
+                        "{:?}={} at cycle {} implies {:?}={} at cycle {}, trace says {:?} \
+                         (learned: {})",
+                        circuit.gate(id).name(), v, t,
+                        circuit.gate(imp.target).name(), imp.value, at,
+                        actual, imp.learned
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The textbook redundancy `y = OR(a, AND(a, b))`: the AND output
+/// stuck-at-0 needs `a=1` to excite and `a=0` to propagate. The learn pass
+/// must prove the conflict (`F004`), and brute force over every input
+/// sequence confirms the fault is genuinely undetectable — the
+/// non-vacuous anchor for the proptest above.
+#[test]
+fn textbook_redundant_fault_is_f004_and_exhaustively_undetectable() {
+    let source = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nm = AND(a, b)\ny = OR(a, m)\n";
+    let circuit = cfs_netlist::parse_bench("redundant", source).expect("fixture parses");
+    let analysis = analyze_circuit(&circuit);
+    let graph = ImplicationGraph::build(&circuit, &analysis, LearnOptions::default());
+    let learned = prune_stuck_at_learned(&circuit, &analysis, &graph);
+    let m = circuit.find("m").expect("net m");
+    let victim = StuckAt::output(m, false);
+    let idx = learned
+        .universe
+        .full
+        .iter()
+        .position(|&f| f == victim)
+        .expect("fault enumerated");
+    assert_eq!(
+        learned.universe.fate[idx],
+        FaultFate::Pruned(PruneReason::ConflictUntestable),
+        "the redundant fault must be F004-pruned"
+    );
+    for sequence in exhaustive_sequences(&circuit, 3) {
+        let report = SerialSim::new(&circuit, std::slice::from_ref(&victim)).run(&sequence);
+        assert!(
+            !matches!(report.statuses[0], FaultStatus::Detected { .. }),
+            "the textbook redundancy was detected — oracle broken"
+        );
     }
 }
 

@@ -9,7 +9,10 @@
 //! remove faults that were never going to be detected, and exact
 //! collapsing may only merge faults with identical per-pattern behaviour.
 
-use cfs_check::{analyze_circuit, prune_stuck_at, prune_transition};
+use cfs_check::{
+    analyze_circuit, prune_stuck_at, prune_stuck_at_learned, prune_transition,
+    prune_transition_learned, ImplicationGraph, LearnOptions,
+};
 use cfs_core::{
     detections_of, ConcurrentSim, CsimVariant, ParallelSim, ParallelTransitionSim, ShardPlan,
     TransitionOptions, TransitionSim,
@@ -126,10 +129,79 @@ fn check_transition(circuit: &Circuit, patterns: &[Vec<Logic>]) {
     }
 }
 
+/// The learned universe (`--prune --learn`) obeys the same contract: a
+/// subset of the base pruned universe whose expanded report matches the
+/// full run, serial and sharded, both fault models.
+fn check_learned(circuit: &Circuit, patterns: &[Vec<Logic>]) {
+    let analysis = analyze_circuit(circuit);
+    let graph = ImplicationGraph::build(circuit, &analysis, LearnOptions::default());
+
+    let base = prune_stuck_at(circuit, &analysis);
+    let learned = prune_stuck_at_learned(circuit, &analysis, &graph);
+    learned
+        .universe
+        .validate()
+        .expect("learned universe invariants");
+    assert_eq!(learned.universe.full, base.full, "enumeration order kept");
+    assert!(
+        learned.universe.stats.sim <= base.stats.sim,
+        "learning never grows"
+    );
+    let reference = ConcurrentSim::new(circuit, &learned.universe.full, CsimVariant::Mv.options())
+        .run(patterns);
+    for threads in THREAD_COUNTS {
+        let report = if threads == 1 {
+            ConcurrentSim::new(circuit, &learned.universe.sim, CsimVariant::Mv.options())
+                .run(patterns)
+        } else {
+            ParallelSim::new(
+                circuit,
+                &learned.universe.sim,
+                CsimVariant::Mv.options(),
+                threads,
+                ShardPlan::RoundRobin,
+            )
+            .run(patterns)
+        };
+        let expanded = learned.universe.expand_statuses(&report.statuses);
+        assert_detection_equivalence(
+            &reference.statuses,
+            &expanded,
+            &format!("{} stuck learned t{threads}", circuit.name()),
+        );
+    }
+
+    let tl = prune_transition_learned(circuit, &analysis, &graph);
+    tl.validate().expect("learned transition invariants");
+    let reference =
+        TransitionSim::new(circuit, &tl.full, TransitionOptions::default()).run(patterns);
+    for threads in THREAD_COUNTS {
+        let report = if threads == 1 {
+            TransitionSim::new(circuit, &tl.sim, TransitionOptions::default()).run(patterns)
+        } else {
+            ParallelTransitionSim::new(
+                circuit,
+                &tl.sim,
+                TransitionOptions::default(),
+                threads,
+                ShardPlan::RoundRobin,
+            )
+            .run(patterns)
+        };
+        let expanded = tl.expand_statuses(&report.statuses);
+        assert_detection_equivalence(
+            &reference.statuses,
+            &expanded,
+            &format!("{} transition learned t{threads}", circuit.name()),
+        );
+    }
+}
+
 fn check_both(circuit: &Circuit, patterns: usize, seed: u64) {
     let patterns = random_patterns(circuit, patterns, seed);
     check_stuck(circuit, &patterns);
     check_transition(circuit, &patterns);
+    check_learned(circuit, &patterns);
 }
 
 #[test]
@@ -155,6 +227,30 @@ fn pruned_runs_match_full_runs_on_random_netlists() {
     ];
     for (i, spec) in specs.iter().enumerate() {
         check_both(&generate(spec), 64, 17 + i as u64);
+    }
+}
+
+/// Implication learning must prune strictly beyond constant propagation
+/// on the bundled fixtures — these circuits carry conflict-untestable
+/// faults the base pass cannot see.
+#[test]
+fn learning_strictly_shrinks_the_universe_on_fixtures() {
+    for name in ["s298g", "s641g", "s1238g"] {
+        let circuit = cfs_netlist::generate::benchmark(name).expect("bundled benchmark");
+        let analysis = analyze_circuit(&circuit);
+        let graph = ImplicationGraph::build(&circuit, &analysis, LearnOptions::default());
+        let base = prune_stuck_at(&circuit, &analysis);
+        let learned = prune_stuck_at_learned(&circuit, &analysis, &graph);
+        assert!(
+            learned.universe.stats.sim < base.stats.sim,
+            "{name}: learning found no conflicts ({} vs {})",
+            learned.universe.stats.sim,
+            base.stats.sim
+        );
+        assert!(
+            learned.universe.stats.conflict > 0,
+            "{name}: conflict counter"
+        );
     }
 }
 
